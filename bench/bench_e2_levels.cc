@@ -1,0 +1,63 @@
+// E2 — the paper's headline result: the lowest semantically correct
+// isolation level for every transaction type of every worked example
+// (Figures 1-5, Examples 1-3), computed by the §5 procedure, next to the
+// level the paper assigns. SNAPSHOT correctness (Theorem 5) is reported
+// separately, as in the paper.
+
+#include "bench/bench_util.h"
+#include "sem/check/advisor.h"
+#include "workload/workload.h"
+
+namespace semcor {
+namespace {
+
+void ReportWorkload(const Workload& w) {
+  bench::Banner(StrCat("application: ", w.app.name));
+  LevelAdvisor advisor(w.app, AdvisorOptions());
+  bench::Table table({"transaction type", "advisor (lowest correct)",
+                      "paper", "match", "SNAPSHOT ok?", "triples"});
+  for (const TransactionType& type : w.app.types) {
+    LevelAdvice advice = advisor.Advise(type.name);
+    int triples = advice.snapshot_report.triples_checked;
+    for (const LevelCheckReport& r : advice.reports) {
+      triples += r.triples_checked;
+    }
+    auto it = w.paper_levels.find(type.name);
+    const bool match =
+        it != w.paper_levels.end() && it->second == advice.recommended;
+    table.AddRow({type.name, IsoLevelName(advice.recommended),
+                  it != w.paper_levels.end() ? IsoLevelName(it->second) : "-",
+                  match ? "yes" : "NO",
+                  advice.snapshot_correct ? "yes" : "no",
+                  std::to_string(triples)});
+    // Show the decisive failing obligation one level below the recommended
+    // one (why the level below is not enough).
+    if (advice.reports.size() >= 2) {
+      const LevelCheckReport& below =
+          advice.reports[advice.reports.size() - 2];
+      const Obligation* failure = below.FirstFailure();
+      if (failure != nullptr) {
+        std::printf("  %s fails %s because [%s] vs [%s]: %s\n",
+                    type.name.c_str(), IsoLevelName(below.level),
+                    failure->assertion.c_str(), failure->source.c_str(),
+                    InterferenceName(failure->result.verdict));
+      }
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace semcor
+
+int main() {
+  using namespace semcor;
+  bench::Banner("E2: lowest correct isolation level per transaction type");
+  ReportWorkload(MakeMailingWorkload());
+  ReportWorkload(MakePayrollWorkload());
+  ReportWorkload(MakeBankingWorkload());
+  ReportWorkload(MakeOrdersWorkload(false));
+  ReportWorkload(MakeOrdersWorkload(true));
+  ReportWorkload(MakeTpccWorkload());
+  return 0;
+}

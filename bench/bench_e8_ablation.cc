@@ -1,0 +1,87 @@
+// E8 — ablation of the interference checker's proof strategies (the design
+// choices DESIGN.md calls out). Each configuration is sound: removing a
+// strategy can only push recommendations UP (kNoInterference degrades to
+// kUnknown, which the engines treat as interference). The table shows which
+// strategy earns which paper verdict, plus analysis wall time.
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "sem/check/advisor.h"
+#include "workload/workload.h"
+
+namespace semcor {
+namespace {
+
+struct Config {
+  const char* label;
+  CheckOptions options;
+};
+
+std::vector<Config> Configs() {
+  std::vector<Config> out;
+  out.push_back({"full checker", CheckOptions()});
+  {
+    CheckOptions c;
+    c.use_pathwise = false;
+    out.push_back({"no path-wise wp", c});
+  }
+  {
+    CheckOptions c;
+    c.use_stepwise = false;
+    out.push_back({"no step-wise fallback", c});
+  }
+  {
+    CheckOptions c;
+    c.decide.disable_subsumption = true;
+    out.push_back({"no quantifier subsumption", c});
+  }
+  {
+    CheckOptions c;
+    c.use_refutation = false;
+    out.push_back({"no concrete refutation", c});
+  }
+  return out;
+}
+
+void Ablate(const Workload& w) {
+  bench::Banner(StrCat("application: ", w.app.name));
+  std::vector<std::string> headers = {"configuration"};
+  for (const TransactionType& t : w.app.types) headers.push_back(t.name);
+  headers.push_back("ms");
+  bench::Table table(headers);
+  for (const Config& config : Configs()) {
+    AdvisorOptions options;
+    options.check = config.options;
+    const auto t0 = std::chrono::steady_clock::now();
+    LevelAdvisor advisor(w.app, options);
+    std::vector<std::string> row = {config.label};
+    for (const TransactionType& t : w.app.types) {
+      LevelAdvice advice = advisor.Advise(t.name);
+      const bool matches_paper =
+          w.paper_levels.count(t.name) &&
+          w.paper_levels.at(t.name) == advice.recommended;
+      row.push_back(StrCat(IsoLevelName(advice.recommended),
+                           matches_paper ? "" : " (*)"));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    row.push_back(bench::Fmt(
+        std::chrono::duration<double, std::milli>(t1 - t0).count(), 0));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace semcor
+
+int main() {
+  using namespace semcor;
+  bench::Banner(
+      "E8: checker-strategy ablation ((*) = deviates from the paper level; "
+      "deviations are always upward, never unsound)");
+  Ablate(MakePayrollWorkload());
+  Ablate(MakeBankingWorkload());
+  Ablate(MakeOrdersWorkload(true));
+  return 0;
+}

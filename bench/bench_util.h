@@ -1,0 +1,67 @@
+#ifndef SEMCOR_BENCH_BENCH_UTIL_H_
+#define SEMCOR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace semcor::bench {
+
+/// Minimal fixed-width table printer for the experiment reports (the paper
+/// has no plots; we print the rows its claims correspond to).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string sep;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      sep += std::string(widths[i] + 2, '-');
+      if (i + 1 < widths.size()) sep += "+";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row, widths);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<size_t>& widths) {
+    std::string line;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line += " " + cell + std::string(widths[i] - cell.size() + 1, ' ');
+      if (i + 1 < widths.size()) line += "|";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace semcor::bench
+
+#endif  // SEMCOR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,78 @@
+#ifndef SEMCOR_BENCH_PERF_HARNESS_H_
+#define SEMCOR_BENCH_PERF_HARNESS_H_
+
+#include "sem/rt/oracle.h"
+#include "txn/executor.h"
+#include "workload/workload.h"
+
+namespace semcor::bench {
+
+struct PerfResult {
+  double tps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  long committed = 0;
+  long aborted = 0;
+  long deadlocks = 0;
+  long gave_up = 0;
+  int violation_rounds = 0;  ///< rounds whose final state was incorrect
+  int rounds = 0;
+
+  double AbortRate() const {
+    const double attempts = committed + aborted;
+    return attempts > 0 ? 100.0 * aborted / attempts : 0;
+  }
+};
+
+/// Runs `rounds` independent rounds of the workload mix (fresh database per
+/// round) under the given level assignment, merging executor statistics and
+/// counting rounds whose outcome fails the semantic-correctness oracle.
+inline PerfResult RunRounds(const Workload& w,
+                            const std::map<std::string, IsoLevel>& levels,
+                            IsoLevel fallback, int threads,
+                            int items_per_thread, int rounds,
+                            uint64_t seed = 7) {
+  PerfResult out;
+  out.rounds = rounds;
+  double total_wall = 0;
+  ExecStats merged;
+  for (int round = 0; round < rounds; ++round) {
+    Store store;
+    LockManager locks;
+    TxnManager mgr(&store, &locks);
+    if (!w.setup(&store).ok()) continue;
+    MapEvalContext initial = store.SnapshotToMap();
+    CommitLog log;
+    ConcurrentExecutor executor(&mgr, threads);
+    double wall = 0;
+    ExecStats stats = executor.Run(
+        [&](Rng& rng) { return w.DrawFromMix(rng, levels, fallback); },
+        items_per_thread, /*max_retries=*/25, &log, &wall,
+        seed + static_cast<uint64_t>(round) * 65537);
+    merged.Merge(stats);
+    total_wall += wall;
+    OracleReport report =
+        CheckSemanticCorrectness(initial, store, log, w.app.invariant);
+    if (!report.ok()) ++out.violation_rounds;
+  }
+  out.committed = merged.committed;
+  out.aborted = merged.aborted;
+  out.deadlocks = merged.deadlocks;
+  out.gave_up = merged.gave_up;
+  out.tps = merged.Throughput(total_wall);
+  out.p50_us = merged.LatencyPercentileUs(50);
+  out.p99_us = merged.LatencyPercentileUs(99);
+  return out;
+}
+
+/// Uniform level assignment for every type of the workload.
+inline std::map<std::string, IsoLevel> AllAt(const Workload& w,
+                                             IsoLevel level) {
+  std::map<std::string, IsoLevel> out;
+  for (const auto& [type, unused] : w.paper_levels) out[type] = level;
+  return out;
+}
+
+}  // namespace semcor::bench
+
+#endif  // SEMCOR_BENCH_PERF_HARNESS_H_

@@ -1,0 +1,42 @@
+#ifndef SEMCOR_COMMON_RNG_H_
+#define SEMCOR_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace semcor {
+
+/// Deterministic PRNG wrapper used by the falsifier, workload generators and
+/// benches. Seeded explicitly everywhere so that every test and experiment
+/// is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p < 0 ? 0 : (p > 1 ? 1 : p));
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_COMMON_RNG_H_

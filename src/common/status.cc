@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace semcor {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Code::kAborted:
+      return "Aborted";
+    case Code::kDeadlock:
+      return "Deadlock";
+    case Code::kConflict:
+      return "Conflict";
+    case Code::kWouldBlock:
+      return "WouldBlock";
+    case Code::kUnsupported:
+      return "Unsupported";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace semcor

@@ -1,0 +1,103 @@
+#ifndef SEMCOR_COMMON_STATUS_H_
+#define SEMCOR_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace semcor {
+
+/// Error categories used across the library. The set is intentionally small:
+/// callers usually branch only on ok() / aborted / deadlock.
+enum class Code {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed program, schema, or assertion.
+  kNotFound,          ///< Named item, table, or row does not exist.
+  kAlreadyExists,     ///< Duplicate name on create.
+  kAborted,           ///< Transaction aborted (explicit, FCW, or victim).
+  kDeadlock,          ///< Aborted as a deadlock victim.
+  kConflict,          ///< First-committer-wins validation failure.
+  kWouldBlock,        ///< Try-lock failed; retry later (step-driver mode).
+  kUnsupported,       ///< Operation not available in this configuration.
+  kInternal,          ///< Invariant breakage inside the library (a bug).
+};
+
+/// Returns a stable human-readable name for a code ("OK", "Aborted", ...).
+const char* CodeName(Code code);
+
+/// Cheap status object used instead of exceptions on all fallible paths
+/// (RocksDB-style). Ok statuses carry no allocation.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(Code::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(Code::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(Code::kAlreadyExists, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(Code::kAborted, std::move(m));
+  }
+  static Status Deadlock(std::string m) {
+    return Status(Code::kDeadlock, std::move(m));
+  }
+  static Status Conflict(std::string m) {
+    return Status(Code::kConflict, std::move(m));
+  }
+  static Status WouldBlock(std::string m) {
+    return Status(Code::kWouldBlock, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(Code::kUnsupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(Code::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True for any of the "transaction must restart" outcomes.
+  bool IsTransactionFailure() const {
+    return code_ == Code::kAborted || code_ == Code::kDeadlock ||
+           code_ == Code::kConflict;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+/// Value-or-status result. `value()` must only be called when `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T&& take() { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_COMMON_STATUS_H_

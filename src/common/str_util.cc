@@ -1,0 +1,40 @@
+#include "common/str_util.h"
+
+namespace semcor {
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  if (s.empty()) return out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string ItemName(const std::string& base, int64_t index,
+                     const std::string& field) {
+  return StrCat(base, "[", index, "].", field);
+}
+
+std::string ItemName(const std::string& base, int64_t index) {
+  return StrCat(base, "[", index, "]");
+}
+
+}  // namespace semcor

@@ -1,0 +1,48 @@
+#ifndef SEMCOR_COMMON_STR_UTIL_H_
+#define SEMCOR_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace semcor {
+
+namespace internal_str {
+inline void AppendPieces(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void AppendPieces(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  AppendPieces(os, rest...);
+}
+}  // namespace internal_str
+
+/// Concatenates stream-printable pieces into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal_str::AppendPieces(os, args...);
+  return os.str();
+}
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits `s` on character `sep`; empty input yields an empty vector.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Canonical name for element `index` / field `field` of array `base`,
+/// e.g. ItemName("acct_sav", 3, "bal") == "acct_sav[3].bal". Flat items in
+/// the conventional store use these strings as keys.
+std::string ItemName(const std::string& base, int64_t index,
+                     const std::string& field);
+
+/// Name for an indexed scalar, e.g. "cust[7]".
+std::string ItemName(const std::string& base, int64_t index);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_COMMON_STR_UTIL_H_

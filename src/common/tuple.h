@@ -1,0 +1,32 @@
+#ifndef SEMCOR_COMMON_TUPLE_H_
+#define SEMCOR_COMMON_TUPLE_H_
+
+#include <map>
+#include <string>
+
+#include "common/str_util.h"
+#include "common/value.h"
+
+namespace semcor {
+
+/// A relational tuple: attribute name -> value. Tuples are small (the paper's
+/// schemas have <= 5 attributes) so an ordered map keeps printing and
+/// comparison deterministic.
+using Tuple = std::map<std::string, Value>;
+
+/// "{a: 1, b: "x"}".
+inline std::string TupleToString(const Tuple& t) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : t) {
+    if (!first) out += ", ";
+    first = false;
+    out += StrCat(k, ": ", v.ToString());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace semcor
+
+#endif  // SEMCOR_COMMON_TUPLE_H_

@@ -1,0 +1,35 @@
+#include "common/value.h"
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kInt:
+      return std::to_string(AsInt());
+    case Type::kBool:
+      return AsBool() ? "true" : "false";
+    case Type::kString:
+      return StrCat("\"", AsString(), "\"");
+  }
+  return "?";
+}
+
+const char* TypeName(Value::Type type) {
+  switch (type) {
+    case Value::Type::kNull:
+      return "null";
+    case Value::Type::kInt:
+      return "int";
+    case Value::Type::kBool:
+      return "bool";
+    case Value::Type::kString:
+      return "string";
+  }
+  return "?";
+}
+
+}  // namespace semcor

@@ -1,0 +1,75 @@
+#ifndef SEMCOR_COMMON_VALUE_H_
+#define SEMCOR_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace semcor {
+
+/// Runtime value of a database item, tuple attribute, or transaction-local
+/// variable. The model follows the paper's "conventional database": integers
+/// carry all arithmetic; booleans and strings appear in relational tuples.
+class Value {
+ public:
+  enum class Type { kNull = 0, kInt, kBool, kString };
+
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(bool v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Bool(bool v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  Type type() const {
+    switch (rep_.index()) {
+      case 0:
+        return Type::kNull;
+      case 1:
+        return Type::kInt;
+      case 2:
+        return Type::kBool;
+      default:
+        return Type::kString;
+    }
+  }
+
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_string() const { return type() == Type::kString; }
+
+  /// Accessors require the matching type; behaviour is a library invariant
+  /// enforced by the evaluator's type checks.
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  bool AsBool() const { return std::get<bool>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Structural equality (null == null holds; mixed types are unequal).
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order used by MIN/MAX aggregates and ordered scans: null < int <
+  /// bool < string; within a type the natural order.
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.rep_ < b.rep_;
+  }
+
+  /// Debug/bench rendering: 42, true, "abc", null.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, bool, std::string> rep_;
+};
+
+/// Stable name for a value type ("int", "bool", ...).
+const char* TypeName(Value::Type type);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_COMMON_VALUE_H_

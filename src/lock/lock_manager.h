@@ -1,0 +1,104 @@
+#ifndef SEMCOR_LOCK_LOCK_MANAGER_H_
+#define SEMCOR_LOCK_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "lock/predicate_lock.h"
+
+namespace semcor {
+
+/// Centralized lock manager for item locks, row locks, and predicate locks.
+///
+/// Blocking requests wait on a condition variable; a wait-for graph is
+/// maintained and cycles are detected at block time — the requester that
+/// closes a cycle receives kDeadlock and is expected to abort itself.
+/// Non-blocking requests (used by the deterministic step driver) return
+/// kConflict instead of waiting.
+///
+/// Lock *duration* is the caller's concern: short locks are released with
+/// Release*, long locks with ReleaseAll at commit/abort, per the level
+/// policies of txn/isolation.h.
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  Status AcquireItem(TxnId txn, const std::string& item, LockMode mode,
+                     bool wait);
+  Status AcquireRow(TxnId txn, const std::string& table, RowId row,
+                    LockMode mode, bool wait);
+  /// Acquires a predicate lock (always long duration, per [2]).
+  Status AcquirePredicate(TxnId txn, const std::string& table, Expr pred,
+                          LockMode mode, bool wait);
+  /// Gate (no lock recorded): waits until no other transaction holds a
+  /// predicate lock of an incompatible mode covering any of `images`.
+  Status PredicateGate(TxnId txn, const std::string& table,
+                       const std::vector<const Tuple*>& images, LockMode mode,
+                       bool wait);
+
+  void ReleaseItem(TxnId txn, const std::string& item);
+  void ReleaseRow(TxnId txn, const std::string& table, RowId row);
+  /// Releases every lock (incl. predicate locks) held by `txn` and wakes
+  /// waiters. Call at commit/abort.
+  void ReleaseAll(TxnId txn);
+
+  /// Number of item/row locks held (tests & benches).
+  size_t HeldCount(TxnId txn) const;
+
+  /// Lock-wait statistics.
+  struct Stats {
+    long blocks = 0;
+    long deadlocks = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct LockEntry {
+    std::map<TxnId, LockMode> holders;
+  };
+
+  static std::string ItemKey(const std::string& item) { return "i:" + item; }
+  static std::string RowKey(const std::string& table, RowId row);
+
+  /// Core wait loop shared by all acquire paths. `conflicts` computes the
+  /// current blockers; `grant` records the lock (may be empty for gates).
+  Status AcquireLoop(TxnId txn, bool wait,
+                     const std::function<std::vector<TxnId>()>& conflicts,
+                     const std::function<void()>& grant,
+                     std::unique_lock<std::mutex>& lk);
+
+  std::vector<TxnId> KeyConflicts(const std::string& key, TxnId txn,
+                                  LockMode mode) const;
+  bool WaitCycleFrom(TxnId txn) const;
+  /// Shared acquire path for item/row keys with writer-priority fairness.
+  Status AcquireKey(TxnId txn, const std::string& key, LockMode mode,
+                    bool wait);
+
+  /// A blocked request queued on a key. Grants are strictly FIFO: a request
+  /// proceeds only when it is compatible with the holders and no earlier
+  /// waiter remains — fair to both readers and writers (neither starves).
+  struct Waiter {
+    uint64_t ticket = 0;
+    TxnId txn = 0;
+    LockMode mode = LockMode::kShared;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, LockEntry> locks_;
+  std::map<std::string, std::vector<Waiter>> queues_;
+  std::map<std::string, PredicateLockSet> predicate_locks_;  ///< by table
+  std::map<TxnId, std::set<TxnId>> waiting_on_;
+  uint64_t next_ticket_ = 1;
+  Stats stats_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_LOCK_LOCK_MANAGER_H_

@@ -1,0 +1,60 @@
+#include "lock/predicate_lock.h"
+
+#include "sem/check/wp.h"
+#include "sem/expr/eval.h"
+
+namespace semcor {
+
+bool PredicateLockSet::Disjoint(const Expr& a, const Expr& b) {
+  const std::pair<std::string, std::string> key = {ToString(a), ToString(b)};
+  auto it = disjoint_cache_.find(key);
+  if (it != disjoint_cache_.end()) return it->second;
+  const bool disjoint = ProvablyDisjoint(a, b);
+  disjoint_cache_.emplace(key, disjoint);
+  return disjoint;
+}
+
+std::vector<TxnId> PredicateLockSet::ConflictsWithPredicate(TxnId txn,
+                                                            const Expr& pred,
+                                                            LockMode mode) {
+  std::vector<TxnId> out;
+  for (const PredicateLock& pl : locks_) {
+    if (pl.txn == txn) continue;
+    if (Compatible(pl.mode, mode)) continue;
+    if (!Disjoint(pl.pred, pred)) out.push_back(pl.txn);
+  }
+  return out;
+}
+
+std::vector<TxnId> PredicateLockSet::ConflictsWithImages(
+    TxnId txn, const std::vector<const Tuple*>& images, LockMode mode) const {
+  std::vector<TxnId> out;
+  MapEvalContext empty;
+  for (const PredicateLock& pl : locks_) {
+    if (pl.txn == txn) continue;
+    if (Compatible(pl.mode, mode)) continue;
+    for (const Tuple* image : images) {
+      if (image == nullptr) continue;
+      Result<bool> covered = EvalTuplePred(pl.pred, *image, empty);
+      if (!covered.ok() || covered.value()) {
+        out.push_back(pl.txn);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void PredicateLockSet::Add(TxnId txn, const Expr& pred, LockMode mode) {
+  locks_.push_back({txn, mode, pred});
+}
+
+void PredicateLockSet::ReleaseAll(TxnId txn) {
+  std::vector<PredicateLock> kept;
+  for (PredicateLock& pl : locks_) {
+    if (pl.txn != txn) kept.push_back(std::move(pl));
+  }
+  locks_ = std::move(kept);
+}
+
+}  // namespace semcor

@@ -1,0 +1,62 @@
+#ifndef SEMCOR_LOCK_PREDICATE_LOCK_H_
+#define SEMCOR_LOCK_PREDICATE_LOCK_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+#include "sem/expr/expr.h"
+#include "storage/table.h"
+
+namespace semcor {
+
+/// Lock modes. Shared locks are compatible with each other; exclusive locks
+/// conflict with everything held by another transaction.
+enum class LockMode { kShared, kExclusive };
+
+inline bool Compatible(LockMode held, LockMode requested) {
+  return held == LockMode::kShared && requested == LockMode::kShared;
+}
+
+/// One predicate lock: `txn` holds `mode` on the set of (present and future)
+/// tuples of a table satisfying `pred`. Predicates must be *closed* (local
+/// variables substituted by their runtime values).
+struct PredicateLock {
+  TxnId txn = 0;
+  LockMode mode = LockMode::kShared;
+  Expr pred;
+};
+
+/// Per-table set of predicate locks with conflict tests. Not thread-safe;
+/// the LockManager serializes access. Predicate-vs-predicate disjointness is
+/// decided by the logic engine (conservatively: "not provably disjoint"
+/// counts as a conflict) and memoized by rendered predicate text.
+class PredicateLockSet {
+ public:
+  /// Transactions (other than `txn`) whose predicate locks conflict with a
+  /// request for `mode` on `pred`.
+  std::vector<TxnId> ConflictsWithPredicate(TxnId txn, const Expr& pred,
+                                            LockMode mode);
+
+  /// Transactions (other than `txn`) whose predicate locks of an
+  /// incompatible mode cover any of `images` (a row operation on those
+  /// images must wait). Evaluation errors count as covered (conservative).
+  std::vector<TxnId> ConflictsWithImages(
+      TxnId txn, const std::vector<const Tuple*>& images, LockMode mode) const;
+
+  void Add(TxnId txn, const Expr& pred, LockMode mode);
+  void ReleaseAll(TxnId txn);
+  size_t size() const { return locks_.size(); }
+
+ private:
+  bool Disjoint(const Expr& a, const Expr& b);
+
+  std::vector<PredicateLock> locks_;
+  std::map<std::pair<std::string, std::string>, bool> disjoint_cache_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_LOCK_PREDICATE_LOCK_H_

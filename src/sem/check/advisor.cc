@@ -1,0 +1,61 @@
+#include "sem/check/advisor.h"
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+LevelAdvisor::LevelAdvisor(const Application& app, AdvisorOptions options)
+    : options_(options), engine_(app, options.check) {
+  for (const TransactionType& t : app.types) type_names_.push_back(t.name);
+}
+
+LevelAdvice LevelAdvisor::Advise(const std::string& type_name) {
+  LevelAdvice advice;
+  advice.txn_type = type_name;
+
+  std::vector<IsoLevel> ladder = {IsoLevel::kReadUncommitted,
+                                  IsoLevel::kReadCommitted};
+  if (options_.consider_fcw) ladder.push_back(IsoLevel::kReadCommittedFcw);
+  ladder.push_back(IsoLevel::kRepeatableRead);
+  ladder.push_back(IsoLevel::kSerializable);
+
+  bool decided = false;
+  for (IsoLevel level : ladder) {
+    LevelCheckReport report = engine_.CheckAtLevel(type_name, level);
+    const bool correct = report.correct;
+    advice.reports.push_back(std::move(report));
+    if (correct && !decided) {
+      advice.recommended = level;
+      decided = true;
+      break;  // §5: return the first level that is semantically correct
+    }
+  }
+  if (options_.evaluate_snapshot) {
+    advice.snapshot_report =
+        engine_.CheckAtLevel(type_name, IsoLevel::kSnapshot);
+    advice.snapshot_correct = advice.snapshot_report.correct;
+  }
+  return advice;
+}
+
+std::vector<LevelAdvice> LevelAdvisor::AdviseAll() {
+  std::vector<LevelAdvice> out;
+  for (const std::string& name : type_names_) out.push_back(Advise(name));
+  return out;
+}
+
+std::string RenderAdviceTable(const std::vector<LevelAdvice>& advice) {
+  std::string out;
+  out += StrCat("| ", "transaction type", " | lowest correct level | SNAPSHOT ok? | triples checked |\n");
+  out += "|---|---|---|---|\n";
+  for (const LevelAdvice& a : advice) {
+    int triples = 0;
+    for (const LevelCheckReport& r : a.reports) triples += r.triples_checked;
+    triples += a.snapshot_report.triples_checked;
+    out += StrCat("| ", a.txn_type, " | ", IsoLevelName(a.recommended), " | ",
+                  a.snapshot_correct ? "yes" : "no", " | ", triples, " |\n");
+  }
+  return out;
+}
+
+}  // namespace semcor

@@ -1,0 +1,54 @@
+#ifndef SEMCOR_SEM_CHECK_ADVISOR_H_
+#define SEMCOR_SEM_CHECK_ADVISOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sem/check/theorems.h"
+
+namespace semcor {
+
+/// Advice for one transaction type: the lowest locking level at which it is
+/// semantically correct, plus whether SNAPSHOT is also correct.
+struct LevelAdvice {
+  std::string txn_type;
+  IsoLevel recommended = IsoLevel::kSerializable;
+  bool snapshot_correct = false;
+  /// Reports for every level that was evaluated (lowest first).
+  std::vector<LevelCheckReport> reports;
+  LevelCheckReport snapshot_report;
+};
+
+struct AdvisorOptions {
+  CheckOptions check;
+  bool consider_fcw = true;      ///< include READ COMMITTED + FCW in the ladder
+  bool evaluate_snapshot = true; ///< additionally analyze SNAPSHOT (Thm 5)
+};
+
+/// Implements the §5 procedure: for each transaction type, walk the ladder
+/// READ UNCOMMITTED -> READ COMMITTED [-> RC-FCW] -> REPEATABLE READ ->
+/// SERIALIZABLE and return the first level whose semantic condition holds.
+/// SNAPSHOT is analyzed separately (the paper excludes it from the ladder
+/// because it is not generally offered alongside the others).
+class LevelAdvisor {
+ public:
+  LevelAdvisor(const Application& app, AdvisorOptions options);
+
+  LevelAdvice Advise(const std::string& type_name);
+  std::vector<LevelAdvice> AdviseAll();
+
+  TheoremEngine& engine() { return engine_; }
+
+ private:
+  AdvisorOptions options_;
+  TheoremEngine engine_;
+  std::vector<std::string> type_names_;
+};
+
+/// Renders a per-type advice table (the E2 report rows).
+std::string RenderAdviceTable(const std::vector<LevelAdvice>& advice);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_CHECK_ADVISOR_H_

@@ -1,0 +1,129 @@
+#include "sem/check/annotation.h"
+
+#include <set>
+
+#include "common/str_util.h"
+#include "sem/check/wp.h"
+#include "sem/expr/simplify.h"
+
+namespace semcor {
+
+namespace {
+
+/// Items written anywhere in a statement list (conservatively kills logical
+/// bindings across loops and joined branches).
+void CollectWrittenItems(const StmtList& body, std::set<std::string>* out) {
+  VisitStmts(body, [&](const StmtPtr& s) {
+    if (s->kind == StmtKind::kWrite) out->insert(s->item);
+  });
+}
+
+struct Walker {
+  const DecideOptions& options;
+  const TxnProgram& program;
+  AnnotationReport* report;
+
+  void Record(const std::string& where, const Expr& goal) {
+    ++report->checked;
+    DecideResult d = DecideValidity(Simplify(goal), options);
+    if (d.verdict == Verdict::kValid) return;
+    report->all_proved = false;
+    if (d.verdict == Verdict::kInvalid) report->any_refuted = true;
+    AnnotationIssue issue;
+    issue.where = where;
+    issue.verdict = d.verdict;
+    issue.detail = d.detail;
+    if (d.counterexample) {
+      issue.detail += StrCat("; counterexample ", d.counterexample->ToString());
+    }
+    report->issues.push_back(std::move(issue));
+  }
+
+  /// Conjoins the still-valid logical-binding equalities: x_i == X_i holds
+  /// sequentially until the program itself writes x_i.
+  Expr WithBindings(const Expr& assertion,
+                    const std::set<std::string>& written) const {
+    std::vector<Expr> parts = {assertion};
+    for (const auto& [logical, item] : program.logical_bindings) {
+      if (!written.count(item)) {
+        parts.push_back(Eq(Logical(logical), DbVar(item)));
+      }
+    }
+    return Simplify(And(std::move(parts)));
+  }
+
+  /// Checks the body given the assertion holding on entry and the assertion
+  /// required at exit. `written` accumulates items the transaction has
+  /// already written along this path.
+  void CheckBody(const StmtList& body, const Expr& entry, const Expr& exit,
+                 std::set<std::string> written) {
+    Expr current = entry;
+    for (size_t i = 0; i < body.size(); ++i) {
+      const StmtPtr& s = body[i];
+      const Expr pre = s->pre ? s->pre : True();
+      Record(StrCat("entail -> pre(", s->ToString(), ")"),
+             Implies(WithBindings(current, written), pre));
+      const Expr post = (i + 1 < body.size())
+                            ? (body[i + 1]->pre ? body[i + 1]->pre : True())
+                            : exit;
+      switch (s->kind) {
+        case StmtKind::kIf: {
+          CheckBody(s->then_body, And(pre, s->expr), post, written);
+          CheckBody(s->else_body, And(pre, Not(s->expr)), post, written);
+          // Bindings killed by either branch are dead afterwards.
+          CollectWrittenItems(s->then_body, &written);
+          CollectWrittenItems(s->else_body, &written);
+          current = post;
+          break;
+        }
+        case StmtKind::kWhile: {
+          // `pre` is the loop invariant: the body must re-establish it, and
+          // leaving the loop must establish the next assertion. Bindings to
+          // items the body writes are dead inside and after the loop.
+          std::set<std::string> inside = written;
+          CollectWrittenItems(s->then_body, &inside);
+          CheckBody(s->then_body, And(pre, s->expr), pre, inside);
+          Record(StrCat("loop exit of ", s->ToString()),
+                 Implies(WithBindings(And(pre, Not(s->expr)), inside), post));
+          written = inside;
+          current = post;
+          break;
+        }
+        case StmtKind::kAbort:
+          return;  // nothing executes after an unconditional abort
+        default: {
+          FreshNames fresh;
+          Result<WpResult> wp = Wp(*s, post, &fresh);
+          if (!wp.ok()) {
+            report->all_proved = false;
+            report->issues.push_back(
+                {s->ToString(), Verdict::kUnknown, wp.status().ToString()});
+          } else {
+            Record(StrCat("{pre} ", s->ToString(), " {post}"),
+                   Implies(WithBindings(pre, written), wp.value().formula));
+          }
+          if (s->kind == StmtKind::kWrite) written.insert(s->item);
+          current = post;
+          break;
+        }
+      }
+    }
+    if (body.empty()) {
+      Record("empty body entailment",
+             Implies(WithBindings(entry, written), exit));
+    }
+  }
+};
+
+}  // namespace
+
+AnnotationReport CheckAnnotations(const TxnProgram& program,
+                                  const DecideOptions& options) {
+  AnnotationReport report;
+  Walker walker{options, program, &report};
+  walker.CheckBody(program.body,
+                   program.Precondition(), program.Postcondition(), {});
+  return report;
+}
+
+}  // namespace semcor

@@ -1,0 +1,42 @@
+#ifndef SEMCOR_SEM_CHECK_ANNOTATION_H_
+#define SEMCOR_SEM_CHECK_ANNOTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "sem/logic/decide.h"
+#include "sem/prog/program.h"
+
+namespace semcor {
+
+/// One sequential Hoare check `{A} s {B}` or entailment `A ⟹ B` from the
+/// proof outline of a transaction.
+struct AnnotationIssue {
+  std::string where;
+  Verdict verdict = Verdict::kUnknown;
+  std::string detail;
+};
+
+struct AnnotationReport {
+  bool all_proved = true;   ///< every check returned VALID
+  bool any_refuted = false; ///< some annotation is definitely wrong
+  int checked = 0;
+  std::vector<AnnotationIssue> issues;  ///< non-VALID checks only
+};
+
+/// Verifies that a transaction's inline annotations form a sequential proof
+/// of {I_i ∧ B_i ∧ bindings} T_i {I_i ∧ Q_i} (the paper's triple (1)):
+/// the start condition entails the first annotation, each annotated
+/// statement establishes the next annotation (via wp), branch entry adds the
+/// guard, and While annotations are checked as loop invariants. The program
+/// must have parameters substituted (PrepareForAnalysis with an empty
+/// prefix). The interference analysis *assumes* annotations are valid (they
+/// appear as hypotheses in triples), so run this check first; UNKNOWN
+/// verdicts mean the outline could not be proved automatically, INVALID
+/// means it is definitely wrong.
+AnnotationReport CheckAnnotations(const TxnProgram& program,
+                                  const DecideOptions& options = DecideOptions());
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_CHECK_ANNOTATION_H_

@@ -1,0 +1,84 @@
+#ifndef SEMCOR_SEM_CHECK_INTERFERENCE_H_
+#define SEMCOR_SEM_CHECK_INTERFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "sem/logic/decide.h"
+#include "sem/logic/falsifier.h"
+#include "sem/prog/program.h"
+
+namespace semcor {
+
+/// Three-valued interference verdict for a triple {P ∧ P'} S {P}:
+///  - kNoInterference: the triple is a theorem (S cannot invalidate P),
+///  - kInterference: a concrete execution invalidating P was found,
+///  - kUnknown: neither; theorem engines treat this as interference (sound).
+enum class Interference { kNoInterference, kInterference, kUnknown };
+
+const char* InterferenceName(Interference v);
+
+struct InterferenceResult {
+  Interference verdict = Interference::kUnknown;
+  std::string detail;  ///< proof path, counterexample, or reason unknown
+};
+
+struct CheckOptions {
+  DecideOptions decide;
+  FalsifierOptions falsifier;
+  int loop_unroll = 2;     ///< bounded unrolling for path-wise wp
+  int max_paths = 64;      ///< path-explosion cap
+  int refute_rounds = 3;   ///< falsifier restarts with distinct seeds
+  // Ablation switches (bench_e8_ablation): disable individual proof
+  // strategies. All configurations remain sound — disabling a strategy can
+  // only turn kNoInterference into kUnknown (a higher recommended level).
+  bool use_pathwise = true;   ///< whole-transaction wp along paths
+  bool use_stepwise = true;   ///< per-write preservation fallback
+  bool use_refutation = true; ///< concrete counterexample search
+};
+
+/// Decides interference triples. Stateless apart from options; safe to use
+/// from several threads concurrently.
+class InterferenceChecker {
+ public:
+  InterferenceChecker(SchemaShapes shapes, CheckOptions options)
+      : shapes_(std::move(shapes)), options_(std::move(options)) {}
+
+  /// Checks the single-statement triple {P ∧ stmt.pre} stmt {P}. The
+  /// statement must already be renamed apart from P's variables.
+  InterferenceResult CheckStmt(const Expr& p, const Stmt& stmt) const;
+
+  /// Checks whether the whole transaction, executed as one isolated unit,
+  /// can invalidate P: {P ∧ pre(T)} T {P}. `txn` must be renamed apart from
+  /// P's variables and have its parameters substituted (see PrepareForAnalysis).
+  InterferenceResult CheckTxn(const Expr& p, const TxnProgram& txn) const;
+
+  const SchemaShapes& shapes() const { return shapes_; }
+  const CheckOptions& options() const { return options_; }
+
+ private:
+  InterferenceResult ProveStmtSafe(const Expr& p, const Stmt& stmt) const;
+  InterferenceResult SymbolicStmt(const Expr& p, const Stmt& stmt) const;
+  InterferenceResult RefuteStmt(const Expr& p, const Stmt& stmt) const;
+  InterferenceResult RefuteTxn(
+      const Expr& p, const TxnProgram& txn,
+      const std::vector<std::map<VarRef, int64_t>>& candidates,
+      const std::vector<Expr>& failing_path_formulas) const;
+
+  /// Builds a concrete state from an integer assignment (empty tables for
+  /// every known shape; unmentioned variables default later).
+  MapEvalContext StateFromInts(const std::map<VarRef, int64_t>& ints) const;
+
+  SchemaShapes shapes_;
+  CheckOptions options_;
+};
+
+/// Renames `program`'s locals/logicals with `prefix` and substitutes its
+/// parameter values into every expression, producing the form the checker
+/// expects for the "other" transaction of a triple.
+TxnProgram PrepareForAnalysis(const TxnProgram& program,
+                              const std::string& prefix);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_CHECK_INTERFERENCE_H_

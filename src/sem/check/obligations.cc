@@ -1,0 +1,101 @@
+#include "sem/check/obligations.h"
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+namespace {
+
+struct InstanceStats {
+  int reads = 0;              ///< db read statements
+  int unprotected_reads = 0;  ///< reads not followed by a same-item write
+  int selects = 0;            ///< relational reads (SELECT)
+  int writes = 0;             ///< db write statements (excl. undo)
+  int statements = 0;         ///< N_i: atomic statements
+  bool conventional = true;
+};
+
+InstanceStats StatsOf(const TxnProgram& txn) {
+  InstanceStats s;
+  s.statements = CountAtomicStmts(txn.body);
+  for (const ReadWithPost& r : CollectReadPostconditions(txn)) {
+    ++s.reads;
+    if (!r.followed_by_write_same_item) ++s.unprotected_reads;
+    if (r.stmt->kind != StmtKind::kRead) ++s.selects;
+  }
+  s.writes = static_cast<int>(CollectDbWrites(txn).size());
+  VisitStmts(txn.body, [&](const StmtPtr& st) {
+    switch (st->kind) {
+      case StmtKind::kSelectRows:
+      case StmtKind::kUpdate:
+      case StmtKind::kInsert:
+      case StmtKind::kDelete:
+        s.conventional = false;
+        break;
+      case StmtKind::kSelectAgg:
+        if (!CollectTableAtoms(st->expr).empty()) s.conventional = false;
+        break;
+      default:
+        break;
+    }
+  });
+  return s;
+}
+
+}  // namespace
+
+ObligationCounts CountObligations(const Application& app) {
+  ObligationCounts out;
+  std::vector<InstanceStats> stats;
+  for (const TransactionType& type : app.types) {
+    for (const auto& scenario : type.analysis_scenarios) {
+      stats.push_back(StatsOf(type.make(scenario)));
+    }
+  }
+  out.num_instances = static_cast<int>(stats.size());
+  long total_writes = 0;  // including one undo per write
+  long total_assertions = 0;
+  for (const InstanceStats& s : stats) {
+    out.total_statements += s.statements;
+    total_writes += 2L * s.writes;
+    total_assertions += s.statements + 1;  // one annotation each + Q_i
+  }
+  // General Owicki–Gries: every assertion against every statement.
+  out.naive_owicki_gries = total_assertions * out.total_statements;
+
+  long ru = 0, rc = 0, fcw = 0, rr = 0, snap = 0;
+  const long k = out.num_instances;
+  for (const InstanceStats& s : stats) {
+    // Thm 1: {I_i, read posts, Q_i} x every write statement (incl. undo).
+    ru += (1L + s.reads + 1L) * total_writes;
+    // Thm 2: {read posts, Q_i} x every transaction.
+    rc += (s.reads + 1L) * k;
+    // Thm 3: unprotected read posts + Q_i, x every transaction.
+    fcw += (s.unprotected_reads + 1L) * k;
+    // Thm 4/6: conventional -> none; else Q_i + SELECT posts per transaction.
+    if (!s.conventional) rr += (1L + s.selects) * k;
+    // Thm 5: one pair condition per other transaction (K^2 total).
+    snap += k;
+  }
+  out.per_level[IsoLevel::kReadUncommitted] = ru;
+  out.per_level[IsoLevel::kReadCommitted] = rc;
+  out.per_level[IsoLevel::kReadCommittedFcw] = fcw;
+  out.per_level[IsoLevel::kRepeatableRead] = rr;
+  out.per_level[IsoLevel::kSerializable] = 0;
+  out.per_level[IsoLevel::kSnapshot] = snap;
+  return out;
+}
+
+std::string RenderObligationCounts(const ObligationCounts& counts) {
+  std::string out;
+  out += StrCat("K (transaction instances) = ", counts.num_instances,
+                ", total statements = ", counts.total_statements, "\n");
+  out += StrCat("naive Owicki-Gries triples : ", counts.naive_owicki_gries,
+                "\n");
+  for (const auto& [level, n] : counts.per_level) {
+    out += StrCat(IsoLevelName(level), " : ", n, "\n");
+  }
+  return out;
+}
+
+}  // namespace semcor

@@ -1,0 +1,33 @@
+#ifndef SEMCOR_SEM_CHECK_OBLIGATIONS_H_
+#define SEMCOR_SEM_CHECK_OBLIGATIONS_H_
+
+#include <map>
+#include <string>
+
+#include "sem/check/theorems.h"
+
+namespace semcor {
+
+/// Static obligation counts — how many non-interference triples each
+/// isolation level requires, *without* discharging them. Reproduces the
+/// paper's analysis-cost claims (§2: (KN)^2 for general Owicki–Gries; §2 &
+/// §3.6: only K^2 for SNAPSHOT, independent of the number of operations).
+struct ObligationCounts {
+  long naive_owicki_gries = 0;  ///< (sum of stmts)^2-flavoured OG bound
+  std::map<IsoLevel, long> per_level;
+  int num_instances = 0;        ///< K: transaction instances analyzed
+  int total_statements = 0;     ///< sum of N_i
+};
+
+/// Counts obligations for all transaction instances of `app` (one instance
+/// per analysis scenario). The counts mirror exactly what TheoremEngine
+/// would check, including synthesized undo writes at READ UNCOMMITTED.
+ObligationCounts CountObligations(const Application& app);
+
+/// Renders an E1-style row set: level -> obligation count, plus the naive
+/// bound.
+std::string RenderObligationCounts(const ObligationCounts& counts);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_CHECK_OBLIGATIONS_H_

@@ -1,0 +1,82 @@
+#include "sem/check/report.h"
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+namespace {
+
+const char* TheoremFor(IsoLevel level) {
+  switch (level) {
+    case IsoLevel::kReadUncommitted:
+      return "Theorem 1 (per-write interference, incl. rollback undo)";
+    case IsoLevel::kReadCommitted:
+      return "Theorem 2 (whole transactions vs read posts and Q_i)";
+    case IsoLevel::kReadCommittedFcw:
+      return "Theorem 3 (unprotected read posts and Q_i)";
+    case IsoLevel::kRepeatableRead:
+      return "Theorems 4/6 (conventional: free; relational: SELECT posts "
+             "with predicate-intersection excuse)";
+    case IsoLevel::kSerializable:
+      return "serializability (no obligations)";
+    case IsoLevel::kSnapshot:
+      return "Theorem 5 (pairwise: write-set intersection or read-step "
+             "post + Q_i)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string RenderLevelReport(const LevelCheckReport& report,
+                              const ReportOptions& options) {
+  std::string out = StrCat(options.markdown ? "### " : "", report.txn_type,
+                           " @ ", IsoLevelName(report.level), " — ",
+                           report.correct ? "CORRECT" : "not correct", " (",
+                           report.triples_checked, " triples, ",
+                           TheoremFor(report.level), ")\n");
+  for (const Obligation& o : report.obligations) {
+    if (o.Passed() && !options.include_passing && !o.excused) continue;
+    out += StrCat(options.markdown ? "- " : "  * ", "[", o.assertion,
+                  "] vs [", o.source, "]: ");
+    if (o.excused) {
+      out += StrCat("excused — ", o.excuse);
+    } else {
+      out += InterferenceName(o.result.verdict);
+      if (!o.Passed() && !o.result.detail.empty()) {
+        out += StrCat(" (", o.result.detail, ")");
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderAdvice(const LevelAdvice& advice,
+                         const ReportOptions& options) {
+  std::string out = StrCat(options.markdown ? "## " : "", advice.txn_type,
+                           " -> ", IsoLevelName(advice.recommended),
+                           advice.snapshot_correct
+                               ? " (SNAPSHOT also correct)\n"
+                               : " (SNAPSHOT not correct)\n");
+  for (const LevelCheckReport& report : advice.reports) {
+    out += RenderLevelReport(report, options);
+  }
+  out += RenderLevelReport(advice.snapshot_report, options);
+  return out;
+}
+
+std::string RenderApplicationReport(const Application& app,
+                                    std::vector<LevelAdvice> advice,
+                                    const ReportOptions& options) {
+  std::string out =
+      StrCat(options.markdown ? "# " : "", "Isolation-level analysis: ",
+             app.name, "\n\n", RenderAdviceTable(advice), "\n");
+  for (const LevelAdvice& a : advice) {
+    out += RenderAdvice(a, options);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace semcor

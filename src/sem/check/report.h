@@ -1,0 +1,36 @@
+#ifndef SEMCOR_SEM_CHECK_REPORT_H_
+#define SEMCOR_SEM_CHECK_REPORT_H_
+
+#include <string>
+
+#include "sem/check/advisor.h"
+
+namespace semcor {
+
+/// Rendering options for analysis reports.
+struct ReportOptions {
+  bool include_passing = false;  ///< list discharged obligations too
+  bool markdown = true;          ///< markdown tables vs plain text
+};
+
+/// Renders one level-check report: the theorem applied, each obligation with
+/// its verdict (and excuse, for Theorem 5 condition (1) / Theorem 6
+/// condition (2)), and the outcome.
+std::string RenderLevelReport(const LevelCheckReport& report,
+                              const ReportOptions& options = ReportOptions());
+
+/// Renders a transaction type's full advice: the ladder of levels tried,
+/// why each failing level fails, the recommendation, and the SNAPSHOT
+/// verdict.
+std::string RenderAdvice(const LevelAdvice& advice,
+                         const ReportOptions& options = ReportOptions());
+
+/// Renders a whole application's analysis (one RenderAdvice per type plus a
+/// summary table).
+std::string RenderApplicationReport(
+    const Application& app, std::vector<LevelAdvice> advice,
+    const ReportOptions& options = ReportOptions());
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_CHECK_REPORT_H_

@@ -1,0 +1,102 @@
+#ifndef SEMCOR_SEM_CHECK_THEOREMS_H_
+#define SEMCOR_SEM_CHECK_THEOREMS_H_
+
+#include <string>
+#include <vector>
+
+#include "sem/check/interference.h"
+#include "txn/isolation.h"
+
+namespace semcor {
+
+/// The statically analyzable description of an application: its transaction
+/// types, the global consistency constraint I, and the table shapes for
+/// model generation. Runtime harness state lives with the workloads.
+struct Application {
+  std::string name;
+  std::vector<TransactionType> types;
+  Expr invariant = True();
+  SchemaShapes shapes;
+};
+
+/// One discharged (or failed) proof obligation.
+struct Obligation {
+  std::string assertion;  ///< which P of T_i
+  std::string source;     ///< which statement / transaction of T_j
+  InterferenceResult result;
+  bool excused = false;   ///< passed via a side condition (e.g. Thm 6 (2),
+                          ///< Thm 5 write-set intersection)
+  std::string excuse;
+
+  bool Passed() const {
+    return excused || result.verdict == Interference::kNoInterference;
+  }
+};
+
+/// Result of checking one transaction type at one level.
+struct LevelCheckReport {
+  std::string txn_type;
+  IsoLevel level = IsoLevel::kSerializable;
+  bool correct = false;
+  int triples_checked = 0;
+  std::vector<Obligation> obligations;
+
+  /// First failing obligation, if any (for diagnostics).
+  const Obligation* FirstFailure() const;
+};
+
+/// Discharges the per-level semantic-correctness conditions (Theorems 1-6)
+/// for each transaction type of an application.
+class TheoremEngine {
+ public:
+  TheoremEngine(const Application& app, CheckOptions options);
+
+  /// Checks whether transactions of type `type_name` execute semantically
+  /// correctly at `level`, assuming every other transaction runs at least at
+  /// READ UNCOMMITTED (the paper's setting: the level of T_j is irrelevant).
+  LevelCheckReport CheckAtLevel(const std::string& type_name, IsoLevel level);
+
+  const Application& app() const { return app_; }
+
+ private:
+  struct PreparedInstance {
+    std::string label;
+    TxnProgram program;           ///< renamed "o::" + params substituted
+    std::vector<StmtPtr> writes;  ///< db writes including synthesized undos
+  };
+
+  /// Target-side instances of a type (own names, params substituted).
+  std::vector<TxnProgram> TargetInstances(const std::string& type_name) const;
+
+  LevelCheckReport CheckReadUncommitted(const TxnProgram& ti);
+  LevelCheckReport CheckReadCommitted(const TxnProgram& ti, bool fcw);
+  LevelCheckReport CheckRepeatableRead(const TxnProgram& ti);
+  LevelCheckReport CheckSnapshot(const TxnProgram& ti);
+
+  /// Merges per-instance reports: correct iff all correct; sums triples.
+  static LevelCheckReport Merge(std::vector<LevelCheckReport> parts,
+                                const std::string& type_name, IsoLevel level);
+
+  Application app_;
+  InterferenceChecker checker_;
+  /// All transaction instances prepared as "other" side (prefix "o::").
+  std::vector<PreparedInstance> others_;
+};
+
+/// Synthesizes the compensating (rollback) write statements for every db
+/// write of `txn`: restored values are fresh unconstrained locals bounded
+/// only by the invariant conjuncts that mention the written item/table
+/// (Theorem 1 requires checking these too). `shapes` supplies attribute
+/// lists for undo inserts.
+std::vector<StmtPtr> SynthesizeUndoWrites(const TxnProgram& txn,
+                                          const Expr& invariant,
+                                          const SchemaShapes& shapes);
+
+/// Postcondition of the SNAPSHOT read step: the annotation at the first db
+/// write (all reads precede writes in the two-step model), or the program
+/// postcondition for read-only transactions.
+Expr ReadStepPostcondition(const TxnProgram& txn);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_CHECK_THEOREMS_H_

@@ -1,0 +1,334 @@
+#include "sem/check/wp.h"
+
+#include <set>
+
+#include "common/str_util.h"
+#include "sem/expr/simplify.h"
+#include "sem/expr/subst.h"
+#include "sem/logic/decide.h"
+
+namespace semcor {
+
+Expr ReplaceSubterm(const Expr& e, const Expr& target,
+                    const Expr& replacement) {
+  if (!e) return e;
+  if (ExprEquals(e, target)) return replacement;
+  if (e->kids.empty()) return e;
+  bool changed = false;
+  std::vector<Expr> kids;
+  kids.reserve(e->kids.size());
+  for (const Expr& k : e->kids) {
+    Expr r = ReplaceSubterm(k, target, replacement);
+    changed = changed || r.get() != k.get();
+    kids.push_back(std::move(r));
+  }
+  if (!changed) return e;
+  auto n = std::make_shared<ExprNode>(*e);
+  n->kids = std::move(kids);
+  return n;
+}
+
+bool ProvablyDisjoint(const Expr& pred_a, const Expr& pred_b) {
+  return ProvablyUnsat(And(pred_a, pred_b));
+}
+
+namespace {
+
+std::set<std::string> CollectAttrs(const Expr& e) {
+  std::set<std::string> attrs;
+  VisitNodes(e, [&](const ExprNode& n) {
+    if (n.op == Op::kAttr) attrs.insert(n.attr);
+  });
+  return attrs;
+}
+
+bool Covered(const std::set<std::string>& attrs,
+             const std::map<std::string, Expr>& values) {
+  for (const std::string& a : attrs) {
+    if (values.find(a) == values.end()) return false;
+  }
+  return true;
+}
+
+bool Touches(const std::set<std::string>& attrs,
+             const std::map<std::string, Expr>& sets) {
+  for (const std::string& a : attrs) {
+    if (sets.find(a) != sets.end()) return true;
+  }
+  return false;
+}
+
+/// Per-atom rewriting outcome.
+struct AtomRewrite {
+  Expr replacement;          ///< null = keep atom unchanged
+  std::vector<Expr> hypotheses;
+  bool exact = true;
+};
+
+AtomRewrite KeepAtom() { return AtomRewrite{}; }
+
+AtomRewrite FreshAbstraction(const Expr& atom, FreshNames* fresh) {
+  AtomRewrite out;
+  const bool boolish = atom->op == Op::kExists || atom->op == Op::kForall;
+  auto n = std::make_shared<ExprNode>(Op::kVar);
+  n->var = boolish ? fresh->NextBool() : fresh->NextInt();
+  out.replacement = n;
+  out.exact = false;
+  return out;
+}
+
+Expr VarExpr(const VarRef& v) {
+  auto n = std::make_shared<ExprNode>(Op::kVar);
+  n->var = v;
+  return n;
+}
+
+AtomRewrite RewriteForInsert(const Expr& atom,
+                             const std::map<std::string, Expr>& values,
+                             FreshNames* fresh) {
+  const Expr& pred = atom->kids[0];
+  std::set<std::string> needed = CollectAttrs(pred);
+  if (atom->op == Op::kForall) {
+    std::set<std::string> more = CollectAttrs(atom->kids[1]);
+    needed.insert(more.begin(), more.end());
+  }
+  if (atom->op == Op::kSum || atom->op == Op::kMaxAgg ||
+      atom->op == Op::kMinAgg) {
+    needed.insert(atom->agg_attr);
+  }
+  if (!Covered(needed, values)) return FreshAbstraction(atom, fresh);
+
+  const Expr inst = SubstituteAttrs(pred, values);
+  switch (atom->op) {
+    case Op::kExists: {
+      AtomRewrite out;
+      out.replacement = Or(atom, inst);  // exact: exists-after == this
+      return out;
+    }
+    case Op::kForall: {
+      AtomRewrite out;
+      const Expr inst_q = SubstituteAttrs(atom->kids[1], values);
+      out.replacement = And(atom, Implies(inst, inst_q));
+      return out;
+    }
+    case Op::kCount: {
+      AtomRewrite out;
+      const Expr v = VarExpr(fresh->NextInt());
+      out.replacement = v;
+      out.hypotheses.push_back(Implies(inst, Eq(v, Add(atom, Lit(int64_t{1})))));
+      out.hypotheses.push_back(Implies(Not(inst), Eq(v, atom)));
+      return out;
+    }
+    case Op::kSum: {
+      AtomRewrite out;
+      const Expr v = VarExpr(fresh->NextInt());
+      const Expr val = values.at(atom->agg_attr);
+      out.replacement = v;
+      out.hypotheses.push_back(Implies(inst, Eq(v, Add(atom, val))));
+      out.hypotheses.push_back(Implies(Not(inst), Eq(v, atom)));
+      return out;
+    }
+    case Op::kMaxAgg: {
+      AtomRewrite out;
+      const Expr v = VarExpr(fresh->NextInt());
+      const Expr val = values.at(atom->agg_attr);
+      out.replacement = v;
+      // If the table was empty before, the old value is the default, so only
+      // v >= val and v ∈ {old, val} are guaranteed.
+      out.hypotheses.push_back(
+          Implies(inst, And(Ge(v, val), Or(Eq(v, atom), Eq(v, val)))));
+      out.hypotheses.push_back(Implies(Not(inst), Eq(v, atom)));
+      return out;
+    }
+    case Op::kMinAgg: {
+      AtomRewrite out;
+      const Expr v = VarExpr(fresh->NextInt());
+      const Expr val = values.at(atom->agg_attr);
+      out.replacement = v;
+      out.hypotheses.push_back(
+          Implies(inst, And(Le(v, val), Or(Eq(v, atom), Eq(v, val)))));
+      out.hypotheses.push_back(Implies(Not(inst), Eq(v, atom)));
+      return out;
+    }
+    default:
+      return FreshAbstraction(atom, fresh);
+  }
+}
+
+AtomRewrite RewriteForDelete(const Expr& atom, const Expr& del_pred,
+                             FreshNames* fresh) {
+  const Expr& pred = atom->kids[0];
+  if (ProvablyDisjoint(pred, del_pred)) return KeepAtom();
+  switch (atom->op) {
+    case Op::kForall:
+      // Removing tuples can only shrink the domain of the forall; the
+      // post-state value is implied by the pre-state value.
+      {
+        AtomRewrite out;
+        const Expr v = VarExpr(fresh->NextBool());
+        out.replacement = v;
+        out.hypotheses.push_back(Implies(atom, v));
+        out.exact = false;
+        return out;
+      }
+    case Op::kExists: {
+      AtomRewrite out;
+      const Expr v = VarExpr(fresh->NextBool());
+      out.replacement = v;
+      out.hypotheses.push_back(Implies(v, atom));
+      out.exact = false;
+      return out;
+    }
+    case Op::kCount: {
+      AtomRewrite out;
+      const Expr v = VarExpr(fresh->NextInt());
+      out.replacement = v;
+      out.hypotheses.push_back(Ge(v, Lit(int64_t{0})));
+      out.hypotheses.push_back(Le(v, atom));
+      out.exact = false;
+      return out;
+    }
+    case Op::kMaxAgg: {
+      AtomRewrite out;
+      const Expr v = VarExpr(fresh->NextInt());
+      out.replacement = v;
+      out.hypotheses.push_back(Or(Le(v, atom), Eq(v, Lit(atom->dflt))));
+      out.exact = false;
+      return out;
+    }
+    case Op::kMinAgg: {
+      // Deleting rows can only raise the minimum (or empty the selection).
+      AtomRewrite out;
+      const Expr v = VarExpr(fresh->NextInt());
+      out.replacement = v;
+      out.hypotheses.push_back(Or(Ge(v, atom), Eq(v, Lit(atom->dflt))));
+      out.exact = false;
+      return out;
+    }
+    default:
+      return FreshAbstraction(atom, fresh);
+  }
+}
+
+AtomRewrite RewriteForUpdate(const Expr& atom, const Expr& upd_pred,
+                             const std::map<std::string, Expr>& sets,
+                             FreshNames* fresh) {
+  const Expr& pred = atom->kids[0];
+  const std::set<std::string> pred_attrs = CollectAttrs(pred);
+  if (!Touches(pred_attrs, sets)) {
+    // Membership in the predicate is unchanged by the update.
+    switch (atom->op) {
+      case Op::kCount:
+      case Op::kExists:
+        return KeepAtom();
+      case Op::kSum:
+      case Op::kMaxAgg:
+      case Op::kMinAgg:
+        if (sets.find(atom->agg_attr) == sets.end()) return KeepAtom();
+        return FreshAbstraction(atom, fresh);
+      case Op::kForall: {
+        const std::set<std::string> concl_attrs = CollectAttrs(atom->kids[1]);
+        if (!Touches(concl_attrs, sets)) return KeepAtom();
+        // Membership fixed, conclusion rewritten for updated rows. This is
+        // exact (an equality), so inline replacement is polarity-safe:
+        //   forall-after(p:q) == forall-before(p∧¬u : q)
+        //                        ∧ forall-before(p∧u : q[sets])
+        // where q[sets] replaces updated attributes by their new expressions
+        // (over old attribute values).
+        std::map<std::string, Expr> set_exprs(sets.begin(), sets.end());
+        const Expr q_new = SubstituteAttrs(atom->kids[1], set_exprs);
+        AtomRewrite out;
+        out.replacement = Simplify(
+            And(Forall(atom->table, Simplify(And(pred, Not(upd_pred))),
+                       atom->kids[1]),
+                Forall(atom->table, Simplify(And(pred, upd_pred)), q_new)));
+        return out;
+      }
+      default:
+        return FreshAbstraction(atom, fresh);
+    }
+  }
+  // The update rewrites attributes the predicate depends on; membership is
+  // still unchanged if no tuple matching the update predicate is in (or can
+  // enter) the atom's predicate.
+  std::map<std::string, Expr> set_exprs(sets.begin(), sets.end());
+  const Expr pred_new = SubstituteAttrs(pred, set_exprs);
+  const bool agg_safe =
+      (atom->op != Op::kSum && atom->op != Op::kMaxAgg &&
+       atom->op != Op::kMinAgg) ||
+      sets.find(atom->agg_attr) == sets.end();
+  if (agg_safe && ProvablyDisjoint(pred, upd_pred) &&
+      ProvablyDisjoint(pred_new, upd_pred)) {
+    return KeepAtom();
+  }
+  AtomRewrite out = FreshAbstraction(atom, fresh);
+  if (atom->op == Op::kCount) {
+    out.hypotheses.push_back(Ge(out.replacement, Lit(int64_t{0})));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<WpResult> Wp(const Stmt& stmt, const Expr& post, FreshNames* fresh) {
+  WpResult out;
+  out.formula = post;
+  switch (stmt.kind) {
+    case StmtKind::kRead:
+      out.formula =
+          Substitute(post, {VarKind::kLocal, stmt.local}, DbVar(stmt.item));
+      return out;
+    case StmtKind::kWrite:
+      out.formula = Substitute(post, {VarKind::kDb, stmt.item}, stmt.expr);
+      return out;
+    case StmtKind::kLocalAssign:
+    case StmtKind::kSelectAgg:
+      out.formula = Substitute(post, {VarKind::kLocal, stmt.local}, stmt.expr);
+      return out;
+    case StmtKind::kSelectRows:
+      out.formula =
+          Substitute(post, {VarKind::kLocal, StrCat(stmt.local, "_count")},
+                     Count(stmt.table, stmt.pred));
+      return out;
+    case StmtKind::kAbort:
+      return out;  // a rolled-back transaction has no (committed) effect
+    case StmtKind::kIf:
+    case StmtKind::kWhile:
+      return Status::InvalidArgument(
+          "Wp is defined on atomic statements; enumerate paths for control "
+          "flow");
+    case StmtKind::kInsert:
+    case StmtKind::kDelete:
+    case StmtKind::kUpdate:
+      break;
+  }
+
+  // Relational write: rewrite each table atom of `post` on this table.
+  std::vector<Expr> hypotheses;
+  Expr formula = post;
+  for (const Expr& atom : CollectTableAtoms(post)) {
+    if (atom->table != stmt.table) continue;
+    AtomRewrite rw;
+    switch (stmt.kind) {
+      case StmtKind::kInsert:
+        rw = RewriteForInsert(atom, stmt.values, fresh);
+        break;
+      case StmtKind::kDelete:
+        rw = RewriteForDelete(atom, stmt.pred, fresh);
+        break;
+      default:
+        rw = RewriteForUpdate(atom, stmt.pred, stmt.sets, fresh);
+        break;
+    }
+    out.exact = out.exact && rw.exact;
+    if (rw.replacement) {
+      formula = ReplaceSubterm(formula, atom, rw.replacement);
+    }
+    for (Expr& h : rw.hypotheses) hypotheses.push_back(std::move(h));
+  }
+  out.formula =
+      hypotheses.empty() ? formula : Implies(And(std::move(hypotheses)), formula);
+  return out;
+}
+
+}  // namespace semcor

@@ -1,0 +1,54 @@
+#ifndef SEMCOR_SEM_CHECK_WP_H_
+#define SEMCOR_SEM_CHECK_WP_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sem/prog/stmt.h"
+
+namespace semcor {
+
+/// Allocator for fresh rigid variables introduced by relational-atom
+/// transformers (post-state values of aggregates etc.).
+class FreshNames {
+ public:
+  VarRef NextInt() { return {VarKind::kLogical, "%f" + std::to_string(n_++)}; }
+  VarRef NextBool() { return {VarKind::kLogical, "%b" + std::to_string(n_++)}; }
+
+ private:
+  int n_ = 0;
+};
+
+/// wp(stmt, post): a formula F such that proving `Φ ⟹ F` establishes the
+/// Hoare triple {Φ} stmt {post}.
+///
+/// For scalar statements F is the textbook substitution (exact). For
+/// relational statements the table atoms of `post` are rewritten through
+/// sound transformers: e.g. under INSERT, count(T|p) in the post-state equals
+/// count(T|p) + (p(new) ? 1 : 0) in the pre-state; when no exact rewriting
+/// exists the atom is replaced by a fresh unconstrained variable
+/// (abstraction: proofs stay sound, refutations must be confirmed
+/// concretely). `exact` reports whether any abstraction happened.
+struct WpResult {
+  Expr formula;
+  bool exact = true;
+};
+
+/// Computes wp for an atomic (non-control-flow) statement. kIf/kWhile are
+/// handled by path enumeration in the interference checker and are rejected
+/// here with InvalidArgument. kAbort yields `post` unchanged (a rolled-back
+/// transaction has no effect; dirty-read effects are covered by the
+/// synthesized undo writes of the READ UNCOMMITTED analysis).
+Result<WpResult> Wp(const Stmt& stmt, const Expr& post, FreshNames* fresh);
+
+/// Replaces every occurrence of `target` (by structural equality) in `e`.
+Expr ReplaceSubterm(const Expr& e, const Expr& target, const Expr& replacement);
+
+/// True if the two tuple predicates can be *proved* disjoint (no tuple can
+/// satisfy both). Attributes are shared between the predicates; outer
+/// variables keep their identity.
+bool ProvablyDisjoint(const Expr& pred_a, const Expr& pred_b);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_CHECK_WP_H_

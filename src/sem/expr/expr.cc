@@ -1,0 +1,421 @@
+#include "sem/expr/expr.h"
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+namespace {
+
+std::shared_ptr<ExprNode> Node(Op op) { return std::make_shared<ExprNode>(op); }
+
+Expr Binary(Op op, Expr a, Expr b) {
+  auto n = Node(op);
+  n->kids = {std::move(a), std::move(b)};
+  return n;
+}
+
+Expr Unary(Op op, Expr a) {
+  auto n = Node(op);
+  n->kids = {std::move(a)};
+  return n;
+}
+
+}  // namespace
+
+std::string VarRef::ToString() const {
+  switch (kind) {
+    case VarKind::kDb:
+      return StrCat("db:", name);
+    case VarKind::kLocal:
+      return StrCat("loc:", name);
+    case VarKind::kLogical:
+      return StrCat("log:", name);
+  }
+  return name;
+}
+
+Expr Lit(int64_t v) {
+  auto n = Node(Op::kConst);
+  n->const_val = Value::Int(v);
+  return n;
+}
+
+Expr Lit(bool v) {
+  auto n = Node(Op::kConst);
+  n->const_val = Value::Bool(v);
+  return n;
+}
+
+Expr Lit(const std::string& v) {
+  auto n = Node(Op::kConst);
+  n->const_val = Value::Str(v);
+  return n;
+}
+
+Expr LitV(const Value& v) {
+  auto n = Node(Op::kConst);
+  n->const_val = v;
+  return n;
+}
+
+Expr DbVar(const std::string& name) {
+  auto n = Node(Op::kVar);
+  n->var = {VarKind::kDb, name};
+  return n;
+}
+
+Expr Local(const std::string& name) {
+  auto n = Node(Op::kVar);
+  n->var = {VarKind::kLocal, name};
+  return n;
+}
+
+Expr Logical(const std::string& name) {
+  auto n = Node(Op::kVar);
+  n->var = {VarKind::kLogical, name};
+  return n;
+}
+
+Expr Attr(const std::string& name) {
+  auto n = Node(Op::kAttr);
+  n->attr = name;
+  return n;
+}
+
+Expr Neg(Expr a) { return Unary(Op::kNeg, std::move(a)); }
+Expr Not(Expr a) { return Unary(Op::kNot, std::move(a)); }
+Expr Add(Expr a, Expr b) { return Binary(Op::kAdd, std::move(a), std::move(b)); }
+Expr Sub(Expr a, Expr b) { return Binary(Op::kSub, std::move(a), std::move(b)); }
+Expr Mul(Expr a, Expr b) { return Binary(Op::kMul, std::move(a), std::move(b)); }
+Expr Div(Expr a, Expr b) { return Binary(Op::kDiv, std::move(a), std::move(b)); }
+Expr Eq(Expr a, Expr b) { return Binary(Op::kEq, std::move(a), std::move(b)); }
+Expr Ne(Expr a, Expr b) { return Binary(Op::kNe, std::move(a), std::move(b)); }
+Expr Lt(Expr a, Expr b) { return Binary(Op::kLt, std::move(a), std::move(b)); }
+Expr Le(Expr a, Expr b) { return Binary(Op::kLe, std::move(a), std::move(b)); }
+Expr Gt(Expr a, Expr b) { return Binary(Op::kGt, std::move(a), std::move(b)); }
+Expr Ge(Expr a, Expr b) { return Binary(Op::kGe, std::move(a), std::move(b)); }
+
+Expr And(std::vector<Expr> kids) {
+  auto n = Node(Op::kAnd);
+  n->kids = std::move(kids);
+  return n;
+}
+Expr And(Expr a, Expr b) { return And(std::vector<Expr>{std::move(a), std::move(b)}); }
+Expr And(Expr a, Expr b, Expr c) {
+  return And(std::vector<Expr>{std::move(a), std::move(b), std::move(c)});
+}
+Expr Or(std::vector<Expr> kids) {
+  auto n = Node(Op::kOr);
+  n->kids = std::move(kids);
+  return n;
+}
+Expr Or(Expr a, Expr b) { return Or(std::vector<Expr>{std::move(a), std::move(b)}); }
+Expr Implies(Expr a, Expr b) {
+  return Binary(Op::kImplies, std::move(a), std::move(b));
+}
+Expr Ite(Expr c, Expr a, Expr b) {
+  auto n = Node(Op::kIte);
+  n->kids = {std::move(c), std::move(a), std::move(b)};
+  return n;
+}
+
+Expr Count(const std::string& table, Expr tuple_pred) {
+  auto n = Node(Op::kCount);
+  n->table = table;
+  n->kids = {std::move(tuple_pred)};
+  return n;
+}
+
+Expr SumOf(const std::string& table, const std::string& attr, Expr tuple_pred) {
+  auto n = Node(Op::kSum);
+  n->table = table;
+  n->agg_attr = attr;
+  n->kids = {std::move(tuple_pred)};
+  return n;
+}
+
+Expr MaxOf(const std::string& table, const std::string& attr, Expr tuple_pred,
+           int64_t dflt) {
+  auto n = Node(Op::kMaxAgg);
+  n->table = table;
+  n->agg_attr = attr;
+  n->dflt = dflt;
+  n->kids = {std::move(tuple_pred)};
+  return n;
+}
+
+Expr MinOf(const std::string& table, const std::string& attr, Expr tuple_pred,
+           int64_t dflt) {
+  auto n = Node(Op::kMinAgg);
+  n->table = table;
+  n->agg_attr = attr;
+  n->dflt = dflt;
+  n->kids = {std::move(tuple_pred)};
+  return n;
+}
+
+Expr Exists(const std::string& table, Expr tuple_pred) {
+  auto n = Node(Op::kExists);
+  n->table = table;
+  n->kids = {std::move(tuple_pred)};
+  return n;
+}
+
+Expr Forall(const std::string& table, Expr tuple_pred, Expr conclusion) {
+  auto n = Node(Op::kForall);
+  n->table = table;
+  n->kids = {std::move(tuple_pred), std::move(conclusion)};
+  return n;
+}
+
+Expr True() {
+  static const Expr t = Lit(true);
+  return t;
+}
+
+Expr False() {
+  static const Expr f = Lit(false);
+  return f;
+}
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.get() == b.get()) return true;
+  if (!a || !b) return false;
+  if (a->op != b->op) return false;
+  switch (a->op) {
+    case Op::kConst:
+      if (!(a->const_val == b->const_val)) return false;
+      break;
+    case Op::kVar:
+      if (!(a->var == b->var)) return false;
+      break;
+    case Op::kAttr:
+      if (a->attr != b->attr) return false;
+      break;
+    case Op::kCount:
+    case Op::kSum:
+    case Op::kMaxAgg:
+    case Op::kMinAgg:
+    case Op::kExists:
+    case Op::kForall:
+      if (a->table != b->table || a->agg_attr != b->agg_attr ||
+          a->dflt != b->dflt) {
+        return false;
+      }
+      break;
+    default:
+      break;
+  }
+  if (a->kids.size() != b->kids.size()) return false;
+  for (size_t i = 0; i < a->kids.size(); ++i) {
+    if (!ExprEquals(a->kids[i], b->kids[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+const char* OpSymbol(Op op) {
+  switch (op) {
+    case Op::kAdd:
+      return "+";
+    case Op::kSub:
+      return "-";
+    case Op::kMul:
+      return "*";
+    case Op::kDiv:
+      return "/";
+    case Op::kEq:
+      return "==";
+    case Op::kNe:
+      return "!=";
+    case Op::kLt:
+      return "<";
+    case Op::kLe:
+      return "<=";
+    case Op::kGt:
+      return ">";
+    case Op::kGe:
+      return ">=";
+    case Op::kImplies:
+      return "=>";
+    default:
+      return "?";
+  }
+}
+
+void Print(const Expr& e, std::string* out) {
+  if (!e) {
+    *out += "<null>";
+    return;
+  }
+  switch (e->op) {
+    case Op::kConst:
+      *out += e->const_val.ToString();
+      return;
+    case Op::kVar:
+      // Prefixes match the parser: $local, #logical, bare db item.
+      if (e->var.kind == VarKind::kLocal) *out += "$";
+      if (e->var.kind == VarKind::kLogical) *out += "#";
+      *out += e->var.name;
+      return;
+    case Op::kAttr:
+      *out += ".";
+      *out += e->attr;
+      return;
+    case Op::kNeg:
+      *out += "-(";
+      Print(e->kids[0], out);
+      *out += ")";
+      return;
+    case Op::kNot:
+      *out += "!(";
+      Print(e->kids[0], out);
+      *out += ")";
+      return;
+    case Op::kAnd:
+    case Op::kOr: {
+      const char* sep = e->op == Op::kAnd ? " && " : " || ";
+      if (e->kids.empty()) {
+        *out += e->op == Op::kAnd ? "true" : "false";
+        return;
+      }
+      *out += "(";
+      for (size_t i = 0; i < e->kids.size(); ++i) {
+        if (i > 0) *out += sep;
+        Print(e->kids[i], out);
+      }
+      *out += ")";
+      return;
+    }
+    case Op::kIte:
+      *out += "ite(";
+      Print(e->kids[0], out);
+      *out += ", ";
+      Print(e->kids[1], out);
+      *out += ", ";
+      Print(e->kids[2], out);
+      *out += ")";
+      return;
+    case Op::kCount:
+      *out += StrCat("count(", e->table, " | ");
+      Print(e->kids[0], out);
+      *out += ")";
+      return;
+    case Op::kSum:
+      *out += StrCat("sum(", e->table, ".", e->agg_attr, " | ");
+      Print(e->kids[0], out);
+      *out += ")";
+      return;
+    case Op::kMaxAgg:
+      *out += StrCat("max(", e->table, ".", e->agg_attr, " | ");
+      Print(e->kids[0], out);
+      *out += StrCat(", dflt=", e->dflt, ")");
+      return;
+    case Op::kMinAgg:
+      *out += StrCat("min(", e->table, ".", e->agg_attr, " | ");
+      Print(e->kids[0], out);
+      *out += StrCat(", dflt=", e->dflt, ")");
+      return;
+    case Op::kExists:
+      *out += StrCat("exists(", e->table, " | ");
+      Print(e->kids[0], out);
+      *out += ")";
+      return;
+    case Op::kForall:
+      *out += StrCat("forall(", e->table, " | ");
+      Print(e->kids[0], out);
+      *out += " : ";
+      Print(e->kids[1], out);
+      *out += ")";
+      return;
+    default:
+      *out += "(";
+      Print(e->kids[0], out);
+      *out += " ";
+      *out += OpSymbol(e->op);
+      *out += " ";
+      Print(e->kids[1], out);
+      *out += ")";
+      return;
+  }
+}
+
+void Collect(const Expr& e, FreeVars* fv) {
+  if (!e) return;
+  switch (e->op) {
+    case Op::kVar:
+      switch (e->var.kind) {
+        case VarKind::kDb:
+          fv->db.insert(e->var.name);
+          break;
+        case VarKind::kLocal:
+          fv->locals.insert(e->var.name);
+          break;
+        case VarKind::kLogical:
+          fv->logicals.insert(e->var.name);
+          break;
+      }
+      break;
+    case Op::kCount:
+    case Op::kSum:
+    case Op::kMaxAgg:
+    case Op::kMinAgg:
+    case Op::kExists:
+    case Op::kForall:
+      fv->tables.insert(e->table);
+      break;
+    default:
+      break;
+  }
+  for (const Expr& k : e->kids) Collect(k, fv);
+}
+
+}  // namespace
+
+std::string ToString(const Expr& e) {
+  std::string out;
+  Print(e, &out);
+  return out;
+}
+
+FreeVars CollectFreeVars(const Expr& e) {
+  FreeVars fv;
+  Collect(e, &fv);
+  return fv;
+}
+
+bool IsLocalOnly(const Expr& e) {
+  FreeVars fv = CollectFreeVars(e);
+  return fv.db.empty() && fv.tables.empty();
+}
+
+void VisitNodes(const Expr& e, const std::function<void(const ExprNode&)>& fn) {
+  if (!e) return;
+  fn(*e);
+  for (const Expr& k : e->kids) VisitNodes(k, fn);
+}
+
+std::vector<Expr> CollectTableAtoms(const Expr& e) {
+  std::vector<Expr> atoms;
+  if (!e) return atoms;
+  switch (e->op) {
+    case Op::kCount:
+    case Op::kSum:
+    case Op::kMaxAgg:
+    case Op::kMinAgg:
+    case Op::kExists:
+    case Op::kForall:
+      atoms.push_back(e);
+      return atoms;  // tuple predicates do not nest further table atoms
+    default:
+      break;
+  }
+  for (const Expr& k : e->kids) {
+    std::vector<Expr> sub = CollectTableAtoms(k);
+    atoms.insert(atoms.end(), sub.begin(), sub.end());
+  }
+  return atoms;
+}
+
+}  // namespace semcor

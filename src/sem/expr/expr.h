@@ -1,0 +1,173 @@
+#ifndef SEMCOR_SEM_EXPR_EXPR_H_
+#define SEMCOR_SEM_EXPR_EXPR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace semcor {
+
+/// Which namespace a variable lives in. The paper's assertions mention three
+/// kinds of names: database items (x, acct_sav[i].bal), transaction-local
+/// workspace variables (X, maxdate), and logical variables (X_i) that record
+/// initial values and never change during execution.
+enum class VarKind { kDb, kLocal, kLogical };
+
+/// A variable reference: (kind, name). Names of array elements use the flat
+/// encoding from ItemName(), e.g. "acct_sav[3].bal".
+struct VarRef {
+  VarKind kind;
+  std::string name;
+
+  friend bool operator==(const VarRef& a, const VarRef& b) {
+    return a.kind == b.kind && a.name == b.name;
+  }
+  friend bool operator<(const VarRef& a, const VarRef& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.name < b.name;
+  }
+  /// "db:x", "loc:X", "log:X0".
+  std::string ToString() const;
+};
+
+/// Expression / assertion node kinds. Assertions are just bool-typed
+/// expressions; the logic layer (sem/logic) interprets the boolean skeleton
+/// and the linear-integer atoms.
+enum class Op {
+  kConst,    ///< literal Value
+  kVar,      ///< VarRef
+  kAttr,     ///< tuple attribute, valid only inside a table predicate
+  kNeg,      ///< -a
+  kNot,      ///< !a
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,      ///< integer division, error on zero divisor
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,      ///< n-ary conjunction
+  kOr,       ///< n-ary disjunction
+  kImplies,  ///< a => b
+  kIte,      ///< if kids[0] then kids[1] else kids[2]
+  // ---- relational atoms (SQL-flavoured, over one table each) ----
+  kCount,    ///< COUNT(*) of tuples of `table` satisfying kids[0]
+  kSum,      ///< SUM(agg_attr) over tuples satisfying kids[0]
+  kMaxAgg,   ///< MAX(agg_attr) over tuples satisfying kids[0]; `dflt` if none
+  kMinAgg,   ///< MIN(agg_attr) over tuples satisfying kids[0]; `dflt` if none
+  kExists,   ///< EXISTS tuple satisfying kids[0]
+  kForall,   ///< every tuple satisfying kids[0] also satisfies kids[1]
+};
+
+class ExprNode;
+/// Expressions are immutable shared trees; copying an Expr is O(1).
+using Expr = std::shared_ptr<const ExprNode>;
+
+class ExprNode {
+ public:
+  Op op;
+  Value const_val;           ///< kConst
+  VarRef var;                ///< kVar
+  std::string attr;          ///< kAttr
+  std::string table;         ///< relational atoms
+  std::string agg_attr;      ///< kSum / kMaxAgg
+  int64_t dflt = 0;          ///< kMaxAgg result on empty selection
+  std::vector<Expr> kids;
+
+  explicit ExprNode(Op o) : op(o) {}
+};
+
+// ---- Factory functions (the library's assertion-building vocabulary) ----
+
+Expr Lit(int64_t v);
+Expr Lit(bool v);
+Expr Lit(const std::string& v);
+Expr LitV(const Value& v);
+Expr DbVar(const std::string& name);
+Expr Local(const std::string& name);
+Expr Logical(const std::string& name);
+Expr Attr(const std::string& name);
+
+Expr Neg(Expr a);
+Expr Not(Expr a);
+Expr Add(Expr a, Expr b);
+Expr Sub(Expr a, Expr b);
+Expr Mul(Expr a, Expr b);
+Expr Div(Expr a, Expr b);
+Expr Eq(Expr a, Expr b);
+Expr Ne(Expr a, Expr b);
+Expr Lt(Expr a, Expr b);
+Expr Le(Expr a, Expr b);
+Expr Gt(Expr a, Expr b);
+Expr Ge(Expr a, Expr b);
+/// N-ary; And({}) == true, Or({}) == false.
+Expr And(std::vector<Expr> kids);
+Expr And(Expr a, Expr b);
+Expr And(Expr a, Expr b, Expr c);
+Expr Or(std::vector<Expr> kids);
+Expr Or(Expr a, Expr b);
+Expr Implies(Expr a, Expr b);
+Expr Ite(Expr c, Expr a, Expr b);
+
+Expr Count(const std::string& table, Expr tuple_pred);
+Expr SumOf(const std::string& table, const std::string& attr, Expr tuple_pred);
+Expr MaxOf(const std::string& table, const std::string& attr, Expr tuple_pred,
+           int64_t dflt);
+Expr MinOf(const std::string& table, const std::string& attr, Expr tuple_pred,
+           int64_t dflt);
+Expr Exists(const std::string& table, Expr tuple_pred);
+Expr Forall(const std::string& table, Expr tuple_pred, Expr conclusion);
+
+/// Canonical true / false assertions.
+Expr True();
+Expr False();
+
+// ---- Structural operations ----
+
+/// Structural equality of expression trees.
+bool ExprEquals(const Expr& a, const Expr& b);
+
+/// Pretty-printer, parseable-enough for debugging and bench reports.
+std::string ToString(const Expr& e);
+
+/// Free-variable / footprint summary of an expression.
+struct FreeVars {
+  std::set<std::string> db;       ///< database item names read
+  std::set<std::string> locals;   ///< local workspace names
+  std::set<std::string> logicals; ///< logical (rigid) names
+  std::set<std::string> tables;   ///< tables scanned by relational atoms
+
+  bool MentionsDbItem(const std::string& name) const {
+    return db.count(name) > 0;
+  }
+  bool MentionsTable(const std::string& name) const {
+    return tables.count(name) > 0;
+  }
+};
+
+/// Collects all free variables and scanned tables of `e`.
+FreeVars CollectFreeVars(const Expr& e);
+
+/// True if the expression mentions no database state at all (neither items
+/// nor tables); such assertions can never be invalidated by another
+/// transaction (they only involve the owner's workspace).
+bool IsLocalOnly(const Expr& e);
+
+/// Visits every node of the tree (pre-order).
+void VisitNodes(const Expr& e, const std::function<void(const ExprNode&)>& fn);
+
+/// The relational atoms of `e` (kCount/kSum/kMaxAgg/kExists/kForall nodes),
+/// in pre-order.
+std::vector<Expr> CollectTableAtoms(const Expr& e);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_EXPR_EXPR_H_

@@ -1,0 +1,318 @@
+#include "sem/expr/parse.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+namespace {
+
+/// Minimal recursive-descent parser. Errors carry the offset for context.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Expr> Parse() {
+    Result<Expr> e = ParseImp();
+    if (!e.ok()) return e;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing input");
+    }
+    return e;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrCat("parse error at offset ", pos_, ": ", message, " (near \"",
+               text_.substr(pos_, 12), "\")"));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(const std::string& token) {
+    SkipSpace();
+    if (text_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  /// Peeks whether `token` follows (without consuming).
+  bool Peek(const std::string& token) {
+    SkipSpace();
+    return text_.compare(pos_, token.size(), token) == 0;
+  }
+
+  /// NAME: identifier; database item names may embed [i] indexes and dotted
+  /// fields (acct_sav[1].bal, warehouse.ytd).
+  std::string LexName(bool allow_compound) {
+    SkipSpace();
+    size_t start = pos_;
+    auto is_start = [](char c) {
+      return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+    };
+    auto is_body = [&](char c) {
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') return true;
+      return allow_compound && (c == '[' || c == ']' || c == '.');
+    };
+    if (pos_ >= text_.size() || !is_start(text_[pos_])) return "";
+    ++pos_;
+    while (pos_ < text_.size() && is_body(text_[pos_])) {
+      // A '.' only continues a compound name if followed by a letter —
+      // keeps "x . 3" or a trailing dot from being swallowed.
+      if (text_[pos_] == '.' &&
+          (pos_ + 1 >= text_.size() || !is_start(text_[pos_ + 1]))) {
+        break;
+      }
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<Expr> ParseImp() {
+    Result<Expr> lhs = ParseOr();
+    if (!lhs.ok()) return lhs;
+    if (Consume("=>")) {
+      Result<Expr> rhs = ParseImp();  // right-associative
+      if (!rhs.ok()) return rhs;
+      return Implies(lhs.take(), rhs.take());
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseOr() {
+    Result<Expr> lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    Expr out = lhs.take();
+    while (Consume("||")) {
+      Result<Expr> rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      out = Or(std::move(out), rhs.take());
+    }
+    return out;
+  }
+
+  Result<Expr> ParseAnd() {
+    Result<Expr> lhs = ParseCmp();
+    if (!lhs.ok()) return lhs;
+    Expr out = lhs.take();
+    while (Consume("&&")) {
+      Result<Expr> rhs = ParseCmp();
+      if (!rhs.ok()) return rhs;
+      out = And(std::move(out), rhs.take());
+    }
+    return out;
+  }
+
+  Result<Expr> ParseCmp() {
+    Result<Expr> lhs = ParseSum();
+    if (!lhs.ok()) return lhs;
+    // Two-character operators first.
+    static const std::pair<const char*, Op> kOps[] = {
+        {"==", Op::kEq}, {"!=", Op::kNe}, {"<=", Op::kLe},
+        {">=", Op::kGe}, {"<", Op::kLt},  {">", Op::kGt}};
+    for (const auto& [token, op] : kOps) {
+      if (Consume(token)) {
+        Result<Expr> rhs = ParseSum();
+        if (!rhs.ok()) return rhs;
+        switch (op) {
+          case Op::kEq:
+            return Eq(lhs.take(), rhs.take());
+          case Op::kNe:
+            return Ne(lhs.take(), rhs.take());
+          case Op::kLe:
+            return Le(lhs.take(), rhs.take());
+          case Op::kGe:
+            return Ge(lhs.take(), rhs.take());
+          case Op::kLt:
+            return Lt(lhs.take(), rhs.take());
+          default:
+            return Gt(lhs.take(), rhs.take());
+        }
+      }
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseSum() {
+    Result<Expr> lhs = ParseTerm();
+    if (!lhs.ok()) return lhs;
+    Expr out = lhs.take();
+    while (true) {
+      SkipSpace();
+      // Don't treat "=>"'s '=' or a negative literal's '-' ambiguity here:
+      // '+'/'-' are only binary operators in this position.
+      if (Consume("+")) {
+        Result<Expr> rhs = ParseTerm();
+        if (!rhs.ok()) return rhs;
+        out = Add(std::move(out), rhs.take());
+      } else if (Peek("-") && !Peek("->")) {
+        Consume("-");
+        Result<Expr> rhs = ParseTerm();
+        if (!rhs.ok()) return rhs;
+        out = Sub(std::move(out), rhs.take());
+      } else {
+        return out;
+      }
+    }
+  }
+
+  Result<Expr> ParseTerm() {
+    Result<Expr> lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    Expr out = lhs.take();
+    while (true) {
+      if (Consume("*")) {
+        Result<Expr> rhs = ParseUnary();
+        if (!rhs.ok()) return rhs;
+        out = Mul(std::move(out), rhs.take());
+      } else if (Consume("/")) {
+        Result<Expr> rhs = ParseUnary();
+        if (!rhs.ok()) return rhs;
+        out = Div(std::move(out), rhs.take());
+      } else {
+        return out;
+      }
+    }
+  }
+
+  Result<Expr> ParseUnary() {
+    if (Consume("!")) {
+      Result<Expr> e = ParseUnary();
+      if (!e.ok()) return e;
+      return Not(e.take());
+    }
+    if (Consume("-")) {
+      Result<Expr> e = ParseUnary();
+      if (!e.ok()) return e;
+      return Neg(e.take());
+    }
+    return ParseAtom();
+  }
+
+  Result<Expr> ParseAggregate(const std::string& keyword) {
+    if (!Consume("(")) return Error("expected '(' after aggregate");
+    const std::string table = LexName(/*allow_compound=*/false);
+    if (table.empty()) return Error("expected table name");
+    std::string attr;
+    if (keyword == "sum" || keyword == "max" || keyword == "min") {
+      if (!Consume(".")) return Error("expected '.attr' after table");
+      attr = LexName(false);
+      if (attr.empty()) return Error("expected attribute name");
+    }
+    if (!Consume("|")) return Error("expected '|' before tuple predicate");
+    Result<Expr> pred = ParseImp();
+    if (!pred.ok()) return pred;
+    if (keyword == "forall") {
+      if (!Consume(":")) return Error("expected ':' in forall");
+      Result<Expr> conclusion = ParseImp();
+      if (!conclusion.ok()) return conclusion;
+      if (!Consume(")")) return Error("expected ')'");
+      return Forall(table, pred.take(), conclusion.take());
+    }
+    int64_t dflt = 0;
+    if (Consume(",")) {
+      if (!Consume("dflt") || !Consume("=")) {
+        return Error("expected 'dflt ='");
+      }
+      bool negative = Consume("-");
+      SkipSpace();
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (start == pos_) return Error("expected integer default");
+      dflt = std::stoll(text_.substr(start, pos_ - start));
+      if (negative) dflt = -dflt;
+    }
+    if (!Consume(")")) return Error("expected ')'");
+    if (keyword == "count") return Count(table, pred.take());
+    if (keyword == "sum") return SumOf(table, attr, pred.take());
+    if (keyword == "max") return MaxOf(table, attr, pred.take(), dflt);
+    if (keyword == "min") return MinOf(table, attr, pred.take(), dflt);
+    return Exists(table, pred.take());
+  }
+
+  Result<Expr> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      return Lit(static_cast<int64_t>(
+          std::stoll(text_.substr(start, pos_ - start))));
+    }
+    if (c == '"') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      std::string value = text_.substr(start, pos_ - start);
+      ++pos_;
+      return Lit(value);
+    }
+    if (Consume("(")) {
+      Result<Expr> e = ParseImp();
+      if (!e.ok()) return e;
+      if (!Consume(")")) return Error("expected ')'");
+      return e;
+    }
+    if (c == '.') {
+      ++pos_;
+      const std::string name = LexName(false);
+      if (name.empty()) return Error("expected attribute name after '.'");
+      return Attr(name);
+    }
+    if (c == '$') {
+      ++pos_;
+      const std::string name = LexName(true);
+      if (name.empty()) return Error("expected local name after '$'");
+      return Local(name);
+    }
+    if (c == '#') {
+      ++pos_;
+      const std::string name = LexName(true);
+      if (name.empty()) return Error("expected logical name after '#'");
+      return Logical(name);
+    }
+    // Keywords, aggregates, or a database item name.
+    const size_t save = pos_;
+    const std::string name = LexName(true);
+    if (name.empty()) return Error("expected expression");
+    if (name == "true") return True();
+    if (name == "false") return False();
+    if (name == "count" || name == "sum" || name == "max" || name == "min" ||
+        name == "exists" || name == "forall") {
+      // Only an aggregate if '(' follows; otherwise it is an item name.
+      if (Peek("(")) return ParseAggregate(name);
+      pos_ = save + name.size();
+    }
+    return DbVar(name);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Expr> ParseExpr(const std::string& text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace semcor

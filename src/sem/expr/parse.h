@@ -1,0 +1,43 @@
+#ifndef SEMCOR_SEM_EXPR_PARSE_H_
+#define SEMCOR_SEM_EXPR_PARSE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sem/expr/expr.h"
+
+namespace semcor {
+
+/// Parses an assertion / expression from text. Grammar (loosely matching
+/// the ToString() rendering):
+///
+///   expr    := imp
+///   imp     := or ( '=>' imp )?                      (right-assoc)
+///   or      := and ( '||' and )*
+///   and     := cmp ( '&&' cmp )*
+///   cmp     := sum ( ('=='|'!='|'<='|'<'|'>='|'>') sum )?
+///   sum     := term ( ('+'|'-') term )*
+///   term    := unary ( ('*'|'/') unary )*
+///   unary   := '!' unary | '-' unary | atom
+///   atom    := INT | STRING | 'true' | 'false' | '(' expr ')'
+///            | agg | var | '.' NAME
+///   var     := NAME            -- database item (names may contain [i].f)
+///            | '$' NAME        -- transaction-local variable
+///            | '#' NAME        -- logical (rigid) variable
+///   agg     := 'count' '(' TABLE '|' expr ')'
+///            | 'sum'   '(' TABLE '.' ATTR '|' expr ')'
+///            | 'max'   '(' TABLE '.' ATTR '|' expr [',' 'dflt' '=' INT] ')'
+///            | 'min'   '(' TABLE '.' ATTR '|' expr [',' 'dflt' '=' INT] ')'
+///            | 'exists''(' TABLE '|' expr ')'
+///            | 'forall''(' TABLE '|' expr ':' expr ')'
+///
+/// Examples:
+///   "acct_sav[1].bal + acct_ch[1].bal >= 0"
+///   "$Sav + $Ch >= $w => acct_sav[1].bal == #SAV0 - $w"
+///   "forall(EMP | .id == 1 : 10 * .num_hrs == .sal)"
+///   "count(ORDERS | .cust_name == $customer) == $custcount"
+Result<Expr> ParseExpr(const std::string& text);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_EXPR_PARSE_H_

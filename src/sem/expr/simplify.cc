@@ -1,0 +1,271 @@
+#include "sem/expr/simplify.h"
+
+namespace semcor {
+
+bool IsTrueLiteral(const Expr& e) {
+  return e && e->op == Op::kConst && e->const_val.is_bool() &&
+         e->const_val.AsBool();
+}
+
+bool IsFalseLiteral(const Expr& e) {
+  return e && e->op == Op::kConst && e->const_val.is_bool() &&
+         !e->const_val.AsBool();
+}
+
+namespace {
+
+bool IsIntLit(const Expr& e, int64_t* out) {
+  if (e && e->op == Op::kConst && e->const_val.is_int()) {
+    *out = e->const_val.AsInt();
+    return true;
+  }
+  return false;
+}
+
+Expr FoldCompare(Op op, const Value& a, const Value& b) {
+  if (op == Op::kEq) return Lit(a == b);
+  if (op == Op::kNe) return Lit(a != b);
+  const bool ordered =
+      (a.is_int() && b.is_int()) || (a.is_string() && b.is_string());
+  if (!ordered) return nullptr;
+  switch (op) {
+    case Op::kLt:
+      return Lit(a < b);
+    case Op::kLe:
+      return Lit(!(b < a));
+    case Op::kGt:
+      return Lit(b < a);
+    case Op::kGe:
+      return Lit(!(a < b));
+    default:
+      return nullptr;
+  }
+}
+
+Expr SimplifyNode(const Expr& e, std::vector<Expr> kids);
+
+Expr SimplifyRec(const Expr& e) {
+  if (!e) return e;
+  if (e->kids.empty()) return e;
+  std::vector<Expr> kids;
+  kids.reserve(e->kids.size());
+  for (const Expr& k : e->kids) kids.push_back(SimplifyRec(k));
+  return SimplifyNode(e, std::move(kids));
+}
+
+Expr WithKids(const Expr& e, std::vector<Expr> kids) {
+  bool changed = kids.size() != e->kids.size();
+  if (!changed) {
+    for (size_t i = 0; i < kids.size(); ++i) {
+      if (kids[i].get() != e->kids[i].get()) {
+        changed = true;
+        break;
+      }
+    }
+  }
+  if (!changed) return e;
+  auto n = std::make_shared<ExprNode>(*e);
+  n->kids = std::move(kids);
+  return n;
+}
+
+Expr SimplifyNode(const Expr& e, std::vector<Expr> kids) {
+  switch (e->op) {
+    case Op::kNeg: {
+      int64_t v;
+      if (IsIntLit(kids[0], &v)) return Lit(-v);
+      // -(-x) == x
+      if (kids[0]->op == Op::kNeg) return kids[0]->kids[0];
+      break;
+    }
+    case Op::kNot: {
+      if (IsTrueLiteral(kids[0])) return False();
+      if (IsFalseLiteral(kids[0])) return True();
+      if (kids[0]->op == Op::kNot) return kids[0]->kids[0];
+      break;
+    }
+    case Op::kAdd: {
+      int64_t a, b;
+      const bool la = IsIntLit(kids[0], &a), lb = IsIntLit(kids[1], &b);
+      if (la && lb) return Lit(a + b);
+      if (la && a == 0) return kids[1];
+      if (lb && b == 0) return kids[0];
+      break;
+    }
+    case Op::kSub: {
+      int64_t a, b;
+      const bool la = IsIntLit(kids[0], &a), lb = IsIntLit(kids[1], &b);
+      if (la && lb) return Lit(a - b);
+      if (lb && b == 0) return kids[0];
+      if (ExprEquals(kids[0], kids[1])) return Lit(int64_t{0});
+      break;
+    }
+    case Op::kMul: {
+      int64_t a, b;
+      const bool la = IsIntLit(kids[0], &a), lb = IsIntLit(kids[1], &b);
+      if (la && lb) return Lit(a * b);
+      if ((la && a == 0) || (lb && b == 0)) return Lit(int64_t{0});
+      if (la && a == 1) return kids[1];
+      if (lb && b == 1) return kids[0];
+      break;
+    }
+    case Op::kDiv: {
+      int64_t a, b;
+      if (IsIntLit(kids[0], &a) && IsIntLit(kids[1], &b) && b != 0) {
+        return Lit(a / b);
+      }
+      if (IsIntLit(kids[1], &b) && b == 1) return kids[0];
+      break;
+    }
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      if (kids[0]->op == Op::kConst && kids[1]->op == Op::kConst) {
+        Expr folded = FoldCompare(e->op, kids[0]->const_val,
+                                  kids[1]->const_val);
+        if (folded) return folded;
+      }
+      if (ExprEquals(kids[0], kids[1])) {
+        switch (e->op) {
+          case Op::kEq:
+          case Op::kLe:
+          case Op::kGe:
+            return True();
+          case Op::kNe:
+          case Op::kLt:
+          case Op::kGt:
+            return False();
+          default:
+            break;
+        }
+      }
+      break;
+    }
+    case Op::kAnd: {
+      std::vector<Expr> flat;
+      for (const Expr& k : kids) {
+        if (IsFalseLiteral(k)) return False();
+        if (IsTrueLiteral(k)) continue;
+        if (k->op == Op::kAnd) {
+          for (const Expr& kk : k->kids) flat.push_back(kk);
+        } else {
+          flat.push_back(k);
+        }
+      }
+      // Deduplicate identical conjuncts.
+      std::vector<Expr> uniq;
+      for (const Expr& k : flat) {
+        bool dup = false;
+        for (const Expr& u : uniq) {
+          if (ExprEquals(u, k)) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) uniq.push_back(k);
+      }
+      // Complementary conjuncts: a && !a == false.
+      for (size_t i = 0; i < uniq.size(); ++i) {
+        for (size_t j = 0; j < uniq.size(); ++j) {
+          if (uniq[j]->op == Op::kNot &&
+              ExprEquals(uniq[j]->kids[0], uniq[i])) {
+            return False();
+          }
+        }
+      }
+      if (uniq.empty()) return True();
+      if (uniq.size() == 1) return uniq[0];
+      return And(std::move(uniq));
+    }
+    case Op::kOr: {
+      std::vector<Expr> flat;
+      for (const Expr& k : kids) {
+        if (IsTrueLiteral(k)) return True();
+        if (IsFalseLiteral(k)) continue;
+        if (k->op == Op::kOr) {
+          for (const Expr& kk : k->kids) flat.push_back(kk);
+        } else {
+          flat.push_back(k);
+        }
+      }
+      std::vector<Expr> uniq;
+      for (const Expr& k : flat) {
+        bool dup = false;
+        for (const Expr& u : uniq) {
+          if (ExprEquals(u, k)) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) uniq.push_back(k);
+      }
+      // Complementary disjuncts: a || !a == true.
+      for (size_t i = 0; i < uniq.size(); ++i) {
+        for (size_t j = 0; j < uniq.size(); ++j) {
+          if (uniq[j]->op == Op::kNot &&
+              ExprEquals(uniq[j]->kids[0], uniq[i])) {
+            return True();
+          }
+        }
+      }
+      if (uniq.empty()) return False();
+      if (uniq.size() == 1) return uniq[0];
+      return Or(std::move(uniq));
+    }
+    case Op::kImplies: {
+      if (IsFalseLiteral(kids[0])) return True();
+      if (IsTrueLiteral(kids[0])) return kids[1];
+      if (IsTrueLiteral(kids[1])) return True();
+      if (IsFalseLiteral(kids[1])) return SimplifyRec(Not(kids[0]));
+      if (ExprEquals(kids[0], kids[1])) return True();
+      break;
+    }
+    case Op::kIte: {
+      if (IsTrueLiteral(kids[0])) return kids[1];
+      if (IsFalseLiteral(kids[0])) return kids[2];
+      if (ExprEquals(kids[1], kids[2])) return kids[1];
+      break;
+    }
+    case Op::kForall:
+      // Vacuous or trivially satisfied quantifications.
+      if (IsTrueLiteral(kids[1]) || IsFalseLiteral(kids[0])) return True();
+      break;
+    case Op::kExists:
+      if (IsFalseLiteral(kids[0])) return False();
+      break;
+    case Op::kCount:
+    case Op::kSum:
+      if (IsFalseLiteral(kids[0])) return Lit(int64_t{0});
+      break;
+    case Op::kMaxAgg:
+    case Op::kMinAgg:
+      if (IsFalseLiteral(kids[0])) return Lit(e->dflt);
+      break;
+    default:
+      break;
+  }
+  return WithKids(e, std::move(kids));
+}
+
+}  // namespace
+
+Expr Simplify(const Expr& e) { return SimplifyRec(e); }
+
+std::vector<Expr> Conjuncts(const Expr& e) {
+  std::vector<Expr> out;
+  if (!e) return out;
+  if (e->op == Op::kAnd) {
+    for (const Expr& k : e->kids) {
+      std::vector<Expr> sub = Conjuncts(k);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+  }
+  out.push_back(e);
+  return out;
+}
+
+}  // namespace semcor

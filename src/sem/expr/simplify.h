@@ -1,0 +1,27 @@
+#ifndef SEMCOR_SEM_EXPR_SIMPLIFY_H_
+#define SEMCOR_SEM_EXPR_SIMPLIFY_H_
+
+#include "sem/expr/expr.h"
+
+namespace semcor {
+
+/// Bottom-up algebraic simplification: constant folding, boolean identity
+/// rules (true/false absorption, double negation), arithmetic identities
+/// (x+0, x*1, x*0), reflexive comparisons (e == e, e <= e), and flattening
+/// of nested conjunctions/disjunctions. Semantics-preserving on well-typed
+/// expressions. Used to keep wp() results small and to give the decision
+/// procedure compact inputs.
+Expr Simplify(const Expr& e);
+
+/// True if `e` is the literal `true` (after construction, not simplification).
+bool IsTrueLiteral(const Expr& e);
+/// True if `e` is the literal `false`.
+bool IsFalseLiteral(const Expr& e);
+
+/// Conjunction splitting: returns the top-level conjuncts of `e` (flattening
+/// nested Ands); a non-conjunction yields a single-element vector.
+std::vector<Expr> Conjuncts(const Expr& e);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_EXPR_SIMPLIFY_H_

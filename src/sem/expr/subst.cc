@@ -1,0 +1,74 @@
+#include "sem/expr/subst.h"
+
+namespace semcor {
+
+namespace {
+
+Expr Rebuild(const Expr& e, std::vector<Expr> kids) {
+  // Returns `e` itself when no child changed, to preserve sharing.
+  bool changed = false;
+  for (size_t i = 0; i < kids.size(); ++i) {
+    if (kids[i].get() != e->kids[i].get()) {
+      changed = true;
+      break;
+    }
+  }
+  if (!changed) return e;
+  auto n = std::make_shared<ExprNode>(*e);
+  n->kids = std::move(kids);
+  return n;
+}
+
+Expr SubstRec(const Expr& e, const std::map<VarRef, Expr>& subst) {
+  if (!e) return e;
+  if (e->op == Op::kVar) {
+    auto it = subst.find(e->var);
+    if (it != subst.end()) return it->second;
+    return e;
+  }
+  if (e->kids.empty()) return e;
+  std::vector<Expr> kids;
+  kids.reserve(e->kids.size());
+  for (const Expr& k : e->kids) kids.push_back(SubstRec(k, subst));
+  return Rebuild(e, std::move(kids));
+}
+
+Expr SubstAttrRec(const Expr& e, const std::map<std::string, Expr>& attr_map) {
+  if (!e) return e;
+  if (e->op == Op::kAttr) {
+    auto it = attr_map.find(e->attr);
+    if (it != attr_map.end()) return it->second;
+    return e;
+  }
+  if (e->kids.empty()) return e;
+  std::vector<Expr> kids;
+  kids.reserve(e->kids.size());
+  for (const Expr& k : e->kids) kids.push_back(SubstAttrRec(k, attr_map));
+  return Rebuild(e, std::move(kids));
+}
+
+}  // namespace
+
+Expr Substitute(const Expr& e, const VarRef& var, const Expr& replacement) {
+  std::map<VarRef, Expr> m;
+  m.emplace(var, replacement);
+  return SubstRec(e, m);
+}
+
+Expr SubstituteAll(const Expr& e, const std::map<VarRef, Expr>& subst) {
+  if (subst.empty()) return e;
+  return SubstRec(e, subst);
+}
+
+Expr SubstituteAttrs(const Expr& tuple_pred,
+                     const std::map<std::string, Expr>& attr_map) {
+  return SubstAttrRec(tuple_pred, attr_map);
+}
+
+Expr InstantiateOnTuple(const Expr& tuple_pred, const Tuple& tuple) {
+  std::map<std::string, Expr> m;
+  for (const auto& [name, value] : tuple) m.emplace(name, LitV(value));
+  return SubstAttrRec(tuple_pred, m);
+}
+
+}  // namespace semcor

@@ -1,0 +1,34 @@
+#ifndef SEMCOR_SEM_EXPR_SUBST_H_
+#define SEMCOR_SEM_EXPR_SUBST_H_
+
+#include <map>
+#include <string>
+
+#include "common/tuple.h"
+#include "sem/expr/expr.h"
+
+namespace semcor {
+
+/// Replaces every occurrence of `var` in `e` by `replacement`. Substitution
+/// descends into tuple predicates of relational atoms (outer variables are
+/// visible there); attribute references are untouched.
+Expr Substitute(const Expr& e, const VarRef& var, const Expr& replacement);
+
+/// Applies several variable substitutions simultaneously (not sequentially,
+/// so swaps are expressible).
+Expr SubstituteAll(const Expr& e, const std::map<VarRef, Expr>& subst);
+
+/// Replaces attribute references (`Op::kAttr`) in a *tuple predicate* by the
+/// expressions in `attr_map`; attributes absent from the map are left as-is.
+/// Must only be applied to a tuple predicate (no nested relational atoms),
+/// e.g. to instantiate a predicate on a concrete or symbolic tuple.
+Expr SubstituteAttrs(const Expr& tuple_pred,
+                     const std::map<std::string, Expr>& attr_map);
+
+/// Instantiates a tuple predicate on a concrete tuple: attributes become
+/// literals.
+Expr InstantiateOnTuple(const Expr& tuple_pred, const Tuple& tuple);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_EXPR_SUBST_H_

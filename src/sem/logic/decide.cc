@@ -1,0 +1,246 @@
+#include "sem/logic/decide.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "sem/expr/simplify.h"
+#include "sem/logic/dnf.h"
+#include "sem/logic/fourier_motzkin.h"
+#include "sem/logic/linear.h"
+
+namespace semcor {
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kValid:
+      return "VALID";
+    case Verdict::kInvalid:
+      return "INVALID";
+    case Verdict::kUnknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+std::string Counterexample::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [var, value] : ints) {
+    parts.push_back(StrCat(var.ToString(), " = ", value));
+  }
+  return StrCat("{", Join(parts, ", "), "}");
+}
+
+namespace {
+
+constexpr int kMaxSystems = 128;
+
+struct CubeAnalysis {
+  bool proved_unsat = false;
+  bool pure_linear = false;   ///< no opaque literals, no abstracted terms
+  bool gave_up = false;       ///< budget exceeded somewhere
+  std::optional<std::map<VarRef, int64_t>> witness;
+};
+
+CubeAnalysis AnalyzeCube(const Cube& cube, const DecideOptions& options,
+                         bool try_witness) {
+  CubeAnalysis out;
+  TermAbstraction abs;
+  std::vector<Literal> opaque;
+  // Disjunction of linear systems; the cube is unsat iff all systems are.
+  std::vector<std::vector<LinearConstraint>> systems = {{}};
+
+  for (const Literal& lit : cube) {
+    auto alts = AtomToConstraints(lit.atom, lit.negated, &abs);
+    if (!alts) {
+      opaque.push_back(lit);
+      continue;
+    }
+    std::vector<std::vector<LinearConstraint>> next;
+    for (const auto& sys : systems) {
+      for (const auto& alt : *alts) {
+        std::vector<LinearConstraint> merged = sys;
+        merged.insert(merged.end(), alt.begin(), alt.end());
+        next.push_back(std::move(merged));
+      }
+    }
+    if (static_cast<int>(next.size()) > kMaxSystems) {
+      out.gave_up = true;
+      return out;
+    }
+    systems = std::move(next);
+  }
+
+  // Complementary opaque literal pair => cube unsat.
+  for (size_t i = 0; i < opaque.size(); ++i) {
+    for (size_t j = i + 1; j < opaque.size(); ++j) {
+      if (opaque[i].negated != opaque[j].negated &&
+          ExprEquals(opaque[i].atom, opaque[j].atom)) {
+        out.proved_unsat = true;
+        return out;
+      }
+    }
+  }
+
+  // Distinct-constant equalities on the same term => unsat, e.g.
+  // name == "a" && name == "b" (the linear layer only covers integers, so
+  // string/bool equalities land here). This is what proves predicate-lock
+  // disjointness for string-keyed predicates.
+  for (size_t i = 0; i < opaque.size(); ++i) {
+    if (opaque[i].negated || opaque[i].atom->op != Op::kEq) continue;
+    for (size_t j = i + 1; j < opaque.size(); ++j) {
+      if (opaque[j].negated || opaque[j].atom->op != Op::kEq) continue;
+      const Expr &a = opaque[i].atom, &b = opaque[j].atom;
+      // Normalize each equality to (term, constant) if one side is const.
+      auto split = [](const Expr& eq) -> std::pair<Expr, Expr> {
+        if (eq->kids[0]->op == Op::kConst) return {eq->kids[1], eq->kids[0]};
+        if (eq->kids[1]->op == Op::kConst) return {eq->kids[0], eq->kids[1]};
+        return {nullptr, nullptr};
+      };
+      auto [ta, ca] = split(a);
+      auto [tb, cb] = split(b);
+      if (ta && tb && ExprEquals(ta, tb) &&
+          !(ca->const_val == cb->const_val)) {
+        out.proved_unsat = true;
+        return out;
+      }
+    }
+  }
+
+  // Quantifier subsumption: a positive forall(T|p:q) contradicts a negative
+  // forall(T|p2:q2) when every violator of the second violates the first
+  // (p2 ∧ ¬q2 ⟹ p ∧ ¬q over the shared tuple scope); a positive
+  // exists(T|p) contradicts a negative exists(T|p2) when p ⟹ p2. The inner
+  // queries are quantifier-free (tuple predicates carry no nested atoms).
+  if (!options.disable_subsumption) {
+    DecideOptions inner = options;
+    inner.disable_subsumption = true;
+    for (const Literal& pos : opaque) {
+      if (pos.negated) continue;
+      for (const Literal& neg : opaque) {
+        if (!neg.negated) continue;
+        if (pos.atom->op == Op::kForall && neg.atom->op == Op::kForall &&
+            pos.atom->table == neg.atom->table) {
+          const Expr goal =
+              Implies(And(neg.atom->kids[0], Not(neg.atom->kids[1])),
+                      And(pos.atom->kids[0], Not(pos.atom->kids[1])));
+          if (DecideValidity(Simplify(goal), inner).verdict ==
+              Verdict::kValid) {
+            out.proved_unsat = true;
+            return out;
+          }
+        }
+        if (pos.atom->op == Op::kExists && neg.atom->op == Op::kExists &&
+            pos.atom->table == neg.atom->table) {
+          const Expr goal = Implies(pos.atom->kids[0], neg.atom->kids[0]);
+          if (DecideValidity(Simplify(goal), inner).verdict ==
+              Verdict::kValid) {
+            out.proved_unsat = true;
+            return out;
+          }
+        }
+      }
+    }
+  }
+
+  bool all_unsat = true;
+  for (const auto& sys : systems) {
+    if (!FmProvesUnsat(sys)) {
+      all_unsat = false;
+      break;
+    }
+  }
+  if (all_unsat) {
+    out.proved_unsat = true;
+    return out;
+  }
+
+  out.pure_linear = opaque.empty() && abs.terms().empty();
+  if (out.pure_linear && try_witness) {
+    // The node budget is shared across the cube's alternative systems so a
+    // single adversarial cube cannot stall the whole decision.
+    const int64_t per_system =
+        std::max<int64_t>(1, options.witness_max_nodes /
+                                 static_cast<int64_t>(systems.size()));
+    for (const auto& sys : systems) {
+      std::map<VarRef, int64_t> w;
+      if (FindIntegerWitness(sys, options.witness_bound, per_system, &w)) {
+        out.witness = std::move(w);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DecideResult DecideValidity(const Expr& assertion,
+                            const DecideOptions& options) {
+  DecideResult result;
+  Result<Dnf> dnf = ToDnf(Not(assertion), options.max_cubes);
+  if (!dnf.ok()) {
+    result.verdict = Verdict::kUnknown;
+    result.detail = dnf.status().ToString();
+    return result;
+  }
+  bool unknown_seen = false;
+  std::string unknown_detail;
+  int witness_attempts = 0;
+  constexpr int kMaxWitnessAttempts = 16;
+  for (const Cube& cube : dnf.value().cubes) {
+    CubeAnalysis analysis =
+        AnalyzeCube(cube, options, witness_attempts < kMaxWitnessAttempts);
+    if (!analysis.proved_unsat && analysis.pure_linear) ++witness_attempts;
+    if (analysis.proved_unsat) continue;
+    if (analysis.witness) {
+      result.verdict = Verdict::kInvalid;
+      Counterexample cx;
+      cx.ints = *analysis.witness;
+      result.counterexample = std::move(cx);
+      result.detail = StrCat("cube not refutable: ",
+                             Dnf{{cube}}.ToString());
+      return result;
+    }
+    unknown_seen = true;
+    if (unknown_detail.empty()) {
+      unknown_detail = StrCat("undecided cube: ", Dnf{{cube}}.ToString());
+    }
+  }
+  if (unknown_seen) {
+    result.verdict = Verdict::kUnknown;
+    result.detail = unknown_detail;
+  } else {
+    result.verdict = Verdict::kValid;
+  }
+  return result;
+}
+
+bool ProvablyUnsat(const Expr& e, const DecideOptions& options) {
+  Result<Dnf> dnf = ToDnf(e, options.max_cubes);
+  if (!dnf.ok()) return false;
+  for (const Cube& cube : dnf.value().cubes) {
+    CubeAnalysis analysis = AnalyzeCube(cube, options, /*try_witness=*/false);
+    if (!analysis.proved_unsat) return false;
+  }
+  return true;
+}
+
+bool ProvablySat(const Expr& e, std::map<VarRef, int64_t>* witness,
+                 const DecideOptions& options) {
+  Result<Dnf> dnf = ToDnf(e, options.max_cubes);
+  if (!dnf.ok()) return false;
+  int witness_attempts = 0;
+  constexpr int kMaxWitnessAttempts = 16;
+  for (const Cube& cube : dnf.value().cubes) {
+    if (witness_attempts >= kMaxWitnessAttempts) break;
+    CubeAnalysis analysis = AnalyzeCube(cube, options, true);
+    if (!analysis.proved_unsat && analysis.pure_linear) ++witness_attempts;
+    if (analysis.witness) {
+      if (witness != nullptr) *witness = *analysis.witness;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace semcor

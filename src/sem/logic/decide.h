@@ -1,0 +1,64 @@
+#ifndef SEMCOR_SEM_LOGIC_DECIDE_H_
+#define SEMCOR_SEM_LOGIC_DECIDE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sem/expr/expr.h"
+
+namespace semcor {
+
+/// Outcome of a validity query. The theorem engines map kUnknown to
+/// "assume interference" (sound: may force a higher isolation level, never
+/// admits an incorrect one).
+enum class Verdict { kValid, kInvalid, kUnknown };
+
+const char* VerdictName(Verdict v);
+
+/// A concrete integer assignment witnessing invalidity (a state where the
+/// negation holds). Only pure-linear cubes yield counterexamples here; the
+/// falsifier produces richer (table-bearing) counterexamples.
+struct Counterexample {
+  std::map<VarRef, int64_t> ints;
+
+  std::string ToString() const;
+};
+
+struct DecideOptions {
+  int max_cubes = 4096;         ///< DNF budget
+  int64_t witness_bound = 16;   ///< integer witness box [-bound, bound]
+  int64_t witness_max_nodes = 200000;
+  /// Internal: disables the quantifier-subsumption rules to bound recursion
+  /// (they call back into DecideValidity on quantifier-free formulas).
+  bool disable_subsumption = false;
+};
+
+struct DecideResult {
+  Verdict verdict = Verdict::kUnknown;
+  std::optional<Counterexample> counterexample;
+  std::string detail;  ///< why unknown / which cube refuted
+};
+
+/// Decides whether `assertion` is valid (true in every state). Complete for
+/// the linear-integer-arithmetic fragment (over the boxed witness range);
+/// other atoms are abstracted, so:
+///   kValid   -> proved for all states (sound unconditionally),
+///   kInvalid -> concrete counterexample attached (sound unconditionally),
+///   kUnknown -> abstraction or budget prevented a decision.
+DecideResult DecideValidity(const Expr& assertion,
+                            const DecideOptions& options = DecideOptions());
+
+/// True iff the formula is *provably* unsatisfiable. Used for predicate
+/// intersection tests: "false" means "possibly satisfiable", which callers
+/// treat as a conflict (conservative in the safe direction).
+bool ProvablyUnsat(const Expr& e, const DecideOptions& options = DecideOptions());
+
+/// True iff a concrete integer assignment satisfying the pure-linear formula
+/// exists within the witness box. Pure refutation helper.
+bool ProvablySat(const Expr& e, std::map<VarRef, int64_t>* witness,
+                 const DecideOptions& options = DecideOptions());
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_LOGIC_DECIDE_H_

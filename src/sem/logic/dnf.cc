@@ -1,0 +1,160 @@
+#include "sem/logic/dnf.h"
+
+#include "common/str_util.h"
+#include "sem/expr/simplify.h"
+
+namespace semcor {
+
+std::string Literal::ToString() const {
+  return negated ? StrCat("!(", semcor::ToString(atom), ")")
+                 : semcor::ToString(atom);
+}
+
+std::string Dnf::ToString() const {
+  if (cubes.empty()) return "false";
+  std::vector<std::string> parts;
+  for (const Cube& cube : cubes) {
+    if (cube.empty()) {
+      parts.push_back("true");
+      continue;
+    }
+    std::vector<std::string> lits;
+    for (const Literal& l : cube) lits.push_back(l.ToString());
+    parts.push_back(StrCat("(", Join(lits, " & "), ")"));
+  }
+  return Join(parts, " | ");
+}
+
+namespace {
+
+struct Budget {
+  int remaining;
+  bool Spend(int n) {
+    remaining -= n;
+    return remaining >= 0;
+  }
+};
+
+Status Overflow() {
+  return Status::InvalidArgument("DNF expansion exceeds cube budget");
+}
+
+Result<std::vector<Cube>> Rec(const Expr& e, bool neg, Budget* budget);
+
+/// Cross product of two DNFs (conjunction).
+Result<std::vector<Cube>> CrossProduct(const std::vector<Cube>& a,
+                                       const std::vector<Cube>& b,
+                                       Budget* budget) {
+  std::vector<Cube> out;
+  if (!budget->Spend(static_cast<int>(a.size() * b.size()))) return Overflow();
+  for (const Cube& ca : a) {
+    for (const Cube& cb : b) {
+      Cube merged = ca;
+      merged.insert(merged.end(), cb.begin(), cb.end());
+      out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Cube>> ConjoinAll(const std::vector<Expr>& kids, bool neg,
+                                     Budget* budget) {
+  std::vector<Cube> acc = {{}};  // true
+  for (const Expr& k : kids) {
+    Result<std::vector<Cube>> kd = Rec(k, neg, budget);
+    if (!kd.ok()) return kd.status();
+    Result<std::vector<Cube>> crossed = CrossProduct(acc, kd.value(), budget);
+    if (!crossed.ok()) return crossed.status();
+    acc = crossed.take();
+  }
+  return acc;
+}
+
+Result<std::vector<Cube>> DisjoinAll(const std::vector<Expr>& kids, bool neg,
+                                     Budget* budget) {
+  std::vector<Cube> acc;
+  for (const Expr& k : kids) {
+    Result<std::vector<Cube>> kd = Rec(k, neg, budget);
+    if (!kd.ok()) return kd.status();
+    if (!budget->Spend(static_cast<int>(kd.value().size()))) return Overflow();
+    for (Cube& c : kd.value()) acc.push_back(std::move(c));
+  }
+  return acc;
+}
+
+Result<std::vector<Cube>> Rec(const Expr& e, bool neg, Budget* budget) {
+  if (!e) return Status::InvalidArgument("null expression in DNF");
+  switch (e->op) {
+    case Op::kConst: {
+      if (!e->const_val.is_bool()) {
+        return Status::InvalidArgument(
+            StrCat("non-boolean constant in formula: ",
+                   e->const_val.ToString()));
+      }
+      const bool v = e->const_val.AsBool() != neg;
+      if (v) return std::vector<Cube>{{}};  // true
+      return std::vector<Cube>{};           // false
+    }
+    case Op::kNot:
+      return Rec(e->kids[0], !neg, budget);
+    case Op::kAnd:
+      return neg ? DisjoinAll(e->kids, true, budget)
+                 : ConjoinAll(e->kids, false, budget);
+    case Op::kOr:
+      return neg ? ConjoinAll(e->kids, true, budget)
+                 : DisjoinAll(e->kids, false, budget);
+    case Op::kImplies: {
+      // a => b  ==  !a | b ;  !(a => b)  ==  a & !b.
+      if (neg) {
+        Result<std::vector<Cube>> a = Rec(e->kids[0], false, budget);
+        if (!a.ok()) return a.status();
+        Result<std::vector<Cube>> b = Rec(e->kids[1], true, budget);
+        if (!b.ok()) return b.status();
+        return CrossProduct(a.value(), b.value(), budget);
+      }
+      Result<std::vector<Cube>> na = Rec(e->kids[0], true, budget);
+      if (!na.ok()) return na.status();
+      Result<std::vector<Cube>> b = Rec(e->kids[1], false, budget);
+      if (!b.ok()) return b.status();
+      std::vector<Cube> out = na.take();
+      if (!budget->Spend(static_cast<int>(b.value().size()))) return Overflow();
+      for (Cube& c : b.value()) out.push_back(std::move(c));
+      return out;
+    }
+    case Op::kIte: {
+      // Boolean ite(c,a,b) == (c & a) | (!c & b); negation negates a and b.
+      Result<std::vector<Cube>> c = Rec(e->kids[0], false, budget);
+      if (!c.ok()) return c.status();
+      Result<std::vector<Cube>> nc = Rec(e->kids[0], true, budget);
+      if (!nc.ok()) return nc.status();
+      Result<std::vector<Cube>> a = Rec(e->kids[1], neg, budget);
+      if (!a.ok()) return a.status();
+      Result<std::vector<Cube>> b = Rec(e->kids[2], neg, budget);
+      if (!b.ok()) return b.status();
+      Result<std::vector<Cube>> left = CrossProduct(c.value(), a.value(), budget);
+      if (!left.ok()) return left.status();
+      Result<std::vector<Cube>> right =
+          CrossProduct(nc.value(), b.value(), budget);
+      if (!right.ok()) return right.status();
+      std::vector<Cube> out = left.take();
+      for (Cube& cc : right.value()) out.push_back(std::move(cc));
+      return out;
+    }
+    default:
+      // Comparison, variable, or relational atom: a literal.
+      return std::vector<Cube>{{Literal{e, neg}}};
+  }
+}
+
+}  // namespace
+
+Result<Dnf> ToDnf(const Expr& e, int max_cubes) {
+  Budget budget{max_cubes};
+  Result<std::vector<Cube>> cubes = Rec(Simplify(e), false, &budget);
+  if (!cubes.ok()) return cubes.status();
+  Dnf dnf;
+  dnf.cubes = cubes.take();
+  return dnf;
+}
+
+}  // namespace semcor

@@ -1,0 +1,41 @@
+#ifndef SEMCOR_SEM_LOGIC_DNF_H_
+#define SEMCOR_SEM_LOGIC_DNF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sem/expr/expr.h"
+
+namespace semcor {
+
+/// An atom with polarity. Atoms are comparison nodes, boolean variables,
+/// and relational atoms (Exists/Forall); the boolean skeleton above them is
+/// compiled away by DNF conversion.
+struct Literal {
+  Expr atom;
+  bool negated = false;
+
+  std::string ToString() const;
+};
+
+/// A conjunction of literals.
+using Cube = std::vector<Literal>;
+
+/// Disjunctive normal form: OR over cubes. An empty cube list means `false`;
+/// a list containing an empty cube means `true`.
+struct Dnf {
+  std::vector<Cube> cubes;
+
+  std::string ToString() const;
+};
+
+/// Converts a boolean expression to DNF, pushing negations to the atoms
+/// (comparison atoms are flipped later by the linear layer; other atoms keep
+/// a negation flag). Fails with InvalidArgument if the expansion exceeds
+/// `max_cubes` (callers treat that as "unknown").
+Result<Dnf> ToDnf(const Expr& e, int max_cubes);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_LOGIC_DNF_H_

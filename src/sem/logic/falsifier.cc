@@ -1,0 +1,206 @@
+#include "sem/logic/falsifier.h"
+
+#include "common/rng.h"
+
+namespace semcor {
+
+namespace {
+
+/// Walks comparison nodes; if one side is string/bool-typed (literal or
+/// already-typed var/attr), propagates that type to variables on the other
+/// side. One pass is enough for the paper's assertions (var-vs-literal and
+/// var-vs-attr comparisons).
+void InferFromComparisons(const Expr& e, const SchemaShapes* shapes,
+                          std::map<VarRef, Value::Type>* types) {
+  if (!e) return;
+  auto type_of_side = [&](const Expr& side) -> std::optional<Value::Type> {
+    if (side->op == Op::kConst) return side->const_val.type();
+    return std::nullopt;
+  };
+  switch (e->op) {
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      const Expr& a = e->kids[0];
+      const Expr& b = e->kids[1];
+      std::optional<Value::Type> ta = type_of_side(a);
+      std::optional<Value::Type> tb = type_of_side(b);
+      if (a->op == Op::kVar && tb && *tb != Value::Type::kNull) {
+        types->emplace(a->var, *tb);
+      }
+      if (b->op == Op::kVar && ta && *ta != Value::Type::kNull) {
+        types->emplace(b->var, *ta);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (const Expr& k : e->kids) InferFromComparisons(k, shapes, types);
+}
+
+/// Types variables compared against table attributes using the schema.
+void InferFromAttrComparisons(const Expr& e, const std::string& table,
+                              const SchemaShapes& shapes,
+                              std::map<VarRef, Value::Type>* types) {
+  if (!e) return;
+  switch (e->op) {
+    case Op::kCount:
+    case Op::kSum:
+    case Op::kMaxAgg:
+    case Op::kExists:
+    case Op::kForall:
+      for (const Expr& k : e->kids) {
+        InferFromAttrComparisons(k, e->table, shapes, types);
+      }
+      return;
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      if (!table.empty()) {
+        const Expr& a = e->kids[0];
+        const Expr& b = e->kids[1];
+        auto attr_type = [&](const Expr& side) -> std::optional<Value::Type> {
+          if (side->op != Op::kAttr) return std::nullopt;
+          auto it = shapes.find(table);
+          if (it == shapes.end()) return std::nullopt;
+          for (const auto& [name, type] : it->second.attrs) {
+            if (name == side->attr) return type;
+          }
+          return std::nullopt;
+        };
+        std::optional<Value::Type> ta = attr_type(a);
+        std::optional<Value::Type> tb = attr_type(b);
+        if (a->op == Op::kVar && tb) types->emplace(a->var, *tb);
+        if (b->op == Op::kVar && ta) types->emplace(b->var, *ta);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (const Expr& k : e->kids) {
+    InferFromAttrComparisons(k, table, shapes, types);
+  }
+}
+
+/// Variables used directly as boolean atoms (children of connectives,
+/// guards, quantifier predicates) must be bool-typed.
+void InferBoolPositions(const Expr& e, bool boolean_position,
+                        std::map<VarRef, Value::Type>* types) {
+  if (!e) return;
+  if (e->op == Op::kVar && boolean_position) {
+    types->emplace(e->var, Value::Type::kBool);
+    return;
+  }
+  switch (e->op) {
+    case Op::kNot:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kImplies:
+      for (const Expr& k : e->kids) InferBoolPositions(k, true, types);
+      return;
+    case Op::kIte:
+      InferBoolPositions(e->kids[0], true, types);
+      InferBoolPositions(e->kids[1], boolean_position, types);
+      InferBoolPositions(e->kids[2], boolean_position, types);
+      return;
+    case Op::kExists:
+      InferBoolPositions(e->kids[0], true, types);
+      return;
+    case Op::kForall:
+      InferBoolPositions(e->kids[0], true, types);
+      InferBoolPositions(e->kids[1], true, types);
+      return;
+    case Op::kCount:
+    case Op::kSum:
+    case Op::kMaxAgg:
+      InferBoolPositions(e->kids[0], true, types);
+      return;
+    default:
+      for (const Expr& k : e->kids) InferBoolPositions(k, false, types);
+      return;
+  }
+}
+
+Value RandomValue(Value::Type type, Rng* rng, const FalsifierOptions& options) {
+  switch (type) {
+    case Value::Type::kInt:
+      return Value::Int(rng->Uniform(options.value_min, options.value_max));
+    case Value::Type::kBool:
+      return Value::Bool(rng->Bernoulli(0.5));
+    case Value::Type::kString: {
+      const auto& pool = options.string_pool;
+      if (pool.empty()) return Value::Str("s");
+      return Value::Str(pool[rng->Uniform(0, pool.size() - 1)]);
+    }
+    default:
+      return Value::Null();
+  }
+}
+
+}  // namespace
+
+std::map<VarRef, Value::Type> InferVarTypes(const Expr& e) {
+  std::map<VarRef, Value::Type> types;
+  InferFromComparisons(e, nullptr, &types);
+  return types;
+}
+
+std::optional<MapEvalContext> FindModel(const Expr& constraint,
+                                        const SchemaShapes& shapes,
+                                        const FalsifierOptions& options) {
+  FreeVars fv = CollectFreeVars(constraint);
+  std::map<VarRef, Value::Type> types = options.var_types;
+  {
+    std::map<VarRef, Value::Type> inferred;
+    InferFromComparisons(constraint, &shapes, &inferred);
+    InferFromAttrComparisons(constraint, "", shapes, &inferred);
+    InferBoolPositions(constraint, true, &inferred);
+    for (const auto& [v, t] : inferred) types.emplace(v, t);
+  }
+  auto type_of = [&](const VarRef& v) {
+    auto it = types.find(v);
+    return it == types.end() ? Value::Type::kInt : it->second;
+  };
+
+  std::vector<VarRef> vars;
+  for (const std::string& n : fv.db) vars.push_back({VarKind::kDb, n});
+  for (const std::string& n : fv.locals) vars.push_back({VarKind::kLocal, n});
+  for (const std::string& n : fv.logicals) {
+    vars.push_back({VarKind::kLogical, n});
+  }
+
+  Rng rng(options.seed);
+  for (int attempt = 0; attempt < options.attempts; ++attempt) {
+    MapEvalContext ctx;
+    for (const VarRef& v : vars) {
+      ctx.Set(v, RandomValue(type_of(v), &rng, options));
+    }
+    for (const std::string& table : fv.tables) {
+      auto it = shapes.find(table);
+      // Unknown shape: provide an empty table so scans succeed.
+      ctx.MutableTable(table);
+      if (it == shapes.end()) continue;
+      const int rows = static_cast<int>(rng.Uniform(0, options.max_rows));
+      for (int r = 0; r < rows; ++r) {
+        Tuple t;
+        for (const auto& [attr, type] : it->second.attrs) {
+          t[attr] = RandomValue(type, &rng, options);
+        }
+        ctx.AddTuple(table, std::move(t));
+      }
+    }
+    Result<bool> holds = EvalBool(constraint, ctx);
+    if (holds.ok() && holds.value()) return ctx;
+  }
+  return std::nullopt;
+}
+
+}  // namespace semcor

@@ -1,0 +1,216 @@
+#include "sem/logic/linear.h"
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+void LinearTerm::Add(const LinearTerm& other, int64_t scale) {
+  konst += other.konst * scale;
+  for (const auto& [var, c] : other.coeffs) {
+    int64_t& slot = coeffs[var];
+    slot += c * scale;
+    if (slot == 0) coeffs.erase(var);
+  }
+}
+
+std::string LinearTerm::ToString() const {
+  std::string out;
+  for (const auto& [var, c] : coeffs) {
+    if (!out.empty()) out += " + ";
+    out += StrCat(c, "*", var.name);
+  }
+  if (out.empty() || konst != 0) {
+    if (!out.empty()) out += " + ";
+    out += StrCat(konst);
+  }
+  return out;
+}
+
+std::string LinearConstraint::ToString() const {
+  const char* rel_s = rel == LinRel::kLe ? " <= 0"
+                      : rel == LinRel::kLt ? " < 0"
+                                           : " == 0";
+  return term.ToString() + rel_s;
+}
+
+bool LinearConstraint::Holds(
+    const std::map<VarRef, int64_t>& assignment) const {
+  int64_t v = term.konst;
+  for (const auto& [var, c] : term.coeffs) {
+    auto it = assignment.find(var);
+    v += c * (it == assignment.end() ? 0 : it->second);
+  }
+  switch (rel) {
+    case LinRel::kLe:
+      return v <= 0;
+    case LinRel::kLt:
+      return v < 0;
+    case LinRel::kEq:
+      return v == 0;
+  }
+  return false;
+}
+
+VarRef TermAbstraction::VarFor(const Expr& term) {
+  for (const auto& [t, v] : terms_) {
+    if (ExprEquals(t, term)) return v;
+  }
+  VarRef var{VarKind::kLogical, StrCat("$t", next_id_++)};
+  terms_.emplace_back(term, var);
+  return var;
+}
+
+namespace {
+
+std::optional<LinearTerm> VarTerm(const VarRef& var) {
+  LinearTerm t;
+  t.coeffs[var] = 1;
+  return t;
+}
+
+}  // namespace
+
+std::optional<LinearTerm> ToLinear(const Expr& e, TermAbstraction* abs) {
+  if (!e) return std::nullopt;
+  switch (e->op) {
+    case Op::kConst:
+      if (!e->const_val.is_int()) return std::nullopt;
+      {
+        LinearTerm t;
+        t.konst = e->const_val.AsInt();
+        return t;
+      }
+    case Op::kVar:
+      return VarTerm(e->var);
+    case Op::kAttr:
+      // Tuple attributes become pseudo-variables so that predicate
+      // intersection tests reduce to linear satisfiability.
+      return VarTerm({VarKind::kLogical, StrCat("@attr:", e->attr)});
+    case Op::kNeg: {
+      auto a = ToLinear(e->kids[0], abs);
+      if (!a) return std::nullopt;
+      LinearTerm t;
+      t.Add(*a, -1);
+      return t;
+    }
+    case Op::kAdd:
+    case Op::kSub: {
+      auto a = ToLinear(e->kids[0], abs);
+      auto b = ToLinear(e->kids[1], abs);
+      if (!a || !b) return std::nullopt;
+      LinearTerm t = *a;
+      t.Add(*b, e->op == Op::kAdd ? 1 : -1);
+      return t;
+    }
+    case Op::kMul: {
+      auto a = ToLinear(e->kids[0], abs);
+      auto b = ToLinear(e->kids[1], abs);
+      if (a && b) {
+        if (a->IsConstant()) {
+          LinearTerm t;
+          t.Add(*b, a->konst);
+          return t;
+        }
+        if (b->IsConstant()) {
+          LinearTerm t;
+          t.Add(*a, b->konst);
+          return t;
+        }
+      }
+      // Non-linear product: abstract the whole node.
+      return VarTerm(abs->VarFor(e));
+    }
+    case Op::kDiv:
+    case Op::kIte:
+    case Op::kCount:
+    case Op::kSum:
+    case Op::kMaxAgg:
+    case Op::kMinAgg:
+      // Integer-valued but non-linear / data-dependent: abstract.
+      return VarTerm(abs->VarFor(e));
+    default:
+      // Boolean-valued or string-valued expression: not an integer term.
+      return std::nullopt;
+  }
+}
+
+std::optional<std::vector<std::vector<LinearConstraint>>> AtomToConstraints(
+    const Expr& atom, bool negated, TermAbstraction* abs) {
+  if (!atom) return std::nullopt;
+  Op op = atom->op;
+  switch (op) {
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+      break;
+    default:
+      return std::nullopt;
+  }
+  auto a = ToLinear(atom->kids[0], abs);
+  auto b = ToLinear(atom->kids[1], abs);
+  if (!a || !b) return std::nullopt;
+
+  // diff = a - b, so the atom is `diff OP 0`.
+  LinearTerm diff = *a;
+  diff.Add(*b, -1);
+  LinearTerm neg_diff;
+  neg_diff.Add(diff, -1);
+
+  // Apply negation by flipping the operator.
+  if (negated) {
+    switch (op) {
+      case Op::kEq:
+        op = Op::kNe;
+        break;
+      case Op::kNe:
+        op = Op::kEq;
+        break;
+      case Op::kLt:
+        op = Op::kGe;
+        break;
+      case Op::kLe:
+        op = Op::kGt;
+        break;
+      case Op::kGt:
+        op = Op::kLe;
+        break;
+      case Op::kGe:
+        op = Op::kLt;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<std::vector<LinearConstraint>> out;
+  switch (op) {
+    case Op::kEq:
+      out.push_back({LinearConstraint{diff, LinRel::kEq}});
+      break;
+    case Op::kNe:
+      // diff < 0  OR  -diff < 0.
+      out.push_back({LinearConstraint{diff, LinRel::kLt}});
+      out.push_back({LinearConstraint{neg_diff, LinRel::kLt}});
+      break;
+    case Op::kLt:
+      out.push_back({LinearConstraint{diff, LinRel::kLt}});
+      break;
+    case Op::kLe:
+      out.push_back({LinearConstraint{diff, LinRel::kLe}});
+      break;
+    case Op::kGt:
+      out.push_back({LinearConstraint{neg_diff, LinRel::kLt}});
+      break;
+    case Op::kGe:
+      out.push_back({LinearConstraint{neg_diff, LinRel::kLe}});
+      break;
+    default:
+      return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace semcor

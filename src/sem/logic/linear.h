@@ -1,0 +1,71 @@
+#ifndef SEMCOR_SEM_LOGIC_LINEAR_H_
+#define SEMCOR_SEM_LOGIC_LINEAR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sem/expr/expr.h"
+
+namespace semcor {
+
+/// A linear term over integer-valued variables: sum(coeff_i * var_i) + konst.
+/// Non-linear subterms (Count(...), x*y, x/y) are "Ackermannized": each
+/// distinct such term is replaced by a fresh abstraction variable, which is
+/// sound for proving validity (the abstraction only loses constraints).
+struct LinearTerm {
+  std::map<VarRef, int64_t> coeffs;
+  int64_t konst = 0;
+
+  void Add(const LinearTerm& other, int64_t scale);
+  bool IsConstant() const { return coeffs.empty(); }
+  std::string ToString() const;
+};
+
+/// Relation of a normalized constraint `term REL 0`.
+enum class LinRel { kLe, kLt, kEq };
+
+/// One normalized linear constraint: term <= 0, term < 0, or term == 0.
+struct LinearConstraint {
+  LinearTerm term;
+  LinRel rel;
+
+  std::string ToString() const;
+  /// Evaluates under a full assignment (missing vars default to 0).
+  bool Holds(const std::map<VarRef, int64_t>& assignment) const;
+};
+
+/// Registry of non-linear terms abstracted into fresh variables during
+/// extraction. Reuses the same variable for structurally equal terms so that
+/// contradictions like (count(T|p) > 3) && (count(T|p) < 2) are caught.
+class TermAbstraction {
+ public:
+  /// Returns the abstraction variable for `term`, registering it if new.
+  VarRef VarFor(const Expr& term);
+
+  /// Terms registered so far, parallel to their variables.
+  const std::vector<std::pair<Expr, VarRef>>& terms() const { return terms_; }
+
+ private:
+  std::vector<std::pair<Expr, VarRef>> terms_;
+  int next_id_ = 0;
+};
+
+/// Converts an integer-valued expression into a linear term, abstracting
+/// non-linear subterms through `abs`. Returns nullopt only for expressions
+/// that are not integer-valued at all (e.g. string literals).
+std::optional<LinearTerm> ToLinear(const Expr& e, TermAbstraction* abs);
+
+/// Converts a comparison atom (kEq/kNe/kLt/kLe/kGt/kGe over integer terms)
+/// with the given polarity into normalized constraints. kNe (or negated kEq)
+/// is disjunctive, so the result is a *disjunction* of constraint lists:
+/// outer vector = OR, inner vector = AND. Returns nullopt when the atom is
+/// not an integer comparison (caller treats it as opaque).
+std::optional<std::vector<std::vector<LinearConstraint>>> AtomToConstraints(
+    const Expr& atom, bool negated, TermAbstraction* abs);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_LOGIC_LINEAR_H_

@@ -1,0 +1,165 @@
+#include "sem/prog/builder.h"
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+ProgramBuilder::ProgramBuilder(std::string type_name) {
+  proto_.type_name = std::move(type_name);
+  proto_.instance_label = proto_.type_name;
+  proto_.i_part = True();
+  proto_.b_part = True();
+  proto_.result = True();
+  current_ = &proto_.body;
+}
+
+ProgramBuilder& ProgramBuilder::IPart(Expr i_part) {
+  proto_.i_part = std::move(i_part);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::BPart(Expr b_part) {
+  proto_.b_part = std::move(b_part);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Result(Expr q) {
+  proto_.result = std::move(q);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Logical(const std::string& name,
+                                        const std::string& item) {
+  proto_.logical_bindings[name] = item;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Pre(Expr assertion) {
+  pending_pre_ = std::move(assertion);
+  return *this;
+}
+
+Stmt* ProgramBuilder::Append(StmtKind kind) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = kind;
+  s->pre = pending_pre_ ? pending_pre_ : True();
+  pending_pre_ = nullptr;
+  current_->push_back(s);
+  // The list owns the only reference; mutating through the raw pointer while
+  // building is safe because nothing else can observe the program yet.
+  return const_cast<Stmt*>(current_->back().get());
+}
+
+ProgramBuilder& ProgramBuilder::Read(const std::string& local,
+                                     const std::string& item) {
+  Stmt* s = Append(StmtKind::kRead);
+  s->local = local;
+  s->item = item;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Write(const std::string& item, Expr value) {
+  Stmt* s = Append(StmtKind::kWrite);
+  s->item = item;
+  s->expr = std::move(value);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Let(const std::string& local, Expr value) {
+  Stmt* s = Append(StmtKind::kLocalAssign);
+  s->local = local;
+  s->expr = std::move(value);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::SelectAgg(const std::string& local,
+                                          Expr relational_expr) {
+  Stmt* s = Append(StmtKind::kSelectAgg);
+  s->local = local;
+  s->expr = std::move(relational_expr);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::SelectRows(const std::string& buffer,
+                                           const std::string& table,
+                                           Expr pred) {
+  Stmt* s = Append(StmtKind::kSelectRows);
+  s->local = buffer;
+  s->table = table;
+  s->pred = std::move(pred);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Update(const std::string& table, Expr pred,
+                                       std::map<std::string, Expr> sets) {
+  Stmt* s = Append(StmtKind::kUpdate);
+  s->table = table;
+  s->pred = std::move(pred);
+  s->sets = std::move(sets);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Insert(const std::string& table,
+                                       std::map<std::string, Expr> values) {
+  Stmt* s = Append(StmtKind::kInsert);
+  s->table = table;
+  s->values = std::move(values);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Delete(const std::string& table, Expr pred) {
+  Stmt* s = Append(StmtKind::kDelete);
+  s->table = table;
+  s->pred = std::move(pred);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Abort() {
+  Append(StmtKind::kAbort);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::If(Expr guard, const BlockFn& then_block) {
+  return If(std::move(guard), then_block, [](ProgramBuilder&) {});
+}
+
+ProgramBuilder& ProgramBuilder::If(Expr guard, const BlockFn& then_block,
+                                   const BlockFn& else_block) {
+  Stmt* s = Append(StmtKind::kIf);
+  s->expr = std::move(guard);
+  StmtList* saved = current_;
+  current_ = &s->then_body;
+  then_block(*this);
+  pending_pre_ = nullptr;
+  current_ = &s->else_body;
+  else_block(*this);
+  pending_pre_ = nullptr;
+  current_ = saved;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::While(Expr guard, const BlockFn& body) {
+  Stmt* s = Append(StmtKind::kWhile);
+  s->expr = std::move(guard);
+  StmtList* saved = current_;
+  current_ = &s->then_body;
+  body(*this);
+  pending_pre_ = nullptr;
+  current_ = saved;
+  return *this;
+}
+
+TxnProgram ProgramBuilder::Build(std::map<std::string, Value> params) const {
+  TxnProgram out = proto_;
+  out.params = std::move(params);
+  if (!out.params.empty()) {
+    std::vector<std::string> parts;
+    for (const auto& [k, v] : out.params) {
+      parts.push_back(StrCat(k, "=", v.ToString()));
+    }
+    out.instance_label = StrCat(out.type_name, "(", Join(parts, ","), ")");
+  }
+  return out;
+}
+
+}  // namespace semcor

@@ -1,0 +1,79 @@
+#ifndef SEMCOR_SEM_PROG_BUILDER_H_
+#define SEMCOR_SEM_PROG_BUILDER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sem/prog/program.h"
+
+namespace semcor {
+
+/// Fluent builder for annotated transaction programs. Usage:
+///
+///   ProgramBuilder b("Withdraw_sav");
+///   b.IPart(Ge(Add(DbVar(sav), DbVar(ch)), Lit(0)));
+///   b.Logical("SAV0", sav);
+///   b.Pre(...).Read("Sav", sav);
+///   b.Pre(...).Read("Ch", ch);
+///   b.Pre(...).If(Ge(Add(Local("Sav"), Local("Ch")), Local("w")),
+///                 [&](ProgramBuilder& t) {
+///                   t.Pre(...).Write(sav, Sub(Local("Sav"), Local("w")));
+///                 });
+///   b.Result(...);
+///   TxnProgram p = b.Build({{"w", Value::Int(10)}});
+///
+/// Pre() attaches the annotation to the *next* statement appended; if
+/// omitted, the statement gets `true` (which weakens what the analysis can
+/// prove but never makes it unsound).
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string type_name);
+
+  /// Non-copyable (holds nested-scope state).
+  ProgramBuilder(const ProgramBuilder&) = delete;
+  ProgramBuilder& operator=(const ProgramBuilder&) = delete;
+
+  ProgramBuilder& IPart(Expr i_part);
+  ProgramBuilder& BPart(Expr b_part);
+  ProgramBuilder& Result(Expr q);
+  /// Declares logical variable `name` recording the initial value of `item`.
+  ProgramBuilder& Logical(const std::string& name, const std::string& item);
+
+  /// Sets the annotation for the next statement.
+  ProgramBuilder& Pre(Expr assertion);
+
+  ProgramBuilder& Read(const std::string& local, const std::string& item);
+  ProgramBuilder& Write(const std::string& item, Expr value);
+  ProgramBuilder& Let(const std::string& local, Expr value);
+  ProgramBuilder& SelectAgg(const std::string& local, Expr relational_expr);
+  ProgramBuilder& SelectRows(const std::string& buffer,
+                             const std::string& table, Expr pred);
+  ProgramBuilder& Update(const std::string& table, Expr pred,
+                         std::map<std::string, Expr> sets);
+  ProgramBuilder& Insert(const std::string& table,
+                         std::map<std::string, Expr> values);
+  ProgramBuilder& Delete(const std::string& table, Expr pred);
+  ProgramBuilder& Abort();
+
+  using BlockFn = std::function<void(ProgramBuilder&)>;
+  ProgramBuilder& If(Expr guard, const BlockFn& then_block);
+  ProgramBuilder& If(Expr guard, const BlockFn& then_block,
+                     const BlockFn& else_block);
+  ProgramBuilder& While(Expr guard, const BlockFn& body);
+
+  /// Finalizes the program with the given parameter bindings.
+  TxnProgram Build(std::map<std::string, Value> params) const;
+
+ private:
+  Stmt* Append(StmtKind kind);
+
+  TxnProgram proto_;
+  StmtList* current_;  ///< list under construction (nesting via If/While)
+  Expr pending_pre_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_PROG_BUILDER_H_

@@ -1,0 +1,44 @@
+#ifndef SEMCOR_SEM_PROG_CONCRETE_EXEC_H_
+#define SEMCOR_SEM_PROG_CONCRETE_EXEC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sem/expr/eval.h"
+#include "sem/prog/program.h"
+
+namespace semcor {
+
+struct ConcreteExecOptions {
+  int loop_fuel = 64;  ///< max iterations per loop before bailing out
+  /// Database items read before ever being written default to this value
+  /// (the state is unconstrained on them, so any concrete choice is valid).
+  Value default_item = Value::Int(0);
+};
+
+/// Executes a statement list directly on a map-backed state. This is the
+/// *analysis-time* interpreter used to confirm interference counterexamples;
+/// the runtime testbed interpreter (txn/interpreter.h) goes through the
+/// transaction manager and its locking disciplines instead.
+Status ExecuteStmts(const StmtList& body, MapEvalContext* ctx,
+                    std::map<std::string, std::vector<Tuple>>* buffers,
+                    const ConcreteExecOptions& options = ConcreteExecOptions());
+
+/// Binds `program.params` as locals, captures logical bindings, and runs the
+/// body. A kAbort statement restores the database portion of `ctx` to its
+/// entry state (modelling rollback) and stops execution with Ok.
+Status ExecuteProgram(const TxnProgram& program, MapEvalContext* ctx,
+                      const ConcreteExecOptions& options =
+                          ConcreteExecOptions());
+
+/// Executes a single statement (used for per-write interference triples).
+/// `pre_bound_locals` lets callers bind the statement's free locals first.
+Status ExecuteStmt(const Stmt& stmt, MapEvalContext* ctx,
+                   std::map<std::string, std::vector<Tuple>>* buffers,
+                   const ConcreteExecOptions& options = ConcreteExecOptions());
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_PROG_CONCRETE_EXEC_H_

@@ -1,0 +1,192 @@
+#include "sem/prog/program.h"
+
+#include "common/str_util.h"
+#include "sem/expr/simplify.h"
+
+namespace semcor {
+
+Expr TxnProgram::Precondition() const {
+  return Simplify(And(i_part ? i_part : True(), b_part ? b_part : True()));
+}
+
+Expr TxnProgram::Postcondition() const {
+  return Simplify(And(i_part ? i_part : True(), result ? result : True()));
+}
+
+namespace {
+
+/// True if executing `body` starting at `from` is guaranteed to write `item`
+/// (loops are assumed skippable, so writes inside them don't count).
+bool GuaranteesWrite(const StmtList& body, size_t from,
+                     const std::string& item) {
+  for (size_t i = from; i < body.size(); ++i) {
+    const Stmt& s = *body[i];
+    if (s.kind == StmtKind::kWrite && s.item == item) return true;
+    if (s.kind == StmtKind::kIf && GuaranteesWrite(s.then_body, 0, item) &&
+        GuaranteesWrite(s.else_body, 0, item)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Continuation frame: a statement list and the index to resume from.
+struct Frame {
+  const StmtList* list;
+  size_t resume;
+};
+
+void WalkReads(const StmtList& body, const Expr& after,
+               const std::vector<Frame>& continuation,
+               std::vector<ReadWithPost>* out) {
+  for (size_t i = 0; i < body.size(); ++i) {
+    const StmtPtr& s = body[i];
+    const Expr post = (i + 1 < body.size()) ? body[i + 1]->pre : after;
+    std::vector<Frame> inner = continuation;
+    inner.push_back({&body, i + 1});
+    switch (s->kind) {
+      case StmtKind::kIf:
+        WalkReads(s->then_body, post, inner, out);
+        WalkReads(s->else_body, post, inner, out);
+        break;
+      case StmtKind::kWhile:
+        // Assertion at the loop head (s->pre) is the invariant, so the body's
+        // trailing postcondition is the loop head assertion itself.
+        WalkReads(s->then_body, s->pre, inner, out);
+        break;
+      default:
+        if (IsDbRead(*s)) {
+          ReadWithPost r;
+          r.stmt = s;
+          r.post = post ? post : True();
+          if (s->kind == StmtKind::kRead) {
+            bool guaranteed = GuaranteesWrite(body, i + 1, s->item);
+            for (auto it = continuation.rbegin();
+                 !guaranteed && it != continuation.rend(); ++it) {
+              guaranteed = GuaranteesWrite(*it->list, it->resume, s->item);
+            }
+            r.followed_by_write_same_item = guaranteed;
+          }
+          out->push_back(std::move(r));
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ReadWithPost> CollectReadPostconditions(const TxnProgram& program) {
+  std::vector<ReadWithPost> out;
+  WalkReads(program.body, program.Postcondition(), {}, &out);
+  return out;
+}
+
+std::vector<StmtPtr> CollectDbWrites(const TxnProgram& program) {
+  std::vector<StmtPtr> out;
+  VisitStmts(program.body, [&](const StmtPtr& s) {
+    if (IsDbWrite(*s)) out.push_back(s);
+  });
+  return out;
+}
+
+namespace {
+
+Expr RenameRec(const Expr& e, const std::string& prefix) {
+  if (!e) return e;
+  if (e->op == Op::kVar && (e->var.kind == VarKind::kLocal ||
+                            e->var.kind == VarKind::kLogical)) {
+    auto n = std::make_shared<ExprNode>(*e);
+    n->var.name = prefix + e->var.name;
+    return n;
+  }
+  if (e->kids.empty()) return e;
+  bool changed = false;
+  std::vector<Expr> kids;
+  kids.reserve(e->kids.size());
+  for (const Expr& k : e->kids) {
+    Expr r = RenameRec(k, prefix);
+    changed = changed || r.get() != k.get();
+    kids.push_back(std::move(r));
+  }
+  if (!changed) return e;
+  auto n = std::make_shared<ExprNode>(*e);
+  n->kids = std::move(kids);
+  return n;
+}
+
+StmtPtr RenameStmt(const StmtPtr& s, const std::string& prefix);
+
+StmtList RenameBody(const StmtList& body, const std::string& prefix) {
+  StmtList out;
+  out.reserve(body.size());
+  for (const StmtPtr& s : body) out.push_back(RenameStmt(s, prefix));
+  return out;
+}
+
+StmtPtr RenameStmt(const StmtPtr& s, const std::string& prefix) {
+  auto n = std::make_shared<Stmt>(*s);
+  if (!n->local.empty()) n->local = prefix + n->local;
+  n->pre = RenameRec(n->pre, prefix);
+  n->expr = RenameRec(n->expr, prefix);
+  n->pred = RenameRec(n->pred, prefix);
+  for (auto& [attr, e] : n->sets) e = RenameRec(e, prefix);
+  for (auto& [attr, e] : n->values) e = RenameRec(e, prefix);
+  n->then_body = RenameBody(s->then_body, prefix);
+  n->else_body = RenameBody(s->else_body, prefix);
+  return n;
+}
+
+}  // namespace
+
+Expr RenameLocalsInExpr(const Expr& e, const std::string& prefix) {
+  return RenameRec(e, prefix);
+}
+
+TxnProgram RenameLocals(const TxnProgram& program, const std::string& prefix) {
+  TxnProgram out = program;
+  out.i_part = RenameRec(program.i_part, prefix);
+  out.b_part = RenameRec(program.b_part, prefix);
+  out.result = RenameRec(program.result, prefix);
+  out.body = RenameBody(program.body, prefix);
+  out.params.clear();
+  for (const auto& [name, value] : program.params) {
+    out.params[prefix + name] = value;
+  }
+  out.logical_bindings.clear();
+  for (const auto& [name, item] : program.logical_bindings) {
+    out.logical_bindings[prefix + name] = item;
+  }
+  return out;
+}
+
+bool WriteFootprint::Intersects(const WriteFootprint& other) const {
+  for (const std::string& i : items) {
+    if (other.items.count(i)) return true;
+  }
+  for (const std::string& t : tables) {
+    if (other.tables.count(t)) return true;
+  }
+  return false;
+}
+
+WriteFootprint CollectWriteFootprint(const TxnProgram& program) {
+  WriteFootprint fp;
+  VisitStmts(program.body, [&](const StmtPtr& s) {
+    switch (s->kind) {
+      case StmtKind::kWrite:
+        fp.items.insert(s->item);
+        break;
+      case StmtKind::kUpdate:
+      case StmtKind::kInsert:
+      case StmtKind::kDelete:
+        fp.tables.insert(s->table);
+        break;
+      default:
+        break;
+    }
+  });
+  return fp;
+}
+
+}  // namespace semcor

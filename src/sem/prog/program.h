@@ -1,0 +1,100 @@
+#ifndef SEMCOR_SEM_PROG_PROGRAM_H_
+#define SEMCOR_SEM_PROG_PROGRAM_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "sem/prog/stmt.h"
+
+namespace semcor {
+
+/// An instantiated, annotated transaction program — the paper's T_i together
+/// with its proof outline (1): {I_i ∧ B_i ∧ x_i = X_i} T_i {I_i ∧ Q_i}.
+struct TxnProgram {
+  std::string type_name;       ///< e.g. "New_Order"
+  std::string instance_label;  ///< e.g. "New_Order(cust=\"a\")"
+
+  /// I_i: the conjuncts of the global consistency constraint this
+  /// transaction relies on and re-establishes.
+  Expr i_part;
+  /// B_i: conditions on the parameters (e.g. dep >= 0).
+  Expr b_part;
+  /// Q_i: the result assertion; may mention logical variables.
+  Expr result;
+
+  /// Statements with inline annotations (Stmt::pre).
+  StmtList body;
+
+  /// Parameters: initial local-variable bindings.
+  std::map<std::string, Value> params;
+
+  /// Logical-variable bindings x_i = X_i: logical name -> db item whose
+  /// initial value it records. Captured when the transaction starts.
+  std::map<std::string, std::string> logical_bindings;
+
+  /// Full precondition: I_i ∧ B_i (logical bindings are handled separately).
+  Expr Precondition() const;
+  /// Full postcondition: I_i ∧ Q_i.
+  Expr Postcondition() const;
+};
+
+/// A transaction *type*: a program generator plus the parameter scenarios
+/// the static analysis instantiates (§5 analyzes types, and aliasing between
+/// instances is explored through scenarios — e.g. "same account" vs
+/// "different accounts").
+struct TransactionType {
+  std::string name;
+  std::function<TxnProgram(const std::map<std::string, Value>&)> make;
+  /// Parameter sets used during analysis; the advisor takes the worst case
+  /// across scenarios. Must be non-empty.
+  std::vector<std::map<std::string, Value>> analysis_scenarios;
+};
+
+/// A read statement together with its postcondition assertion (the assertion
+/// at the control point immediately after it).
+struct ReadWithPost {
+  StmtPtr stmt;
+  Expr post;
+  /// True if on every path from this read to the end of the program there is
+  /// a later write statement to the same item (Theorem 3's exemption under
+  /// first-committer-wins).
+  bool followed_by_write_same_item = false;
+};
+
+/// Collects every db-read statement of `program` with its postcondition.
+/// The postcondition of the last statement is the program postcondition;
+/// inside an If, the trailing postcondition is the statement-after-the-If's
+/// precondition; a While body's trailing postcondition is the loop head's
+/// assertion (its invariant).
+std::vector<ReadWithPost> CollectReadPostconditions(const TxnProgram& program);
+
+/// Collects every db-write statement of `program` together with its
+/// annotation (Stmt::pre), used by the per-write Theorem 1 obligations and
+/// the step-wise interference fallback.
+std::vector<StmtPtr> CollectDbWrites(const TxnProgram& program);
+
+/// Returns a copy of `program` with every local and logical variable renamed
+/// with the given prefix ("j::"), in statements and assertions alike. Used
+/// to avoid capture when assertions of two transactions meet in one formula.
+TxnProgram RenameLocals(const TxnProgram& program, const std::string& prefix);
+
+/// Renames locals/logicals appearing in a single expression.
+Expr RenameLocalsInExpr(const Expr& e, const std::string& prefix);
+
+/// Names of all db items written by the program (kWrite targets), and the
+/// tables written (kUpdate/kInsert/kDelete), a conservative write footprint.
+struct WriteFootprint {
+  std::set<std::string> items;
+  std::set<std::string> tables;
+
+  bool Intersects(const WriteFootprint& other) const;
+};
+WriteFootprint CollectWriteFootprint(const TxnProgram& program);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_PROG_PROGRAM_H_

@@ -1,0 +1,115 @@
+#include "sem/prog/stmt.h"
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+const char* StmtKindName(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::kRead:
+      return "read";
+    case StmtKind::kWrite:
+      return "write";
+    case StmtKind::kLocalAssign:
+      return "local";
+    case StmtKind::kIf:
+      return "if";
+    case StmtKind::kWhile:
+      return "while";
+    case StmtKind::kSelectAgg:
+      return "select-agg";
+    case StmtKind::kSelectRows:
+      return "select-rows";
+    case StmtKind::kUpdate:
+      return "update";
+    case StmtKind::kInsert:
+      return "insert";
+    case StmtKind::kDelete:
+      return "delete";
+    case StmtKind::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+std::string Stmt::ToString() const {
+  switch (kind) {
+    case StmtKind::kRead:
+      return StrCat("read ", local, " := ", item);
+    case StmtKind::kWrite:
+      return StrCat("write ", item, " := ", semcor::ToString(expr));
+    case StmtKind::kLocalAssign:
+      return StrCat("local ", local, " := ", semcor::ToString(expr));
+    case StmtKind::kIf:
+      return StrCat("if ", semcor::ToString(expr));
+    case StmtKind::kWhile:
+      return StrCat("while ", semcor::ToString(expr));
+    case StmtKind::kSelectAgg:
+      return StrCat("select ", local, " := ", semcor::ToString(expr));
+    case StmtKind::kSelectRows:
+      return StrCat("select rows ", local, " from ", table, " where ",
+                    semcor::ToString(pred));
+    case StmtKind::kUpdate: {
+      std::vector<std::string> parts;
+      for (const auto& [attr, e] : sets) {
+        parts.push_back(StrCat(attr, " = ", semcor::ToString(e)));
+      }
+      return StrCat("update ", table, " set ", Join(parts, ", "), " where ",
+                    semcor::ToString(pred));
+    }
+    case StmtKind::kInsert: {
+      std::vector<std::string> parts;
+      for (const auto& [attr, e] : values) {
+        parts.push_back(StrCat(attr, ": ", semcor::ToString(e)));
+      }
+      return StrCat("insert ", table, " (", Join(parts, ", "), ")");
+    }
+    case StmtKind::kDelete:
+      return StrCat("delete from ", table, " where ", semcor::ToString(pred));
+    case StmtKind::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+bool IsDbWrite(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kWrite:
+    case StmtKind::kUpdate:
+    case StmtKind::kInsert:
+    case StmtKind::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsDbRead(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kRead:
+    case StmtKind::kSelectAgg:
+    case StmtKind::kSelectRows:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void VisitStmts(const StmtList& body,
+                const std::function<void(const StmtPtr&)>& fn) {
+  for (const StmtPtr& s : body) {
+    fn(s);
+    VisitStmts(s->then_body, fn);
+    VisitStmts(s->else_body, fn);
+  }
+}
+
+int CountAtomicStmts(const StmtList& body) {
+  int count = 0;
+  VisitStmts(body, [&](const StmtPtr& s) {
+    if (s->kind != StmtKind::kIf && s->kind != StmtKind::kWhile) ++count;
+  });
+  return count;
+}
+
+}  // namespace semcor

@@ -1,0 +1,88 @@
+#ifndef SEMCOR_SEM_PROG_STMT_H_
+#define SEMCOR_SEM_PROG_STMT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sem/expr/expr.h"
+
+namespace semcor {
+
+/// Statement kinds of the paper's transaction-program model (§3.1):
+/// assignment statements (read / write / local), conditionals and loops over
+/// local variables, plus the relational statements of §4 (SELECT / UPDATE /
+/// INSERT / DELETE with tuple predicates) and an explicit Abort.
+enum class StmtKind {
+  kRead,         ///< local := db item (atomic database read)
+  kWrite,        ///< db item := expr over locals (atomic database write)
+  kLocalAssign,  ///< local := expr over locals
+  kIf,           ///< branch on a local-variable condition
+  kWhile,        ///< loop on a local-variable condition
+  kSelectAgg,    ///< local := relational expression (COUNT/SUM/MAX/EXISTS...)
+  kSelectRows,   ///< buffer := tuples of `table` satisfying `pred`
+  kUpdate,       ///< UPDATE table SET attr=expr,... WHERE pred
+  kInsert,       ///< INSERT INTO table VALUES (attr: expr, ...)
+  kDelete,       ///< DELETE FROM table WHERE pred
+  kAbort,        ///< roll the transaction back unconditionally
+};
+
+const char* StmtKindName(StmtKind kind);
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+/// One annotated statement. `pre` is the assertion attached to the control
+/// point just before the statement (the P_{i,j} of the paper); analysis
+/// treats it as the statement's precondition and the next control point's
+/// assertion as its postcondition.
+struct Stmt {
+  StmtKind kind = StmtKind::kLocalAssign;
+  Expr pre;  ///< annotation; never null in analyzable programs (use True())
+
+  // kRead / kWrite / kLocalAssign / kSelectAgg target & operands.
+  std::string local;  ///< target local (kRead/kLocalAssign/kSelectAgg) or
+                      ///< buffer name (kSelectRows)
+  std::string item;   ///< db item name (kRead/kWrite)
+  Expr expr;          ///< rhs (kWrite/kLocalAssign/kSelectAgg) or guard
+                      ///< (kIf/kWhile)
+
+  // Relational operands.
+  std::string table;
+  Expr pred;                          ///< tuple predicate (WHERE clause)
+  std::map<std::string, Expr> sets;   ///< kUpdate: attr := expr (expr may use
+                                      ///< locals and Attr() of the old tuple)
+  std::map<std::string, Expr> values; ///< kInsert: attr := expr over locals
+
+  // Structured control flow.
+  StmtList then_body;  ///< kIf then-branch; kWhile body
+  StmtList else_body;  ///< kIf else-branch
+
+  std::string label;  ///< optional, for diagnostics
+
+  /// One-line rendering for diagnostics ("write maximum_date := ...").
+  std::string ToString() const;
+};
+
+/// True for statements that modify the database (kWrite/kUpdate/kInsert/
+/// kDelete). kAbort is not itself a write, but induces undo writes that the
+/// READ UNCOMMITTED analysis accounts for separately.
+bool IsDbWrite(const Stmt& stmt);
+
+/// True for statements that read the database (kRead/kSelectAgg/kSelectRows).
+bool IsDbRead(const Stmt& stmt);
+
+/// Flattens a statement tree, visiting every statement (pre-order, bodies
+/// after headers).
+void VisitStmts(const StmtList& body,
+                const std::function<void(const StmtPtr&)>& fn);
+
+/// Counts atomic operations (non-control-flow statements) in a body; the
+/// paper's "N" when quoting the (KN)^2 analysis bound.
+int CountAtomicStmts(const StmtList& body);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_PROG_STMT_H_

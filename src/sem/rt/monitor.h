@@ -1,0 +1,56 @@
+#ifndef SEMCOR_SEM_RT_MONITOR_H_
+#define SEMCOR_SEM_RT_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "txn/driver.h"
+
+namespace semcor {
+
+/// A detected invalidation: while transaction `victim` was at a control
+/// point whose assertion was true, a step of transaction `writer` made it
+/// false — the dynamic counterpart of the paper's static interference
+/// (§2: "interference does not necessarily lead to invalidation").
+struct InvalidationEvent {
+  int victim = 0;
+  int writer = 0;
+  std::string assertion;
+  std::string writer_stmt;
+};
+
+/// Observes a StepDriver and evaluates every live transaction's active
+/// assertion against the actual (dirty) database state after each step.
+/// Assertions that evaluate with an error (e.g. mention another run's
+/// yet-unbound local) are skipped.
+class InvalidationMonitor {
+ public:
+  /// Installs itself as the driver's observer. The driver and store must
+  /// outlive the monitor.
+  InvalidationMonitor(Store* store, StepDriver* driver);
+
+  const std::vector<InvalidationEvent>& events() const { return events_; }
+  long evaluations() const { return evaluations_; }
+  /// Steps that executed while their own annotation (the statement's
+  /// precondition) was false — genuine proof-assumption violations, as
+  /// opposed to transient invalidations of blocked transactions.
+  long violated_preconditions() const { return violated_preconditions_; }
+
+ private:
+  void BeforeStep(int stepping);
+  void OnStep(const StepEvent& event);
+  /// Evaluates run i's active assertion; returns nullopt on eval error or
+  /// for finished transactions.
+  std::optional<bool> EvalActive(int i);
+
+  Store* store_;
+  StepDriver* driver_;
+  std::vector<InvalidationEvent> events_;
+  std::vector<std::optional<bool>> last_truth_;
+  long evaluations_ = 0;
+  long violated_preconditions_ = 0;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_RT_MONITOR_H_

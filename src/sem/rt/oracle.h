@@ -1,0 +1,42 @@
+#ifndef SEMCOR_SEM_RT_ORACLE_H_
+#define SEMCOR_SEM_RT_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "sem/expr/eval.h"
+#include "txn/txn.h"
+
+namespace semcor {
+
+/// Outcome of the runtime semantic-correctness check.
+struct OracleReport {
+  bool invariant_holds = true;
+  bool matches_serial_replay = true;
+  std::vector<std::string> problems;
+
+  bool ok() const { return invariant_holds && matches_serial_replay; }
+  std::string ToString() const;
+};
+
+/// Operationalizes definition (2) of the paper: a schedule is semantically
+/// correct iff the final state (a) satisfies the consistency constraint I
+/// and (b) reflects the cumulative result of the committed transactions in
+/// commit order — checked by replaying them serially (in commit-timestamp
+/// order) from the initial state and comparing final database states.
+///
+/// `initial` must be a committed-state capture (Store::SnapshotToMap) taken
+/// before the run; `final_store` is inspected at its committed-latest state.
+OracleReport CheckSemanticCorrectness(const MapEvalContext& initial,
+                                      const Store& final_store,
+                                      const CommitLog& log,
+                                      const Expr& invariant);
+
+/// Serial replay only: returns the final state of executing the committed
+/// programs in commit order from `initial`.
+Result<MapEvalContext> SerialReplay(const MapEvalContext& initial,
+                                    const CommitLog& log);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_RT_ORACLE_H_

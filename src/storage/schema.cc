@@ -1,0 +1,42 @@
+#include "storage/schema.h"
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+Status Schema::Validate(const Tuple& tuple) const {
+  if (tuple.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrCat("tuple has ", tuple.size(), " attributes, schema has ",
+               columns_.size()));
+  }
+  for (const Column& col : columns_) {
+    auto it = tuple.find(col.name);
+    if (it == tuple.end()) {
+      return Status::InvalidArgument(StrCat("missing attribute ", col.name));
+    }
+    if (it->second.type() != col.type) {
+      return Status::InvalidArgument(
+          StrCat("attribute ", col.name, " has type ",
+                 TypeName(it->second.type()), ", expected ",
+                 TypeName(col.type)));
+    }
+  }
+  return Status::Ok();
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  for (const Column& col : columns_) {
+    if (col.name == name) return true;
+  }
+  return false;
+}
+
+Value::Type Schema::TypeOf(const std::string& name) const {
+  for (const Column& col : columns_) {
+    if (col.name == name) return col.type;
+  }
+  return Value::Type::kNull;
+}
+
+}  // namespace semcor

@@ -1,0 +1,43 @@
+#ifndef SEMCOR_STORAGE_SCHEMA_H_
+#define SEMCOR_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace semcor {
+
+/// Column definition of a relational table.
+struct Column {
+  std::string name;
+  Value::Type type = Value::Type::kInt;
+};
+
+/// Table schema: ordered columns with types. Tuples are validated against
+/// the schema on insert/update.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Ok iff `tuple` has exactly the schema's attributes with correct types.
+  Status Validate(const Tuple& tuple) const;
+
+  /// Whether a column with this name exists.
+  bool HasColumn(const std::string& name) const;
+
+  /// Declared type of a column; kNull if absent.
+  Value::Type TypeOf(const std::string& name) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_STORAGE_SCHEMA_H_

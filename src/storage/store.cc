@@ -1,0 +1,404 @@
+#include "storage/store.h"
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+Status Store::CreateItem(const std::string& name, Value initial) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.count(name)) {
+    return Status::AlreadyExists(StrCat("item ", name));
+  }
+  ItemEntry entry;
+  entry.versions.push_back({0, std::move(initial)});
+  items_.emplace(name, std::move(entry));
+  return Status::Ok();
+}
+
+Status Store::CreateTable(const std::string& name, Schema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name)) {
+    return Status::AlreadyExists(StrCat("table ", name));
+  }
+  tables_.emplace(name, TableData(std::move(schema)));
+  return Status::Ok();
+}
+
+Result<RowId> Store::LoadRow(const std::string& table, Tuple tuple) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(StrCat("table ", table));
+  Status valid = it->second.schema().Validate(tuple);
+  if (!valid.ok()) return valid;
+  const RowId row = it->second.NextRowId();
+  RowEntry entry;
+  entry.versions.push_back({0, std::move(tuple)});
+  it->second.mutable_rows().emplace(row, std::move(entry));
+  return row;
+}
+
+Result<Value> Store::ReadItemInternal(const std::string& name,
+                                      Timestamp ts) const {
+  auto it = items_.find(name);
+  if (it == items_.end()) return Status::NotFound(StrCat("item ", name));
+  const ItemEntry& entry = it->second;
+  if (ts == kLatest && entry.uncommitted_owner) return entry.uncommitted;
+  if (ts == kLatest || ts == kCommitted) {
+    return entry.versions.back().value;
+  }
+  const Value* visible = nullptr;
+  for (const ItemVersion& v : entry.versions) {
+    if (v.commit_ts > ts) break;
+    visible = &v.value;
+  }
+  if (visible == nullptr) {
+    return Status::NotFound(StrCat("item ", name, " invisible at ts ", ts));
+  }
+  return *visible;
+}
+
+Result<Value> Store::ReadItemLatest(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadItemInternal(name, kLatest);
+}
+
+Result<Value> Store::ReadItemCommitted(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadItemInternal(name, kCommitted);
+}
+
+Result<Value> Store::ReadItemAtSnapshot(const std::string& name,
+                                        Timestamp ts) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadItemInternal(name, ts);
+}
+
+Result<Value> Store::ReadItemForTxn(const std::string& name, TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = items_.find(name);
+  if (it == items_.end()) return Status::NotFound(StrCat("item ", name));
+  if (it->second.uncommitted_owner == txn) return it->second.uncommitted;
+  return it->second.versions.back().value;
+}
+
+Status Store::WriteItemUncommitted(TxnId txn, const std::string& name,
+                                   Value v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = items_.find(name);
+  if (it == items_.end()) return Status::NotFound(StrCat("item ", name));
+  ItemEntry& entry = it->second;
+  if (entry.uncommitted_owner && *entry.uncommitted_owner != txn) {
+    return Status::Conflict(
+        StrCat("item ", name, " has uncommitted image of txn ",
+               *entry.uncommitted_owner));
+  }
+  entry.uncommitted_owner = txn;
+  entry.uncommitted = std::move(v);
+  touches_[txn].items.insert(name);
+  return Status::Ok();
+}
+
+Result<Timestamp> Store::ItemLastCommitTs(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = items_.find(name);
+  if (it == items_.end()) return Status::NotFound(StrCat("item ", name));
+  return it->second.versions.back().commit_ts;
+}
+
+Result<RowId> Store::InsertRowUncommitted(TxnId txn, const std::string& table,
+                                          Tuple tuple) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(StrCat("table ", table));
+  Status valid = it->second.schema().Validate(tuple);
+  if (!valid.ok()) return valid;
+  const RowId row = it->second.NextRowId();
+  RowEntry entry;
+  entry.uncommitted_owner = txn;
+  entry.uncommitted = std::move(tuple);
+  it->second.mutable_rows().emplace(row, std::move(entry));
+  touches_[txn].rows.insert({table, row});
+  return row;
+}
+
+Status Store::WriteRowUncommitted(TxnId txn, const std::string& table,
+                                  RowId row, std::optional<Tuple> image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(StrCat("table ", table));
+  auto rit = it->second.mutable_rows().find(row);
+  if (rit == it->second.mutable_rows().end()) {
+    return Status::NotFound(StrCat("row ", row, " of ", table));
+  }
+  if (image) {
+    Status valid = it->second.schema().Validate(*image);
+    if (!valid.ok()) return valid;
+  }
+  RowEntry& entry = rit->second;
+  if (entry.uncommitted_owner && *entry.uncommitted_owner != txn) {
+    return Status::Conflict(StrCat("row ", row, " of ", table,
+                                   " has uncommitted image of txn ",
+                                   *entry.uncommitted_owner));
+  }
+  entry.uncommitted_owner = txn;
+  entry.uncommitted = std::move(image);
+  touches_[txn].rows.insert({table, row});
+  return Status::Ok();
+}
+
+Result<std::optional<Tuple>> Store::ReadRowLatest(const std::string& table,
+                                                  RowId row) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(StrCat("table ", table));
+  auto rit = it->second.rows().find(row);
+  if (rit == it->second.rows().end()) {
+    return Status::NotFound(StrCat("row ", row, " of ", table));
+  }
+  const std::optional<Tuple>* image = rit->second.Latest();
+  if (image == nullptr) return std::optional<Tuple>{};
+  return *image;
+}
+
+Result<Timestamp> Store::RowLastCommitTs(const std::string& table,
+                                         RowId row) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(StrCat("table ", table));
+  auto rit = it->second.rows().find(row);
+  if (rit == it->second.rows().end()) {
+    return Status::NotFound(StrCat("row ", row, " of ", table));
+  }
+  return rit->second.LastCommitTs();
+}
+
+Status Store::Scan(const std::string& table, Timestamp ts,
+                   const std::function<void(RowId, const Tuple&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(StrCat("table ", table));
+  for (const auto& [row, entry] : it->second.rows()) {
+    const std::optional<Tuple>* image = nullptr;
+    if (ts == kLatest) {
+      image = entry.Latest();
+    } else if (ts == kCommitted) {
+      image = entry.LatestCommitted();
+    } else {
+      image = entry.AtSnapshot(ts);
+    }
+    if (image != nullptr && image->has_value()) fn(row, **image);
+  }
+  return Status::Ok();
+}
+
+Status Store::ScanWithPending(
+    const std::string& table,
+    const std::function<void(RowId, const Tuple&, std::optional<TxnId>)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(StrCat("table ", table));
+  for (const auto& [row, entry] : it->second.rows()) {
+    const std::optional<Tuple>* image = entry.Latest();
+    if (image != nullptr && image->has_value()) {
+      fn(row, **image, entry.uncommitted_owner);
+    } else if (entry.uncommitted_owner) {
+      // Pending delete (or yet-invisible insert): report with the committed
+      // image if one exists so readers know to wait.
+      const std::optional<Tuple>* committed = entry.LatestCommitted();
+      if (committed != nullptr && committed->has_value()) {
+        fn(row, **committed, entry.uncommitted_owner);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Store::ScanForTxn(
+    const std::string& table, TxnId txn,
+    const std::function<void(RowId, const Tuple&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(StrCat("table ", table));
+  for (const auto& [row, entry] : it->second.rows()) {
+    const std::optional<Tuple>* image = entry.uncommitted_owner == txn
+                                            ? &entry.uncommitted
+                                            : entry.LatestCommitted();
+    if (image != nullptr && image->has_value()) fn(row, **image);
+  }
+  return Status::Ok();
+}
+
+const Schema* Store::GetSchema(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : &it->second.schema();
+}
+
+Timestamp Store::CommitTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Timestamp ts = ++clock_;
+  auto touched = touches_.find(txn);
+  if (touched == touches_.end()) return ts;
+  for (const std::string& name : touched->second.items) {
+    ItemEntry& entry = items_.at(name);
+    if (entry.uncommitted_owner == txn) {
+      entry.versions.push_back({ts, std::move(entry.uncommitted)});
+      entry.uncommitted_owner.reset();
+    }
+  }
+  for (const auto& [table, row] : touched->second.rows) {
+    RowEntry& entry = tables_.at(table).mutable_rows().at(row);
+    if (entry.uncommitted_owner == txn) {
+      entry.versions.push_back({ts, std::move(entry.uncommitted)});
+      entry.uncommitted_owner.reset();
+      entry.uncommitted.reset();
+    }
+  }
+  touches_.erase(touched);
+  return ts;
+}
+
+void Store::AbortTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto touched = touches_.find(txn);
+  if (touched == touches_.end()) return;
+  for (const std::string& name : touched->second.items) {
+    ItemEntry& entry = items_.at(name);
+    if (entry.uncommitted_owner == txn) {
+      entry.uncommitted_owner.reset();
+      entry.uncommitted = Value();
+    }
+  }
+  for (const auto& [table, row] : touched->second.rows) {
+    RowEntry& entry = tables_.at(table).mutable_rows().at(row);
+    if (entry.uncommitted_owner == txn) {
+      entry.uncommitted_owner.reset();
+      entry.uncommitted.reset();
+      // Rows created by this transaction have no committed versions and
+      // simply become invisible; they are garbage-collected here.
+      if (entry.versions.empty()) {
+        tables_.at(table).mutable_rows().erase(row);
+      }
+    }
+  }
+  touches_.erase(touched);
+}
+
+Result<Timestamp> Store::SnapshotCommit(TxnId txn, const SnapshotWriteSet& ws,
+                                        Timestamp start_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // First-committer-wins validation: nothing we wrote may have a committed
+  // version newer than our snapshot, nor a pending uncommitted image.
+  for (const auto& [name, value] : ws.items) {
+    auto it = items_.find(name);
+    if (it == items_.end()) return Status::NotFound(StrCat("item ", name));
+    if (it->second.versions.back().commit_ts > start_ts) {
+      return Status::Conflict(StrCat("first-committer-wins on item ", name));
+    }
+    if (it->second.uncommitted_owner &&
+        *it->second.uncommitted_owner != txn) {
+      return Status::Conflict(StrCat("pending writer on item ", name));
+    }
+  }
+  for (const auto& op : ws.row_ops) {
+    if (op.row == 0) continue;  // fresh insert: no conflict possible
+    auto it = tables_.find(op.table);
+    if (it == tables_.end()) return Status::NotFound(StrCat("table ", op.table));
+    auto rit = it->second.rows().find(op.row);
+    if (rit == it->second.rows().end()) {
+      return Status::NotFound(StrCat("row ", op.row, " of ", op.table));
+    }
+    if (rit->second.LastCommitTs() > start_ts) {
+      return Status::Conflict(
+          StrCat("first-committer-wins on row ", op.row, " of ", op.table));
+    }
+    if (rit->second.uncommitted_owner &&
+        *rit->second.uncommitted_owner != txn) {
+      return Status::Conflict(
+          StrCat("pending writer on row ", op.row, " of ", op.table));
+    }
+  }
+  // Apply atomically with a single commit timestamp.
+  const Timestamp ts = ++clock_;
+  for (const auto& [name, value] : ws.items) {
+    items_.at(name).versions.push_back({ts, value});
+  }
+  for (const auto& op : ws.row_ops) {
+    TableData& table = tables_.at(op.table);
+    if (op.row == 0) {
+      if (op.image) {
+        Status valid = table.schema().Validate(*op.image);
+        if (!valid.ok()) return valid;
+        RowEntry entry;
+        entry.versions.push_back({ts, *op.image});
+        table.mutable_rows().emplace(table.NextRowId(), std::move(entry));
+      }
+      continue;
+    }
+    table.mutable_rows().at(op.row).versions.push_back({ts, op.image});
+  }
+  return ts;
+}
+
+size_t Store::PruneVersionsBefore(Timestamp horizon) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  auto prune = [&](auto& versions) {
+    // Keep the newest version with commit_ts <= horizon plus all newer ones.
+    size_t keep_from = 0;
+    for (size_t i = 0; i < versions.size(); ++i) {
+      if (versions[i].commit_ts <= horizon) keep_from = i;
+    }
+    dropped += keep_from;
+    versions.erase(versions.begin(), versions.begin() + keep_from);
+  };
+  for (auto& [name, entry] : items_) prune(entry.versions);
+  for (auto& [name, table] : tables_) {
+    auto& rows = table.mutable_rows();
+    for (auto it = rows.begin(); it != rows.end();) {
+      prune(it->second.versions);
+      // A lone pre-horizon tombstone (and no pending writer) is dead weight.
+      if (it->second.versions.size() == 1 &&
+          !it->second.versions[0].tuple.has_value() &&
+          it->second.versions[0].commit_ts <= horizon &&
+          !it->second.uncommitted_owner) {
+        ++dropped;
+        it = rows.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+MapEvalContext Store::SnapshotToMap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MapEvalContext ctx;
+  for (const auto& [name, entry] : items_) {
+    ctx.SetDb(name, entry.versions.back().value);
+  }
+  for (const auto& [name, table] : tables_) {
+    ctx.MutableTable(name);
+    for (const auto& [row, entry] : table.rows()) {
+      const std::optional<Tuple>* image = entry.LatestCommitted();
+      if (image != nullptr && image->has_value()) ctx.AddTuple(name, **image);
+    }
+  }
+  return ctx;
+}
+
+std::vector<Tuple> Store::CommittedTuples(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Tuple> out;
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return out;
+  for (const auto& [row, entry] : it->second.rows()) {
+    const std::optional<Tuple>* image = entry.LatestCommitted();
+    if (image != nullptr && image->has_value()) out.push_back(**image);
+  }
+  return out;
+}
+
+}  // namespace semcor

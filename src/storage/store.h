@@ -1,0 +1,152 @@
+#ifndef SEMCOR_STORAGE_STORE_H_
+#define SEMCOR_STORAGE_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sem/expr/eval.h"
+#include "storage/table.h"
+
+namespace semcor {
+
+/// A buffered write set for SNAPSHOT transactions (writes are deferred to
+/// commit; first-committer-wins validation happens atomically then).
+struct SnapshotWriteSet {
+  std::map<std::string, Value> items;
+  /// Row operations resolved against the snapshot: row id 0 = fresh insert.
+  struct RowOp {
+    std::string table;
+    RowId row = 0;                 ///< 0 for inserts
+    std::optional<Tuple> image;    ///< nullopt = delete
+  };
+  std::vector<RowOp> row_ops;
+
+  bool empty() const { return items.empty() && row_ops.empty(); }
+};
+
+/// In-memory versioned store for named items and relational tables. All
+/// methods are thread-safe (one coarse mutex — the testbed measures
+/// *relative* isolation-level behaviour, not raw storage throughput).
+///
+/// Uncommitted images are visible to readers that ask for "latest"
+/// visibility (READ UNCOMMITTED); lock disciplines above RU prevent such
+/// reads by construction.
+class Store {
+ public:
+  Store() = default;
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  // ---- setup ----
+  Status CreateItem(const std::string& name, Value initial);
+  Status CreateTable(const std::string& name, Schema schema);
+  /// Inserts a committed row during setup (commit_ts 0).
+  Result<RowId> LoadRow(const std::string& table, Tuple tuple);
+
+  // ---- item access ----
+  Result<Value> ReadItemLatest(const std::string& name) const;
+  Result<Value> ReadItemCommitted(const std::string& name) const;
+  Result<Value> ReadItemAtSnapshot(const std::string& name,
+                                   Timestamp ts) const;
+  /// Committed-latest, except the txn's own uncommitted image if present
+  /// (the state as a lock-based reader above RU can observe it).
+  Result<Value> ReadItemForTxn(const std::string& name, TxnId txn) const;
+  /// Installs/overwrites the txn's uncommitted image. Fails with kConflict
+  /// if another transaction has an uncommitted image (the lock manager
+  /// should make that impossible for locking levels).
+  Status WriteItemUncommitted(TxnId txn, const std::string& name, Value v);
+  Result<Timestamp> ItemLastCommitTs(const std::string& name) const;
+
+  // ---- row access ----
+  Result<RowId> InsertRowUncommitted(TxnId txn, const std::string& table,
+                                     Tuple tuple);
+  Status WriteRowUncommitted(TxnId txn, const std::string& table, RowId row,
+                             std::optional<Tuple> image);
+  Result<std::optional<Tuple>> ReadRowLatest(const std::string& table,
+                                             RowId row) const;
+  Result<Timestamp> RowLastCommitTs(const std::string& table, RowId row) const;
+
+  /// Scans visible rows. Visibility: ts == kLatest reads dirty-latest,
+  /// ts == kCommitted reads last committed, otherwise snapshot at ts.
+  static constexpr Timestamp kLatest = ~Timestamp{0};
+  static constexpr Timestamp kCommitted = ~Timestamp{0} - 1;
+  Status Scan(const std::string& table, Timestamp ts,
+              const std::function<void(RowId, const Tuple&)>& fn) const;
+  /// Committed-latest visibility with the txn's own uncommitted row images
+  /// overlaid.
+  Status ScanForTxn(const std::string& table, TxnId txn,
+                    const std::function<void(RowId, const Tuple&)>& fn) const;
+
+  /// Scans latest images together with the pending writer (if any): lets
+  /// lock-based readers skip lock acquisition on clean rows entirely.
+  Status ScanWithPending(
+      const std::string& table,
+      const std::function<void(RowId, const Tuple&, std::optional<TxnId>)>&
+          fn) const;
+
+  const Schema* GetSchema(const std::string& table) const;
+
+  // ---- transaction lifecycle ----
+  /// Promotes all of the txn's uncommitted images; returns the commit ts.
+  Timestamp CommitTxn(TxnId txn);
+  /// Discards all of the txn's uncommitted images.
+  void AbortTxn(TxnId txn);
+
+  /// Atomically validates (first-committer-wins: nothing in the write set
+  /// was committed after start_ts) and applies a SNAPSHOT write set,
+  /// returning the commit ts, or kConflict.
+  Result<Timestamp> SnapshotCommit(TxnId txn, const SnapshotWriteSet& ws,
+                                   Timestamp start_ts);
+
+  /// Current timestamp (last assigned commit ts); snapshot start time.
+  Timestamp CurrentTs() const { return clock_.load(); }
+
+  /// Garbage-collects version history: for every item and row, drops all
+  /// committed versions except the newest one visible at `horizon` and
+  /// everything newer (snapshots started at or after `horizon` still read
+  /// correctly; older snapshots must no longer be in use). Tombstoned rows
+  /// whose only surviving version is a delete older than the horizon are
+  /// removed entirely. Returns the number of versions discarded.
+  size_t PruneVersionsBefore(Timestamp horizon);
+
+  // ---- analysis / oracle bridge ----
+  /// Captures the committed-latest state as a map context (items + tables).
+  MapEvalContext SnapshotToMap() const;
+  /// Multiset of committed-latest tuples of a table (order-insensitive).
+  std::vector<Tuple> CommittedTuples(const std::string& table) const;
+
+ private:
+  struct ItemVersion {
+    Timestamp commit_ts = 0;
+    Value value;
+  };
+
+  struct ItemEntry {
+    std::vector<ItemVersion> versions;  ///< ascending commit_ts
+    std::optional<TxnId> uncommitted_owner;
+    Value uncommitted;
+  };
+
+  struct TxnTouches {
+    std::set<std::string> items;
+    std::set<std::pair<std::string, RowId>> rows;
+  };
+
+  Result<Value> ReadItemInternal(const std::string& name, Timestamp ts) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, ItemEntry> items_;
+  std::map<std::string, TableData> tables_;
+  std::map<TxnId, TxnTouches> touches_;
+  std::atomic<Timestamp> clock_{0};
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_STORAGE_STORE_H_

@@ -1,0 +1,28 @@
+#include "storage/table.h"
+
+namespace semcor {
+
+const std::optional<Tuple>* RowEntry::Latest() const {
+  if (uncommitted_owner) return &uncommitted;
+  return LatestCommitted();
+}
+
+const std::optional<Tuple>* RowEntry::LatestCommitted() const {
+  if (versions.empty()) return nullptr;
+  return &versions.back().tuple;
+}
+
+const std::optional<Tuple>* RowEntry::AtSnapshot(Timestamp ts) const {
+  const std::optional<Tuple>* visible = nullptr;
+  for (const RowVersion& v : versions) {
+    if (v.commit_ts > ts) break;
+    visible = &v.tuple;
+  }
+  return visible;
+}
+
+Timestamp RowEntry::LastCommitTs() const {
+  return versions.empty() ? 0 : versions.back().commit_ts;
+}
+
+}  // namespace semcor

@@ -1,0 +1,59 @@
+#include "txn/driver.h"
+
+namespace semcor {
+
+int StepDriver::Add(std::shared_ptr<const TxnProgram> program,
+                    IsoLevel level) {
+  runs_.push_back(
+      std::make_unique<ProgramRun>(mgr_, std::move(program), level, log_));
+  return static_cast<int>(runs_.size()) - 1;
+}
+
+StepOutcome StepDriver::Step(int i) {
+  ProgramRun& run = *runs_[i];
+  if (run.Done()) return run.outcome();
+  if (pre_step_) pre_step_(i);
+  const Stmt* stmt = run.CurrentStmt();
+  StepOutcome outcome = run.Step(/*wait=*/false);
+  if (observer_) observer_({i, stmt, outcome});
+  return outcome;
+}
+
+std::vector<StepOutcome> StepDriver::RunSchedule(
+    const std::vector<int>& schedule) {
+  std::vector<StepOutcome> outcomes;
+  outcomes.reserve(schedule.size());
+  for (int i : schedule) outcomes.push_back(Step(i));
+  return outcomes;
+}
+
+void StepDriver::RunRoundRobin() {
+  while (!AllDone()) {
+    bool progressed = false;
+    int last_blocked = -1;
+    for (int i = 0; i < size(); ++i) {
+      if (runs_[i]->Done()) continue;
+      StepOutcome outcome = Step(i);
+      if (outcome == StepOutcome::kBlocked) {
+        last_blocked = i;
+      } else {
+        progressed = true;
+      }
+    }
+    if (!progressed && last_blocked >= 0) {
+      // All active transactions are blocked on each other: resolve the
+      // deadlock by aborting the youngest (highest index) blocked one.
+      runs_[last_blocked]->ForceAbort(
+          Status::Deadlock("step-driver deadlock victim"));
+    }
+  }
+}
+
+bool StepDriver::AllDone() const {
+  for (const auto& run : runs_) {
+    if (!run->Done()) return false;
+  }
+  return true;
+}
+
+}  // namespace semcor

@@ -1,0 +1,70 @@
+#ifndef SEMCOR_TXN_DRIVER_H_
+#define SEMCOR_TXN_DRIVER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "txn/interpreter.h"
+
+namespace semcor {
+
+/// Event delivered to observers after each (attempted) step.
+struct StepEvent {
+  int run_index = 0;
+  const Stmt* stmt = nullptr;  ///< the statement the step targeted (may be
+                               ///< nullptr for commit steps)
+  StepOutcome outcome = StepOutcome::kRunning;
+};
+
+/// Deterministic interleaving driver: transactions advance one atomic
+/// statement at a time in exactly the order the caller dictates. Lock
+/// conflicts don't block — the step reports kBlocked and the statement is
+/// retried the next time that transaction is scheduled. This is how the
+/// tests and the runtime monitor reproduce the paper's interleavings
+/// (e.g. write skew: r1 r1 r2 r2 w1 w2).
+class StepDriver {
+ public:
+  explicit StepDriver(TxnManager* mgr, CommitLog* log = nullptr)
+      : mgr_(mgr), log_(log) {}
+
+  /// Registers a transaction; returns its index.
+  int Add(std::shared_ptr<const TxnProgram> program, IsoLevel level);
+
+  /// Advances transaction `i` one step (try-lock mode).
+  StepOutcome Step(int i);
+
+  /// Runs a scripted interleaving: each entry is a transaction index. A
+  /// blocked step leaves that transaction in place (the caller sees it in
+  /// the returned outcomes). Steps on finished transactions are no-ops.
+  std::vector<StepOutcome> RunSchedule(const std::vector<int>& schedule);
+
+  /// Round-robin until every transaction commits or aborts. When every
+  /// still-active transaction is blocked (deadlock among try-locks), the
+  /// youngest blocked transaction is aborted to make progress.
+  void RunRoundRobin();
+
+  bool AllDone() const;
+  ProgramRun& run(int i) { return *runs_[i]; }
+  int size() const { return static_cast<int>(runs_.size()); }
+
+  using Observer = std::function<void(const StepEvent&)>;
+  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+  /// Invoked immediately before each step executes, with the index of the
+  /// transaction about to step (the runtime monitor snapshots assertion
+  /// truth here).
+  void SetPreStepHook(std::function<void(int)> hook) {
+    pre_step_ = std::move(hook);
+  }
+
+ private:
+  TxnManager* mgr_;
+  CommitLog* log_;
+  std::vector<std::unique_ptr<ProgramRun>> runs_;
+  Observer observer_;
+  std::function<void(int)> pre_step_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_TXN_DRIVER_H_

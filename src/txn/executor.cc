@@ -1,0 +1,79 @@
+#include "txn/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace semcor {
+
+double ExecStats::LatencyPercentileUs(double p) const {
+  if (latency_us.empty()) return 0;
+  std::vector<double> sorted = latency_us;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = (p / 100.0) * (sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - lo;
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+void ExecStats::Merge(const ExecStats& other) {
+  committed += other.committed;
+  aborted += other.aborted;
+  deadlocks += other.deadlocks;
+  fcw_conflicts += other.fcw_conflicts;
+  gave_up += other.gave_up;
+  latency_us.insert(latency_us.end(), other.latency_us.begin(),
+                    other.latency_us.end());
+}
+
+ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
+                                  int max_retries, CommitLog* log,
+                                  double* wall_seconds, uint64_t seed) {
+  std::vector<ExecStats> per_thread(threads_);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads_);
+  for (int t = 0; t < threads_; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(seed + static_cast<uint64_t>(t) * 1000003);
+      ExecStats& stats = per_thread[t];
+      for (int i = 0; i < items_per_thread; ++i) {
+        WorkItem item = gen(rng);
+        bool committed = false;
+        for (int attempt = 0; attempt <= max_retries && !committed;
+             ++attempt) {
+          const auto t0 = std::chrono::steady_clock::now();
+          ProgramRun run(mgr_, item.program, item.level, log);
+          StepOutcome outcome = run.RunToCompletion();
+          if (outcome == StepOutcome::kCommitted) {
+            const auto t1 = std::chrono::steady_clock::now();
+            stats.latency_us.push_back(
+                std::chrono::duration<double, std::micro>(t1 - t0).count());
+            ++stats.committed;
+            committed = true;
+            break;
+          }
+          ++stats.aborted;
+          if (run.failure().code() == Code::kDeadlock) ++stats.deadlocks;
+          if (run.failure().code() == Code::kConflict) ++stats.fcw_conflicts;
+          // Randomized backoff keeps optimistic (FCW) retries from
+          // livelocking on hot items.
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              rng.Uniform(0, 50 * (attempt + 1))));
+        }
+        if (!committed) ++stats.gave_up;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const auto end = std::chrono::steady_clock::now();
+  if (wall_seconds != nullptr) {
+    *wall_seconds = std::chrono::duration<double>(end - start).count();
+  }
+  ExecStats merged;
+  for (const ExecStats& s : per_thread) merged.Merge(s);
+  return merged;
+}
+
+}  // namespace semcor

@@ -1,0 +1,57 @@
+#ifndef SEMCOR_TXN_EXECUTOR_H_
+#define SEMCOR_TXN_EXECUTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "txn/interpreter.h"
+
+namespace semcor {
+
+/// One unit of work for the concurrent executor.
+struct WorkItem {
+  std::shared_ptr<const TxnProgram> program;
+  IsoLevel level = IsoLevel::kSerializable;
+};
+
+/// Aggregated execution statistics.
+struct ExecStats {
+  long committed = 0;
+  long aborted = 0;        ///< attempts that ended aborted (any reason)
+  long deadlocks = 0;
+  long fcw_conflicts = 0;  ///< first-committer-wins aborts
+  long gave_up = 0;        ///< work items dropped after max retries
+  std::vector<double> latency_us;  ///< per committed txn, begin to commit
+
+  double Throughput(double wall_seconds) const {
+    return wall_seconds > 0 ? committed / wall_seconds : 0;
+  }
+  double LatencyPercentileUs(double p) const;  ///< p in [0,100]
+
+  void Merge(const ExecStats& other);
+};
+
+/// Multi-threaded closed-loop executor: each worker repeatedly draws a work
+/// item from the generator and runs it with blocking locks, retrying aborted
+/// attempts up to `max_retries`.
+class ConcurrentExecutor {
+ public:
+  ConcurrentExecutor(TxnManager* mgr, int threads)
+      : mgr_(mgr), threads_(threads) {}
+
+  using Generator = std::function<WorkItem(Rng&)>;
+
+  /// Runs `items_per_thread` work items on each worker; returns merged
+  /// stats and the wall-clock seconds via `wall_seconds`.
+  ExecStats Run(const Generator& gen, int items_per_thread, int max_retries,
+                CommitLog* log, double* wall_seconds, uint64_t seed = 42);
+
+ private:
+  TxnManager* mgr_;
+  int threads_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_TXN_EXECUTOR_H_

@@ -1,0 +1,91 @@
+#ifndef SEMCOR_TXN_INTERPRETER_H_
+#define SEMCOR_TXN_INTERPRETER_H_
+
+#include <memory>
+#include <vector>
+
+#include "txn/txn.h"
+
+namespace semcor {
+
+/// Outcome of advancing a transaction by one atomic statement.
+enum class StepOutcome {
+  kRunning,    ///< statement executed; more remain
+  kBlocked,    ///< a lock would block (try-lock mode); statement not executed
+  kCommitted,  ///< the commit step ran successfully
+  kAborted,    ///< the transaction rolled back (explicit, deadlock, FCW, ...)
+};
+
+const char* StepOutcomeName(StepOutcome outcome);
+
+/// Steppable execution of an annotated transaction program through the
+/// transaction manager. The unit of a step is one atomic statement of the
+/// paper's model (a read, a write, one SQL statement, or a guard
+/// evaluation), plus a final commit step.
+///
+/// Two driving modes:
+///  - Step(wait=false): try-locks; on conflict the statement is retried on
+///    the next call (deterministic StepDriver).
+///  - Step(wait=true) / RunToCompletion(): blocking locks (thread executor).
+class ProgramRun {
+ public:
+  ProgramRun(TxnManager* mgr, std::shared_ptr<const TxnProgram> program,
+             IsoLevel level, CommitLog* log = nullptr);
+
+  StepOutcome Step(bool wait);
+  /// Runs with blocking locks until commit or abort.
+  StepOutcome RunToCompletion();
+
+  /// Externally aborts the transaction (deadlock victim selection by a
+  /// driver). No-op if already finished.
+  void ForceAbort(Status reason);
+
+  bool Done() const {
+    return outcome_ == StepOutcome::kCommitted ||
+           outcome_ == StepOutcome::kAborted;
+  }
+  StepOutcome outcome() const { return outcome_; }
+  const Status& failure() const { return failure_; }
+  const Txn& txn() const { return *txn_; }
+  Txn* mutable_txn() { return txn_.get(); }
+  const TxnProgram& program() const { return *program_; }
+
+  /// The statement the next Step will execute (nullptr when only the commit
+  /// step remains).
+  const Stmt* CurrentStmt() const;
+
+  /// The assertion active at the current control point (the paper's P_{i,j}
+  /// for the next statement, or the postcondition once the body finished).
+  Expr ActiveAssertion() const;
+
+ private:
+  struct Frame {
+    const StmtList* list;
+    size_t index = 0;
+    const Stmt* loop = nullptr;  ///< set when this frame is a while body
+  };
+
+  /// Executes one atomic statement; Ok, or kConflict (blocked), or failure.
+  Status ExecStmt(const Stmt& stmt, bool wait);
+  /// Advances the control stack past the current statement.
+  void Advance();
+  /// Pops finished frames, re-testing loop guards. Returns non-OK on guard
+  /// evaluation errors.
+  Status SettleFrames();
+  Result<bool> EvalGuard(const Expr& guard);
+  /// Substitutes locals & logicals by literal values (closing predicates).
+  Expr CloseOverLocals(const Expr& e) const;
+
+  TxnManager* mgr_;
+  std::shared_ptr<const TxnProgram> program_;
+  CommitLog* log_;
+  std::unique_ptr<Txn> txn_;
+  std::vector<Frame> stack_;
+  StepOutcome outcome_ = StepOutcome::kRunning;
+  Status failure_;
+  bool body_done_ = false;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_TXN_INTERPRETER_H_

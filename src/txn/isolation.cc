@@ -1,0 +1,53 @@
+#include "txn/isolation.h"
+
+namespace semcor {
+
+const char* IsoLevelName(IsoLevel level) {
+  switch (level) {
+    case IsoLevel::kReadUncommitted:
+      return "READ-UNCOMMITTED";
+    case IsoLevel::kReadCommitted:
+      return "READ-COMMITTED";
+    case IsoLevel::kReadCommittedFcw:
+      return "READ-COMMITTED-FCW";
+    case IsoLevel::kRepeatableRead:
+      return "REPEATABLE-READ";
+    case IsoLevel::kSerializable:
+      return "SERIALIZABLE";
+    case IsoLevel::kSnapshot:
+      return "SNAPSHOT";
+  }
+  return "?";
+}
+
+LevelPolicy PolicyFor(IsoLevel level) {
+  LevelPolicy p;
+  switch (level) {
+    case IsoLevel::kReadUncommitted:
+      break;  // no read locks at all
+    case IsoLevel::kReadCommitted:
+      p.read_locks = true;
+      break;
+    case IsoLevel::kReadCommittedFcw:
+      p.read_locks = true;
+      p.fcw_validation = true;
+      break;
+    case IsoLevel::kRepeatableRead:
+      p.read_locks = true;
+      p.long_read_locks = true;
+      break;
+    case IsoLevel::kSerializable:
+      p.read_locks = true;
+      p.long_read_locks = true;
+      p.select_predicate_locks = true;
+      break;
+    case IsoLevel::kSnapshot:
+      p.snapshot_reads = true;
+      p.deferred_writes = true;
+      p.fcw_validation = true;
+      break;
+  }
+  return p;
+}
+
+}  // namespace semcor

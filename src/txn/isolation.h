@@ -1,0 +1,36 @@
+#ifndef SEMCOR_TXN_ISOLATION_H_
+#define SEMCOR_TXN_ISOLATION_H_
+
+namespace semcor {
+
+/// Isolation levels supported by both the static analysis (Theorems 1-6) and
+/// the runtime transaction manager. READ COMMITTED with first-committer-wins
+/// (§3.4) and SNAPSHOT (§3.6) extend the three lower ANSI levels.
+enum class IsoLevel {
+  kReadUncommitted,
+  kReadCommitted,
+  kReadCommittedFcw,
+  kRepeatableRead,
+  kSerializable,
+  kSnapshot,
+};
+
+const char* IsoLevelName(IsoLevel level);
+
+/// The locking/multiversion discipline of a level, following Berenson et
+/// al.'s locking implementations ([2] in the paper): write locks on items
+/// and predicates are long at every level; levels differ in read behaviour.
+struct LevelPolicy {
+  bool snapshot_reads = false;       ///< read from the start-time snapshot
+  bool deferred_writes = false;      ///< buffer writes until commit (MVCC)
+  bool fcw_validation = false;       ///< first-committer-wins write checks
+  bool read_locks = false;           ///< acquire S locks on reads
+  bool long_read_locks = false;      ///< hold S locks until commit
+  bool select_predicate_locks = false;  ///< S predicate locks on SELECTs
+};
+
+LevelPolicy PolicyFor(IsoLevel level);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_TXN_ISOLATION_H_

@@ -1,0 +1,424 @@
+#include "txn/txn.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "sem/expr/eval.h"
+
+namespace semcor {
+
+void CommitLog::Append(std::shared_ptr<const TxnProgram> program,
+                       Timestamp ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back({std::move(program), ts});
+}
+
+std::vector<CommitRecord> CommitLog::SortedByCommit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CommitRecord> out = records_;
+  std::sort(out.begin(), out.end(),
+            [](const CommitRecord& a, const CommitRecord& b) {
+              return a.commit_ts < b.commit_ts;
+            });
+  return out;
+}
+
+size_t CommitLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::unique_ptr<Txn> TxnManager::Begin(IsoLevel level) {
+  auto txn = std::make_unique<Txn>();
+  txn->id = next_id_++;
+  txn->level = level;
+  txn->policy = PolicyFor(level);
+  txn->start_ts = store_->CurrentTs();
+  if (txn->policy.snapshot_reads) {
+    txn->snapshot = std::make_unique<SnapshotView>(store_, txn->start_ts);
+  }
+  return txn;
+}
+
+Status TxnManager::ReadItem(Txn* txn, const std::string& name, Value* out,
+                            bool wait) {
+  if (txn->snapshot) {
+    Result<Value> v = txn->snapshot->ReadItem(name);
+    if (!v.ok()) return v.status();
+    *out = v.take();
+    return Status::Ok();
+  }
+  if (txn->policy.read_locks) {
+    Status s = locks_->AcquireItem(txn->id, name, LockMode::kShared, wait);
+    if (!s.ok()) return s;
+  }
+  Result<Value> v = store_->ReadItemLatest(name);
+  if (v.ok() && txn->policy.fcw_validation && !txn->fcw_read_ts.count(name)) {
+    // Capture the version timestamp while the S lock is still held: no
+    // writer can commit a newer version in between, so the recorded version
+    // is exactly the one whose value we read (otherwise a commit in the
+    // window between read and capture would escape first-committer-wins).
+    Result<Timestamp> ts = store_->ItemLastCommitTs(name);
+    if (ts.ok()) txn->fcw_read_ts[name] = ts.value();
+  }
+  if (txn->policy.read_locks && !txn->policy.long_read_locks &&
+      !txn->written_items.count(name)) {
+    // Short read lock: release as soon as the read completes. An item this
+    // txn wrote keeps its long X lock (the lock table holds one mode per
+    // txn, so releasing here would drop the write lock).
+    locks_->ReleaseItem(txn->id, name);
+  }
+  if (!v.ok()) return v.status();
+  *out = v.take();
+  return Status::Ok();
+}
+
+Status TxnManager::WriteItem(Txn* txn, const std::string& name, const Value& v,
+                             bool wait) {
+  if (txn->snapshot) {
+    txn->snapshot->WriteItem(name, v);
+    return Status::Ok();
+  }
+  Status s = locks_->AcquireItem(txn->id, name, LockMode::kExclusive, wait);
+  if (!s.ok()) return s;
+  if (txn->policy.fcw_validation) {
+    auto it = txn->fcw_read_ts.find(name);
+    if (it != txn->fcw_read_ts.end()) {
+      Result<Timestamp> ts = store_->ItemLastCommitTs(name);
+      if (!ts.ok()) return ts.status();
+      if (ts.value() != it->second) {
+        return Status::Conflict(
+            StrCat("first-committer-wins: ", name,
+                   " changed since it was read (", it->second, " -> ",
+                   ts.value(), ")"));
+      }
+    }
+  }
+  Status w = store_->WriteItemUncommitted(txn->id, name, v);
+  if (w.ok()) txn->written_items.insert(name);
+  return w;
+}
+
+Status TxnManager::LockingSelect(
+    Txn* txn, const std::string& table, const Expr& pred, bool wait,
+    const std::function<void(RowId, const Tuple&)>& fn) {
+  MapEvalContext empty;
+  // READ UNCOMMITTED scans take no locks and see dirty data.
+  if (!txn->policy.read_locks) {
+    Status inner = Status::Ok();
+    Status s = store_->Scan(table, Store::kLatest, [&](RowId row,
+                                                       const Tuple& t) {
+      if (!inner.ok()) return;
+      Result<bool> match = EvalTuplePred(pred, t, empty);
+      if (!match.ok()) {
+        inner = match.status();
+        return;
+      }
+      if (match.value()) fn(row, t);
+    });
+    if (!s.ok()) return s;
+    return inner;
+  }
+  // One unlocked pass collects matching rows and notes pending writers.
+  struct Candidate {
+    RowId row;
+    Tuple image;
+    bool pending;
+  };
+  std::vector<Candidate> candidates;
+  {
+    Status inner = Status::Ok();
+    Status s = store_->ScanWithPending(
+        table, [&](RowId row, const Tuple& t, std::optional<TxnId> owner) {
+          if (!inner.ok()) return;
+          const bool pending = owner && *owner != txn->id;
+          Result<bool> match = EvalTuplePred(pred, t, empty);
+          if (!match.ok()) {
+            inner = match.status();
+            return;
+          }
+          // Rows with a pending foreign writer are candidates even if the
+          // dirty image does not match: the committed outcome might.
+          if (match.value() || pending) {
+            candidates.push_back({row, t, pending});
+          }
+        });
+    if (!s.ok()) return s;
+    if (!inner.ok()) return inner;
+  }
+  for (const Candidate& c : candidates) {
+    // Clean rows under short-duration read locks need no lock at all: the
+    // acquire/release pair would observe exactly the image we already have.
+    if (!c.pending && !txn->policy.long_read_locks) {
+      fn(c.row, c.image);
+      continue;
+    }
+    Status lock =
+        locks_->AcquireRow(txn->id, table, c.row, LockMode::kShared, wait);
+    if (!lock.ok()) return lock;
+    const bool pinned = txn->written_rows.count({table, c.row}) > 0;
+    Result<std::optional<Tuple>> image = store_->ReadRowLatest(table, c.row);
+    bool matched = false;
+    if (image.ok() && image.value().has_value()) {
+      Result<bool> match = EvalTuplePred(pred, *image.value(), empty);
+      if (!match.ok()) {
+        if (!pinned) locks_->ReleaseRow(txn->id, table, c.row);
+        return match.status();
+      }
+      matched = match.value();
+      if (matched) fn(c.row, *image.value());
+    }
+    // Long read locks stay on matched rows; everything else is released.
+    if (!pinned && !(matched && txn->policy.long_read_locks)) {
+      locks_->ReleaseRow(txn->id, table, c.row);
+    }
+  }
+  return Status::Ok();
+}
+
+Status TxnManager::LockMatchingRows(
+    Txn* txn, const std::string& table, const Expr& pred, bool wait,
+    std::vector<std::pair<RowId, Tuple>>* matches) {
+  matches->clear();
+  MapEvalContext empty;
+  std::vector<RowId> candidates;
+  {
+    Status inner = Status::Ok();
+    Status s = store_->Scan(table, Store::kLatest,
+                            [&](RowId row, const Tuple& t) {
+                              if (!inner.ok()) return;
+                              Result<bool> match = EvalTuplePred(pred, t, empty);
+                              if (!match.ok()) {
+                                inner = match.status();
+                                return;
+                              }
+                              if (match.value()) candidates.push_back(row);
+                            });
+    if (!s.ok()) return s;
+    if (!inner.ok()) return inner;
+  }
+  for (RowId row : candidates) {
+    Status lock =
+        locks_->AcquireRow(txn->id, table, row, LockMode::kExclusive, wait);
+    if (!lock.ok()) return lock;  // nothing mutated yet: retry is safe
+    Result<std::optional<Tuple>> image = store_->ReadRowLatest(table, row);
+    bool matched = false;
+    if (image.ok() && image.value().has_value()) {
+      Result<bool> match = EvalTuplePred(pred, *image.value(), empty);
+      if (!match.ok()) return match.status();
+      matched = match.value();
+      if (matched) matches->emplace_back(row, *image.value());
+    }
+    if (!matched && !txn->written_rows.count({table, row})) {
+      locks_->ReleaseRow(txn->id, table, row);
+    }
+  }
+  return Status::Ok();
+}
+
+Status TxnManager::SelectRows(Txn* txn, const std::string& table,
+                              const Expr& pred, std::vector<Tuple>* out,
+                              bool wait) {
+  out->clear();
+  if (txn->snapshot) {
+    MapEvalContext empty;
+    Status inner = Status::Ok();
+    Status s = txn->snapshot->Scan(table, [&](RowId, const Tuple& t) {
+      if (!inner.ok()) return;
+      Result<bool> match = EvalTuplePred(pred, t, empty);
+      if (!match.ok()) {
+        inner = match.status();
+        return;
+      }
+      if (match.value()) out->push_back(t);
+    });
+    if (!s.ok()) return s;
+    return inner;
+  }
+  if (txn->policy.select_predicate_locks) {
+    Status s =
+        locks_->AcquirePredicate(txn->id, table, pred, LockMode::kShared, wait);
+    if (!s.ok()) return s;
+  }
+  out->clear();  // a try-lock retry restarts the statement from scratch
+  return LockingSelect(txn, table, pred, wait,
+                       [&](RowId, const Tuple& t) { out->push_back(t); });
+}
+
+Status TxnManager::ScanVisible(Txn* txn, const std::string& table,
+                               const std::function<void(const Tuple&)>& fn,
+                               bool wait) {
+  if (txn->snapshot) {
+    return txn->snapshot->Scan(table,
+                               [&](RowId, const Tuple& t) { fn(t); });
+  }
+  if (txn->policy.select_predicate_locks) {
+    Status s = locks_->AcquirePredicate(txn->id, table, True(),
+                                        LockMode::kShared, wait);
+    if (!s.ok()) return s;
+  }
+  return LockingSelect(txn, table, True(), wait,
+                       [&](RowId, const Tuple& t) { fn(t); });
+}
+
+Status TxnManager::UpdateRows(Txn* txn, const std::string& table,
+                              const Expr& pred,
+                              const std::map<std::string, Expr>& sets,
+                              bool wait, int* rows_updated) {
+  if (rows_updated != nullptr) *rows_updated = 0;
+  MapEvalContext empty;
+  auto make_new_tuple = [&](const Tuple& old) -> Result<Tuple> {
+    Tuple updated = old;
+    for (const auto& [attr, e] : sets) {
+      Result<Value> v = EvalInTupleScope(e, old, empty);
+      if (!v.ok()) return v.status();
+      updated[attr] = v.take();
+    }
+    return updated;
+  };
+
+  if (txn->snapshot) {
+    std::vector<std::pair<RowId, Tuple>> matches;
+    Status inner = Status::Ok();
+    Status s = txn->snapshot->Scan(table, [&](RowId row, const Tuple& t) {
+      if (!inner.ok()) return;
+      Result<bool> match = EvalTuplePred(pred, t, empty);
+      if (!match.ok()) {
+        inner = match.status();
+        return;
+      }
+      if (match.value()) matches.emplace_back(row, t);
+    });
+    if (!s.ok()) return s;
+    if (!inner.ok()) return inner;
+    for (auto& [row, old] : matches) {
+      Result<Tuple> updated = make_new_tuple(old);
+      if (!updated.ok()) return updated.status();
+      Status u = txn->snapshot->UpdateRow(table, row, updated.take());
+      if (!u.ok()) return u;
+      if (rows_updated != nullptr) ++*rows_updated;
+    }
+    return Status::Ok();
+  }
+
+  // Long X predicate lock at every level, per [2].
+  Status s =
+      locks_->AcquirePredicate(txn->id, table, pred, LockMode::kExclusive, wait);
+  if (!s.ok()) return s;
+  // Phase 1: acquire every lock and pass every gate without mutating, so a
+  // try-lock retry of the statement cannot double-apply set expressions.
+  std::vector<std::pair<RowId, Tuple>> matches;
+  s = LockMatchingRows(txn, table, pred, wait, &matches);
+  if (!s.ok()) return s;
+  std::vector<std::pair<RowId, Tuple>> new_images;
+  for (const auto& [row, old] : matches) {
+    Result<Tuple> updated = make_new_tuple(old);
+    if (!updated.ok()) return updated.status();
+    const Tuple new_tuple = updated.take();
+    Status gate = locks_->PredicateGate(txn->id, table, {&old, &new_tuple},
+                                        LockMode::kExclusive, wait);
+    if (!gate.ok()) return gate;
+    new_images.emplace_back(row, new_tuple);
+  }
+  // Phase 2: apply (store writes never block).
+  for (auto& [row, image] : new_images) {
+    Status w = store_->WriteRowUncommitted(txn->id, table, row,
+                                           std::move(image));
+    if (!w.ok()) return w;
+    txn->written_rows.insert({table, row});
+    if (rows_updated != nullptr) ++*rows_updated;
+  }
+  return Status::Ok();
+}
+
+Status TxnManager::InsertRow(Txn* txn, const std::string& table, Tuple tuple,
+                             bool wait) {
+  if (txn->snapshot) {
+    txn->snapshot->InsertRow(table, std::move(tuple));
+    return Status::Ok();
+  }
+  Status gate = locks_->PredicateGate(txn->id, table, {&tuple},
+                                      LockMode::kExclusive, wait);
+  if (!gate.ok()) return gate;
+  Result<RowId> row = store_->InsertRowUncommitted(txn->id, table,
+                                                   std::move(tuple));
+  if (!row.ok()) return row.status();
+  txn->written_rows.insert({table, row.value()});
+  // The new row is X-locked so that scans above RU wait for our outcome.
+  return locks_->AcquireRow(txn->id, table, row.value(), LockMode::kExclusive,
+                            wait);
+}
+
+Status TxnManager::DeleteRows(Txn* txn, const std::string& table,
+                              const Expr& pred, bool wait, int* rows_deleted) {
+  if (rows_deleted != nullptr) *rows_deleted = 0;
+  MapEvalContext empty;
+  if (txn->snapshot) {
+    std::vector<RowId> matches;
+    Status inner = Status::Ok();
+    Status s = txn->snapshot->Scan(table, [&](RowId row, const Tuple& t) {
+      if (!inner.ok()) return;
+      Result<bool> match = EvalTuplePred(pred, t, empty);
+      if (!match.ok()) {
+        inner = match.status();
+        return;
+      }
+      if (match.value()) matches.push_back(row);
+    });
+    if (!s.ok()) return s;
+    if (!inner.ok()) return inner;
+    for (RowId row : matches) {
+      Status d = txn->snapshot->DeleteRow(table, row);
+      if (!d.ok()) return d;
+      if (rows_deleted != nullptr) ++*rows_deleted;
+    }
+    return Status::Ok();
+  }
+  Status s =
+      locks_->AcquirePredicate(txn->id, table, pred, LockMode::kExclusive, wait);
+  if (!s.ok()) return s;
+  std::vector<std::pair<RowId, Tuple>> matches;
+  s = LockMatchingRows(txn, table, pred, wait, &matches);
+  if (!s.ok()) return s;
+  for (const auto& [row, old] : matches) {
+    Status gate = locks_->PredicateGate(txn->id, table, {&old},
+                                        LockMode::kExclusive, wait);
+    if (!gate.ok()) return gate;
+  }
+  for (const auto& [row, old] : matches) {
+    Status w = store_->WriteRowUncommitted(txn->id, table, row, std::nullopt);
+    if (!w.ok()) return w;
+    txn->written_rows.insert({table, row});
+    if (rows_deleted != nullptr) ++*rows_deleted;
+  }
+  return Status::Ok();
+}
+
+Status TxnManager::Commit(Txn* txn) {
+  if (txn->state != Txn::State::kActive) {
+    return Status::Internal("commit of non-active transaction");
+  }
+  if (txn->snapshot) {
+    Result<Timestamp> ts = txn->snapshot->Commit(txn->id);
+    if (!ts.ok()) {
+      Abort(txn);
+      return ts.status();
+    }
+    txn->commit_ts = ts.value();
+    txn->state = Txn::State::kCommitted;
+    return Status::Ok();
+  }
+  txn->commit_ts = store_->CommitTxn(txn->id);
+  locks_->ReleaseAll(txn->id);
+  txn->state = Txn::State::kCommitted;
+  return Status::Ok();
+}
+
+void TxnManager::Abort(Txn* txn) {
+  if (txn->state != Txn::State::kActive) return;
+  store_->AbortTxn(txn->id);
+  locks_->ReleaseAll(txn->id);
+  txn->state = Txn::State::kAborted;
+}
+
+}  // namespace semcor

@@ -1,0 +1,125 @@
+#ifndef SEMCOR_TXN_TXN_H_
+#define SEMCOR_TXN_TXN_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "mvcc/version_store.h"
+#include "sem/prog/program.h"
+#include "storage/store.h"
+#include "txn/isolation.h"
+
+namespace semcor {
+
+/// Runtime state of one transaction execution.
+struct Txn {
+  TxnId id = 0;
+  IsoLevel level = IsoLevel::kSerializable;
+  LevelPolicy policy;
+  Timestamp start_ts = 0;
+  std::unique_ptr<SnapshotView> snapshot;  ///< SNAPSHOT level only
+
+  std::map<std::string, Value> locals;
+  std::map<std::string, Value> logicals;
+  std::map<std::string, std::vector<Tuple>> buffers;
+
+  /// RC-FCW: last commit ts of each item at the time this txn read it.
+  std::map<std::string, Timestamp> fcw_read_ts;
+
+  /// Items/rows this txn wrote (their long X locks must never be released
+  /// by the short-read-lock path).
+  std::set<std::string> written_items;
+  std::set<std::pair<std::string, RowId>> written_rows;
+
+  enum class State { kActive, kCommitted, kAborted };
+  State state = State::kActive;
+  Timestamp commit_ts = 0;
+};
+
+/// Record of a committed transaction, for the semantic-correctness oracle.
+struct CommitRecord {
+  std::shared_ptr<const TxnProgram> program;
+  Timestamp commit_ts = 0;
+};
+
+/// Thread-safe append-only log of committed transactions.
+class CommitLog {
+ public:
+  void Append(std::shared_ptr<const TxnProgram> program, Timestamp ts);
+  /// Records sorted by commit timestamp (the serialization order semantic
+  /// correctness is defined against).
+  std::vector<CommitRecord> SortedByCommit() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CommitRecord> records_;
+};
+
+/// Transaction manager: implements the per-level locking / multiversion
+/// disciplines of [2] on top of Store + LockManager. All operations take a
+/// `wait` flag: blocking (threads) or try-lock (deterministic step driver,
+/// which retries the statement later).
+class TxnManager {
+ public:
+  TxnManager(Store* store, LockManager* locks)
+      : store_(store), locks_(locks) {}
+
+  std::unique_ptr<Txn> Begin(IsoLevel level);
+
+  // ---- conventional (named item) operations ----
+  Status ReadItem(Txn* txn, const std::string& name, Value* out, bool wait);
+  Status WriteItem(Txn* txn, const std::string& name, const Value& v,
+                   bool wait);
+
+  // ---- relational operations (predicates must be closed) ----
+  /// SELECT rows matching `pred`; applies the level's read-lock discipline
+  /// row by row, plus an S predicate lock at SERIALIZABLE.
+  Status SelectRows(Txn* txn, const std::string& table, const Expr& pred,
+                    std::vector<Tuple>* out, bool wait);
+  /// Full-scan visibility for aggregate evaluation (same discipline as
+  /// SelectRows with predicate `true`).
+  Status ScanVisible(Txn* txn, const std::string& table,
+                     const std::function<void(const Tuple&)>& fn, bool wait);
+  /// UPDATE ... SET sets WHERE pred. Set expressions may reference Attr()
+  /// of the old tuple; locals must already be substituted.
+  Status UpdateRows(Txn* txn, const std::string& table, const Expr& pred,
+                    const std::map<std::string, Expr>& sets, bool wait,
+                    int* rows_updated);
+  Status InsertRow(Txn* txn, const std::string& table, Tuple tuple, bool wait);
+  Status DeleteRows(Txn* txn, const std::string& table, const Expr& pred,
+                    bool wait, int* rows_deleted);
+
+  Status Commit(Txn* txn);
+  void Abort(Txn* txn);
+
+  Store* store() { return store_; }
+  LockManager* locks() { return locks_; }
+
+ private:
+  /// Streams rows matching `pred` under the level's read-lock discipline
+  /// (locks are taken only on matching rows, per the paper's "long locks on
+  /// tuples returned by the SELECT").
+  Status LockingSelect(Txn* txn, const std::string& table, const Expr& pred,
+                       bool wait,
+                       const std::function<void(RowId, const Tuple&)>& fn);
+
+  /// Write-side phase 1: X-locks every row matching `pred` and returns the
+  /// validated images WITHOUT mutating anything, so that a try-lock retry
+  /// of the whole statement is safe (mutations happen only once every lock
+  /// is held).
+  Status LockMatchingRows(Txn* txn, const std::string& table, const Expr& pred,
+                          bool wait,
+                          std::vector<std::pair<RowId, Tuple>>* matches);
+
+  Store* store_;
+  LockManager* locks_;
+  std::atomic<TxnId> next_id_{1};
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_TXN_TXN_H_

@@ -1,0 +1,296 @@
+#include "common/str_util.h"
+#include "sem/prog/builder.h"
+#include "workload/workload.h"
+
+namespace semcor {
+
+namespace {
+
+constexpr const char* kOrder = "OORDER";
+constexpr const char* kStock = "STOCK";
+constexpr const char* kOline = "OLINE";
+
+std::string NextOid(int64_t d) { return ItemName("district", d, "next_o_id"); }
+std::string DistYtd(int64_t d) { return ItemName("district", d, "ytd"); }
+std::string Balance(int64_t c) { return ItemName("customer", c, "balance"); }
+std::string YtdPay(int64_t c) { return ItemName("customer", c, "ytd_payment"); }
+constexpr const char* kWhYtd = "warehouse.ytd";
+
+/// Stock quantities never go negative (TNewOrder's guarded decrement).
+Expr StockNonNeg() {
+  return Forall(kStock, True(), Ge(Attr("quantity"), Lit(int64_t{0})));
+}
+
+/// The district's revenue counter equals the total of its order lines.
+Expr RevenueConsistent(int64_t d) {
+  return Eq(DbVar(DistYtd(d)),
+            SumOf(kOline, "amount", Eq(Attr("d_id"), Lit(d))));
+}
+
+/// Orders of district d have ids below the district's next-order counter.
+Expr OrdersBound(int64_t d) {
+  return And(Ge(DbVar(NextOid(d)), Lit(int64_t{1})),
+             Forall(kOrder, Eq(Attr("d_id"), Lit(d)),
+                    Lt(Attr("o_id"), DbVar(NextOid(d)))));
+}
+
+/// TPC-C NewOrder (lite): allocate an order id, insert the order, decrement
+/// stock (guarded). The equality annotation on the counter read forces
+/// RC-FCW, exactly like §6's one-order-per-day New_Order.
+TransactionType MakeTNewOrder() {
+  TransactionType type;
+  type.name = "TNewOrder";
+  type.make = [](const std::map<std::string, Value>& params) {
+    const int64_t d = params.at("d").AsInt();
+    const std::string counter = NextOid(d);
+    const std::string dytd = DistYtd(d);
+    const Expr ii = And({StockNonNeg(), OrdersBound(d), RevenueConsistent(d)});
+    const Expr b = And(Ge(Local("qty"), Lit(int64_t{1})),
+                       Le(Local("qty"), Lit(int64_t{10})));
+
+    ProgramBuilder builder("TNewOrder");
+    builder.IPart(ii).BPart(b);
+    builder.Pre(And(ii, b)).Read("next", counter);
+    builder.Pre(And({ii, b, Eq(DbVar(counter), Local("next"))}))
+        .Write(counter, Add(Local("next"), Lit(int64_t{1})));
+    const Expr mid = And({StockNonNeg(), b, RevenueConsistent(d),
+                          Eq(DbVar(counter), Add(Local("next"), Lit(int64_t{1}))),
+                          Forall(kOrder, Eq(Attr("d_id"), Lit(d)),
+                                 Lt(Attr("o_id"), DbVar(counter)))});
+    builder.Pre(mid).Insert(kOrder, {{"o_id", Local("next")},
+                                     {"d_id", Lit(d)},
+                                     {"c_id", Local("c")},
+                                     {"delivered", Lit(false)}});
+    builder.Pre(mid).Update(
+        kStock,
+        And(Eq(Attr("i_id"), Local("item")),
+            Ge(Attr("quantity"), Local("qty"))),
+        {{"quantity", Sub(Attr("quantity"), Local("qty"))}});
+    // Revenue: book the order line and the district YTD together. The YTD
+    // read is followed by a write of the same item (RC-FCW protected).
+    builder.Pre(mid).Let("amount", Mul(Local("qty"), Lit(int64_t{5})));
+    builder.Pre(mid).Read("dytd", dytd);
+    builder.Pre(And(mid, Eq(DbVar(dytd), Local("dytd"))))
+        .Write(dytd, Add(Local("dytd"), Local("amount")));
+    // Mid-state: the counter leads the booked lines by exactly `amount`.
+    const Expr revenue_pending =
+        Eq(DbVar(dytd),
+           Add(SumOf(kOline, "amount", Eq(Attr("d_id"), Lit(d))),
+               Local("amount")));
+    builder.Pre(And(mid, revenue_pending))
+        .Insert(kOline, {{"o_id", Local("next")},
+                         {"d_id", Lit(d)},
+                         {"amount", Local("amount")}});
+    builder.Result(Exists(kOrder, And(Eq(Attr("o_id"), Local("next")),
+                                      Eq(Attr("d_id"), Lit(d)))));
+    return builder.Build(params);
+  };
+  type.analysis_scenarios = {{{"d", Value::Int(1)},
+                              {"c", Value::Int(1)},
+                              {"item", Value::Int(1)},
+                              {"qty", Value::Int(3)}}};
+  return type;
+}
+
+/// TPC-C Payment (lite): move money, maintain warehouse YTD. Both reads are
+/// followed by writes of the same item (RC-FCW protected).
+TransactionType MakeTPayment() {
+  TransactionType type;
+  type.name = "TPayment";
+  type.make = [](const std::map<std::string, Value>& params) {
+    const int64_t c = params.at("c").AsInt();
+    const std::string bal = Balance(c);
+    const std::string ypay = YtdPay(c);
+    const Expr ii = Ge(DbVar(kWhYtd), Lit(int64_t{0}));
+    const Expr b = Ge(Local("amount"), Lit(int64_t{1}));
+
+    ProgramBuilder builder("TPayment");
+    builder.IPart(ii).BPart(b);
+    builder.Pre(And(ii, b)).Read("bal", bal);
+    builder.Pre(And({ii, b, Eq(DbVar(bal), Local("bal"))}))
+        .Write(bal, Sub(Local("bal"), Local("amount")));
+    builder.Pre(And(ii, b)).Read("wytd", kWhYtd);
+    builder
+        .Pre(And({b, Eq(DbVar(kWhYtd), Local("wytd")),
+                  Ge(Local("wytd"), Lit(int64_t{0}))}))
+        .Write(kWhYtd, Add(Local("wytd"), Local("amount")));
+    builder.Pre(And(ii, b)).Read("ypay", ypay);
+    builder.Pre(And({ii, b, Eq(DbVar(ypay), Local("ypay"))}))
+        .Write(ypay, Add(Local("ypay"), Local("amount")));
+    builder.Result(ii);
+    return builder.Build(params);
+  };
+  type.analysis_scenarios = {{{"c", Value::Int(1)}, {"amount", Value::Int(5)}}};
+  return type;
+}
+
+/// TPC-C OrderStatus (lite): read-only, weak (approximate) specification —
+/// correct at READ UNCOMMITTED.
+TransactionType MakeTOrderStatus() {
+  TransactionType type;
+  type.name = "TOrderStatus";
+  type.make = [](const std::map<std::string, Value>& params) {
+    const int64_t c = params.at("c").AsInt();
+    ProgramBuilder builder("TOrderStatus");
+    builder.Pre(True()).Read("bal", Balance(c));
+    builder.Pre(True()).SelectAgg(
+        "orders", Count(kOrder, Eq(Attr("c_id"), Lit(c))));
+    builder.Result(True());
+    return builder.Build(params);
+  };
+  type.analysis_scenarios = {{{"c", Value::Int(1)}}};
+  return type;
+}
+
+/// TPC-C Delivery (lite): deliver all undelivered orders of a district below
+/// the horizon read from the district counter. REPEATABLE READ suffices via
+/// Theorem 6 condition (2), mirroring §6's Delivery.
+TransactionType MakeTDelivery() {
+  TransactionType type;
+  type.name = "TDelivery";
+  type.make = [](const std::map<std::string, Value>& params) {
+    const int64_t d = params.at("d").AsInt();
+    const std::string counter = NextOid(d);
+    const Expr due = And({Eq(Attr("d_id"), Lit(d)),
+                          Eq(Attr("delivered"), Lit(false)),
+                          Lt(Attr("o_id"), Local("h"))});
+    const Expr ii = OrdersBound(d);
+
+    ProgramBuilder builder("TDelivery");
+    builder.IPart(ii);
+    builder.Pre(ii).Read("h", counter);
+    const Expr horizon = And(ii, Le(Local("h"), DbVar(counter)));
+    builder.Pre(horizon).SelectRows("due", kOrder, due);
+    builder
+        .Pre(And(horizon, Eq(Count(kOrder, due), Local("due_count"))))
+        .Update(kOrder, due, {{"delivered", Lit(true)}});
+    builder.Result(And(Le(Local("h"), DbVar(counter)),
+                       Forall(kOrder,
+                              And(Eq(Attr("d_id"), Lit(d)),
+                                  Lt(Attr("o_id"), Local("h"))),
+                              Eq(Attr("delivered"), Lit(true)))));
+    return builder.Build(params);
+  };
+  type.analysis_scenarios = {{{"d", Value::Int(1)}}};
+  return type;
+}
+
+/// TPC-C StockLevel (lite): approximate count of low-stock items — READ
+/// UNCOMMITTED per its weak specification.
+TransactionType MakeTStockLevel() {
+  TransactionType type;
+  type.name = "TStockLevel";
+  type.make = [](const std::map<std::string, Value>& params) {
+    ProgramBuilder builder("TStockLevel");
+    builder.Pre(True()).SelectAgg(
+        "low", Count(kStock, Lt(Attr("quantity"), Local("threshold"))));
+    builder.Result(True());
+    return builder.Build(params);
+  };
+  type.analysis_scenarios = {{{"threshold", Value::Int(5)}}};
+  return type;
+}
+
+}  // namespace
+
+Workload MakeTpccWorkload(int districts, int customers, int items) {
+  Workload w;
+  w.app.name = "tpcc_lite";
+  w.app.types = {MakeTNewOrder(), MakeTPayment(), MakeTOrderStatus(),
+                 MakeTDelivery(), MakeTStockLevel()};
+  std::vector<Expr> invariant = {StockNonNeg(),
+                                 Ge(DbVar(kWhYtd), Lit(int64_t{0}))};
+  for (int d = 0; d < districts; ++d) {
+    invariant.push_back(OrdersBound(d));
+    invariant.push_back(RevenueConsistent(d));
+  }
+  w.app.invariant = And(std::move(invariant));
+  w.app.shapes[kOrder] = TableShape{{{"o_id", Value::Type::kInt},
+                                     {"d_id", Value::Type::kInt},
+                                     {"c_id", Value::Type::kInt},
+                                     {"delivered", Value::Type::kBool}}};
+  w.app.shapes[kStock] = TableShape{
+      {{"i_id", Value::Type::kInt}, {"quantity", Value::Type::kInt}}};
+  w.app.shapes[kOline] = TableShape{{{"o_id", Value::Type::kInt},
+                                     {"d_id", Value::Type::kInt},
+                                     {"amount", Value::Type::kInt}}};
+
+  w.setup = [districts, customers, items](Store* store) -> Status {
+    Status s = store->CreateItem(kWhYtd, Value::Int(0));
+    if (!s.ok()) return s;
+    for (int d = 0; d < districts; ++d) {
+      s = store->CreateItem(NextOid(d), Value::Int(1));
+      if (!s.ok()) return s;
+      s = store->CreateItem(DistYtd(d), Value::Int(0));
+      if (!s.ok()) return s;
+    }
+    for (int c = 0; c < customers; ++c) {
+      s = store->CreateItem(Balance(c), Value::Int(100));
+      if (!s.ok()) return s;
+      s = store->CreateItem(YtdPay(c), Value::Int(0));
+      if (!s.ok()) return s;
+    }
+    s = store->CreateTable(kOrder, Schema({{"o_id", Value::Type::kInt},
+                                           {"d_id", Value::Type::kInt},
+                                           {"c_id", Value::Type::kInt},
+                                           {"delivered",
+                                            Value::Type::kBool}}));
+    if (!s.ok()) return s;
+    s = store->CreateTable(kStock, Schema({{"i_id", Value::Type::kInt},
+                                           {"quantity",
+                                            Value::Type::kInt}}));
+    if (!s.ok()) return s;
+    s = store->CreateTable(kOline, Schema({{"o_id", Value::Type::kInt},
+                                           {"d_id", Value::Type::kInt},
+                                           {"amount", Value::Type::kInt}}));
+    if (!s.ok()) return s;
+    for (int i = 0; i < items; ++i) {
+      Result<RowId> row = store->LoadRow(
+          kStock,
+          Tuple{{"i_id", Value::Int(i)}, {"quantity", Value::Int(100)}});
+      if (!row.ok()) return row.status();
+    }
+    return Status::Ok();
+  };
+
+  auto types = std::make_shared<std::vector<TransactionType>>(w.app.types);
+  w.instantiate = [types, districts, customers, items](
+                      const std::string& name,
+                      Rng& rng) -> std::shared_ptr<const TxnProgram> {
+    for (const TransactionType& type : *types) {
+      if (type.name != name) continue;
+      std::map<std::string, Value> params;
+      if (name == "TNewOrder") {
+        params["d"] = Value::Int(rng.Uniform(0, districts - 1));
+        params["c"] = Value::Int(rng.Uniform(0, customers - 1));
+        params["item"] = Value::Int(rng.Uniform(0, items - 1));
+        params["qty"] = Value::Int(rng.Uniform(1, 10));
+      } else if (name == "TPayment") {
+        params["c"] = Value::Int(rng.Uniform(0, customers - 1));
+        params["amount"] = Value::Int(rng.Uniform(1, 20));
+      } else if (name == "TOrderStatus") {
+        params["c"] = Value::Int(rng.Uniform(0, customers - 1));
+      } else if (name == "TDelivery") {
+        params["d"] = Value::Int(rng.Uniform(0, districts - 1));
+      } else if (name == "TStockLevel") {
+        params["threshold"] = Value::Int(rng.Uniform(5, 50));
+      }
+      return std::make_shared<TxnProgram>(type.make(params));
+    }
+    return nullptr;
+  };
+
+  w.paper_levels = {{"TNewOrder", IsoLevel::kReadCommittedFcw},
+                    {"TPayment", IsoLevel::kReadCommittedFcw},
+                    {"TOrderStatus", IsoLevel::kReadUncommitted},
+                    {"TDelivery", IsoLevel::kRepeatableRead},
+                    {"TStockLevel", IsoLevel::kReadUncommitted}};
+  w.mix = {{"TNewOrder", 0.44},
+           {"TPayment", 0.44},
+           {"TOrderStatus", 0.04},
+           {"TDelivery", 0.04},
+           {"TStockLevel", 0.04}};
+  return w;
+}
+
+}  // namespace semcor

@@ -1,0 +1,24 @@
+#include "workload/workload.h"
+
+namespace semcor {
+
+WorkItem Workload::DrawFromMix(Rng& rng,
+                               const std::map<std::string, IsoLevel>& levels,
+                               IsoLevel fallback) const {
+  double total = 0;
+  for (const auto& [type, weight] : mix) total += weight;
+  double draw = rng.NextDouble() * total;
+  const std::string* chosen = &mix.front().first;
+  for (const auto& [type, weight] : mix) {
+    chosen = &type;
+    draw -= weight;
+    if (draw <= 0) break;
+  }
+  WorkItem item;
+  item.program = instantiate(*chosen, rng);
+  auto it = levels.find(*chosen);
+  item.level = it == levels.end() ? fallback : it->second;
+  return item;
+}
+
+}  // namespace semcor

@@ -1,0 +1,55 @@
+#ifndef SEMCOR_WORKLOAD_WORKLOAD_H_
+#define SEMCOR_WORKLOAD_WORKLOAD_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "sem/check/theorems.h"
+#include "storage/store.h"
+#include "txn/executor.h"
+
+namespace semcor {
+
+/// A paper workload: the statically analyzable Application plus the runtime
+/// harness pieces (initial database, random instance generation, and the
+/// level assignment the paper's analysis yields).
+struct Workload {
+  Application app;
+
+  /// Populates the store with the workload's schema and initial data.
+  std::function<Status(Store*)> setup;
+
+  /// Draws a random concrete instance of the named transaction type.
+  std::function<std::shared_ptr<const TxnProgram>(const std::string& type,
+                                                  Rng&)> instantiate;
+
+  /// The isolation level the paper's analysis assigns to each type (used by
+  /// benches as the "advisor-chosen" configuration and cross-checked
+  /// against LevelAdvisor output in tests).
+  std::map<std::string, IsoLevel> paper_levels;
+
+  /// Default mix for the executor: type name -> weight.
+  std::vector<std::pair<std::string, double>> mix;
+
+  /// Draws a WorkItem from the mix at the given level assignment
+  /// (every type mapped through `levels`; missing entries use `fallback`).
+  WorkItem DrawFromMix(Rng& rng, const std::map<std::string, IsoLevel>& levels,
+                       IsoLevel fallback) const;
+};
+
+/// Factories (one per workload module).
+Workload MakeBankingWorkload(int accounts = 4);
+Workload MakePayrollWorkload(int employees = 4);
+Workload MakeMailingWorkload();
+/// §6 orders application. `one_order_per_day` switches the business rule
+/// from "no gaps" to "exactly one order per day" (§6's READ COMMITTED with
+/// first-committer-wins discussion).
+Workload MakeOrdersWorkload(bool one_order_per_day = false);
+Workload MakeTpccWorkload(int districts = 2, int customers = 8, int items = 16);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_WORKLOAD_WORKLOAD_H_

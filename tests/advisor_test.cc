@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "sem/check/advisor.h"
+#include "workload/workload.h"
+
+namespace semcor {
+namespace {
+
+/// The headline reproduction (experiment E2): for every transaction type of
+/// every paper workload, the §5 procedure must return exactly the level the
+/// paper assigns.
+struct AdvisorCase {
+  const char* workload;
+  const char* type;
+  IsoLevel expected;
+};
+
+Workload MakeByName(const std::string& name) {
+  if (name == "banking") return MakeBankingWorkload();
+  if (name == "payroll") return MakePayrollWorkload();
+  if (name == "mailing") return MakeMailingWorkload();
+  if (name == "orders") return MakeOrdersWorkload(false);
+  if (name == "orders_unique") return MakeOrdersWorkload(true);
+  return MakeTpccWorkload();
+}
+
+class AdvisorLevelTest : public ::testing::TestWithParam<AdvisorCase> {};
+
+TEST_P(AdvisorLevelTest, RecommendsPaperLevel) {
+  const AdvisorCase& c = GetParam();
+  Workload w = MakeByName(c.workload);
+  LevelAdvisor advisor(w.app, AdvisorOptions());
+  LevelAdvice advice = advisor.Advise(c.type);
+  EXPECT_EQ(advice.recommended, c.expected)
+      << c.workload << "/" << c.type << ": got "
+      << IsoLevelName(advice.recommended);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable, AdvisorLevelTest,
+    ::testing::Values(
+        // §6 application (Figures 2-5).
+        AdvisorCase{"orders", "Mailing_List", IsoLevel::kReadUncommitted},
+        AdvisorCase{"orders", "New_Order", IsoLevel::kReadCommitted},
+        AdvisorCase{"orders", "Delivery", IsoLevel::kRepeatableRead},
+        AdvisorCase{"orders", "Audit", IsoLevel::kSerializable},
+        // one-order-per-day variant (§6): FCW becomes necessary.
+        AdvisorCase{"orders_unique", "New_Order",
+                    IsoLevel::kReadCommittedFcw},
+        // Examples 1-2.
+        AdvisorCase{"mailing", "Mailing_List", IsoLevel::kReadUncommitted},
+        AdvisorCase{"mailing", "Mailing_List_Strong",
+                    IsoLevel::kReadCommitted},
+        AdvisorCase{"mailing", "New_Order_Cust", IsoLevel::kReadCommitted},
+        AdvisorCase{"payroll", "Hours", IsoLevel::kReadCommitted},
+        AdvisorCase{"payroll", "Print_Records", IsoLevel::kReadCommitted},
+        // Example 3 (conventional model: Theorem 4 at RR).
+        AdvisorCase{"banking", "Withdraw_sav", IsoLevel::kRepeatableRead},
+        AdvisorCase{"banking", "Withdraw_ch", IsoLevel::kRepeatableRead},
+        AdvisorCase{"banking", "Deposit_sav", IsoLevel::kRepeatableRead},
+        // TPC-C-lite (the paper's §7 future work).
+        AdvisorCase{"tpcc", "TOrderStatus", IsoLevel::kReadUncommitted},
+        AdvisorCase{"tpcc", "TStockLevel", IsoLevel::kReadUncommitted},
+        AdvisorCase{"tpcc", "TPayment", IsoLevel::kReadCommittedFcw},
+        AdvisorCase{"tpcc", "TNewOrder", IsoLevel::kReadCommittedFcw},
+        AdvisorCase{"tpcc", "TDelivery", IsoLevel::kRepeatableRead}));
+
+TEST(AdvisorTest, SnapshotAnalysisForBanking) {
+  Workload w = MakeBankingWorkload();
+  LevelAdvisor advisor(w.app, AdvisorOptions());
+  // The Withdraw pair exhibits write skew: snapshot is not correct.
+  EXPECT_FALSE(advisor.Advise("Withdraw_sav").snapshot_correct);
+  EXPECT_FALSE(advisor.Advise("Withdraw_ch").snapshot_correct);
+}
+
+TEST(AdvisorTest, SnapshotCorrectForReadOnlyWeakSpec) {
+  Workload w = MakeOrdersWorkload(false);
+  LevelAdvisor advisor(w.app, AdvisorOptions());
+  EXPECT_TRUE(advisor.Advise("Mailing_List").snapshot_correct);
+}
+
+TEST(AdvisorTest, AdviceMatchesWorkloadPaperLevels) {
+  for (const char* name : {"banking", "payroll", "mailing", "orders",
+                           "orders_unique", "tpcc"}) {
+    Workload w = MakeByName(name);
+    LevelAdvisor advisor(w.app, AdvisorOptions());
+    for (const auto& [type, level] : w.paper_levels) {
+      LevelAdvice advice = advisor.Advise(type);
+      EXPECT_EQ(advice.recommended, level)
+          << name << "/" << type << ": advisor says "
+          << IsoLevelName(advice.recommended) << ", paper says "
+          << IsoLevelName(level);
+    }
+  }
+}
+
+TEST(AdvisorTest, AdviseAllCoversEveryType) {
+  Workload w = MakeOrdersWorkload(false);
+  LevelAdvisor advisor(w.app, AdvisorOptions());
+  std::vector<LevelAdvice> all = advisor.AdviseAll();
+  EXPECT_EQ(all.size(), w.app.types.size());
+  std::string table = RenderAdviceTable(all);
+  EXPECT_NE(table.find("Mailing_List"), std::string::npos);
+  EXPECT_NE(table.find("SERIALIZABLE"), std::string::npos);
+}
+
+TEST(AdvisorTest, FcwCanBeDisabled) {
+  Workload w = MakeOrdersWorkload(true);
+  AdvisorOptions options;
+  options.consider_fcw = false;
+  LevelAdvisor advisor(w.app, options);
+  // Without the FCW rung, unique New_Order climbs to a stronger level.
+  LevelAdvice advice = advisor.Advise("New_Order");
+  EXPECT_NE(advice.recommended, IsoLevel::kReadCommittedFcw);
+  EXPECT_NE(advice.recommended, IsoLevel::kReadCommitted);
+}
+
+}  // namespace
+}  // namespace semcor

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "sem/check/annotation.h"
+#include "sem/check/interference.h"
+#include "sem/prog/builder.h"
+#include "workload/workload.h"
+
+namespace semcor {
+namespace {
+
+TEST(AnnotationTest, ValidOutlineProves) {
+  ProgramBuilder b("T");
+  b.IPart(Ge(DbVar("x"), Lit(int64_t{0})));
+  b.Logical("X0", "x");
+  b.Pre(Ge(DbVar("x"), Lit(int64_t{0}))).Read("X", "x");
+  b.Pre(And(Ge(Local("X"), Lit(int64_t{0})), Eq(Local("X"), Logical("X0"))))
+      .Write("x", Add(Local("X"), Lit(int64_t{1})));
+  b.Result(Eq(DbVar("x"), Add(Logical("X0"), Lit(int64_t{1}))));
+  AnnotationReport report = CheckAnnotations(b.Build({}));
+  EXPECT_TRUE(report.all_proved)
+      << (report.issues.empty() ? "" : report.issues[0].detail);
+  EXPECT_FALSE(report.any_refuted);
+}
+
+TEST(AnnotationTest, WrongPostconditionRefuted) {
+  ProgramBuilder b("T");
+  b.Logical("X0", "x");
+  b.Pre(True()).Read("X", "x");
+  b.Pre(Eq(Local("X"), Logical("X0")))
+      .Write("x", Add(Local("X"), Lit(int64_t{1})));
+  // Wrong: claims x unchanged.
+  b.Result(Eq(DbVar("x"), Logical("X0")));
+  AnnotationReport report = CheckAnnotations(b.Build({}));
+  EXPECT_FALSE(report.all_proved);
+  EXPECT_TRUE(report.any_refuted);
+}
+
+TEST(AnnotationTest, BranchGuardsAvailable) {
+  ProgramBuilder b("T");
+  b.Pre(True()).Read("X", "x");
+  b.Pre(True()).If(Ge(Local("X"), Lit(int64_t{3})),
+                   [](ProgramBuilder& t) {
+                     // Inside the branch the guard justifies this.
+                     t.Pre(Ge(Local("X"), Lit(int64_t{3})))
+                         .Write("y", Local("X"));
+                   });
+  b.Result(True());
+  AnnotationReport report = CheckAnnotations(b.Build({}));
+  EXPECT_TRUE(report.all_proved);
+}
+
+TEST(AnnotationTest, LoopInvariantChecked) {
+  // i := 0; while i < 3: {0 <= i <= 3} i := i + 1; post: i == 3 is not
+  // derivable from the weak invariant (only i <= 3 and !(i<3) give i == 3).
+  ProgramBuilder b("T");
+  b.Pre(True()).Let("i", Lit(int64_t{0}));
+  const Expr inv = And(Ge(Local("i"), Lit(int64_t{0})),
+                       Le(Local("i"), Lit(int64_t{3})));
+  b.Pre(inv).While(Lt(Local("i"), Lit(int64_t{3})), [&](ProgramBuilder& body) {
+    body.Pre(And(inv, Lt(Local("i"), Lit(int64_t{3}))))
+        .Let("i", Add(Local("i"), Lit(int64_t{1})));
+  });
+  b.Result(Eq(Local("i"), Lit(int64_t{3})));
+  AnnotationReport report = CheckAnnotations(b.Build({}));
+  EXPECT_TRUE(report.all_proved)
+      << (report.issues.empty() ? "" : report.issues[0].detail);
+}
+
+TEST(AnnotationTest, BrokenLoopInvariantFlagged) {
+  ProgramBuilder b("T");
+  b.Pre(True()).Let("i", Lit(int64_t{0}));
+  // Claimed invariant i == 0 is broken by the body.
+  b.Pre(Eq(Local("i"), Lit(int64_t{0})))
+      .While(Lt(Local("i"), Lit(int64_t{3})), [&](ProgramBuilder& body) {
+        body.Pre(Eq(Local("i"), Lit(int64_t{0})))
+            .Let("i", Add(Local("i"), Lit(int64_t{1})));
+      });
+  b.Result(True());
+  AnnotationReport report = CheckAnnotations(b.Build({}));
+  EXPECT_FALSE(report.all_proved);
+  EXPECT_TRUE(report.any_refuted);
+}
+
+// Every paper workload's outlines must at least not be *refuted* (UNKNOWN
+// entailments are expected where lock-based reasoning exceeds the prover).
+class WorkloadAnnotationTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadAnnotationTest, OutlinesNotRefuted) {
+  Workload w;
+  const std::string name = GetParam();
+  if (name == "banking") w = MakeBankingWorkload();
+  if (name == "payroll") w = MakePayrollWorkload();
+  if (name == "mailing") w = MakeMailingWorkload();
+  if (name == "orders") w = MakeOrdersWorkload(false);
+  if (name == "orders_unique") w = MakeOrdersWorkload(true);
+  if (name == "tpcc") w = MakeTpccWorkload();
+  ASSERT_FALSE(w.app.types.empty());
+  for (const TransactionType& type : w.app.types) {
+    for (const auto& scenario : type.analysis_scenarios) {
+      TxnProgram p = PrepareForAnalysis(type.make(scenario), "");
+      AnnotationReport report = CheckAnnotations(p);
+      EXPECT_FALSE(report.any_refuted)
+          << type.name << ": "
+          << (report.issues.empty() ? "" : report.issues[0].where + ": " +
+                                               report.issues[0].detail);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadAnnotationTest,
+                         ::testing::Values("banking", "payroll", "mailing",
+                                           "orders", "orders_unique", "tpcc"));
+
+}  // namespace
+}  // namespace semcor

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/tuple.h"
+#include "common/value.h"
+#include "txn/isolation.h"
+
+namespace semcor {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: thing");
+}
+
+TEST(StatusTest, TransactionFailureClassification) {
+  EXPECT_TRUE(Status::Aborted("").IsTransactionFailure());
+  EXPECT_TRUE(Status::Deadlock("").IsTransactionFailure());
+  EXPECT_TRUE(Status::Conflict("").IsTransactionFailure());
+  EXPECT_FALSE(Status::WouldBlock("").IsTransactionFailure());
+  EXPECT_FALSE(Status::NotFound("").IsTransactionFailure());
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err = Status::Internal("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), Code::kInternal);
+}
+
+TEST(StrUtilTest, StrCatJoinSplit) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_TRUE(Split("", ',').empty());
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StrUtilTest, ItemNames) {
+  EXPECT_EQ(ItemName("acct", 3, "bal"), "acct[3].bal");
+  EXPECT_EQ(ItemName("cust", 7), "cust[7]");
+}
+
+TEST(ValueTest, TypesAndEquality) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Str("x").AsString(), "x");
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_NE(Value::Int(1), Value::Str("1"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Str("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t = {{"a", Value::Int(1)}, {"b", Value::Str("x")}};
+  EXPECT_EQ(TupleToString(t), "{a: 1, b: \"x\"}");
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 50; ++i) {
+    const int64_t va = a.Uniform(-3, 9);
+    EXPECT_EQ(va, b.Uniform(-3, 9));
+    EXPECT_GE(va, -3);
+    EXPECT_LE(va, 9);
+  }
+}
+
+TEST(IsolationTest, PolicyTable) {
+  // The locking disciplines of [2], level by level.
+  LevelPolicy ru = PolicyFor(IsoLevel::kReadUncommitted);
+  EXPECT_FALSE(ru.read_locks);
+  EXPECT_FALSE(ru.snapshot_reads);
+
+  LevelPolicy rc = PolicyFor(IsoLevel::kReadCommitted);
+  EXPECT_TRUE(rc.read_locks);
+  EXPECT_FALSE(rc.long_read_locks);
+  EXPECT_FALSE(rc.fcw_validation);
+
+  LevelPolicy fcw = PolicyFor(IsoLevel::kReadCommittedFcw);
+  EXPECT_TRUE(fcw.read_locks);
+  EXPECT_TRUE(fcw.fcw_validation);
+  EXPECT_FALSE(fcw.long_read_locks);
+
+  LevelPolicy rr = PolicyFor(IsoLevel::kRepeatableRead);
+  EXPECT_TRUE(rr.long_read_locks);
+  EXPECT_FALSE(rr.select_predicate_locks);
+
+  LevelPolicy ser = PolicyFor(IsoLevel::kSerializable);
+  EXPECT_TRUE(ser.long_read_locks);
+  EXPECT_TRUE(ser.select_predicate_locks);
+
+  LevelPolicy snap = PolicyFor(IsoLevel::kSnapshot);
+  EXPECT_TRUE(snap.snapshot_reads);
+  EXPECT_TRUE(snap.deferred_writes);
+  EXPECT_TRUE(snap.fcw_validation);
+  EXPECT_FALSE(snap.read_locks);
+}
+
+TEST(IsolationTest, LevelNames) {
+  EXPECT_STREQ(IsoLevelName(IsoLevel::kReadCommittedFcw),
+               "READ-COMMITTED-FCW");
+  EXPECT_STREQ(IsoLevelName(IsoLevel::kSnapshot), "SNAPSHOT");
+}
+
+}  // namespace
+}  // namespace semcor

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "sem/expr/eval.h"
+#include "sem/expr/expr.h"
+#include "sem/expr/simplify.h"
+#include "sem/expr/subst.h"
+
+namespace semcor {
+namespace {
+
+TEST(ExprTest, LiteralsAndToString) {
+  EXPECT_EQ(ToString(Lit(int64_t{42})), "42");
+  EXPECT_EQ(ToString(Lit(true)), "true");
+  EXPECT_EQ(ToString(Lit(std::string("x"))), "\"x\"");
+  EXPECT_EQ(ToString(Add(DbVar("x"), Lit(int64_t{1}))), "(x + 1)");
+}
+
+TEST(ExprTest, StructuralEquality) {
+  Expr a = Add(DbVar("x"), Local("y"));
+  Expr b = Add(DbVar("x"), Local("y"));
+  Expr c = Add(DbVar("x"), Logical("y"));
+  EXPECT_TRUE(ExprEquals(a, b));
+  EXPECT_FALSE(ExprEquals(a, c));
+}
+
+TEST(ExprTest, EqualityDistinguishesTableAtoms) {
+  Expr a = Count("T", Eq(Attr("k"), Lit(int64_t{1})));
+  Expr b = Count("T", Eq(Attr("k"), Lit(int64_t{1})));
+  Expr c = Count("U", Eq(Attr("k"), Lit(int64_t{1})));
+  EXPECT_TRUE(ExprEquals(a, b));
+  EXPECT_FALSE(ExprEquals(a, c));
+}
+
+TEST(ExprTest, FreeVarsCollectsAllKinds) {
+  Expr e = And(Eq(DbVar("x"), Local("y")),
+               Gt(Logical("z"), Count("T", Eq(Attr("a"), Local("w")))));
+  FreeVars fv = CollectFreeVars(e);
+  EXPECT_TRUE(fv.MentionsDbItem("x"));
+  EXPECT_EQ(fv.locals.count("y"), 1u);
+  EXPECT_EQ(fv.locals.count("w"), 1u);
+  EXPECT_EQ(fv.logicals.count("z"), 1u);
+  EXPECT_TRUE(fv.MentionsTable("T"));
+}
+
+TEST(ExprTest, IsLocalOnly) {
+  EXPECT_TRUE(IsLocalOnly(Eq(Local("a"), Logical("b"))));
+  EXPECT_FALSE(IsLocalOnly(Eq(Local("a"), DbVar("x"))));
+  EXPECT_FALSE(IsLocalOnly(Exists("T", True())));
+}
+
+TEST(ExprTest, CollectTableAtoms) {
+  Expr e = And(Gt(Count("T", True()), Lit(int64_t{0})),
+               Exists("U", Eq(Attr("a"), Lit(int64_t{1}))));
+  std::vector<Expr> atoms = CollectTableAtoms(e);
+  ASSERT_EQ(atoms.size(), 2u);
+  EXPECT_EQ(atoms[0]->op, Op::kCount);
+  EXPECT_EQ(atoms[1]->op, Op::kExists);
+}
+
+// ---- evaluation ----
+
+TEST(EvalTest, Arithmetic) {
+  MapEvalContext ctx;
+  ctx.SetDb("x", Value::Int(7));
+  Result<Value> v =
+      Eval(Add(Mul(DbVar("x"), Lit(int64_t{3})), Lit(int64_t{1})), ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsInt(), 22);
+}
+
+TEST(EvalTest, DivisionByZeroFails) {
+  MapEvalContext ctx;
+  Result<Value> v = Eval(Div(Lit(int64_t{1}), Lit(int64_t{0})), ctx);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(EvalTest, ShortCircuitAvoidsErrors) {
+  MapEvalContext ctx;
+  // false && <unbound var> must evaluate to false, not error.
+  Result<bool> v =
+      EvalBool(And(Lit(false), Eq(DbVar("missing"), Lit(int64_t{0}))), ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v.value());
+  Result<bool> w =
+      EvalBool(Or(Lit(true), Eq(DbVar("missing"), Lit(int64_t{0}))), ctx);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w.value());
+}
+
+TEST(EvalTest, UnboundVariableIsNotFound) {
+  MapEvalContext ctx;
+  Result<Value> v = Eval(DbVar("nope"), ctx);
+  EXPECT_EQ(v.status().code(), Code::kNotFound);
+}
+
+TEST(EvalTest, ComparisonsOnStrings) {
+  MapEvalContext ctx;
+  ctx.SetLocal("s", Value::Str("b"));
+  Result<bool> v = EvalBool(Lt(Local("s"), Lit(std::string("c"))), ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value());
+  // Ordering an int against a string is a type error.
+  Result<bool> w = EvalBool(Lt(Local("s"), Lit(int64_t{0})), ctx);
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(EvalTest, MixedTypeEqualityIsFalseNotError) {
+  MapEvalContext ctx;
+  Result<bool> v = EvalBool(Eq(Lit(std::string("a")), Lit(int64_t{1})), ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v.value());
+}
+
+class AggregateEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_.AddTuple("T", {{"k", Value::Int(1)}, {"v", Value::Int(10)}});
+    ctx_.AddTuple("T", {{"k", Value::Int(2)}, {"v", Value::Int(20)}});
+    ctx_.AddTuple("T", {{"k", Value::Int(1)}, {"v", Value::Int(5)}});
+  }
+  MapEvalContext ctx_;
+};
+
+TEST_F(AggregateEvalTest, Count) {
+  Result<Value> v = Eval(Count("T", Eq(Attr("k"), Lit(int64_t{1}))), ctx_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsInt(), 2);
+}
+
+TEST_F(AggregateEvalTest, Sum) {
+  Result<Value> v = Eval(SumOf("T", "v", Eq(Attr("k"), Lit(int64_t{1}))), ctx_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsInt(), 15);
+}
+
+TEST_F(AggregateEvalTest, MaxWithDefault) {
+  Result<Value> v = Eval(MaxOf("T", "v", True(), -1), ctx_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsInt(), 20);
+  Result<Value> empty =
+      Eval(MaxOf("T", "v", Eq(Attr("k"), Lit(int64_t{9})), -1), ctx_);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().AsInt(), -1);
+}
+
+TEST_F(AggregateEvalTest, ExistsAndForall) {
+  Result<Value> e = Eval(Exists("T", Gt(Attr("v"), Lit(int64_t{15}))), ctx_);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e.value().AsBool());
+  Result<Value> f = Eval(
+      Forall("T", Eq(Attr("k"), Lit(int64_t{1})), Le(Attr("v"), Lit(int64_t{10}))),
+      ctx_);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f.value().AsBool());
+  Result<Value> g =
+      Eval(Forall("T", True(), Le(Attr("v"), Lit(int64_t{10}))), ctx_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g.value().AsBool());
+}
+
+TEST_F(AggregateEvalTest, OuterVariablesVisibleInTuplePredicates) {
+  ctx_.SetLocal("want", Value::Int(2));
+  Result<Value> v = Eval(Count("T", Eq(Attr("k"), Local("want"))), ctx_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsInt(), 1);
+}
+
+TEST(EvalTest, MissingTableIsNotFound) {
+  MapEvalContext ctx;
+  Result<Value> v = Eval(Count("nope", True()), ctx);
+  EXPECT_EQ(v.status().code(), Code::kNotFound);
+}
+
+// ---- substitution ----
+
+TEST(SubstTest, SubstituteDbVar) {
+  Expr e = Ge(Add(DbVar("x"), DbVar("y")), Lit(int64_t{0}));
+  Expr out = Substitute(e, {VarKind::kDb, "x"}, Lit(int64_t{5}));
+  EXPECT_EQ(ToString(out), "((5 + y) >= 0)");
+}
+
+TEST(SubstTest, SimultaneousSwap) {
+  Expr e = Sub(Local("a"), Local("b"));
+  std::map<VarRef, Expr> m = {{{VarKind::kLocal, "a"}, Local("b")},
+                              {{VarKind::kLocal, "b"}, Local("a")}};
+  Expr out = SubstituteAll(e, m);
+  EXPECT_EQ(ToString(out), "($b - $a)");
+}
+
+TEST(SubstTest, DescendsIntoTuplePredicates) {
+  Expr e = Count("T", Eq(Attr("k"), Local("x")));
+  Expr out = Substitute(e, {VarKind::kLocal, "x"}, Lit(int64_t{3}));
+  EXPECT_EQ(ToString(out), "count(T | (.k == 3))");
+}
+
+TEST(SubstTest, AttrSubstitutionInstantiatesTuple) {
+  Expr pred = And(Eq(Attr("k"), Lit(int64_t{1})), Gt(Attr("v"), Local("w")));
+  Tuple t = {{"k", Value::Int(1)}, {"v", Value::Int(9)}};
+  Expr inst = InstantiateOnTuple(pred, t);
+  MapEvalContext ctx;
+  ctx.SetLocal("w", Value::Int(3));
+  Result<bool> v = EvalBool(inst, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value());
+}
+
+TEST(SubstTest, NoChangePreservesSharing) {
+  Expr e = Add(DbVar("x"), Lit(int64_t{1}));
+  Expr out = Substitute(e, {VarKind::kDb, "unrelated"}, Lit(int64_t{0}));
+  EXPECT_EQ(e.get(), out.get());
+}
+
+// ---- simplification ----
+
+TEST(SimplifyTest, ConstantFolding) {
+  EXPECT_EQ(ToString(Simplify(Add(Lit(int64_t{2}), Lit(int64_t{3})))), "5");
+  EXPECT_EQ(ToString(Simplify(Lt(Lit(int64_t{2}), Lit(int64_t{3})))), "true");
+}
+
+TEST(SimplifyTest, Identities) {
+  Expr x = DbVar("x");
+  EXPECT_TRUE(ExprEquals(Simplify(Add(x, Lit(int64_t{0}))), x));
+  EXPECT_TRUE(ExprEquals(Simplify(Mul(x, Lit(int64_t{1}))), x));
+  EXPECT_EQ(ToString(Simplify(Mul(x, Lit(int64_t{0})))), "0");
+  EXPECT_TRUE(ExprEquals(Simplify(Not(Not(x))), x));
+}
+
+TEST(SimplifyTest, ReflexiveComparisons) {
+  Expr x = DbVar("x");
+  EXPECT_TRUE(IsTrueLiteral(Simplify(Eq(x, x))));
+  EXPECT_TRUE(IsTrueLiteral(Simplify(Le(x, x))));
+  EXPECT_TRUE(IsFalseLiteral(Simplify(Lt(x, x))));
+}
+
+TEST(SimplifyTest, BooleanAbsorption) {
+  Expr p = Gt(DbVar("x"), Lit(int64_t{0}));
+  EXPECT_TRUE(ExprEquals(Simplify(And(p, True())), p));
+  EXPECT_TRUE(IsFalseLiteral(Simplify(And(p, False()))));
+  EXPECT_TRUE(IsTrueLiteral(Simplify(Or(p, True()))));
+  EXPECT_TRUE(ExprEquals(Simplify(Implies(True(), p)), p));
+  EXPECT_TRUE(IsTrueLiteral(Simplify(Implies(p, p))));
+}
+
+TEST(SimplifyTest, FlattensAndDeduplicates) {
+  Expr p = Gt(DbVar("x"), Lit(int64_t{0}));
+  Expr q = Lt(DbVar("y"), Lit(int64_t{5}));
+  Expr nested = And(p, And(q, p));
+  Expr out = Simplify(nested);
+  EXPECT_EQ(Conjuncts(out).size(), 2u);
+}
+
+TEST(SimplifyTest, ComplementaryConjunctsAreFalse) {
+  Expr p = Exists("T", True());
+  EXPECT_TRUE(IsFalseLiteral(Simplify(And(p, Not(p)))));
+  EXPECT_TRUE(IsTrueLiteral(Simplify(Or(p, Not(p)))));
+}
+
+TEST(SimplifyTest, VacuousQuantifiers) {
+  EXPECT_TRUE(IsTrueLiteral(Simplify(Forall("T", False(), Lit(false)))));
+  EXPECT_TRUE(IsTrueLiteral(Simplify(Forall("T", True(), True()))));
+  EXPECT_TRUE(IsFalseLiteral(Simplify(Exists("T", False()))));
+  EXPECT_EQ(ToString(Simplify(Count("T", False()))), "0");
+  EXPECT_EQ(ToString(Simplify(MaxOf("T", "v", False(), 7))), "7");
+}
+
+TEST(SimplifyTest, Conjuncts) {
+  Expr p = Gt(DbVar("x"), Lit(int64_t{0}));
+  Expr q = Lt(DbVar("y"), Lit(int64_t{5}));
+  std::vector<Expr> cs = Conjuncts(And(p, And(q, True())));
+  // True() stays unless simplified; Conjuncts flattens structurally.
+  EXPECT_GE(cs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace semcor

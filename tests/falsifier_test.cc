@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "sem/logic/falsifier.h"
+
+namespace semcor {
+namespace {
+
+SchemaShapes OrdersShape() {
+  SchemaShapes shapes;
+  shapes["ORDERS"] = TableShape{{{"deliv_date", Value::Type::kInt},
+                                 {"done", Value::Type::kBool},
+                                 {"cust", Value::Type::kString}}};
+  return shapes;
+}
+
+TEST(FalsifierTest, FindsScalarModel) {
+  Expr f = And(Gt(DbVar("x"), Lit(int64_t{2})), Lt(DbVar("x"), Lit(int64_t{5})));
+  auto model = FindModel(f, {}, FalsifierOptions());
+  ASSERT_TRUE(model.has_value());
+  Result<bool> check = EvalBool(f, *model);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check.value());
+}
+
+TEST(FalsifierTest, RespectsStringComparisons) {
+  Expr f = Eq(Local("c"), Lit(std::string("a")));
+  auto model = FindModel(f, {}, FalsifierOptions());
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->GetVar({VarKind::kLocal, "c"}).value().AsString(), "a");
+}
+
+TEST(FalsifierTest, GeneratesTablesFromShapes) {
+  Expr f = Gt(Count("ORDERS", Eq(Attr("done"), Lit(false))), Lit(int64_t{0}));
+  auto model = FindModel(f, OrdersShape(), FalsifierOptions());
+  ASSERT_TRUE(model.has_value());
+  Result<bool> check = EvalBool(f, *model);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check.value());
+}
+
+TEST(FalsifierTest, CombinedTableAndScalarConstraint) {
+  // A model where some undone order is due today.
+  Expr f = And(
+      Ge(Local("today"), Lit(int64_t{1})),
+      Exists("ORDERS", And(Eq(Attr("deliv_date"), Local("today")),
+                           Eq(Attr("done"), Lit(false)))));
+  FalsifierOptions options;
+  options.attempts = 20000;
+  auto model = FindModel(f, OrdersShape(), options);
+  ASSERT_TRUE(model.has_value());
+  Result<bool> check = EvalBool(f, *model);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check.value());
+}
+
+TEST(FalsifierTest, UnsatisfiableFindsNothing) {
+  Expr f = And(Gt(DbVar("x"), Lit(int64_t{2})), Lt(DbVar("x"), Lit(int64_t{1})));
+  FalsifierOptions options;
+  options.attempts = 500;
+  EXPECT_FALSE(FindModel(f, {}, options).has_value());
+}
+
+TEST(FalsifierTest, BooleanLocalsAreTyped) {
+  // `found` appears as a bare boolean atom.
+  Expr f = And(Implies(Local("found"), Gt(DbVar("x"), Lit(int64_t{0}))),
+               Local("found"));
+  FalsifierOptions options;
+  options.var_types[{VarKind::kLocal, "found"}] = Value::Type::kBool;
+  auto model = FindModel(f, {}, options);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(model->GetVar({VarKind::kLocal, "found"}).value().AsBool());
+}
+
+TEST(FalsifierTest, InferVarTypesFromComparisons) {
+  Expr f = And(Eq(Local("s"), Lit(std::string("b"))),
+               Eq(Local("flag"), Lit(true)));
+  auto types = InferVarTypes(f);
+  EXPECT_EQ(types.at({VarKind::kLocal, "s"}), Value::Type::kString);
+  EXPECT_EQ(types.at({VarKind::kLocal, "flag"}), Value::Type::kBool);
+}
+
+TEST(FalsifierTest, DeterministicForFixedSeed) {
+  Expr f = Gt(DbVar("x"), Lit(int64_t{0}));
+  FalsifierOptions options;
+  auto m1 = FindModel(f, {}, options);
+  auto m2 = FindModel(f, {}, options);
+  ASSERT_TRUE(m1.has_value());
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m1->GetVar({VarKind::kDb, "x"}).value(),
+            m2->GetVar({VarKind::kDb, "x"}).value());
+}
+
+}  // namespace
+}  // namespace semcor

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "sem/check/interference.h"
+#include "sem/prog/builder.h"
+
+namespace semcor {
+namespace {
+
+class InterferenceTest : public ::testing::Test {
+ protected:
+  InterferenceTest() : checker_(Shapes(), CheckOptions()) {}
+
+  static SchemaShapes Shapes() {
+    SchemaShapes shapes;
+    shapes["T"] = TableShape{
+        {{"k", Value::Type::kInt}, {"v", Value::Type::kInt}}};
+    return shapes;
+  }
+
+  InterferenceChecker checker_;
+};
+
+Stmt WriteStmt(const std::string& item, Expr value, Expr pre) {
+  Stmt s;
+  s.kind = StmtKind::kWrite;
+  s.item = item;
+  s.expr = std::move(value);
+  s.pre = std::move(pre);
+  return s;
+}
+
+TEST_F(InterferenceTest, FrameRuleDisjointItem) {
+  Stmt w = WriteStmt("y", Lit(int64_t{0}), True());
+  InterferenceResult r = checker_.CheckStmt(Gt(DbVar("x"), Lit(int64_t{0})), w);
+  EXPECT_EQ(r.verdict, Interference::kNoInterference);
+}
+
+TEST_F(InterferenceTest, IncrementPreservesLowerBound) {
+  // The paper's §2 example: x := x + 1 invalidates x == y but not x > y.
+  Stmt w = WriteStmt("x", Add(Local("o::X"), Lit(int64_t{1})),
+                     Eq(Local("o::X"), DbVar("x")));
+  InterferenceResult gt =
+      checker_.CheckStmt(Gt(DbVar("x"), DbVar("y")), w);
+  EXPECT_EQ(gt.verdict, Interference::kNoInterference);
+  InterferenceResult eq =
+      checker_.CheckStmt(Eq(DbVar("x"), DbVar("y")), w);
+  EXPECT_EQ(eq.verdict, Interference::kInterference);
+}
+
+TEST_F(InterferenceTest, UnconstrainedWriteInterferes) {
+  Stmt w = WriteStmt("x", Local("o::v"), True());
+  InterferenceResult r =
+      checker_.CheckStmt(Ge(DbVar("x"), Lit(int64_t{0})), w);
+  EXPECT_EQ(r.verdict, Interference::kInterference);
+}
+
+TEST_F(InterferenceTest, ConstrainedWritePreserves) {
+  // Writing a value known non-negative preserves x >= 0.
+  Stmt w = WriteStmt("x", Local("o::v"),
+                     Ge(Local("o::v"), Lit(int64_t{0})));
+  InterferenceResult r =
+      checker_.CheckStmt(Ge(DbVar("x"), Lit(int64_t{0})), w);
+  EXPECT_EQ(r.verdict, Interference::kNoInterference);
+}
+
+TEST_F(InterferenceTest, InsertPreservingInvariant) {
+  Stmt s;
+  s.kind = StmtKind::kInsert;
+  s.table = "T";
+  s.values = {{"k", Lit(int64_t{1})}, {"v", Lit(int64_t{5})}};
+  s.pre = True();
+  Expr inv = Forall("T", True(), Ge(Attr("v"), Lit(int64_t{0})));
+  EXPECT_EQ(checker_.CheckStmt(inv, s).verdict,
+            Interference::kNoInterference);
+  // A violating insert is real interference.
+  s.values["v"] = Lit(int64_t{-5});
+  EXPECT_EQ(checker_.CheckStmt(inv, s).verdict, Interference::kInterference);
+}
+
+TEST_F(InterferenceTest, DeleteInterferesWithExists) {
+  Stmt s;
+  s.kind = StmtKind::kDelete;
+  s.table = "T";
+  s.pred = Eq(Attr("k"), Lit(int64_t{1}));
+  s.pre = True();
+  Expr p = Exists("T", Eq(Attr("k"), Lit(int64_t{1})));
+  EXPECT_EQ(checker_.CheckStmt(p, s).verdict, Interference::kInterference);
+  // Disjoint delete is safe.
+  s.pred = Eq(Attr("k"), Lit(int64_t{2}));
+  EXPECT_EQ(checker_.CheckStmt(p, s).verdict,
+            Interference::kNoInterference);
+}
+
+// ---- whole-transaction checks ----
+
+TxnProgram IncrementTxn(const std::string& item) {
+  ProgramBuilder b("Inc");
+  b.Pre(True()).Read("X", item);
+  b.Pre(True()).Write(item, Add(Local("X"), Lit(int64_t{1})));
+  return b.Build({});
+}
+
+TEST_F(InterferenceTest, TxnFrameRule) {
+  TxnProgram inc = PrepareForAnalysis(IncrementTxn("y"), "o::");
+  EXPECT_EQ(checker_.CheckTxn(Ge(DbVar("x"), Lit(int64_t{0})), inc).verdict,
+            Interference::kNoInterference);
+}
+
+TEST_F(InterferenceTest, PathwiseIncrementPreservesBound) {
+  TxnProgram inc = PrepareForAnalysis(IncrementTxn("x"), "o::");
+  EXPECT_EQ(checker_.CheckTxn(Ge(DbVar("x"), Lit(int64_t{0})), inc).verdict,
+            Interference::kNoInterference);
+  EXPECT_EQ(checker_.CheckTxn(Le(DbVar("x"), Lit(int64_t{5})), inc).verdict,
+            Interference::kInterference);
+}
+
+TEST_F(InterferenceTest, TemporarilyBrokenInvariantRestoredByUnit) {
+  // x := x + d; y := y - d preserves x + y == c as a unit, though each
+  // write alone breaks it. Pathwise wp must prove it.
+  ProgramBuilder b("Move");
+  b.Pre(True()).Read("X", "x");
+  b.Pre(True()).Write("x", Add(Local("X"), Local("d")));
+  b.Pre(True()).Read("Y", "y");
+  b.Pre(True()).Write("y", Sub(Local("Y"), Local("d")));
+  TxnProgram mover =
+      PrepareForAnalysis(b.Build({{"d", Value::Int(3)}}), "o::");
+  Expr conserved = Eq(Add(DbVar("x"), DbVar("y")), Logical("C"));
+  EXPECT_EQ(checker_.CheckTxn(conserved, mover).verdict,
+            Interference::kNoInterference);
+}
+
+TEST_F(InterferenceTest, AbortedPathIsHarmless) {
+  ProgramBuilder b("Aborter");
+  b.Pre(True()).Write("x", Lit(int64_t{-100}));
+  b.Abort();
+  TxnProgram aborter = PrepareForAnalysis(b.Build({}), "o::");
+  // As an atomic committed unit the aborted txn has no effect.
+  EXPECT_EQ(checker_.CheckTxn(Ge(DbVar("x"), Lit(int64_t{0})), aborter).verdict,
+            Interference::kNoInterference);
+}
+
+TEST_F(InterferenceTest, BranchesBothChecked) {
+  ProgramBuilder b("Branchy");
+  b.Pre(True()).Read("X", "x");
+  b.Pre(True()).If(
+      Gt(Local("X"), Lit(int64_t{0})),
+      [](ProgramBuilder& t) {
+        t.Pre(True()).Write("x", Add(Local("X"), Lit(int64_t{1})));
+      },
+      [](ProgramBuilder& e) {
+        e.Pre(True()).Write("x", Lit(int64_t{-7}));
+      });
+  TxnProgram branchy = PrepareForAnalysis(b.Build({}), "o::");
+  // The else-branch writes -7, so x >= 0 is not preserved.
+  EXPECT_EQ(checker_.CheckTxn(Ge(DbVar("x"), Lit(int64_t{0})), branchy).verdict,
+            Interference::kInterference);
+}
+
+TEST_F(InterferenceTest, GuardedBranchSafe) {
+  ProgramBuilder b("Guarded");
+  b.Pre(True()).Read("X", "x");
+  b.Pre(True()).If(Ge(Local("X"), Lit(int64_t{5})),
+                   [](ProgramBuilder& t) {
+                     t.Pre(True()).Write(
+                         "x", Sub(Local("X"), Lit(int64_t{5})));
+                   });
+  TxnProgram guarded = PrepareForAnalysis(b.Build({}), "o::");
+  EXPECT_EQ(checker_.CheckTxn(Ge(DbVar("x"), Lit(int64_t{0})), guarded).verdict,
+            Interference::kNoInterference);
+}
+
+TEST_F(InterferenceTest, ParamsAreSubstituted) {
+  ProgramBuilder b("Deposit");
+  b.BPart(Ge(Local("d"), Lit(int64_t{0})));
+  b.Pre(True()).Read("X", "x");
+  b.Pre(True()).Write("x", Add(Local("X"), Local("d")));
+  TxnProgram dep = PrepareForAnalysis(b.Build({{"d", Value::Int(4)}}), "o::");
+  // With d == 4 substituted the increment provably preserves x >= 0.
+  EXPECT_EQ(checker_.CheckTxn(Ge(DbVar("x"), Lit(int64_t{0})), dep).verdict,
+            Interference::kNoInterference);
+  // And the b_part is concrete (no free o::d left).
+  FreeVars fv = CollectFreeVars(dep.b_part);
+  EXPECT_TRUE(fv.locals.empty());
+}
+
+TEST_F(InterferenceTest, WriteSkewDetected) {
+  // Withdraw_ch against Withdraw_sav's read-step postcondition (Example 3).
+  ProgramBuilder b("Withdraw_ch");
+  b.BPart(Ge(Local("w"), Lit(int64_t{1})));
+  b.Pre(True()).Read("Sav", "sav");
+  b.Pre(True()).Read("Ch", "ch");
+  b.Pre(True()).If(Ge(Add(Local("Sav"), Local("Ch")), Local("w")),
+                   [](ProgramBuilder& t) {
+                     t.Pre(True()).Write("ch",
+                                         Sub(Local("Ch"), Local("w")));
+                   });
+  TxnProgram wch = PrepareForAnalysis(b.Build({{"w", Value::Int(2)}}), "o::");
+  const Expr read_step_post =
+      And({Ge(Add(DbVar("sav"), DbVar("ch")), Lit(int64_t{0})),
+           Ge(Add(DbVar("sav"), DbVar("ch")),
+              Add(Local("Sav"), Local("Ch")))});
+  InterferenceResult r = checker_.CheckTxn(read_step_post, wch);
+  EXPECT_EQ(r.verdict, Interference::kInterference) << r.detail;
+}
+
+}  // namespace
+}  // namespace semcor

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "lock/lock_manager.h"
+
+namespace semcor {
+namespace {
+
+TEST(LockTest, SharedLocksCompatible) {
+  LockManager lm;
+  EXPECT_TRUE(lm.AcquireItem(1, "x", LockMode::kShared, false).ok());
+  EXPECT_TRUE(lm.AcquireItem(2, "x", LockMode::kShared, false).ok());
+  EXPECT_EQ(lm.HeldCount(1), 1u);
+  EXPECT_EQ(lm.HeldCount(2), 1u);
+}
+
+TEST(LockTest, ExclusiveConflicts) {
+  LockManager lm;
+  ASSERT_TRUE(lm.AcquireItem(1, "x", LockMode::kExclusive, false).ok());
+  EXPECT_EQ(lm.AcquireItem(2, "x", LockMode::kShared, false).code(),
+            Code::kWouldBlock);
+  EXPECT_EQ(lm.AcquireItem(2, "x", LockMode::kExclusive, false).code(),
+            Code::kWouldBlock);
+}
+
+TEST(LockTest, ReacquireAndUpgrade) {
+  LockManager lm;
+  ASSERT_TRUE(lm.AcquireItem(1, "x", LockMode::kShared, false).ok());
+  // Sole holder upgrades.
+  EXPECT_TRUE(lm.AcquireItem(1, "x", LockMode::kExclusive, false).ok());
+  EXPECT_EQ(lm.AcquireItem(2, "x", LockMode::kShared, false).code(),
+            Code::kWouldBlock);
+  // Upgrade sticks: re-acquiring shared must not downgrade.
+  EXPECT_TRUE(lm.AcquireItem(1, "x", LockMode::kShared, false).ok());
+  EXPECT_EQ(lm.AcquireItem(2, "x", LockMode::kShared, false).code(),
+            Code::kWouldBlock);
+}
+
+TEST(LockTest, UpgradeBlockedByOtherReader) {
+  LockManager lm;
+  ASSERT_TRUE(lm.AcquireItem(1, "x", LockMode::kShared, false).ok());
+  ASSERT_TRUE(lm.AcquireItem(2, "x", LockMode::kShared, false).ok());
+  EXPECT_EQ(lm.AcquireItem(1, "x", LockMode::kExclusive, false).code(),
+            Code::kWouldBlock);
+}
+
+TEST(LockTest, ReleaseWakesConflicts) {
+  LockManager lm;
+  ASSERT_TRUE(lm.AcquireItem(1, "x", LockMode::kExclusive, false).ok());
+  lm.ReleaseItem(1, "x");
+  EXPECT_TRUE(lm.AcquireItem(2, "x", LockMode::kExclusive, false).ok());
+}
+
+TEST(LockTest, ReleaseAllCoversRowsAndItems) {
+  LockManager lm;
+  ASSERT_TRUE(lm.AcquireItem(1, "x", LockMode::kExclusive, false).ok());
+  ASSERT_TRUE(lm.AcquireRow(1, "T", 5, LockMode::kExclusive, false).ok());
+  EXPECT_EQ(lm.HeldCount(1), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.HeldCount(1), 0u);
+  EXPECT_TRUE(lm.AcquireRow(2, "T", 5, LockMode::kExclusive, false).ok());
+}
+
+TEST(LockTest, RowLocksIndependentPerRow) {
+  LockManager lm;
+  ASSERT_TRUE(lm.AcquireRow(1, "T", 1, LockMode::kExclusive, false).ok());
+  EXPECT_TRUE(lm.AcquireRow(2, "T", 2, LockMode::kExclusive, false).ok());
+}
+
+TEST(LockTest, BlockingAcquireWaitsForRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.AcquireItem(1, "x", LockMode::kExclusive, false).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    Status s = lm.AcquireItem(2, "x", LockMode::kExclusive, true);
+    acquired = s.ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(LockTest, DeadlockDetectedForRequester) {
+  LockManager lm;
+  ASSERT_TRUE(lm.AcquireItem(1, "x", LockMode::kExclusive, false).ok());
+  ASSERT_TRUE(lm.AcquireItem(2, "y", LockMode::kExclusive, false).ok());
+  // T1 waits for y (held by T2) in a thread; T2 then requests x -> cycle.
+  std::thread t1([&] {
+    Status s = lm.AcquireItem(1, "y", LockMode::kExclusive, true);
+    // T1 is eventually granted y after T2 self-aborts.
+    EXPECT_TRUE(s.ok() || s.code() == Code::kDeadlock);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Status s2 = lm.AcquireItem(2, "x", LockMode::kExclusive, true);
+  EXPECT_EQ(s2.code(), Code::kDeadlock);
+  lm.ReleaseAll(2);  // victim aborts
+  t1.join();
+  lm.ReleaseAll(1);
+  EXPECT_GE(lm.stats().deadlocks, 1);
+}
+
+// ---- predicate locks ----
+
+TEST(PredicateLockTest, OverlappingPredicatesConflict) {
+  LockManager lm;
+  Expr p1 = Gt(Attr("d"), Lit(int64_t{3}));
+  Expr p2 = Eq(Attr("d"), Lit(int64_t{5}));
+  ASSERT_TRUE(lm.AcquirePredicate(1, "T", p1, LockMode::kExclusive, false).ok());
+  EXPECT_EQ(lm.AcquirePredicate(2, "T", p2, LockMode::kShared, false).code(),
+            Code::kWouldBlock);
+}
+
+TEST(PredicateLockTest, DisjointPredicatesCompatible) {
+  LockManager lm;
+  Expr p1 = Eq(Attr("d"), Lit(int64_t{3}));
+  Expr p2 = Eq(Attr("d"), Lit(int64_t{5}));
+  ASSERT_TRUE(lm.AcquirePredicate(1, "T", p1, LockMode::kExclusive, false).ok());
+  EXPECT_TRUE(lm.AcquirePredicate(2, "T", p2, LockMode::kExclusive, false).ok());
+}
+
+TEST(PredicateLockTest, SharedPredicatesCompatible) {
+  LockManager lm;
+  Expr p = Gt(Attr("d"), Lit(int64_t{0}));
+  ASSERT_TRUE(lm.AcquirePredicate(1, "T", p, LockMode::kShared, false).ok());
+  EXPECT_TRUE(lm.AcquirePredicate(2, "T", p, LockMode::kShared, false).ok());
+}
+
+TEST(PredicateLockTest, GateBlocksCoveredInsert) {
+  LockManager lm;
+  // T1 holds an S predicate lock on d == 5 (a SERIALIZABLE select).
+  ASSERT_TRUE(lm.AcquirePredicate(1, "T", Eq(Attr("d"), Lit(int64_t{5})),
+                                  LockMode::kShared, false)
+                  .ok());
+  Tuple covered = {{"d", Value::Int(5)}};
+  Tuple outside = {{"d", Value::Int(6)}};
+  EXPECT_EQ(lm.PredicateGate(2, "T", {&covered}, LockMode::kExclusive, false)
+                .code(),
+            Code::kWouldBlock);
+  EXPECT_TRUE(
+      lm.PredicateGate(2, "T", {&outside}, LockMode::kExclusive, false).ok());
+  // The holder itself is never blocked by its own predicate.
+  EXPECT_TRUE(
+      lm.PredicateGate(1, "T", {&covered}, LockMode::kExclusive, false).ok());
+}
+
+TEST(PredicateLockTest, GateIgnoresOtherTables) {
+  LockManager lm;
+  ASSERT_TRUE(lm.AcquirePredicate(1, "T", True(), LockMode::kExclusive, false)
+                  .ok());
+  Tuple t = {{"d", Value::Int(5)}};
+  EXPECT_TRUE(lm.PredicateGate(2, "U", {&t}, LockMode::kExclusive, false).ok());
+}
+
+TEST(PredicateLockTest, ReleaseAllFreesPredicates) {
+  LockManager lm;
+  ASSERT_TRUE(lm.AcquirePredicate(1, "T", True(), LockMode::kExclusive, false)
+                  .ok());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.AcquirePredicate(2, "T", True(), LockMode::kExclusive, false)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace semcor

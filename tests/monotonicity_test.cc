@@ -1,0 +1,50 @@
+// Ladder monotonicity: if a transaction type is semantically correct at a
+// level, it must be correct at every stronger level (the §5 procedure's
+// "return the first correct level" is only meaningful under this property).
+// This is not true by construction — each level has its own theorem — so we
+// verify it across every paper workload.
+
+#include <gtest/gtest.h>
+
+#include "sem/check/theorems.h"
+#include "workload/workload.h"
+
+namespace semcor {
+namespace {
+
+class MonotonicityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MonotonicityTest, CorrectnessIsUpwardClosed) {
+  const std::string name = GetParam();
+  Workload w = name == "banking"         ? MakeBankingWorkload()
+               : name == "payroll"       ? MakePayrollWorkload()
+               : name == "mailing"       ? MakeMailingWorkload()
+               : name == "orders"        ? MakeOrdersWorkload(false)
+               : name == "orders_unique" ? MakeOrdersWorkload(true)
+                                         : MakeTpccWorkload();
+  const std::vector<IsoLevel> ladder = {
+      IsoLevel::kReadUncommitted, IsoLevel::kReadCommitted,
+      IsoLevel::kReadCommittedFcw, IsoLevel::kRepeatableRead,
+      IsoLevel::kSerializable};
+  TheoremEngine engine(w.app, CheckOptions());
+  for (const TransactionType& type : w.app.types) {
+    bool seen_correct = false;
+    for (IsoLevel level : ladder) {
+      const bool correct = engine.CheckAtLevel(type.name, level).correct;
+      if (seen_correct) {
+        EXPECT_TRUE(correct)
+            << type.name << " correct below but not at "
+            << IsoLevelName(level);
+      }
+      seen_correct = seen_correct || correct;
+    }
+    EXPECT_TRUE(seen_correct) << type.name << " never correct";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, MonotonicityTest,
+                         ::testing::Values("banking", "payroll", "mailing",
+                                           "orders", "orders_unique", "tpcc"));
+
+}  // namespace
+}  // namespace semcor

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "sem/check/obligations.h"
+#include "sem/prog/builder.h"
+#include "workload/workload.h"
+
+namespace semcor {
+namespace {
+
+/// Synthetic conventional application with K types of N statements each
+/// (half reads, half writes) — the paper's cost-model shape.
+Application SyntheticApp(int k, int n) {
+  Application app;
+  app.name = "synthetic";
+  for (int t = 0; t < k; ++t) {
+    TransactionType type;
+    type.name = "T" + std::to_string(t);
+    const int reads = n / 2;
+    const int writes = n - reads;
+    type.make = [t, reads, writes](const std::map<std::string, Value>&) {
+      ProgramBuilder b("T" + std::to_string(t));
+      for (int i = 0; i < reads; ++i) {
+        b.Pre(True()).Read("X" + std::to_string(i),
+                           "x" + std::to_string(t) + "_" + std::to_string(i));
+      }
+      for (int i = 0; i < writes; ++i) {
+        b.Pre(True()).Write("x" + std::to_string(t) + "_" + std::to_string(i),
+                            Lit(int64_t{0}));
+      }
+      return b.Build({});
+    };
+    type.analysis_scenarios = {{}};
+    app.types.push_back(std::move(type));
+  }
+  return app;
+}
+
+TEST(ObligationsTest, SnapshotIsKSquared) {
+  for (int k : {2, 4, 8}) {
+    ObligationCounts counts = CountObligations(SyntheticApp(k, 10));
+    EXPECT_EQ(counts.per_level.at(IsoLevel::kSnapshot),
+              static_cast<long>(k) * k)
+        << "K=" << k;
+  }
+}
+
+TEST(ObligationsTest, SnapshotIndependentOfStatementCount) {
+  ObligationCounts small = CountObligations(SyntheticApp(4, 4));
+  ObligationCounts large = CountObligations(SyntheticApp(4, 40));
+  EXPECT_EQ(small.per_level.at(IsoLevel::kSnapshot),
+            large.per_level.at(IsoLevel::kSnapshot));
+  // While the naive bound explodes quadratically with N.
+  EXPECT_GT(large.naive_owicki_gries, 50 * small.naive_owicki_gries);
+}
+
+TEST(ObligationsTest, SerializableIsFree) {
+  ObligationCounts counts = CountObligations(SyntheticApp(5, 10));
+  EXPECT_EQ(counts.per_level.at(IsoLevel::kSerializable), 0);
+}
+
+TEST(ObligationsTest, LevelsOrderedByCost) {
+  ObligationCounts counts = CountObligations(SyntheticApp(6, 12));
+  const long ru = counts.per_level.at(IsoLevel::kReadUncommitted);
+  const long rc = counts.per_level.at(IsoLevel::kReadCommitted);
+  const long snap = counts.per_level.at(IsoLevel::kSnapshot);
+  EXPECT_GT(ru, rc);
+  EXPECT_GT(rc, snap);
+  EXPECT_LT(ru, counts.naive_owicki_gries);
+}
+
+TEST(ObligationsTest, FcwExemptsProtectedReads) {
+  // A type whose reads are all followed by same-item writes has only the
+  // Q_i obligation left at RC-FCW.
+  Application app;
+  TransactionType type;
+  type.name = "RW";
+  type.make = [](const std::map<std::string, Value>&) {
+    ProgramBuilder b("RW");
+    b.Pre(True()).Read("X", "x");
+    b.Pre(True()).Write("x", Add(Local("X"), Lit(int64_t{1})));
+    return b.Build({});
+  };
+  type.analysis_scenarios = {{}};
+  app.types.push_back(type);
+  ObligationCounts counts = CountObligations(app);
+  EXPECT_EQ(counts.per_level.at(IsoLevel::kReadCommitted), 2);  // read + Q_i
+  EXPECT_EQ(counts.per_level.at(IsoLevel::kReadCommittedFcw), 1);  // Q_i only
+}
+
+TEST(ObligationsTest, ConventionalTypesFreeAtRepeatableRead) {
+  ObligationCounts counts = CountObligations(SyntheticApp(4, 8));
+  EXPECT_EQ(counts.per_level.at(IsoLevel::kRepeatableRead), 0);
+}
+
+TEST(ObligationsTest, RelationalTypesPayAtRepeatableRead) {
+  Workload w = MakeOrdersWorkload(false);
+  ObligationCounts counts = CountObligations(w.app);
+  EXPECT_GT(counts.per_level.at(IsoLevel::kRepeatableRead), 0);
+}
+
+TEST(ObligationsTest, RenderIncludesAllLevels) {
+  std::string text = RenderObligationCounts(CountObligations(SyntheticApp(3, 6)));
+  for (const char* needle :
+       {"READ-UNCOMMITTED", "READ-COMMITTED", "REPEATABLE-READ",
+        "SERIALIZABLE", "SNAPSHOT", "naive"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+/// Property sweep: RU counts grow quadratically in K (writes x types).
+class ObligationGrowthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ObligationGrowthTest, RuQuadraticInK) {
+  const int k = GetParam();
+  ObligationCounts counts = CountObligations(SyntheticApp(k, 8));
+  // 8 statements: 4 reads + 4 writes, doubled for undo = 8k total writes.
+  // Per type: (1 + 4 + 1) targets x 8k sources.
+  EXPECT_EQ(counts.per_level.at(IsoLevel::kReadUncommitted),
+            static_cast<long>(k) * 6 * 8 * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, ObligationGrowthTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace semcor

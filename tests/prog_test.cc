@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "sem/prog/builder.h"
+#include "sem/prog/concrete_exec.h"
+#include "sem/expr/simplify.h"
+#include "sem/prog/program.h"
+
+namespace semcor {
+namespace {
+
+TxnProgram SimpleTransfer() {
+  // Read x, write y := X + 1, conditionally write z.
+  ProgramBuilder b("Transfer");
+  b.IPart(Ge(DbVar("x"), Lit(int64_t{0})));
+  b.Logical("X0", "x");
+  b.Pre(True()).Read("X", "x");
+  b.Pre(Eq(Local("X"), Logical("X0"))).Write("y", Add(Local("X"), Lit(int64_t{1})));
+  b.Pre(True()).If(Gt(Local("X"), Lit(int64_t{5})),
+                   [](ProgramBuilder& t) {
+                     t.Pre(Gt(Local("X"), Lit(int64_t{5})))
+                         .Write("z", Local("X"));
+                   });
+  b.Result(Eq(DbVar("y"), Add(Logical("X0"), Lit(int64_t{1}))));
+  return b.Build({});
+}
+
+TEST(BuilderTest, BuildsAnnotatedProgram) {
+  TxnProgram p = SimpleTransfer();
+  EXPECT_EQ(p.type_name, "Transfer");
+  ASSERT_EQ(p.body.size(), 3u);
+  EXPECT_EQ(p.body[0]->kind, StmtKind::kRead);
+  EXPECT_EQ(p.body[1]->kind, StmtKind::kWrite);
+  EXPECT_EQ(p.body[2]->kind, StmtKind::kIf);
+  EXPECT_EQ(p.body[2]->then_body.size(), 1u);
+  EXPECT_EQ(p.logical_bindings.at("X0"), "x");
+}
+
+TEST(BuilderTest, ParamsInLabel) {
+  ProgramBuilder b("T");
+  TxnProgram p = b.Build({{"k", Value::Int(7)}});
+  EXPECT_EQ(p.instance_label, "T(k=7)");
+}
+
+TEST(BuilderTest, DefaultAnnotationIsTrue) {
+  ProgramBuilder b("T");
+  b.Read("X", "x");
+  TxnProgram p = b.Build({});
+  EXPECT_TRUE(IsTrueLiteral(p.body[0]->pre));
+}
+
+TEST(ProgramTest, CountAtomicStmts) {
+  TxnProgram p = SimpleTransfer();
+  EXPECT_EQ(CountAtomicStmts(p.body), 3);  // read, write, nested write
+}
+
+TEST(ProgramTest, CollectDbWrites) {
+  TxnProgram p = SimpleTransfer();
+  std::vector<StmtPtr> writes = CollectDbWrites(p);
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_EQ(writes[0]->item, "y");
+  EXPECT_EQ(writes[1]->item, "z");
+}
+
+TEST(ProgramTest, ReadPostconditions) {
+  TxnProgram p = SimpleTransfer();
+  std::vector<ReadWithPost> reads = CollectReadPostconditions(p);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].stmt->item, "x");
+  // Post of the read is the annotation of the following write.
+  EXPECT_TRUE(ExprEquals(reads[0].post, p.body[1]->pre));
+  EXPECT_FALSE(reads[0].followed_by_write_same_item);
+}
+
+TEST(ProgramTest, FollowedByWriteSameItemUnconditional) {
+  ProgramBuilder b("T");
+  b.Read("X", "x");
+  b.Write("x", Add(Local("X"), Lit(int64_t{1})));
+  TxnProgram p = b.Build({});
+  std::vector<ReadWithPost> reads = CollectReadPostconditions(p);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_TRUE(reads[0].followed_by_write_same_item);
+}
+
+TEST(ProgramTest, ConditionalWriteDoesNotProtectRead) {
+  ProgramBuilder b("T");
+  b.Read("X", "x");
+  b.If(Gt(Local("X"), Lit(int64_t{0})), [](ProgramBuilder& t) {
+    t.Write("x", Lit(int64_t{0}));
+  });
+  TxnProgram p = b.Build({});
+  std::vector<ReadWithPost> reads = CollectReadPostconditions(p);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_FALSE(reads[0].followed_by_write_same_item);
+}
+
+TEST(ProgramTest, WriteOnBothBranchesProtectsRead) {
+  ProgramBuilder b("T");
+  b.Read("X", "x");
+  b.If(Gt(Local("X"), Lit(int64_t{0})),
+       [](ProgramBuilder& t) { t.Write("x", Lit(int64_t{0})); },
+       [](ProgramBuilder& e) { e.Write("x", Lit(int64_t{1})); });
+  TxnProgram p = b.Build({});
+  std::vector<ReadWithPost> reads = CollectReadPostconditions(p);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_TRUE(reads[0].followed_by_write_same_item);
+}
+
+TEST(ProgramTest, LastStatementPostIsProgramPostcondition) {
+  ProgramBuilder b("T");
+  b.Read("X", "x");
+  b.Result(Gt(Local("X"), Lit(int64_t{0})));
+  TxnProgram p = b.Build({});
+  std::vector<ReadWithPost> reads = CollectReadPostconditions(p);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_TRUE(ExprEquals(reads[0].post, p.Postcondition()));
+}
+
+TEST(ProgramTest, RenameLocals) {
+  TxnProgram p = SimpleTransfer();
+  TxnProgram renamed = RenameLocals(p, "o::");
+  EXPECT_EQ(renamed.body[0]->local, "o::X");
+  FreeVars fv = CollectFreeVars(renamed.body[1]->expr);
+  EXPECT_EQ(fv.locals.count("o::X"), 1u);
+  EXPECT_EQ(renamed.logical_bindings.count("o::X0"), 1u);
+  // Db items are untouched.
+  EXPECT_EQ(renamed.body[0]->item, "x");
+}
+
+TEST(ProgramTest, WriteFootprint) {
+  ProgramBuilder b("T");
+  b.Write("x", Lit(int64_t{1}));
+  b.Insert("T1", {{"a", Lit(int64_t{1})}});
+  b.Update("T2", True(), {{"a", Lit(int64_t{2})}});
+  TxnProgram p = b.Build({});
+  WriteFootprint fp = CollectWriteFootprint(p);
+  EXPECT_EQ(fp.items.count("x"), 1u);
+  EXPECT_EQ(fp.tables.count("T1"), 1u);
+  EXPECT_EQ(fp.tables.count("T2"), 1u);
+
+  ProgramBuilder b2("U");
+  b2.Write("y", Lit(int64_t{0}));
+  WriteFootprint fp2 = CollectWriteFootprint(b2.Build({}));
+  EXPECT_FALSE(fp.Intersects(fp2));
+  ProgramBuilder b3("V");
+  b3.Write("x", Lit(int64_t{0}));
+  EXPECT_TRUE(fp.Intersects(CollectWriteFootprint(b3.Build({}))));
+}
+
+// ---- concrete execution ----
+
+TEST(ConcreteExecTest, ScalarProgram) {
+  TxnProgram p = SimpleTransfer();
+  MapEvalContext ctx;
+  ctx.SetDb("x", Value::Int(7));
+  ctx.SetDb("y", Value::Int(0));
+  ctx.SetDb("z", Value::Int(0));
+  ASSERT_TRUE(ExecuteProgram(p, &ctx).ok());
+  EXPECT_EQ(ctx.GetVar({VarKind::kDb, "y"}).value().AsInt(), 8);
+  EXPECT_EQ(ctx.GetVar({VarKind::kDb, "z"}).value().AsInt(), 7);
+  EXPECT_EQ(ctx.GetVar({VarKind::kLogical, "X0"}).value().AsInt(), 7);
+}
+
+TEST(ConcreteExecTest, ElseBranch) {
+  TxnProgram p = SimpleTransfer();
+  MapEvalContext ctx;
+  ctx.SetDb("x", Value::Int(2));
+  ctx.SetDb("z", Value::Int(-1));
+  ASSERT_TRUE(ExecuteProgram(p, &ctx).ok());
+  EXPECT_EQ(ctx.GetVar({VarKind::kDb, "z"}).value().AsInt(), -1);  // untouched
+}
+
+TEST(ConcreteExecTest, UnboundItemDefaultsToZero) {
+  ProgramBuilder b("T");
+  b.Read("X", "fresh");
+  b.Write("out", Local("X"));
+  TxnProgram p = b.Build({});
+  MapEvalContext ctx;
+  ASSERT_TRUE(ExecuteProgram(p, &ctx).ok());
+  EXPECT_EQ(ctx.GetVar({VarKind::kDb, "out"}).value().AsInt(), 0);
+}
+
+TEST(ConcreteExecTest, AbortRestoresState) {
+  ProgramBuilder b("T");
+  b.Write("x", Lit(int64_t{99}));
+  b.Abort();
+  b.Write("x", Lit(int64_t{77}));  // unreachable
+  TxnProgram p = b.Build({});
+  MapEvalContext ctx;
+  ctx.SetDb("x", Value::Int(1));
+  ASSERT_TRUE(ExecuteProgram(p, &ctx).ok());
+  EXPECT_EQ(ctx.GetVar({VarKind::kDb, "x"}).value().AsInt(), 1);
+}
+
+TEST(ConcreteExecTest, RelationalStatements) {
+  ProgramBuilder b("T");
+  b.Insert("T1", {{"k", Lit(int64_t{1})}, {"v", Lit(int64_t{10})}});
+  b.Insert("T1", {{"k", Lit(int64_t{2})}, {"v", Lit(int64_t{20})}});
+  b.Update("T1", Eq(Attr("k"), Lit(int64_t{1})),
+           {{"v", Add(Attr("v"), Lit(int64_t{5}))}});
+  b.Delete("T1", Eq(Attr("k"), Lit(int64_t{2})));
+  b.SelectAgg("total", SumOf("T1", "v", True()));
+  TxnProgram p = b.Build({});
+  MapEvalContext ctx;
+  ASSERT_TRUE(ExecuteProgram(p, &ctx).ok());
+  EXPECT_EQ(ctx.GetVar({VarKind::kLocal, "total"}).value().AsInt(), 15);
+}
+
+TEST(ConcreteExecTest, SelectRowsSetsCountLocal) {
+  ProgramBuilder b("T");
+  b.Insert("T1", {{"k", Lit(int64_t{1})}});
+  b.Insert("T1", {{"k", Lit(int64_t{1})}});
+  b.SelectRows("buf", "T1", Eq(Attr("k"), Lit(int64_t{1})));
+  TxnProgram p = b.Build({});
+  MapEvalContext ctx;
+  std::map<std::string, std::vector<Tuple>> buffers;
+  ASSERT_TRUE(ExecuteStmts(p.body, &ctx, &buffers).ok());
+  EXPECT_EQ(ctx.GetVar({VarKind::kLocal, "buf_count"}).value().AsInt(), 2);
+  EXPECT_EQ(buffers.at("buf").size(), 2u);
+}
+
+TEST(ConcreteExecTest, WhileLoopWithFuel) {
+  ProgramBuilder b("T");
+  b.Let("i", Lit(int64_t{0}));
+  b.While(Lt(Local("i"), Lit(int64_t{5})), [](ProgramBuilder& body) {
+    body.Let("i", Add(Local("i"), Lit(int64_t{1})));
+  });
+  TxnProgram p = b.Build({});
+  MapEvalContext ctx;
+  ASSERT_TRUE(ExecuteProgram(p, &ctx).ok());
+  EXPECT_EQ(ctx.GetVar({VarKind::kLocal, "i"}).value().AsInt(), 5);
+}
+
+TEST(ConcreteExecTest, InfiniteLoopExhaustsFuel) {
+  ProgramBuilder b("T");
+  b.Let("i", Lit(int64_t{0}));
+  b.While(Lt(Local("i"), Lit(int64_t{5})), [](ProgramBuilder&) {});
+  TxnProgram p = b.Build({});
+  MapEvalContext ctx;
+  ConcreteExecOptions options;
+  options.loop_fuel = 10;
+  EXPECT_FALSE(ExecuteProgram(p, &ctx, options).ok());
+}
+
+}  // namespace
+}  // namespace semcor

@@ -1,0 +1,271 @@
+// Property-based tests for the logic engine: random formulas checked
+// against brute-force evaluation. These pin down the soundness contracts
+// the theorem engines rely on:
+//  - Simplify is semantics-preserving,
+//  - DNF conversion is equivalence-preserving,
+//  - DecideValidity(kValid) formulas are true in every sampled state and
+//    kInvalid counterexamples genuinely falsify,
+//  - FmProvesUnsat systems have no integer solution in the sampled box,
+//  - substitution commutes with evaluation,
+//  - proved wp-triples are respected by concrete execution.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sem/check/wp.h"
+#include "sem/expr/simplify.h"
+#include "sem/expr/subst.h"
+#include "sem/logic/decide.h"
+#include "sem/logic/dnf.h"
+#include "sem/logic/fourier_motzkin.h"
+#include "sem/prog/concrete_exec.h"
+
+namespace semcor {
+namespace {
+
+const std::vector<std::string> kVars = {"x", "y", "z"};
+
+/// Random integer-valued expression over db vars x, y, z.
+Expr RandomIntExpr(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.35)) {
+    if (rng->Bernoulli(0.5)) return Lit(rng->Uniform(-4, 4));
+    return DbVar(kVars[rng->Uniform(0, kVars.size() - 1)]);
+  }
+  Expr a = RandomIntExpr(rng, depth - 1);
+  Expr b = RandomIntExpr(rng, depth - 1);
+  switch (rng->Uniform(0, 3)) {
+    case 0:
+      return Add(a, b);
+    case 1:
+      return Sub(a, b);
+    case 2:
+      return Neg(a);
+    default:
+      return Mul(Lit(rng->Uniform(-2, 2)), a);
+  }
+}
+
+/// Random boolean formula over linear atoms.
+Expr RandomBoolExpr(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.3)) {
+    Expr a = RandomIntExpr(rng, 1);
+    Expr b = RandomIntExpr(rng, 1);
+    switch (rng->Uniform(0, 5)) {
+      case 0:
+        return Eq(a, b);
+      case 1:
+        return Ne(a, b);
+      case 2:
+        return Lt(a, b);
+      case 3:
+        return Le(a, b);
+      case 4:
+        return Gt(a, b);
+      default:
+        return Ge(a, b);
+    }
+  }
+  switch (rng->Uniform(0, 3)) {
+    case 0:
+      return And(RandomBoolExpr(rng, depth - 1), RandomBoolExpr(rng, depth - 1));
+    case 1:
+      return Or(RandomBoolExpr(rng, depth - 1), RandomBoolExpr(rng, depth - 1));
+    case 2:
+      return Not(RandomBoolExpr(rng, depth - 1));
+    default:
+      return Implies(RandomBoolExpr(rng, depth - 1),
+                     RandomBoolExpr(rng, depth - 1));
+  }
+}
+
+MapEvalContext RandomState(Rng* rng) {
+  MapEvalContext ctx;
+  for (const std::string& v : kVars) {
+    ctx.SetDb(v, Value::Int(rng->Uniform(-6, 6)));
+  }
+  return ctx;
+}
+
+DecideOptions SmallOptions() {
+  DecideOptions o;
+  o.max_cubes = 512;
+  o.witness_bound = 8;
+  o.witness_max_nodes = 20000;
+  return o;
+}
+
+bool EvalDnf(const Dnf& dnf, const MapEvalContext& ctx) {
+  for (const Cube& cube : dnf.cubes) {
+    bool cube_true = true;
+    for (const Literal& lit : cube) {
+      Result<bool> v = EvalBool(lit.atom, ctx);
+      EXPECT_TRUE(v.ok());
+      if (!v.ok() || v.value() == lit.negated) {
+        cube_true = false;
+        break;
+      }
+    }
+    if (cube_true) return true;
+  }
+  return false;
+}
+
+class FormulaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FormulaPropertyTest, SimplifyPreservesEvaluation) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 60; ++round) {
+    Expr f = RandomBoolExpr(&rng, 3);
+    Expr simplified = Simplify(f);
+    for (int s = 0; s < 12; ++s) {
+      MapEvalContext ctx = RandomState(&rng);
+      Result<bool> a = EvalBool(f, ctx);
+      Result<bool> b = EvalBool(simplified, ctx);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(a.value(), b.value())
+          << ToString(f) << "  vs  " << ToString(simplified);
+    }
+  }
+}
+
+TEST_P(FormulaPropertyTest, DnfIsEquivalent) {
+  Rng rng(GetParam() + 1);
+  for (int round = 0; round < 40; ++round) {
+    Expr f = RandomBoolExpr(&rng, 3);
+    Result<Dnf> dnf = ToDnf(f, 4096);
+    ASSERT_TRUE(dnf.ok());
+    for (int s = 0; s < 12; ++s) {
+      MapEvalContext ctx = RandomState(&rng);
+      Result<bool> direct = EvalBool(f, ctx);
+      ASSERT_TRUE(direct.ok());
+      ASSERT_EQ(direct.value(), EvalDnf(dnf.value(), ctx)) << ToString(f);
+    }
+  }
+}
+
+TEST_P(FormulaPropertyTest, ValidityVerdictsAreSound) {
+  Rng rng(GetParam() + 2);
+  for (int round = 0; round < 40; ++round) {
+    Expr f = RandomBoolExpr(&rng, 3);
+    DecideResult d = DecideValidity(f, SmallOptions());
+    if (d.verdict == Verdict::kValid) {
+      for (int s = 0; s < 24; ++s) {
+        MapEvalContext ctx = RandomState(&rng);
+        Result<bool> v = EvalBool(f, ctx);
+        ASSERT_TRUE(v.ok());
+        ASSERT_TRUE(v.value()) << "kValid falsified: " << ToString(f);
+      }
+    } else if (d.verdict == Verdict::kInvalid) {
+      ASSERT_TRUE(d.counterexample.has_value());
+      MapEvalContext ctx;
+      for (const std::string& v : kVars) ctx.SetDb(v, Value::Int(0));
+      for (const auto& [var, value] : d.counterexample->ints) {
+        ctx.Set(var, Value::Int(value));
+      }
+      Result<bool> v = EvalBool(f, ctx);
+      ASSERT_TRUE(v.ok());
+      ASSERT_FALSE(v.value())
+          << "counterexample does not falsify: " << ToString(f) << " at "
+          << d.counterexample->ToString();
+    }
+  }
+}
+
+TEST_P(FormulaPropertyTest, FmUnsatMeansNoBoxedSolution) {
+  Rng rng(GetParam() + 3);
+  for (int round = 0; round < 60; ++round) {
+    // Random small linear system over x, y.
+    std::vector<LinearConstraint> cs;
+    const int n = static_cast<int>(rng.Uniform(2, 5));
+    for (int i = 0; i < n; ++i) {
+      LinearConstraint c;
+      c.term.coeffs[{VarKind::kDb, "x"}] = rng.Uniform(-3, 3);
+      c.term.coeffs[{VarKind::kDb, "y"}] = rng.Uniform(-3, 3);
+      c.term.konst = rng.Uniform(-6, 6);
+      c.rel = rng.Bernoulli(0.4)   ? LinRel::kEq
+              : rng.Bernoulli(0.5) ? LinRel::kLt
+                                   : LinRel::kLe;
+      cs.push_back(c);
+    }
+    if (!FmProvesUnsat(cs)) continue;
+    // Brute force: no integer point in [-10, 10]^2 may satisfy everything.
+    for (int64_t x = -10; x <= 10; ++x) {
+      for (int64_t y = -10; y <= 10; ++y) {
+        std::map<VarRef, int64_t> a = {{{VarKind::kDb, "x"}, x},
+                                       {{VarKind::kDb, "y"}, y}};
+        bool all = true;
+        for (const LinearConstraint& c : cs) all = all && c.Holds(a);
+        ASSERT_FALSE(all) << "FM claimed unsat but (" << x << "," << y
+                          << ") satisfies the system";
+      }
+    }
+  }
+}
+
+TEST_P(FormulaPropertyTest, SubstitutionCommutesWithEvaluation) {
+  Rng rng(GetParam() + 4);
+  for (int round = 0; round < 60; ++round) {
+    Expr f = RandomBoolExpr(&rng, 3);
+    Expr replacement = RandomIntExpr(&rng, 2);
+    const VarRef target{VarKind::kDb, "x"};
+    Expr substituted = Substitute(f, target, replacement);
+    for (int s = 0; s < 8; ++s) {
+      MapEvalContext ctx = RandomState(&rng);
+      Result<Value> r = Eval(replacement, ctx);
+      ASSERT_TRUE(r.ok());
+      MapEvalContext bound = ctx;
+      bound.Set(target, r.value());
+      Result<bool> lhs = EvalBool(substituted, ctx);
+      Result<bool> rhs = EvalBool(f, bound);
+      ASSERT_TRUE(lhs.ok() && rhs.ok());
+      ASSERT_EQ(lhs.value(), rhs.value()) << ToString(f);
+    }
+  }
+}
+
+TEST_P(FormulaPropertyTest, ProvedWpTriplesHoldUnderExecution) {
+  Rng rng(GetParam() + 5);
+  int proved = 0;
+  for (int round = 0; round < 80; ++round) {
+    // Random scalar write statement with a random annotation.
+    Stmt stmt;
+    stmt.kind = StmtKind::kWrite;
+    stmt.item = kVars[rng.Uniform(0, kVars.size() - 1)];
+    stmt.expr = RandomIntExpr(&rng, 2);
+    stmt.pre = RandomBoolExpr(&rng, 2);
+    Expr p = RandomBoolExpr(&rng, 2);
+
+    FreshNames fresh;
+    Result<WpResult> wp = Wp(stmt, p, &fresh);
+    ASSERT_TRUE(wp.ok());
+    const Expr triple = Implies(And(p, stmt.pre), wp.value().formula);
+    if (DecideValidity(Simplify(triple), SmallOptions()).verdict !=
+        Verdict::kValid) {
+      continue;
+    }
+    ++proved;
+    // Any state satisfying P ∧ pre must still satisfy P after the write.
+    for (int s = 0; s < 30; ++s) {
+      MapEvalContext ctx = RandomState(&rng);
+      Result<bool> before = EvalBool(And(p, stmt.pre), ctx);
+      ASSERT_TRUE(before.ok());
+      if (!before.value()) continue;
+      std::map<std::string, std::vector<Tuple>> buffers;
+      ASSERT_TRUE(ExecuteStmt(stmt, &ctx, &buffers).ok());
+      Result<bool> after = EvalBool(p, ctx);
+      ASSERT_TRUE(after.ok());
+      ASSERT_TRUE(after.value())
+          << "proved triple violated: {" << ToString(And(p, stmt.pre)) << "} "
+          << stmt.ToString() << " {" << ToString(p) << "}";
+    }
+  }
+  // The generator must produce a healthy number of provable triples for the
+  // property to mean anything.
+  EXPECT_GT(proved, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormulaPropertyTest,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+}  // namespace
+}  // namespace semcor

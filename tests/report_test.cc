@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "sem/check/report.h"
+#include "workload/workload.h"
+
+namespace semcor {
+namespace {
+
+TEST(ReportTest, AdviceMentionsRecommendationAndFailures) {
+  Workload w = MakePayrollWorkload();
+  LevelAdvisor advisor(w.app, AdvisorOptions());
+  LevelAdvice advice = advisor.Advise("Print_Records");
+  std::string text = RenderAdvice(advice);
+  EXPECT_NE(text.find("Print_Records -> READ-COMMITTED"), std::string::npos)
+      << text;
+  // The RU failure and its interfering source are visible.
+  EXPECT_NE(text.find("READ-UNCOMMITTED — not correct"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("Hours"), std::string::npos);
+}
+
+TEST(ReportTest, ExcusesRendered) {
+  Workload w = MakeBankingWorkload();
+  LevelAdvisor advisor(w.app, AdvisorOptions());
+  LevelAdvice advice = advisor.Advise("Withdraw_sav");
+  std::string text = RenderAdvice(advice);
+  EXPECT_NE(text.find("write sets intersect"), std::string::npos) << text;
+}
+
+TEST(ReportTest, ApplicationReportHasSummaryTable) {
+  Workload w = MakePayrollWorkload();
+  LevelAdvisor advisor(w.app, AdvisorOptions());
+  std::string text =
+      RenderApplicationReport(w.app, advisor.AdviseAll());
+  EXPECT_NE(text.find("# Isolation-level analysis: payroll"),
+            std::string::npos);
+  EXPECT_NE(text.find("| Hours |"), std::string::npos) << text;
+  EXPECT_NE(text.find("| Print_Records |"), std::string::npos);
+}
+
+TEST(ReportTest, IncludePassingListsDischargedObligations) {
+  Workload w = MakePayrollWorkload();
+  TheoremEngine engine(w.app, CheckOptions());
+  LevelCheckReport report =
+      engine.CheckAtLevel("Print_Records", IsoLevel::kReadCommitted);
+  ReportOptions options;
+  options.include_passing = true;
+  std::string with = RenderLevelReport(report, options);
+  std::string without = RenderLevelReport(report);
+  EXPECT_GT(with.size(), without.size());
+  EXPECT_NE(with.find("NO-INTERFERENCE"), std::string::npos) << with;
+}
+
+}  // namespace
+}  // namespace semcor

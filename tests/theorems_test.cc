@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "sem/check/theorems.h"
+#include "sem/prog/builder.h"
+#include "workload/workload.h"
+
+namespace semcor {
+namespace {
+
+LevelCheckReport Check(const Workload& w, const std::string& type,
+                       IsoLevel level) {
+  TheoremEngine engine(w.app, CheckOptions());
+  return engine.CheckAtLevel(type, level);
+}
+
+// ---- banking (Example 3 / Figure 1) ----
+
+TEST(BankingTheorems, WithdrawFailsReadCommitted) {
+  Workload w = MakeBankingWorkload();
+  LevelCheckReport r = Check(w, "Withdraw_sav", IsoLevel::kReadCommitted);
+  EXPECT_FALSE(r.correct);
+}
+
+TEST(BankingTheorems, WithdrawCorrectAtRepeatableRead) {
+  // Conventional database model: Theorem 4.
+  Workload w = MakeBankingWorkload();
+  LevelCheckReport r = Check(w, "Withdraw_sav", IsoLevel::kRepeatableRead);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.triples_checked, 0);  // Thm 4 needs no obligations
+}
+
+TEST(BankingTheorems, WithdrawPairFailsSnapshot) {
+  // Write skew: Withdraw_ch interferes with Withdraw_sav's read step and
+  // their write sets are disjoint.
+  Workload w = MakeBankingWorkload();
+  LevelCheckReport r = Check(w, "Withdraw_sav", IsoLevel::kSnapshot);
+  EXPECT_FALSE(r.correct);
+  const Obligation* failure = r.FirstFailure();
+  ASSERT_NE(failure, nullptr);
+  EXPECT_NE(failure->source.find("Withdraw_ch"), std::string::npos);
+}
+
+TEST(BankingTheorems, SameTypeSnapshotPairExcusedByWriteSets) {
+  // Two Withdraw_sav instances intersect in write sets: FCW aborts one
+  // (the paper's condition (1)).
+  Workload w = MakeBankingWorkload();
+  LevelCheckReport r = Check(w, "Withdraw_sav", IsoLevel::kSnapshot);
+  bool excused_same_type = false;
+  for (const Obligation& o : r.obligations) {
+    if (o.excused && o.source.find("Withdraw_sav") != std::string::npos) {
+      excused_same_type = true;
+    }
+  }
+  EXPECT_TRUE(excused_same_type);
+}
+
+TEST(BankingTheorems, DepositDoesNotBreakWithdrawReadStep) {
+  // Deposits only increase balances: no snapshot-pair failure between
+  // Withdraw_sav and Deposit_ch (disjoint writes, monotone interference).
+  Workload w = MakeBankingWorkload();
+  LevelCheckReport r = Check(w, "Withdraw_sav", IsoLevel::kSnapshot);
+  for (const Obligation& o : r.obligations) {
+    if (o.source.find("Deposit_ch") != std::string::npos) {
+      EXPECT_TRUE(o.Passed()) << o.result.detail;
+    }
+  }
+}
+
+TEST(BankingTheorems, EverythingCorrectAtSerializable) {
+  Workload w = MakeBankingWorkload();
+  for (const char* type :
+       {"Withdraw_sav", "Withdraw_ch", "Deposit_sav", "Deposit_ch"}) {
+    EXPECT_TRUE(Check(w, type, IsoLevel::kSerializable).correct) << type;
+  }
+}
+
+// ---- payroll (Example 2) ----
+
+TEST(PayrollTheorems, PrintRecordsFailsReadUncommitted) {
+  // Hours' individual writes break I_sal: dirty readers see half-updates.
+  Workload w = MakePayrollWorkload();
+  LevelCheckReport r = Check(w, "Print_Records", IsoLevel::kReadUncommitted);
+  EXPECT_FALSE(r.correct);
+  const Obligation* failure = r.FirstFailure();
+  ASSERT_NE(failure, nullptr);
+  EXPECT_NE(failure->source.find("Hours"), std::string::npos);
+}
+
+TEST(PayrollTheorems, PrintRecordsCorrectAtReadCommitted) {
+  // Hours as an atomic unit preserves I_sal (the two updates compose).
+  Workload w = MakePayrollWorkload();
+  LevelCheckReport r = Check(w, "Print_Records", IsoLevel::kReadCommitted);
+  EXPECT_TRUE(r.correct) << (r.FirstFailure() != nullptr
+                                 ? r.FirstFailure()->result.detail
+                                 : "");
+}
+
+TEST(PayrollTheorems, HoursFailsReadUncommitted) {
+  Workload w = MakePayrollWorkload();
+  EXPECT_FALSE(Check(w, "Hours", IsoLevel::kReadUncommitted).correct);
+}
+
+TEST(PayrollTheorems, HoursCorrectAtReadCommitted) {
+  Workload w = MakePayrollWorkload();
+  LevelCheckReport r = Check(w, "Hours", IsoLevel::kReadCommitted);
+  EXPECT_TRUE(r.correct) << (r.FirstFailure() != nullptr
+                                 ? r.FirstFailure()->result.detail
+                                 : "");
+}
+
+// ---- mailing (Examples 1-2) ----
+
+TEST(MailingTheorems, WeakMailingListCorrectAtReadUncommitted) {
+  Workload w = MakeMailingWorkload();
+  LevelCheckReport r = Check(w, "Mailing_List", IsoLevel::kReadUncommitted);
+  EXPECT_TRUE(r.correct) << (r.FirstFailure() != nullptr
+                                 ? r.FirstFailure()->result.detail
+                                 : "");
+}
+
+TEST(MailingTheorems, StrongMailingListFailsReadUncommitted) {
+  // The rollback (undo delete) of New_Order_Cust invalidates "the label
+  // refers to a customer".
+  Workload w = MakeMailingWorkload();
+  LevelCheckReport r =
+      Check(w, "Mailing_List_Strong", IsoLevel::kReadUncommitted);
+  EXPECT_FALSE(r.correct);
+  const Obligation* failure = r.FirstFailure();
+  ASSERT_NE(failure, nullptr);
+  EXPECT_NE(failure->source.find("undo"), std::string::npos)
+      << failure->source;
+}
+
+TEST(MailingTheorems, StrongMailingListCorrectAtReadCommitted) {
+  Workload w = MakeMailingWorkload();
+  LevelCheckReport r =
+      Check(w, "Mailing_List_Strong", IsoLevel::kReadCommitted);
+  EXPECT_TRUE(r.correct) << (r.FirstFailure() != nullptr
+                                 ? r.FirstFailure()->result.detail
+                                 : "");
+}
+
+// ---- §6 orders application ----
+
+class OrdersTheorems : public ::testing::Test {
+ protected:
+  Workload basic_ = MakeOrdersWorkload(false);
+  Workload unique_ = MakeOrdersWorkload(true);
+};
+
+TEST_F(OrdersTheorems, MailingListReadUncommitted) {
+  EXPECT_TRUE(Check(basic_, "Mailing_List", IsoLevel::kReadUncommitted).correct);
+}
+
+TEST_F(OrdersTheorems, NewOrderFailsReadUncommitted) {
+  EXPECT_FALSE(Check(basic_, "New_Order", IsoLevel::kReadUncommitted).correct);
+}
+
+TEST_F(OrdersTheorems, NewOrderCorrectAtReadCommitted) {
+  LevelCheckReport r = Check(basic_, "New_Order", IsoLevel::kReadCommitted);
+  EXPECT_TRUE(r.correct) << (r.FirstFailure() != nullptr
+                                 ? r.FirstFailure()->assertion + " vs " +
+                                       r.FirstFailure()->source + ": " +
+                                       r.FirstFailure()->result.detail
+                                 : "");
+}
+
+TEST_F(OrdersTheorems, UniqueNewOrderFailsReadCommitted) {
+  // one_order_per_day: the MAXDATE read needs the equality annotation,
+  // which other New_Orders interfere with.
+  EXPECT_FALSE(Check(unique_, "New_Order", IsoLevel::kReadCommitted).correct);
+}
+
+TEST_F(OrdersTheorems, UniqueNewOrderCorrectWithFirstCommitterWins) {
+  LevelCheckReport r =
+      Check(unique_, "New_Order", IsoLevel::kReadCommittedFcw);
+  EXPECT_TRUE(r.correct) << (r.FirstFailure() != nullptr
+                                 ? r.FirstFailure()->assertion + " vs " +
+                                       r.FirstFailure()->source + ": " +
+                                       r.FirstFailure()->result.detail
+                                 : "");
+}
+
+TEST_F(OrdersTheorems, DeliveryFailsReadCommitted) {
+  // Another Delivery invalidates the SELECT postcondition.
+  EXPECT_FALSE(Check(basic_, "Delivery", IsoLevel::kReadCommitted).correct);
+}
+
+TEST_F(OrdersTheorems, DeliveryCorrectAtRepeatableReadViaCondition2) {
+  LevelCheckReport r = Check(basic_, "Delivery", IsoLevel::kRepeatableRead);
+  EXPECT_TRUE(r.correct) << (r.FirstFailure() != nullptr
+                                 ? r.FirstFailure()->assertion + " vs " +
+                                       r.FirstFailure()->source + ": " +
+                                       r.FirstFailure()->result.detail
+                                 : "");
+  // The self-interference must have been excused by predicate intersection.
+  bool excused = false;
+  for (const Obligation& o : r.obligations) {
+    if (o.excused) excused = true;
+  }
+  EXPECT_TRUE(excused);
+}
+
+TEST_F(OrdersTheorems, AuditFailsRepeatableRead) {
+  // New_Order's phantom insert defeats tuple locks (the paper's point).
+  LevelCheckReport r = Check(basic_, "Audit", IsoLevel::kRepeatableRead);
+  EXPECT_FALSE(r.correct);
+}
+
+TEST_F(OrdersTheorems, AuditCorrectAtSerializable) {
+  EXPECT_TRUE(Check(basic_, "Audit", IsoLevel::kSerializable).correct);
+}
+
+}  // namespace
+}  // namespace semcor

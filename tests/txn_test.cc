@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "txn/txn.h"
+
+namespace semcor {
+namespace {
+
+class TxnManagerTest : public ::testing::Test {
+ protected:
+  TxnManagerTest() : mgr_(&store_, &locks_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(store_.CreateItem("x", Value::Int(10)).ok());
+    ASSERT_TRUE(store_.CreateItem("y", Value::Int(20)).ok());
+    ASSERT_TRUE(store_
+                    .CreateTable("T", Schema({{"k", Value::Type::kInt},
+                                              {"v", Value::Type::kInt}}))
+                    .ok());
+    ASSERT_TRUE(
+        store_.LoadRow("T", {{"k", Value::Int(1)}, {"v", Value::Int(5)}}).ok());
+    ASSERT_TRUE(
+        store_.LoadRow("T", {{"k", Value::Int(2)}, {"v", Value::Int(6)}}).ok());
+  }
+
+  Store store_;
+  LockManager locks_;
+  TxnManager mgr_;
+};
+
+TEST_F(TxnManagerTest, ReadCommittedBlocksOnDirtyData) {
+  auto writer = mgr_.Begin(IsoLevel::kReadCommitted);
+  ASSERT_TRUE(mgr_.WriteItem(writer.get(), "x", Value::Int(99), false).ok());
+  auto reader = mgr_.Begin(IsoLevel::kReadCommitted);
+  Value v;
+  EXPECT_EQ(mgr_.ReadItem(reader.get(), "x", &v, false).code(),
+            Code::kWouldBlock);
+  ASSERT_TRUE(mgr_.Commit(writer.get()).ok());
+  ASSERT_TRUE(mgr_.ReadItem(reader.get(), "x", &v, false).ok());
+  EXPECT_EQ(v.AsInt(), 99);
+}
+
+TEST_F(TxnManagerTest, ReadUncommittedSeesDirtyData) {
+  auto writer = mgr_.Begin(IsoLevel::kReadCommitted);
+  ASSERT_TRUE(mgr_.WriteItem(writer.get(), "x", Value::Int(99), false).ok());
+  auto reader = mgr_.Begin(IsoLevel::kReadUncommitted);
+  Value v;
+  ASSERT_TRUE(mgr_.ReadItem(reader.get(), "x", &v, false).ok());
+  EXPECT_EQ(v.AsInt(), 99);  // dirty read
+  mgr_.Abort(writer.get());
+  ASSERT_TRUE(mgr_.ReadItem(reader.get(), "x", &v, false).ok());
+  EXPECT_EQ(v.AsInt(), 10);  // the dirty value vanished
+}
+
+TEST_F(TxnManagerTest, ShortReadLocksAllowNonRepeatableReads) {
+  auto reader = mgr_.Begin(IsoLevel::kReadCommitted);
+  Value v;
+  ASSERT_TRUE(mgr_.ReadItem(reader.get(), "x", &v, false).ok());
+  EXPECT_EQ(v.AsInt(), 10);
+  auto writer = mgr_.Begin(IsoLevel::kReadCommitted);
+  ASSERT_TRUE(mgr_.WriteItem(writer.get(), "x", Value::Int(11), false).ok());
+  ASSERT_TRUE(mgr_.Commit(writer.get()).ok());
+  ASSERT_TRUE(mgr_.ReadItem(reader.get(), "x", &v, false).ok());
+  EXPECT_EQ(v.AsInt(), 11);  // non-repeatable read at RC
+}
+
+TEST_F(TxnManagerTest, LongReadLocksBlockWriters) {
+  auto reader = mgr_.Begin(IsoLevel::kRepeatableRead);
+  Value v;
+  ASSERT_TRUE(mgr_.ReadItem(reader.get(), "x", &v, false).ok());
+  auto writer = mgr_.Begin(IsoLevel::kReadCommitted);
+  EXPECT_EQ(mgr_.WriteItem(writer.get(), "x", Value::Int(11), false).code(),
+            Code::kWouldBlock);
+  ASSERT_TRUE(mgr_.Commit(reader.get()).ok());
+  EXPECT_TRUE(mgr_.WriteItem(writer.get(), "x", Value::Int(11), false).ok());
+}
+
+TEST_F(TxnManagerTest, WriterKeepsXLockAcrossOwnRead) {
+  auto writer = mgr_.Begin(IsoLevel::kReadCommitted);
+  ASSERT_TRUE(mgr_.WriteItem(writer.get(), "x", Value::Int(50), false).ok());
+  Value v;
+  // Own short read must not drop the long X lock.
+  ASSERT_TRUE(mgr_.ReadItem(writer.get(), "x", &v, false).ok());
+  EXPECT_EQ(v.AsInt(), 50);
+  auto other = mgr_.Begin(IsoLevel::kReadCommitted);
+  EXPECT_EQ(mgr_.WriteItem(other.get(), "x", Value::Int(1), false).code(),
+            Code::kWouldBlock);
+}
+
+TEST_F(TxnManagerTest, FirstCommitterWinsOnItemWrite) {
+  auto t1 = mgr_.Begin(IsoLevel::kReadCommittedFcw);
+  Value v;
+  ASSERT_TRUE(mgr_.ReadItem(t1.get(), "x", &v, false).ok());
+  // Another txn commits a write between t1's read and write.
+  auto t2 = mgr_.Begin(IsoLevel::kReadCommitted);
+  ASSERT_TRUE(mgr_.WriteItem(t2.get(), "x", Value::Int(77), false).ok());
+  ASSERT_TRUE(mgr_.Commit(t2.get()).ok());
+  EXPECT_EQ(mgr_.WriteItem(t1.get(), "x", Value::Int(88), false).code(),
+            Code::kConflict);
+}
+
+TEST_F(TxnManagerTest, FcwPassesWhenUnchanged) {
+  auto t1 = mgr_.Begin(IsoLevel::kReadCommittedFcw);
+  Value v;
+  ASSERT_TRUE(mgr_.ReadItem(t1.get(), "x", &v, false).ok());
+  EXPECT_TRUE(mgr_.WriteItem(t1.get(), "x", Value::Int(88), false).ok());
+  EXPECT_TRUE(mgr_.Commit(t1.get()).ok());
+  EXPECT_EQ(store_.ReadItemCommitted("x").value().AsInt(), 88);
+}
+
+TEST_F(TxnManagerTest, SelectRowsWithPredicate) {
+  auto t = mgr_.Begin(IsoLevel::kReadCommitted);
+  std::vector<Tuple> rows;
+  ASSERT_TRUE(mgr_.SelectRows(t.get(), "T", Gt(Attr("v"), Lit(int64_t{5})),
+                              &rows, false)
+                  .ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("k").AsInt(), 2);
+}
+
+TEST_F(TxnManagerTest, UpdateRowsAppliesSets) {
+  auto t = mgr_.Begin(IsoLevel::kReadCommitted);
+  int updated = 0;
+  ASSERT_TRUE(mgr_.UpdateRows(t.get(), "T", Eq(Attr("k"), Lit(int64_t{1})),
+                              {{"v", Add(Attr("v"), Lit(int64_t{10}))}}, false,
+                              &updated)
+                  .ok());
+  EXPECT_EQ(updated, 1);
+  ASSERT_TRUE(mgr_.Commit(t.get()).ok());
+  std::vector<Tuple> tuples = store_.CommittedTuples("T");
+  for (const Tuple& tuple : tuples) {
+    if (tuple.at("k").AsInt() == 1) {
+      EXPECT_EQ(tuple.at("v").AsInt(), 15);
+    }
+  }
+}
+
+TEST_F(TxnManagerTest, DeleteRows) {
+  auto t = mgr_.Begin(IsoLevel::kReadCommitted);
+  int deleted = 0;
+  ASSERT_TRUE(
+      mgr_.DeleteRows(t.get(), "T", True(), false, &deleted).ok());
+  EXPECT_EQ(deleted, 2);
+  ASSERT_TRUE(mgr_.Commit(t.get()).ok());
+  EXPECT_TRUE(store_.CommittedTuples("T").empty());
+}
+
+TEST_F(TxnManagerTest, InsertVisibleAfterCommitOnly) {
+  auto t = mgr_.Begin(IsoLevel::kReadCommitted);
+  ASSERT_TRUE(mgr_.InsertRow(t.get(), "T",
+                             {{"k", Value::Int(3)}, {"v", Value::Int(7)}},
+                             false)
+                  .ok());
+  EXPECT_EQ(store_.CommittedTuples("T").size(), 2u);
+  ASSERT_TRUE(mgr_.Commit(t.get()).ok());
+  EXPECT_EQ(store_.CommittedTuples("T").size(), 3u);
+}
+
+TEST_F(TxnManagerTest, SerializablePredicateLockBlocksPhantomInsert) {
+  auto reader = mgr_.Begin(IsoLevel::kSerializable);
+  std::vector<Tuple> rows;
+  ASSERT_TRUE(mgr_.SelectRows(reader.get(), "T",
+                              Eq(Attr("k"), Lit(int64_t{3})), &rows, false)
+                  .ok());
+  EXPECT_TRUE(rows.empty());
+  auto writer = mgr_.Begin(IsoLevel::kReadCommitted);
+  // Inserting a matching (phantom) tuple is blocked by the S predicate lock.
+  EXPECT_EQ(mgr_.InsertRow(writer.get(), "T",
+                           {{"k", Value::Int(3)}, {"v", Value::Int(1)}}, false)
+                .code(),
+            Code::kWouldBlock);
+  // A non-matching insert passes.
+  EXPECT_TRUE(mgr_.InsertRow(writer.get(), "T",
+                             {{"k", Value::Int(9)}, {"v", Value::Int(1)}},
+                             false)
+                  .ok());
+}
+
+TEST_F(TxnManagerTest, RepeatableReadAdmitsPhantoms) {
+  auto reader = mgr_.Begin(IsoLevel::kRepeatableRead);
+  std::vector<Tuple> rows;
+  ASSERT_TRUE(mgr_.SelectRows(reader.get(), "T",
+                              Eq(Attr("k"), Lit(int64_t{3})), &rows, false)
+                  .ok());
+  EXPECT_TRUE(rows.empty());
+  auto writer = mgr_.Begin(IsoLevel::kReadCommitted);
+  ASSERT_TRUE(mgr_.InsertRow(writer.get(), "T",
+                             {{"k", Value::Int(3)}, {"v", Value::Int(1)}},
+                             false)
+                  .ok());
+  ASSERT_TRUE(mgr_.Commit(writer.get()).ok());
+  ASSERT_TRUE(mgr_.SelectRows(reader.get(), "T",
+                              Eq(Attr("k"), Lit(int64_t{3})), &rows, false)
+                  .ok());
+  EXPECT_EQ(rows.size(), 1u);  // the phantom appeared
+}
+
+TEST_F(TxnManagerTest, SnapshotLevelReadsSnapshotAndDefersWrites) {
+  auto snap = mgr_.Begin(IsoLevel::kSnapshot);
+  Value v;
+  ASSERT_TRUE(mgr_.ReadItem(snap.get(), "x", &v, false).ok());
+  EXPECT_EQ(v.AsInt(), 10);
+  ASSERT_TRUE(mgr_.WriteItem(snap.get(), "x", Value::Int(44), false).ok());
+  // Deferred: not even dirty-visible.
+  EXPECT_EQ(store_.ReadItemLatest("x").value().AsInt(), 10);
+  // Own read sees the buffered write.
+  ASSERT_TRUE(mgr_.ReadItem(snap.get(), "x", &v, false).ok());
+  EXPECT_EQ(v.AsInt(), 44);
+  ASSERT_TRUE(mgr_.Commit(snap.get()).ok());
+  EXPECT_EQ(store_.ReadItemCommitted("x").value().AsInt(), 44);
+}
+
+TEST_F(TxnManagerTest, SnapshotCommitConflictAborts) {
+  auto snap = mgr_.Begin(IsoLevel::kSnapshot);
+  ASSERT_TRUE(mgr_.WriteItem(snap.get(), "x", Value::Int(44), false).ok());
+  auto other = mgr_.Begin(IsoLevel::kReadCommitted);
+  ASSERT_TRUE(mgr_.WriteItem(other.get(), "x", Value::Int(55), false).ok());
+  ASSERT_TRUE(mgr_.Commit(other.get()).ok());
+  Status s = mgr_.Commit(snap.get());
+  EXPECT_EQ(s.code(), Code::kConflict);
+  EXPECT_EQ(snap->state, Txn::State::kAborted);
+  EXPECT_EQ(store_.ReadItemCommitted("x").value().AsInt(), 55);
+}
+
+TEST_F(TxnManagerTest, AbortReleasesEverything) {
+  auto t = mgr_.Begin(IsoLevel::kRepeatableRead);
+  Value v;
+  ASSERT_TRUE(mgr_.ReadItem(t.get(), "x", &v, false).ok());
+  ASSERT_TRUE(mgr_.WriteItem(t.get(), "y", Value::Int(0), false).ok());
+  mgr_.Abort(t.get());
+  EXPECT_EQ(locks_.HeldCount(t->id), 0u);
+  EXPECT_EQ(store_.ReadItemCommitted("y").value().AsInt(), 20);
+}
+
+}  // namespace
+}  // namespace semcor

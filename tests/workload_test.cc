@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "sem/rt/oracle.h"
+#include "workload/workload.h"
+
+namespace semcor {
+namespace {
+
+class AllWorkloadsTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  Workload Make() const {
+    const std::string name = GetParam();
+    if (name == "banking") return MakeBankingWorkload();
+    if (name == "payroll") return MakePayrollWorkload();
+    if (name == "mailing") return MakeMailingWorkload();
+    if (name == "orders") return MakeOrdersWorkload(false);
+    if (name == "orders_unique") return MakeOrdersWorkload(true);
+    return MakeTpccWorkload();
+  }
+};
+
+TEST_P(AllWorkloadsTest, SetupSatisfiesInvariant) {
+  Workload w = Make();
+  Store store;
+  ASSERT_TRUE(w.setup(&store).ok());
+  MapEvalContext state = store.SnapshotToMap();
+  Result<bool> holds = EvalBool(w.app.invariant, state);
+  ASSERT_TRUE(holds.ok()) << holds.status().ToString();
+  EXPECT_TRUE(holds.value());
+}
+
+TEST_P(AllWorkloadsTest, InstantiateProducesRunnablePrograms) {
+  Workload w = Make();
+  Rng rng(7);
+  for (const TransactionType& type : w.app.types) {
+    auto program = w.instantiate(type.name, rng);
+    ASSERT_NE(program, nullptr) << type.name;
+    EXPECT_EQ(program->type_name, type.name);
+  }
+  EXPECT_EQ(w.instantiate("NoSuchType", rng), nullptr);
+}
+
+TEST_P(AllWorkloadsTest, MixCoversKnownTypes) {
+  Workload w = Make();
+  ASSERT_FALSE(w.mix.empty());
+  for (const auto& [type, weight] : w.mix) {
+    EXPECT_GT(weight, 0.0);
+    bool found = false;
+    for (const TransactionType& t : w.app.types) found |= t.name == type;
+    EXPECT_TRUE(found) << type;
+  }
+}
+
+TEST_P(AllWorkloadsTest, PaperLevelsCoverAllMixTypes) {
+  Workload w = Make();
+  for (const auto& [type, weight] : w.mix) {
+    EXPECT_TRUE(w.paper_levels.count(type)) << type;
+  }
+}
+
+TEST_P(AllWorkloadsTest, SerialRandomExecutionStaysSemanticallysCorrect) {
+  Workload w = Make();
+  Store store;
+  ASSERT_TRUE(w.setup(&store).ok());
+  LockManager locks;
+  TxnManager mgr(&store, &locks);
+  CommitLog log;
+  MapEvalContext initial = store.SnapshotToMap();
+  Rng rng(42);
+  const std::map<std::string, IsoLevel> levels = w.paper_levels;
+  for (int i = 0; i < 30; ++i) {
+    WorkItem item = w.DrawFromMix(rng, levels, IsoLevel::kSerializable);
+    ASSERT_NE(item.program, nullptr);
+    ProgramRun run(&mgr, item.program, item.level, &log);
+    StepOutcome outcome = run.RunToCompletion();
+    EXPECT_TRUE(outcome == StepOutcome::kCommitted ||
+                outcome == StepOutcome::kAborted)
+        << item.program->instance_label;
+  }
+  OracleReport report =
+      CheckSemanticCorrectness(initial, store, log, w.app.invariant);
+  EXPECT_TRUE(report.ok()) << GetParam() << ": " << report.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, AllWorkloadsTest,
+                         ::testing::Values("banking", "payroll", "mailing",
+                                           "orders", "orders_unique", "tpcc"));
+
+TEST(WorkloadTest, DrawFromMixRespectsLevels) {
+  Workload w = MakeBankingWorkload();
+  Rng rng(3);
+  std::map<std::string, IsoLevel> levels = {
+      {"Withdraw_sav", IsoLevel::kSnapshot}};
+  for (int i = 0; i < 20; ++i) {
+    WorkItem item = w.DrawFromMix(rng, levels, IsoLevel::kReadCommitted);
+    if (item.program->type_name == "Withdraw_sav") {
+      EXPECT_EQ(item.level, IsoLevel::kSnapshot);
+    } else {
+      EXPECT_EQ(item.level, IsoLevel::kReadCommitted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semcor

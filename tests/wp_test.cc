@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "sem/check/wp.h"
+#include "sem/expr/simplify.h"
+#include "sem/logic/decide.h"
+#include "sem/prog/builder.h"
+
+namespace semcor {
+namespace {
+
+StmtPtr FirstStmt(const TxnProgram& p) { return p.body.front(); }
+
+/// Helper: {phi} stmt {post} provable?
+Verdict Triple(const Expr& phi, const Stmt& stmt, const Expr& post) {
+  FreshNames fresh;
+  Result<WpResult> wp = Wp(stmt, post, &fresh);
+  EXPECT_TRUE(wp.ok());
+  return DecideValidity(Simplify(Implies(phi, wp.value().formula))).verdict;
+}
+
+TEST(WpTest, WriteIsSubstitution) {
+  ProgramBuilder b("T");
+  b.Write("x", Add(Local("X"), Lit(int64_t{1})));
+  TxnProgram p = b.Build({});
+  FreshNames fresh;
+  Result<WpResult> wp =
+      Wp(*FirstStmt(p), Ge(DbVar("x"), Lit(int64_t{1})), &fresh);
+  ASSERT_TRUE(wp.ok());
+  EXPECT_TRUE(wp.value().exact);
+  EXPECT_EQ(ToString(Simplify(wp.value().formula)), "(($X + 1) >= 1)");
+}
+
+TEST(WpTest, ReadSubstitutesLocal) {
+  ProgramBuilder b("T");
+  b.Read("X", "x");
+  TxnProgram p = b.Build({});
+  FreshNames fresh;
+  Result<WpResult> wp =
+      Wp(*FirstStmt(p), Eq(Local("X"), DbVar("x")), &fresh);
+  ASSERT_TRUE(wp.ok());
+  EXPECT_TRUE(IsTrueLiteral(Simplify(wp.value().formula)));
+}
+
+TEST(WpTest, ControlFlowRejected) {
+  ProgramBuilder b("T");
+  b.If(Lit(true), [](ProgramBuilder&) {});
+  TxnProgram p = b.Build({});
+  FreshNames fresh;
+  EXPECT_FALSE(Wp(*FirstStmt(p), True(), &fresh).ok());
+}
+
+TEST(WpTest, AbortIsIdentity) {
+  ProgramBuilder b("T");
+  b.Abort();
+  TxnProgram p = b.Build({});
+  FreshNames fresh;
+  Expr post = Ge(DbVar("x"), Lit(int64_t{0}));
+  Result<WpResult> wp = Wp(*FirstStmt(p), post, &fresh);
+  ASSERT_TRUE(wp.ok());
+  EXPECT_TRUE(ExprEquals(wp.value().formula, post));
+}
+
+// ---- INSERT transformers ----
+
+Stmt InsertStmt(std::map<std::string, Expr> values) {
+  Stmt s;
+  s.kind = StmtKind::kInsert;
+  s.table = "T";
+  s.values = std::move(values);
+  s.pre = True();
+  return s;
+}
+
+TEST(WpTest, InsertPreservesExistsMonotonically) {
+  Stmt ins = InsertStmt({{"k", Lit(int64_t{5})}});
+  Expr post = Exists("T", Gt(Attr("k"), Lit(int64_t{0})));
+  EXPECT_EQ(Triple(post, ins, post), Verdict::kValid);
+}
+
+TEST(WpTest, InsertCanEstablishExists) {
+  Stmt ins = InsertStmt({{"k", Lit(int64_t{5})}});
+  Expr post = Exists("T", Eq(Attr("k"), Lit(int64_t{5})));
+  // Even from `true` the insert establishes existence.
+  EXPECT_EQ(Triple(True(), ins, post), Verdict::kValid);
+}
+
+TEST(WpTest, InsertBreaksForallWhenValueViolates) {
+  Stmt ins = InsertStmt({{"k", Lit(int64_t{-3})}});
+  Expr post = Forall("T", True(), Ge(Attr("k"), Lit(int64_t{0})));
+  EXPECT_NE(Triple(post, ins, post), Verdict::kValid);
+}
+
+TEST(WpTest, InsertPreservesForallWhenValueComplies) {
+  Stmt ins = InsertStmt({{"k", Lit(int64_t{3})}});
+  Expr post = Forall("T", True(), Ge(Attr("k"), Lit(int64_t{0})));
+  EXPECT_EQ(Triple(post, ins, post), Verdict::kValid);
+}
+
+TEST(WpTest, InsertCountExact) {
+  Stmt ins = InsertStmt({{"k", Lit(int64_t{1})}});
+  // {count==n} insert {count==n+1} when the tuple matches.
+  Expr c = Count("T", Eq(Attr("k"), Lit(int64_t{1})));
+  Expr phi = Eq(c, Local("n"));
+  Expr post = Eq(c, Add(Local("n"), Lit(int64_t{1})));
+  EXPECT_EQ(Triple(phi, ins, post), Verdict::kValid);
+  // And a non-matching insert leaves it unchanged.
+  Stmt other = InsertStmt({{"k", Lit(int64_t{2})}});
+  EXPECT_EQ(Triple(phi, other, phi), Verdict::kValid);
+}
+
+TEST(WpTest, InsertSumExact) {
+  Stmt ins = InsertStmt({{"k", Lit(int64_t{1})}, {"v", Lit(int64_t{7})}});
+  Expr s = SumOf("T", "v", Eq(Attr("k"), Lit(int64_t{1})));
+  Expr phi = Eq(s, Local("n"));
+  Expr post = Eq(s, Add(Local("n"), Lit(int64_t{7})));
+  EXPECT_EQ(Triple(phi, ins, post), Verdict::kValid);
+}
+
+TEST(WpTest, InsertMaxBounds) {
+  Stmt ins = InsertStmt({{"v", Lit(int64_t{5})}});
+  Expr m = MaxOf("T", "v", True(), 0);
+  // After inserting 5, max >= 5.
+  EXPECT_EQ(Triple(True(), ins, Ge(m, Lit(int64_t{5}))), Verdict::kValid);
+  // {max <= 4} insert(5) {max <= 5}.
+  EXPECT_EQ(Triple(Le(m, Lit(int64_t{4})), ins, Le(m, Lit(int64_t{5}))),
+            Verdict::kValid);
+  // But {max <= 4} insert(5) {max <= 4} must fail.
+  EXPECT_NE(Triple(Le(m, Lit(int64_t{4})), ins, Le(m, Lit(int64_t{4}))),
+            Verdict::kValid);
+}
+
+TEST(WpTest, InsertWithUncoveredAttrAbstains) {
+  // Predicate depends on attribute `z` the insert doesn't provide.
+  Stmt ins = InsertStmt({{"k", Lit(int64_t{1})}});
+  Expr post = Exists("T", Gt(Attr("z"), Lit(int64_t{0})));
+  FreshNames fresh;
+  Result<WpResult> wp = Wp(ins, post, &fresh);
+  ASSERT_TRUE(wp.ok());
+  EXPECT_FALSE(wp.value().exact);
+}
+
+// ---- DELETE transformers ----
+
+Stmt DeleteStmt(Expr pred) {
+  Stmt s;
+  s.kind = StmtKind::kDelete;
+  s.table = "T";
+  s.pred = std::move(pred);
+  s.pre = True();
+  return s;
+}
+
+TEST(WpTest, DeletePreservesForall) {
+  Stmt del = DeleteStmt(Eq(Attr("k"), Lit(int64_t{1})));
+  Expr post = Forall("T", True(), Ge(Attr("v"), Lit(int64_t{0})));
+  EXPECT_EQ(Triple(post, del, post), Verdict::kValid);
+}
+
+TEST(WpTest, DeleteDisjointPredicatePreservesAtom) {
+  Stmt del = DeleteStmt(Eq(Attr("k"), Lit(int64_t{1})));
+  Expr post = Exists("T", Eq(Attr("k"), Lit(int64_t{2})));
+  EXPECT_EQ(Triple(post, del, post), Verdict::kValid);
+}
+
+TEST(WpTest, DeleteOverlappingBreaksExists) {
+  Stmt del = DeleteStmt(Eq(Attr("k"), Lit(int64_t{1})));
+  Expr post = Exists("T", Eq(Attr("k"), Lit(int64_t{1})));
+  EXPECT_NE(Triple(post, del, post), Verdict::kValid);
+}
+
+TEST(WpTest, DeleteCountBounded) {
+  Stmt del = DeleteStmt(True());
+  Expr c = Count("T", True());
+  // {count <= 5} delete {count <= 5} (can only shrink).
+  EXPECT_EQ(Triple(Le(c, Lit(int64_t{5})), del, Le(c, Lit(int64_t{5}))),
+            Verdict::kValid);
+  // {count >= 1} delete {count >= 1} must fail.
+  EXPECT_NE(Triple(Ge(c, Lit(int64_t{1})), del, Ge(c, Lit(int64_t{1}))),
+            Verdict::kValid);
+}
+
+// ---- UPDATE transformers ----
+
+Stmt UpdateStmt(Expr pred, std::map<std::string, Expr> sets) {
+  Stmt s;
+  s.kind = StmtKind::kUpdate;
+  s.table = "T";
+  s.pred = std::move(pred);
+  s.sets = std::move(sets);
+  s.pre = True();
+  return s;
+}
+
+TEST(WpTest, UpdateUntouchedAttributesPreserveAtom) {
+  Stmt upd = UpdateStmt(True(), {{"v", Lit(int64_t{0})}});
+  Expr post = Exists("T", Eq(Attr("k"), Lit(int64_t{1})));
+  EXPECT_EQ(Triple(post, upd, post), Verdict::kValid);
+}
+
+TEST(WpTest, UpdateForallConclusionRewrites) {
+  // Payroll core: {forall(id==1: 10*h == s)} hours += d; sal += 10*d
+  // composes to preservation; a single update does not preserve it but
+  // establishes the shifted invariant.
+  Expr inv = Forall("T", Eq(Attr("id"), Lit(int64_t{1})),
+                    Eq(Mul(Lit(int64_t{10}), Attr("h")), Attr("s")));
+  Stmt u1 = UpdateStmt(Eq(Attr("id"), Lit(int64_t{1})),
+                       {{"h", Add(Attr("h"), Local("d"))}});
+  Expr shifted = Forall("T", Eq(Attr("id"), Lit(int64_t{1})),
+                        Eq(Mul(Lit(int64_t{10}),
+                               Sub(Attr("h"), Local("d"))),
+                           Attr("s")));
+  EXPECT_EQ(Triple(inv, u1, shifted), Verdict::kValid);
+  EXPECT_NE(Triple(inv, u1, inv), Verdict::kValid);
+  // And the second update restores the invariant.
+  Stmt u2 = UpdateStmt(Eq(Attr("id"), Lit(int64_t{1})),
+                       {{"s", Add(Attr("s"), Mul(Lit(int64_t{10}), Local("d")))}});
+  EXPECT_EQ(Triple(shifted, u2, inv), Verdict::kValid);
+}
+
+TEST(WpTest, GuardedUpdatePreservesNonNegativity) {
+  // update T set v = v - q where v >= q keeps v >= 0.
+  Expr inv = Forall("T", True(), Ge(Attr("v"), Lit(int64_t{0})));
+  Stmt upd = UpdateStmt(Ge(Attr("v"), Local("q")),
+                        {{"v", Sub(Attr("v"), Local("q"))}});
+  EXPECT_EQ(Triple(inv, upd, inv), Verdict::kValid);
+}
+
+TEST(WpTest, UnguardedDecrementBreaksNonNegativity) {
+  Expr inv = Forall("T", True(), Ge(Attr("v"), Lit(int64_t{0})));
+  Stmt upd = UpdateStmt(True(), {{"v", Sub(Attr("v"), Local("q"))}});
+  EXPECT_NE(Triple(And(inv, Ge(Local("q"), Lit(int64_t{1}))), upd, inv),
+            Verdict::kValid);
+}
+
+TEST(WpTest, UpdateMembershipSafeWhenDisjoint) {
+  // Count over k==1 unaffected by updates of k==2 rows even though the
+  // update touches k itself... only if provably no flow between them.
+  Stmt upd = UpdateStmt(Eq(Attr("k"), Lit(int64_t{2})),
+                        {{"k", Lit(int64_t{2})}});
+  Expr c = Count("T", Eq(Attr("k"), Lit(int64_t{1})));
+  Expr phi = Eq(c, Local("n"));
+  EXPECT_EQ(Triple(phi, upd, phi), Verdict::kValid);
+}
+
+TEST(WpTest, UpdateMembershipChangeAbstains) {
+  Stmt upd = UpdateStmt(Eq(Attr("k"), Lit(int64_t{2})),
+                        {{"k", Lit(int64_t{1})}});
+  Expr c = Count("T", Eq(Attr("k"), Lit(int64_t{1})));
+  Expr phi = Eq(c, Local("n"));
+  EXPECT_NE(Triple(phi, upd, phi), Verdict::kValid);
+}
+
+// ---- misc ----
+
+TEST(WpTest, ReplaceSubterm) {
+  Expr c = Count("T", True());
+  Expr e = Gt(Add(c, Lit(int64_t{1})), Lit(int64_t{0}));
+  Expr out = ReplaceSubterm(e, c, Local("n"));
+  EXPECT_EQ(ToString(out), "(($n + 1) > 0)");
+}
+
+TEST(WpTest, ProvablyDisjoint) {
+  EXPECT_TRUE(ProvablyDisjoint(Eq(Attr("k"), Lit(int64_t{1})),
+                               Eq(Attr("k"), Lit(int64_t{2}))));
+  EXPECT_FALSE(ProvablyDisjoint(Eq(Attr("k"), Lit(int64_t{1})),
+                                Gt(Attr("v"), Lit(int64_t{0}))));
+  // Distinct string constants on the same attribute are provably disjoint
+  // (predicate-lock compatibility for string-keyed predicates).
+  EXPECT_TRUE(ProvablyDisjoint(Eq(Attr("c"), Lit(std::string("a"))),
+                               Eq(Attr("c"), Lit(std::string("b")))));
+  EXPECT_FALSE(ProvablyDisjoint(Eq(Attr("c"), Lit(std::string("a"))),
+                                Eq(Attr("c"), Lit(std::string("a")))));
+}
+
+TEST(WpTest, OtherTableAtomsUntouched) {
+  Stmt ins = InsertStmt({{"k", Lit(int64_t{1})}});
+  Expr post = Exists("U", Eq(Attr("k"), Lit(int64_t{1})));
+  FreshNames fresh;
+  Result<WpResult> wp = Wp(ins, post, &fresh);
+  ASSERT_TRUE(wp.ok());
+  EXPECT_TRUE(ExprEquals(wp.value().formula, post));
+}
+
+}  // namespace
+}  // namespace semcor
