@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_obligations"
+  "../bench/bench_e1_obligations.pdb"
+  "CMakeFiles/bench_e1_obligations.dir/bench_e1_obligations.cc.o"
+  "CMakeFiles/bench_e1_obligations.dir/bench_e1_obligations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_obligations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

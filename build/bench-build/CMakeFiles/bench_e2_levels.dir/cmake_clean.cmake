@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_levels"
+  "../bench/bench_e2_levels.pdb"
+  "CMakeFiles/bench_e2_levels.dir/bench_e2_levels.cc.o"
+  "CMakeFiles/bench_e2_levels.dir/bench_e2_levels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_orders_perf"
+  "../bench/bench_e3_orders_perf.pdb"
+  "CMakeFiles/bench_e3_orders_perf.dir/bench_e3_orders_perf.cc.o"
+  "CMakeFiles/bench_e3_orders_perf.dir/bench_e3_orders_perf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_orders_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

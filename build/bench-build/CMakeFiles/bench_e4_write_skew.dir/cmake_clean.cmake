@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_write_skew"
+  "../bench/bench_e4_write_skew.pdb"
+  "CMakeFiles/bench_e4_write_skew.dir/bench_e4_write_skew.cc.o"
+  "CMakeFiles/bench_e4_write_skew.dir/bench_e4_write_skew.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_write_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_tpcc"
+  "../bench/bench_e5_tpcc.pdb"
+  "CMakeFiles/bench_e5_tpcc.dir/bench_e5_tpcc.cc.o"
+  "CMakeFiles/bench_e5_tpcc.dir/bench_e5_tpcc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_substrate"
+  "../bench/bench_e6_substrate.pdb"
+  "CMakeFiles/bench_e6_substrate.dir/bench_e6_substrate.cc.o"
+  "CMakeFiles/bench_e6_substrate.dir/bench_e6_substrate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_monitor"
+  "../bench/bench_e7_monitor.pdb"
+  "CMakeFiles/bench_e7_monitor.dir/bench_e7_monitor.cc.o"
+  "CMakeFiles/bench_e7_monitor.dir/bench_e7_monitor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

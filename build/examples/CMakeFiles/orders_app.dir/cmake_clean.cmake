@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orders_app.dir/orders_app.cpp.o"
+  "CMakeFiles/orders_app.dir/orders_app.cpp.o.d"
+  "orders_app"
+  "orders_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orders_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payroll_monitor.dir/payroll_monitor.cpp.o"
+  "CMakeFiles/payroll_monitor.dir/payroll_monitor.cpp.o.d"
+  "payroll_monitor"
+  "payroll_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payroll_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_advisor.dir/tpcc_advisor.cpp.o"
+  "CMakeFiles/tpcc_advisor.dir/tpcc_advisor.cpp.o.d"
+  "tpcc_advisor"
+  "tpcc_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/semcor.dir/common/status.cc.o" "gcc" "src/CMakeFiles/semcor.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/semcor.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/semcor.dir/common/str_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/semcor.dir/common/value.cc.o" "gcc" "src/CMakeFiles/semcor.dir/common/value.cc.o.d"
+  "/root/repo/src/lock/lock_manager.cc" "src/CMakeFiles/semcor.dir/lock/lock_manager.cc.o" "gcc" "src/CMakeFiles/semcor.dir/lock/lock_manager.cc.o.d"
+  "/root/repo/src/lock/predicate_lock.cc" "src/CMakeFiles/semcor.dir/lock/predicate_lock.cc.o" "gcc" "src/CMakeFiles/semcor.dir/lock/predicate_lock.cc.o.d"
+  "/root/repo/src/mvcc/version_store.cc" "src/CMakeFiles/semcor.dir/mvcc/version_store.cc.o" "gcc" "src/CMakeFiles/semcor.dir/mvcc/version_store.cc.o.d"
+  "/root/repo/src/sem/check/advisor.cc" "src/CMakeFiles/semcor.dir/sem/check/advisor.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/check/advisor.cc.o.d"
+  "/root/repo/src/sem/check/annotation.cc" "src/CMakeFiles/semcor.dir/sem/check/annotation.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/check/annotation.cc.o.d"
+  "/root/repo/src/sem/check/interference.cc" "src/CMakeFiles/semcor.dir/sem/check/interference.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/check/interference.cc.o.d"
+  "/root/repo/src/sem/check/obligations.cc" "src/CMakeFiles/semcor.dir/sem/check/obligations.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/check/obligations.cc.o.d"
+  "/root/repo/src/sem/check/report.cc" "src/CMakeFiles/semcor.dir/sem/check/report.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/check/report.cc.o.d"
+  "/root/repo/src/sem/check/theorems.cc" "src/CMakeFiles/semcor.dir/sem/check/theorems.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/check/theorems.cc.o.d"
+  "/root/repo/src/sem/check/wp.cc" "src/CMakeFiles/semcor.dir/sem/check/wp.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/check/wp.cc.o.d"
+  "/root/repo/src/sem/expr/eval.cc" "src/CMakeFiles/semcor.dir/sem/expr/eval.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/expr/eval.cc.o.d"
+  "/root/repo/src/sem/expr/expr.cc" "src/CMakeFiles/semcor.dir/sem/expr/expr.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/expr/expr.cc.o.d"
+  "/root/repo/src/sem/expr/parse.cc" "src/CMakeFiles/semcor.dir/sem/expr/parse.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/expr/parse.cc.o.d"
+  "/root/repo/src/sem/expr/simplify.cc" "src/CMakeFiles/semcor.dir/sem/expr/simplify.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/expr/simplify.cc.o.d"
+  "/root/repo/src/sem/expr/subst.cc" "src/CMakeFiles/semcor.dir/sem/expr/subst.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/expr/subst.cc.o.d"
+  "/root/repo/src/sem/logic/decide.cc" "src/CMakeFiles/semcor.dir/sem/logic/decide.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/logic/decide.cc.o.d"
+  "/root/repo/src/sem/logic/dnf.cc" "src/CMakeFiles/semcor.dir/sem/logic/dnf.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/logic/dnf.cc.o.d"
+  "/root/repo/src/sem/logic/falsifier.cc" "src/CMakeFiles/semcor.dir/sem/logic/falsifier.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/logic/falsifier.cc.o.d"
+  "/root/repo/src/sem/logic/fourier_motzkin.cc" "src/CMakeFiles/semcor.dir/sem/logic/fourier_motzkin.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/logic/fourier_motzkin.cc.o.d"
+  "/root/repo/src/sem/logic/linear.cc" "src/CMakeFiles/semcor.dir/sem/logic/linear.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/logic/linear.cc.o.d"
+  "/root/repo/src/sem/prog/builder.cc" "src/CMakeFiles/semcor.dir/sem/prog/builder.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/prog/builder.cc.o.d"
+  "/root/repo/src/sem/prog/concrete_exec.cc" "src/CMakeFiles/semcor.dir/sem/prog/concrete_exec.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/prog/concrete_exec.cc.o.d"
+  "/root/repo/src/sem/prog/program.cc" "src/CMakeFiles/semcor.dir/sem/prog/program.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/prog/program.cc.o.d"
+  "/root/repo/src/sem/prog/stmt.cc" "src/CMakeFiles/semcor.dir/sem/prog/stmt.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/prog/stmt.cc.o.d"
+  "/root/repo/src/sem/rt/monitor.cc" "src/CMakeFiles/semcor.dir/sem/rt/monitor.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/rt/monitor.cc.o.d"
+  "/root/repo/src/sem/rt/oracle.cc" "src/CMakeFiles/semcor.dir/sem/rt/oracle.cc.o" "gcc" "src/CMakeFiles/semcor.dir/sem/rt/oracle.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/semcor.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/semcor.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/store.cc" "src/CMakeFiles/semcor.dir/storage/store.cc.o" "gcc" "src/CMakeFiles/semcor.dir/storage/store.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/semcor.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/semcor.dir/storage/table.cc.o.d"
+  "/root/repo/src/txn/driver.cc" "src/CMakeFiles/semcor.dir/txn/driver.cc.o" "gcc" "src/CMakeFiles/semcor.dir/txn/driver.cc.o.d"
+  "/root/repo/src/txn/executor.cc" "src/CMakeFiles/semcor.dir/txn/executor.cc.o" "gcc" "src/CMakeFiles/semcor.dir/txn/executor.cc.o.d"
+  "/root/repo/src/txn/interpreter.cc" "src/CMakeFiles/semcor.dir/txn/interpreter.cc.o" "gcc" "src/CMakeFiles/semcor.dir/txn/interpreter.cc.o.d"
+  "/root/repo/src/txn/isolation.cc" "src/CMakeFiles/semcor.dir/txn/isolation.cc.o" "gcc" "src/CMakeFiles/semcor.dir/txn/isolation.cc.o.d"
+  "/root/repo/src/txn/txn.cc" "src/CMakeFiles/semcor.dir/txn/txn.cc.o" "gcc" "src/CMakeFiles/semcor.dir/txn/txn.cc.o.d"
+  "/root/repo/src/workload/banking.cc" "src/CMakeFiles/semcor.dir/workload/banking.cc.o" "gcc" "src/CMakeFiles/semcor.dir/workload/banking.cc.o.d"
+  "/root/repo/src/workload/mailing.cc" "src/CMakeFiles/semcor.dir/workload/mailing.cc.o" "gcc" "src/CMakeFiles/semcor.dir/workload/mailing.cc.o.d"
+  "/root/repo/src/workload/orders_app.cc" "src/CMakeFiles/semcor.dir/workload/orders_app.cc.o" "gcc" "src/CMakeFiles/semcor.dir/workload/orders_app.cc.o.d"
+  "/root/repo/src/workload/payroll.cc" "src/CMakeFiles/semcor.dir/workload/payroll.cc.o" "gcc" "src/CMakeFiles/semcor.dir/workload/payroll.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/CMakeFiles/semcor.dir/workload/tpcc.cc.o" "gcc" "src/CMakeFiles/semcor.dir/workload/tpcc.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/semcor.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/semcor.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

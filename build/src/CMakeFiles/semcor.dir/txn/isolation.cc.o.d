@@ -1,0 +1,3 @@
+src/CMakeFiles/semcor.dir/txn/isolation.cc.o: \
+ /root/repo/src/txn/isolation.cc /usr/include/stdc-predef.h \
+ /root/repo/src/txn/isolation.h

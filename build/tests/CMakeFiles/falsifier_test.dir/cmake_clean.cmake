@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falsifier_test.dir/falsifier_test.cc.o"
+  "CMakeFiles/falsifier_test.dir/falsifier_test.cc.o.d"
+  "falsifier_test"
+  "falsifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falsifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obligations_test.dir/obligations_test.cc.o"
+  "CMakeFiles/obligations_test.dir/obligations_test.cc.o.d"
+  "obligations_test"
+  "obligations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obligations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for obligations_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prog_test.dir/prog_test.cc.o"
+  "CMakeFiles/prog_test.dir/prog_test.cc.o.d"
+  "prog_test"
+  "prog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

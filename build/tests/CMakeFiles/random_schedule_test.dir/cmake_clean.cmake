@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_schedule_test.dir/random_schedule_test.cc.o"
+  "CMakeFiles/random_schedule_test.dir/random_schedule_test.cc.o.d"
+  "random_schedule_test"
+  "random_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/undo_test.dir/undo_test.cc.o"
+  "CMakeFiles/undo_test.dir/undo_test.cc.o.d"
+  "undo_test"
+  "undo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/undo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

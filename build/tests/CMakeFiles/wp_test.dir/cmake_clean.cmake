@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wp_test.dir/wp_test.cc.o"
+  "CMakeFiles/wp_test.dir/wp_test.cc.o.d"
+  "wp_test"
+  "wp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
