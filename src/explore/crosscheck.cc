@@ -1,0 +1,73 @@
+#include "explore/crosscheck.h"
+
+#include <set>
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+std::string CrossCheckResult::Summary() const {
+  std::string out =
+      StrCat("cross-check ", workload, "/", mix, " @ ", IsoLevelName(level),
+             ": static=", static_correct ? "correct" : "incorrect",
+             ", dynamic anomalies=", std::to_string(exploration.anomalies));
+  for (const std::string& d : static_detail) out += StrCat("\n  ", d);
+  if (unsound) {
+    out +=
+        "\n  UNSOUND: static analysis discharged every obligation but "
+        "exploration reached a state violating the consistency constraint";
+  } else if (replay_divergent) {
+    out +=
+        "\n  consistent (replay-divergent: some final states differ from "
+        "the serial replay but satisfy every business rule — the "
+        "serial-replay oracle is stricter than the theorems, cf. paper §2)";
+  } else if (imprecise) {
+    out += StrCat("\n  conservative: static analysis rejects the level but ",
+                  exploration.space_exhausted
+                      ? "the full bounded space is anomaly-free"
+                      : "no anomaly surfaced within the budget");
+  } else {
+    out += "\n  consistent";
+  }
+  return out;
+}
+
+Result<CrossCheckResult> CrossCheck(const Workload& workload,
+                                    const ExploreMix& mix,
+                                    const ExploreOptions& options) {
+  CrossCheckResult result;
+  result.workload = workload.app.name;
+  result.mix = mix.name;
+  result.level = options.level;
+
+  std::set<std::string> types;
+  for (const ExploreMix::Entry& entry : mix.txns) types.insert(entry.type);
+  if (types.empty()) {
+    return Status::InvalidArgument(StrCat("mix ", mix.name, " is empty"));
+  }
+
+  TheoremEngine engine(workload.app, CheckOptions());
+  result.static_correct = true;
+  for (const std::string& type : types) {
+    LevelCheckReport report = engine.CheckAtLevel(type, options.level);
+    result.static_correct = result.static_correct && report.correct;
+    result.static_detail.push_back(
+        StrCat(type, ": ", report.correct ? "correct" : "incorrect", " (",
+               std::to_string(report.triples_checked), " triples)"));
+  }
+
+  Explorer explorer(workload, mix, options);
+  Result<ExploreReport> exploration = explorer.Run();
+  if (!exploration.ok()) return exploration.status();
+  result.exploration = exploration.take();
+
+  result.unsound =
+      result.static_correct && result.exploration.invariant_anomalies > 0;
+  result.replay_divergent = result.static_correct && !result.unsound &&
+                            result.exploration.anomalies > 0;
+  result.imprecise =
+      !result.static_correct && result.exploration.anomalies == 0;
+  return result;
+}
+
+}  // namespace semcor

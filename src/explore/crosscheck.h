@@ -1,0 +1,55 @@
+#ifndef SEMCOR_EXPLORE_CROSSCHECK_H_
+#define SEMCOR_EXPLORE_CROSSCHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "explore/explorer.h"
+#include "sem/check/theorems.h"
+
+namespace semcor {
+
+/// Verdict of confronting the static checker with exhaustive/bounded
+/// dynamic exploration of the same (mix, level) pair.
+struct CrossCheckResult {
+  std::string workload;
+  std::string mix;
+  IsoLevel level = IsoLevel::kSnapshot;
+
+  /// Per-type theorem verdicts and their conjunction: does the static
+  /// analysis discharge every obligation for every type in the mix?
+  bool static_correct = false;
+  std::vector<std::string> static_detail;
+
+  ExploreReport exploration;
+
+  /// The soundness contract: static "correct" must imply that no explored
+  /// schedule violates the consistency constraint I. A violation here is a
+  /// bug — in the theorems, in the runtime, or in the oracle. (Note the
+  /// contract is about I, not about serial-replay equality: §2 of the paper
+  /// points out that a semantically correct schedule may reach a final
+  /// state no serial schedule reaches, e.g. a lost MAXDATE update in the
+  /// basic orders application that still satisfies every business rule.)
+  bool unsound = false;
+  /// Static "correct" but some schedule's final state diverges from the
+  /// serial replay while satisfying I — the §2 phenomenon above, reported
+  /// for visibility; not a soundness violation.
+  bool replay_divergent = false;
+  /// Static "incorrect" with zero anomalies found is informational only:
+  /// the theorems are conservative (sufficient, not necessary), and the
+  /// exploration may also simply not have reached a bad interleaving.
+  bool imprecise = false;
+
+  std::string Summary() const;
+};
+
+/// Checks every type of `mix` statically at `options.level`, explores the
+/// schedule space dynamically, and asserts the soundness direction:
+/// "all obligations discharged ⇒ no explored schedule violates I".
+Result<CrossCheckResult> CrossCheck(const Workload& workload,
+                                    const ExploreMix& mix,
+                                    const ExploreOptions& options);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_EXPLORE_CROSSCHECK_H_

@@ -1,0 +1,53 @@
+#include "explore/enumerate.h"
+
+namespace semcor {
+
+void ScheduleSpace::Expand(const Schedule& prefix, const LeafFn& on_leaf,
+                           std::vector<Schedule>* children,
+                           EnumerateStats* stats) {
+  const int n = session_->txn_count();
+  for (int c = n - 1; c >= 0; --c) {
+    Schedule child = prefix;
+    child.push_back(c);
+    RunResult result = session_->Run(child);
+    if (result.executed.back() != c) {
+      // The hint was finished or blocked and another transaction stepped:
+      // this execution is identical to the canonical child labelled with
+      // the transaction that actually ran.
+      ++stats->pruned_duplicate;
+      continue;
+    }
+    if (options_.preemption_bound >= 0 &&
+        result.preemptions > options_.preemption_bound) {
+      ++stats->pruned_preemption;
+      continue;
+    }
+    if (result.complete) {
+      ++stats->schedules;
+      if (result.anomalous) ++stats->anomalies;
+      if (!result.oracle.invariant_holds) ++stats->invariant_anomalies;
+      stats->deadlock_aborts += result.deadlock_aborts;
+      on_leaf(child, result);
+    } else if (static_cast<int>(child.size()) < options_.max_choices) {
+      children->push_back(std::move(child));
+    }
+  }
+}
+
+EnumerateStats ScheduleSpace::Enumerate(const LeafFn& on_leaf) {
+  EnumerateStats stats;
+  std::vector<Schedule> stack;
+  stack.push_back(Schedule{});
+  std::vector<Schedule> children;
+  while (!stack.empty()) {
+    if (options_.budget >= 0 && stats.schedules >= options_.budget) break;
+    Schedule node = std::move(stack.back());
+    stack.pop_back();
+    children.clear();
+    Expand(node, on_leaf, &children, &stats);
+    for (Schedule& child : children) stack.push_back(std::move(child));
+  }
+  return stats;
+}
+
+}  // namespace semcor

@@ -1,0 +1,248 @@
+#include "explore/explorer.h"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/str_util.h"
+#include "explore/fuzz.h"
+#include "explore/shrink.h"
+
+namespace semcor {
+
+std::string ExploreReport::Summary() const {
+  std::string out = StrCat(
+      "explore ", mix, " @ ", IsoLevelName(level), ": ",
+      std::to_string(schedules()), " schedules (",
+      std::to_string(enumerated), " enumerated",
+      space_exhausted ? ", space exhausted" : "", ", ",
+      std::to_string(fuzzed), " fuzzed), ", std::to_string(anomalies),
+      " anomalous, ", std::to_string(witnesses.size()),
+      " distinct witness(es), ",
+      std::to_string(static_cast<int64_t>(schedules_per_sec)),
+      " schedules/s");
+  for (const ExploreWitness& w : witnesses) {
+    out += StrCat("\n  witness ", ScheduleToString(w.schedule), "  trace: ",
+                  w.trace,
+                  w.invariant_violated ? "  [violates invariant]"
+                                       : "  [replay divergence only]");
+    for (const std::string& p : w.problems) out += StrCat("\n    - ", p);
+  }
+  return out;
+}
+
+namespace {
+
+/// Per-worker deque of DFS prefixes: the owner treats it as a LIFO stack
+/// (depth first, small frontier); thieves take from the opposite end
+/// (shallow prefixes, i.e. the biggest subtrees — classic work stealing).
+struct WorkerDeque {
+  std::mutex mu;
+  std::deque<Schedule> q;
+};
+
+struct SharedState {
+  std::vector<std::unique_ptr<WorkerDeque>> deques;
+  std::atomic<int64_t> outstanding{0};  ///< queued + in-expansion nodes
+  std::atomic<int64_t> leaves{0};
+  std::atomic<bool> stop{false};
+
+  std::mutex witness_mu;
+  std::map<std::string, Schedule> witness_by_sig;  ///< first find per anomaly
+
+  std::mutex stats_mu;
+  EnumerateStats stats;
+};
+
+void RecordWitness(SharedState* shared, int max_witnesses, const Schedule& s,
+                   const RunResult& r) {
+  std::lock_guard<std::mutex> lock(shared->witness_mu);
+  if (shared->witness_by_sig.count(r.Signature()) != 0) return;
+  if (static_cast<int>(shared->witness_by_sig.size()) >= max_witnesses) return;
+  shared->witness_by_sig.emplace(r.Signature(), s);
+}
+
+bool PopOwn(WorkerDeque* dq, Schedule* out) {
+  std::lock_guard<std::mutex> lock(dq->mu);
+  if (dq->q.empty()) return false;
+  *out = std::move(dq->q.back());
+  dq->q.pop_back();
+  return true;
+}
+
+bool Steal(SharedState* shared, int self, Schedule* out) {
+  const int n = static_cast<int>(shared->deques.size());
+  for (int k = 1; k < n; ++k) {
+    WorkerDeque* dq = shared->deques[(self + k) % n].get();
+    std::lock_guard<std::mutex> lock(dq->mu);
+    if (dq->q.empty()) continue;
+    *out = std::move(dq->q.front());
+    dq->q.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void EnumerateWorker(int wid, ExploreSession* session,
+                     const ExploreOptions& options, SharedState* shared) {
+  EnumerateOptions eopts;
+  eopts.preemption_bound = options.preemption_bound;
+  eopts.max_choices = options.max_choices;
+  eopts.budget = -1;  // the shared leaf counter enforces the budget
+  ScheduleSpace space(session, eopts);
+  EnumerateStats local;
+  auto on_leaf = [&](const Schedule& s, const RunResult& r) {
+    const int64_t done = shared->leaves.fetch_add(1) + 1;
+    if (options.budget >= 0 && done >= options.budget) {
+      shared->stop.store(true, std::memory_order_relaxed);
+    }
+    if (r.anomalous) RecordWitness(shared, options.max_witnesses, s, r);
+  };
+  std::vector<Schedule> children;
+  Schedule node;
+  while (!shared->stop.load(std::memory_order_relaxed)) {
+    if (!PopOwn(shared->deques[wid].get(), &node) &&
+        !Steal(shared, wid, &node)) {
+      if (shared->outstanding.load() == 0) break;
+      std::this_thread::yield();
+      continue;
+    }
+    children.clear();
+    space.Expand(node, on_leaf, &children, &local);
+    // Count the children before parking them, then retire the popped node:
+    // `outstanding` must never dip to zero while work still exists, or
+    // idle workers would quit early.
+    shared->outstanding.fetch_add(static_cast<int64_t>(children.size()));
+    {
+      WorkerDeque* dq = shared->deques[wid].get();
+      std::lock_guard<std::mutex> lock(dq->mu);
+      for (Schedule& child : children) dq->q.push_back(std::move(child));
+    }
+    shared->outstanding.fetch_sub(1);
+  }
+  std::lock_guard<std::mutex> lock(shared->stats_mu);
+  shared->stats.Add(local);
+}
+
+void FuzzWorker(ExploreSession* session, const ExploreOptions& options,
+                int64_t target, std::atomic<int64_t>* next,
+                SharedState* shared) {
+  ScheduleFuzzer fuzzer(session, options.seed, options.max_choices);
+  EnumerateStats local;
+  Schedule hints;
+  while (true) {
+    const int64_t i = next->fetch_add(1);
+    if (i >= target) break;
+    RunResult r = fuzzer.RunIndexed(i, &hints);
+    ++local.schedules;
+    local.deadlock_aborts += r.deadlock_aborts;
+    if (r.anomalous) {
+      ++local.anomalies;
+      if (!r.oracle.invariant_holds) ++local.invariant_anomalies;
+      RecordWitness(shared, options.max_witnesses, hints, r);
+    }
+  }
+  std::lock_guard<std::mutex> lock(shared->stats_mu);
+  shared->stats.Add(local);
+}
+
+}  // namespace
+
+Result<ExploreReport> Explorer::Run() {
+  const ExploreMix* mix = &mix_;
+  if (mix->txns.empty()) {
+    return Status::InvalidArgument(StrCat("mix ", mix_.name, " is empty"));
+  }
+  const int threads = options_.threads < 1 ? 1 : options_.threads;
+  std::vector<std::unique_ptr<ExploreSession>> sessions;
+  for (int i = 0; i < threads; ++i) {
+    auto session = std::make_unique<ExploreSession>();
+    Status s = session->Init(workload_, *mix, options_.level);
+    if (!s.ok()) return s;
+    sessions.push_back(std::move(session));
+  }
+
+  ExploreReport report;
+  report.level = options_.level;
+  report.mix = mix_.name;
+  report.txns = sessions[0]->txn_count();
+
+  SharedState shared;
+  for (int i = 0; i < threads; ++i) {
+    shared.deques.push_back(std::make_unique<WorkerDeque>());
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+
+  if (options_.enumerate) {
+    shared.deques[0]->q.push_back(Schedule{});
+    shared.outstanding.store(1);
+    std::vector<std::thread> pool;
+    for (int wid = 0; wid < threads; ++wid) {
+      pool.emplace_back(EnumerateWorker, wid, sessions[wid].get(),
+                        std::cref(options_), &shared);
+    }
+    for (std::thread& t : pool) t.join();
+    report.space_exhausted = !shared.stop.load();
+    report.enumerated = shared.stats.schedules;
+  }
+
+  const int64_t remaining =
+      options_.budget < 0 ? 0 : options_.budget - shared.leaves.load();
+  if (options_.fuzz && remaining > 0) {
+    std::atomic<int64_t> next{0};
+    std::vector<std::thread> pool;
+    for (int wid = 0; wid < threads; ++wid) {
+      pool.emplace_back(FuzzWorker, sessions[wid].get(), std::cref(options_),
+                        remaining, &next, &shared);
+    }
+    for (std::thread& t : pool) t.join();
+    report.fuzzed = shared.stats.schedules - report.enumerated;
+  }
+
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  report.seconds = elapsed.count();
+  report.anomalies = shared.stats.anomalies;
+  report.invariant_anomalies = shared.stats.invariant_anomalies;
+  report.pruned_duplicate = shared.stats.pruned_duplicate;
+  report.pruned_preemption = shared.stats.pruned_preemption;
+  report.deadlock_aborts = shared.stats.deadlock_aborts;
+  report.schedules_per_sec =
+      report.seconds > 0 ? static_cast<double>(report.schedules()) /
+                               report.seconds
+                         : 0;
+
+  // Minimize one witness per distinct anomaly signature (deterministic
+  // order: signatures sort lexicographically in the map).
+  for (const auto& [signature, schedule] : shared.witness_by_sig) {
+    ExploreWitness w;
+    w.original = schedule;
+    w.signature = signature;
+    if (options_.shrink) {
+      Shrinker shrinker(sessions[0].get());
+      Result<ShrinkResult> shrunk = shrinker.Minimize(schedule);
+      if (shrunk.ok()) {
+        w.schedule = shrunk.value().schedule;
+        w.trace = EventTrace(shrunk.value().result.events);
+        w.problems = shrunk.value().result.oracle.problems;
+        w.invariant_violated = !shrunk.value().result.oracle.invariant_holds;
+        w.shrink_runs = shrunk.value().runs_used;
+        report.witnesses.push_back(std::move(w));
+        continue;
+      }
+    }
+    RunResult r = sessions[0]->Run(schedule);
+    w.schedule = schedule;
+    w.trace = EventTrace(r.events);
+    w.problems = r.oracle.problems;
+    w.invariant_violated = !r.oracle.invariant_holds;
+    report.witnesses.push_back(std::move(w));
+  }
+  return report;
+}
+
+}  // namespace semcor

@@ -1,0 +1,85 @@
+#ifndef SEMCOR_EXPLORE_EXPLORER_H_
+#define SEMCOR_EXPLORE_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/enumerate.h"
+#include "explore/session.h"
+
+namespace semcor {
+
+struct ExploreOptions {
+  IsoLevel level = IsoLevel::kSnapshot;
+  int threads = 1;
+  /// Complete-schedule budget across both phases; <0 = enumeration only,
+  /// until the (bounded) space is exhausted.
+  int64_t budget = 10000;
+  uint64_t seed = 42;
+  int preemption_bound = -1;  ///< <0 = unbounded
+  bool enumerate = true;  ///< phase 1: systematic bounded DFS
+  bool fuzz = true;       ///< phase 2: random walks for the leftover budget
+  bool shrink = true;     ///< minimize each distinct anomaly witness
+  int max_witnesses = 4;  ///< distinct anomaly signatures to keep
+  int max_choices = 256;  ///< schedule length safety cap
+};
+
+/// A minimized anomalous schedule.
+struct ExploreWitness {
+  Schedule schedule;   ///< locally minimal choice sequence
+  Schedule original;   ///< the schedule as first found
+  std::string trace;   ///< paper notation, e.g. "r1 r1 r2 r2 w1 w2"
+  std::string signature;
+  std::vector<std::string> problems;  ///< oracle violations it reproduces
+  /// True when the witness's final state violates the consistency
+  /// constraint I; false when it only diverges from the serial replay.
+  bool invariant_violated = false;
+  int shrink_runs = 0;
+};
+
+struct ExploreReport {
+  IsoLevel level = IsoLevel::kSnapshot;
+  std::string mix;
+  int txns = 0;
+  int64_t enumerated = 0;  ///< complete schedules from systematic DFS
+  int64_t fuzzed = 0;      ///< complete schedules from random walks
+  int64_t anomalies = 0;   ///< runs the oracle rejected
+  /// Anomalies whose final state violates the consistency constraint I
+  /// (the only kind the theorems rule out — see EnumerateStats).
+  int64_t invariant_anomalies = 0;
+  int64_t pruned_duplicate = 0;
+  int64_t pruned_preemption = 0;
+  int64_t deadlock_aborts = 0;
+  bool space_exhausted = false;  ///< DFS finished before the budget did
+  double seconds = 0;
+  double schedules_per_sec = 0;
+  std::vector<ExploreWitness> witnesses;
+
+  int64_t schedules() const { return enumerated + fuzzed; }
+  std::string Summary() const;
+};
+
+/// Parallel schedule-space exploration. N workers each own a full private
+/// universe (store, lock manager, txn manager, commit log, oracle) so there
+/// is no shared mutable execution state at all; the only coordination is a
+/// work-stealing pool of DFS prefixes (phase 1) and an atomic index counter
+/// (phase 2). Witnesses are deduplicated by anomaly signature and shrunk to
+/// local minimality at the end.
+class Explorer {
+ public:
+  Explorer(const Workload& workload, const ExploreMix& mix,
+           ExploreOptions options)
+      : workload_(workload), mix_(mix), options_(options) {}
+
+  Result<ExploreReport> Run();
+
+ private:
+  Workload workload_;
+  ExploreMix mix_;
+  ExploreOptions options_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_EXPLORE_EXPLORER_H_

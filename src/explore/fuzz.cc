@@ -1,0 +1,14 @@
+#include "explore/fuzz.h"
+
+namespace semcor {
+
+RunResult ScheduleFuzzer::RunIndexed(int64_t index, Schedule* hints_out) {
+  // Golden-ratio stride decorrelates consecutive indices; mt19937_64 then
+  // mixes the rest. Identical (seed, index) => identical schedule.
+  const uint64_t stream =
+      seed_ + static_cast<uint64_t>(index) * 0x9e3779b97f4a7c15ULL;
+  Rng rng(stream);
+  return session_->Fuzz(rng, max_choices_, hints_out);
+}
+
+}  // namespace semcor

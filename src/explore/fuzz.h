@@ -1,0 +1,31 @@
+#ifndef SEMCOR_EXPLORE_FUZZ_H_
+#define SEMCOR_EXPLORE_FUZZ_H_
+
+#include <cstdint>
+
+#include "explore/session.h"
+
+namespace semcor {
+
+/// Seeded random-walk fuzzer over interleavings. Schedule i is generated
+/// from Rng(seed ^ mix(i)) — a pure function of (seed, i) — so a fleet of
+/// workers can claim indices from a shared counter in any order and still
+/// produce exactly the set of schedules a single worker would, and any
+/// index can be replayed alone to reproduce a finding.
+class ScheduleFuzzer {
+ public:
+  ScheduleFuzzer(ExploreSession* session, uint64_t seed, int max_choices = 256)
+      : session_(session), seed_(seed), max_choices_(max_choices) {}
+
+  /// Runs random schedule number `index`; the hints land in *hints_out.
+  RunResult RunIndexed(int64_t index, Schedule* hints_out);
+
+ private:
+  ExploreSession* session_;
+  uint64_t seed_;
+  int max_choices_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_EXPLORE_FUZZ_H_

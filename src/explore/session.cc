@@ -1,0 +1,185 @@
+#include "explore/session.h"
+
+#include "common/str_util.h"
+#include "sem/prog/stmt.h"
+
+namespace semcor {
+
+std::string ScheduleToString(const Schedule& schedule) {
+  std::vector<std::string> parts;
+  parts.reserve(schedule.size());
+  for (int h : schedule) parts.push_back(std::to_string(h));
+  return StrCat("[", Join(parts, " "), "]");
+}
+
+std::string EventTrace(const std::vector<ScheduleEvent>& events) {
+  std::vector<std::string> parts;
+  parts.reserve(events.size());
+  for (const ScheduleEvent& e : events) {
+    parts.push_back(StrCat(e.write ? "w" : "r", e.txn + 1));
+  }
+  return Join(parts, " ");
+}
+
+std::string RunResult::Signature() const {
+  if (!anomalous) return "";
+  return Join(oracle.problems, " | ");
+}
+
+Status ExploreSession::Init(const Workload& workload, const ExploreMix& mix,
+                            IsoLevel level) {
+  if (checkpoint_ != nullptr) {
+    return Status::InvalidArgument("session already initialized");
+  }
+  level_ = level;
+  Status s = workload.setup(&store_);
+  if (!s.ok()) return s;
+  checkpoint_ = store_.Checkpoint();
+  for (const ExploreMix::Entry& entry : mix.txns) {
+    auto program = workload.InstantiateWith(entry.type, entry.params);
+    if (program == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("unknown transaction type ", entry.type, " in mix ",
+                 mix.name));
+    }
+    programs_.push_back(std::move(program));
+  }
+  if (programs_.empty()) {
+    return Status::InvalidArgument(StrCat("mix ", mix.name, " is empty"));
+  }
+  oracle_ = std::make_unique<ScheduleOracle>(store_.SnapshotToMap(),
+                                             workload.app.invariant);
+  return Status::Ok();
+}
+
+void ExploreSession::ResetWorld() {
+  store_.Restore(*checkpoint_);
+  locks_.Reset();
+  log_.Clear();
+  mgr_.ResetIds();
+}
+
+int ExploreSession::ApplyChoice(StepDriver& driver, int hint,
+                                RunResult* result, int* last_exec) {
+  if (driver.AllDone()) return -1;
+  const int n = driver.size();
+  while (true) {
+    std::vector<bool> blocked(n, false);
+    auto try_step = [&](int i) {
+      StepOutcome outcome = driver.Step(i);
+      if (outcome == StepOutcome::kBlocked) {
+        blocked[i] = true;
+        return false;
+      }
+      // A switch away from a transaction that could still run is a
+      // preemption — unless it was the hinted one and simply blocked
+      // (a forced switch, which any schedule must take).
+      if (*last_exec >= 0 && i != *last_exec &&
+          !driver.run(*last_exec).Done() && hint != *last_exec) {
+        ++result->preemptions;
+      }
+      *last_exec = i;
+      return true;
+    };
+    if (hint >= 0 && hint < n && !driver.run(hint).Done()) {
+      if (try_step(hint)) return hint;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (blocked[i] || driver.run(i).Done()) continue;
+      if (try_step(i)) return i;
+    }
+    // Every active transaction is blocked: a try-lock deadlock. Abort the
+    // youngest blocked transaction (RunRoundRobin's victim rule) and
+    // resolve the choice against the freed locks.
+    int victim = -1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (blocked[i] && !driver.run(i).Done()) {
+        victim = i;
+        break;
+      }
+    }
+    if (victim < 0) return -1;  // defensive: nothing left to do
+    driver.run(victim).ForceAbort(
+        Status::Deadlock("schedule-explorer deadlock victim"));
+    ++result->deadlock_aborts;
+    if (driver.AllDone()) return victim;  // the abort was the whole choice
+  }
+}
+
+void ExploreSession::Finish(StepDriver& driver, RunResult* result) {
+  result->complete = driver.AllDone();
+  for (int i = 0; i < driver.size(); ++i) {
+    if (!driver.run(i).Done()) {
+      driver.run(i).ForceAbort(Status::Aborted("schedule exhausted"));
+    }
+  }
+  for (int i = 0; i < driver.size(); ++i) {
+    if (driver.run(i).outcome() == StepOutcome::kCommitted) {
+      ++result->committed;
+    } else {
+      ++result->aborted;
+    }
+  }
+  result->oracle = oracle_->Check(store_, log_);
+  result->anomalous = !result->oracle.ok();
+}
+
+namespace {
+
+/// Records the paper-style r/w trace of productive steps.
+StepDriver::Observer EventRecorder(RunResult* result) {
+  return [result](const StepEvent& ev) {
+    if (ev.stmt == nullptr) return;  // commit step
+    if (ev.outcome == StepOutcome::kBlocked ||
+        ev.outcome == StepOutcome::kAborted) {
+      return;  // the statement did not take effect
+    }
+    if (IsDbWrite(*ev.stmt)) {
+      result->events.push_back({ev.run_index, true});
+    } else if (IsDbRead(*ev.stmt)) {
+      result->events.push_back({ev.run_index, false});
+    }
+  };
+}
+
+}  // namespace
+
+RunResult ExploreSession::Run(const Schedule& hints) {
+  ResetWorld();
+  StepDriver driver(&mgr_, &log_, /*lazy_begin=*/true);
+  for (const auto& program : programs_) driver.Add(program, level_);
+  RunResult result;
+  driver.SetObserver(EventRecorder(&result));
+  int last_exec = -1;
+  for (int hint : hints) {
+    result.executed.push_back(ApplyChoice(driver, hint, &result, &last_exec));
+  }
+  Finish(driver, &result);
+  return result;
+}
+
+RunResult ExploreSession::Fuzz(Rng& rng, int max_choices,
+                               Schedule* hints_out) {
+  ResetWorld();
+  StepDriver driver(&mgr_, &log_, /*lazy_begin=*/true);
+  for (const auto& program : programs_) driver.Add(program, level_);
+  RunResult result;
+  driver.SetObserver(EventRecorder(&result));
+  Schedule hints;
+  int last_exec = -1;
+  for (int step = 0; step < max_choices && !driver.AllDone(); ++step) {
+    std::vector<int> active;
+    for (int i = 0; i < driver.size(); ++i) {
+      if (!driver.run(i).Done()) active.push_back(i);
+    }
+    const int hint =
+        active[rng.Uniform(0, static_cast<int64_t>(active.size()) - 1)];
+    hints.push_back(hint);
+    result.executed.push_back(ApplyChoice(driver, hint, &result, &last_exec));
+  }
+  Finish(driver, &result);
+  if (hints_out != nullptr) *hints_out = std::move(hints);
+  return result;
+}
+
+}  // namespace semcor

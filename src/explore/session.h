@@ -1,0 +1,112 @@
+#ifndef SEMCOR_EXPLORE_SESSION_H_
+#define SEMCOR_EXPLORE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "lock/lock_manager.h"
+#include "sem/rt/oracle.h"
+#include "storage/store.h"
+#include "txn/driver.h"
+#include "workload/workload.h"
+
+namespace semcor {
+
+/// A schedule is a sequence of *choices*: each entry hints which transaction
+/// (by mix index) should take the next atomic step. Hints are resolved to
+/// exactly one productive step each — see ExploreSession::Run.
+using Schedule = std::vector<int>;
+
+std::string ScheduleToString(const Schedule& schedule);
+
+/// One database access performed by a schedule (guards, local assignments
+/// and commit steps are elided — this is the paper's r/w trace notation).
+struct ScheduleEvent {
+  int txn = 0;         ///< mix index, 0-based
+  bool write = false;  ///< db write (w) vs db read (r)
+};
+
+/// Formats events as the paper writes schedules: "r1 r1 r2 r2 w1 w2"
+/// (1-based transaction numbers).
+std::string EventTrace(const std::vector<ScheduleEvent>& events);
+
+/// Everything one schedule execution produced.
+struct RunResult {
+  bool complete = false;  ///< every transaction finished before the sweep
+  int committed = 0;
+  int aborted = 0;
+  int deadlock_aborts = 0;  ///< try-lock deadlocks resolved by victim abort
+  int preemptions = 0;      ///< voluntary switches away from a runnable txn
+  /// Which transaction actually took the productive step of each choice
+  /// (may differ from the hint when the hinted transaction was finished or
+  /// blocked; -1 for no-op choices after completion).
+  std::vector<int> executed;
+  std::vector<ScheduleEvent> events;
+  OracleReport oracle;
+  bool anomalous = false;  ///< oracle found a semantic-correctness violation
+
+  /// Stable identity of the anomaly (joined oracle problems) for witness
+  /// de-duplication; empty when not anomalous.
+  std::string Signature() const;
+};
+
+/// One worker's private universe for schedule exploration: its own store,
+/// lock manager, transaction manager, commit log and oracle. Nothing here
+/// is shared, so N sessions explore in parallel with zero synchronization.
+///
+/// Choice semantics (what makes the space finite and enumerable): a hint
+/// resolves to exactly one productive step.
+///  - If the hinted transaction is active and steppable, it steps.
+///  - If it is finished or blocked, the lowest-indexed steppable active
+///    transaction steps instead (the canonical substitute).
+///  - If every active transaction is blocked (try-lock deadlock), the
+///    youngest blocked one aborts — same victim rule as
+///    StepDriver::RunRoundRobin — and resolution retries.
+///  - If all transactions already finished, the choice is a no-op.
+/// Because a choice never records a blocked attempt, replaying the same
+/// hint vector always reproduces the same execution bit for bit.
+class ExploreSession {
+ public:
+  /// Sets up the workload's initial database, captures the checkpoint the
+  /// oracle and every Run restart from, and materializes the mix.
+  Status Init(const Workload& workload, const ExploreMix& mix, IsoLevel level);
+
+  /// Replays `hints` from the checkpoint. Unfinished transactions are
+  /// force-aborted at the end (a schedule commits only what it explicitly
+  /// drives to commit), then the oracle judges the final state.
+  RunResult Run(const Schedule& hints);
+
+  /// Random-walk schedule: draws uniformly among active transactions until
+  /// all finish (or `max_choices`). The chosen hints land in *hints_out so
+  /// anomalous walks can be shrunk and replayed.
+  RunResult Fuzz(Rng& rng, int max_choices, Schedule* hints_out);
+
+  int txn_count() const { return static_cast<int>(programs_.size()); }
+  IsoLevel level() const { return level_; }
+  const ScheduleOracle& oracle() const { return *oracle_; }
+
+ private:
+  /// Restores store/locks/log/txn-ids to the checkpoint.
+  void ResetWorld();
+  /// Resolves one choice; returns the productive executor (or the deadlock
+  /// victim if its abort finished the schedule, or -1 for a no-op).
+  int ApplyChoice(StepDriver& driver, int hint, RunResult* result,
+                  int* last_exec);
+  /// Force-aborts stragglers, tallies outcomes, runs the oracle.
+  void Finish(StepDriver& driver, RunResult* result);
+
+  Store store_;
+  LockManager locks_;
+  TxnManager mgr_{&store_, &locks_};
+  CommitLog log_;
+  std::shared_ptr<const StoreCheckpoint> checkpoint_;
+  std::unique_ptr<ScheduleOracle> oracle_;
+  std::vector<std::shared_ptr<const TxnProgram>> programs_;
+  IsoLevel level_ = IsoLevel::kSerializable;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_EXPLORE_SESSION_H_

@@ -1,0 +1,67 @@
+#include "explore/shrink.h"
+
+#include <algorithm>
+
+namespace semcor {
+
+Result<ShrinkResult> Shrinker::Minimize(const Schedule& schedule) {
+  int runs = 0;
+  auto still_anomalous = [&](const Schedule& candidate) {
+    ++runs;
+    return session_->Run(candidate).anomalous;
+  };
+  if (!still_anomalous(schedule)) {
+    return Status::InvalidArgument(
+        "schedule is not anomalous; nothing to shrink");
+  }
+  Schedule cur = schedule;
+
+  // Pass 1: drop whole transactions, youngest first. Dropping all hints of
+  // a transaction means it never begins, so it cannot perturb the others
+  // through substitution — this removes bystanders wholesale before ddmin
+  // works on individual choices.
+  for (int t = session_->txn_count() - 1; t >= 0; --t) {
+    Schedule candidate;
+    candidate.reserve(cur.size());
+    for (int h : cur) {
+      if (h != t) candidate.push_back(h);
+    }
+    if (candidate.size() < cur.size() && still_anomalous(candidate)) {
+      cur = std::move(candidate);
+    }
+  }
+
+  // Pass 2: ddmin. Remove chunks of halving size; a chunk that can go,
+  // goes (keeping the same start, where the next chunk now sits). The
+  // chunk-1 pass repeats until a fixpoint: 1-minimality.
+  size_t chunk = std::max<size_t>(1, cur.size() / 2);
+  while (true) {
+    bool removed = false;
+    for (size_t start = 0; start < cur.size();) {
+      Schedule candidate(cur.begin(), cur.begin() + start);
+      if (start + chunk < cur.size()) {
+        candidate.insert(candidate.end(), cur.begin() + start + chunk,
+                         cur.end());
+      }
+      if (still_anomalous(candidate)) {
+        cur = std::move(candidate);
+        removed = true;
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk > 1) {
+      chunk = (chunk + 1) / 2;
+    } else if (!removed) {
+      break;
+    }
+  }
+
+  ShrinkResult out;
+  out.schedule = cur;
+  out.result = session_->Run(cur);
+  out.runs_used = runs + 1;
+  return out;
+}
+
+}  // namespace semcor

@@ -1,0 +1,35 @@
+#ifndef SEMCOR_EXPLORE_SHRINK_H_
+#define SEMCOR_EXPLORE_SHRINK_H_
+
+#include "explore/session.h"
+
+namespace semcor {
+
+struct ShrinkResult {
+  Schedule schedule;  ///< locally minimal anomalous schedule
+  RunResult result;   ///< its execution (trace, oracle report)
+  int runs_used = 0;  ///< replays the minimisation spent
+};
+
+/// Delta-debugging minimisation of an anomalous schedule. Two passes:
+///  1. transaction drop — remove every hint of one transaction at a time
+///     (youngest first); a transaction with no hints never begins and is
+///     force-aborted, i.e. it leaves the scenario entirely;
+///  2. ddmin — classic chunk removal down to 1-minimality: no single
+///     remaining choice can be deleted without losing the anomaly.
+/// The predicate is "the replay is still anomalous"; because replay is
+/// deterministic the result is an exact witness, not a probabilistic one.
+class Shrinker {
+ public:
+  explicit Shrinker(ExploreSession* session) : session_(session) {}
+
+  /// `schedule` must replay anomalously (InvalidArgument otherwise).
+  Result<ShrinkResult> Minimize(const Schedule& schedule);
+
+ private:
+  ExploreSession* session_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_EXPLORE_SHRINK_H_

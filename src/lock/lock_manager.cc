@@ -198,6 +198,17 @@ void LockManager::ReleaseAll(TxnId txn) {
   cv_.notify_all();
 }
 
+void LockManager::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  locks_.clear();
+  queues_.clear();
+  predicate_locks_.clear();
+  waiting_on_.clear();
+  next_ticket_ = 1;
+  stats_ = Stats();
+  cv_.notify_all();
+}
+
 size_t LockManager::HeldCount(TxnId txn) const {
   std::lock_guard<std::mutex> lk(mu_);
   size_t count = 0;

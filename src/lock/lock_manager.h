@@ -48,6 +48,11 @@ class LockManager {
   /// waiters. Call at commit/abort.
   void ReleaseAll(TxnId txn);
 
+  /// Drops every lock, queue, and statistic — a factory-fresh manager. Only
+  /// valid while no thread is blocked inside an acquire (the schedule
+  /// explorer calls it between try-lock-only runs).
+  void Reset();
+
   /// Number of item/row locks held (tests & benches).
   size_t HeldCount(TxnId txn) const;
 

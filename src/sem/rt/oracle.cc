@@ -99,4 +99,10 @@ OracleReport CheckSemanticCorrectness(const MapEvalContext& initial,
   return report;
 }
 
+OracleReport ScheduleOracle::Check(const Store& final_store,
+                                   const CommitLog& log) const {
+  if (log.size() == 0) return OracleReport();
+  return CheckSemanticCorrectness(initial_, final_store, log, invariant_);
+}
+
 }  // namespace semcor

@@ -37,6 +37,28 @@ OracleReport CheckSemanticCorrectness(const MapEvalContext& initial,
 Result<MapEvalContext> SerialReplay(const MapEvalContext& initial,
                                     const CommitLog& log);
 
+/// Reusable oracle for the schedule explorer: fixes the initial state and
+/// the invariant once, then checks any number of (final store, commit log)
+/// pairs against them. Safe to share across exploration runs on one worker;
+/// each worker owns its own instance (no cross-thread state).
+class ScheduleOracle {
+ public:
+  ScheduleOracle(MapEvalContext initial, Expr invariant)
+      : initial_(std::move(initial)), invariant_(std::move(invariant)) {}
+
+  /// CheckSemanticCorrectness against the fixed initial state. A run with no
+  /// commits is vacuously correct when the store still matches the initial
+  /// state, which Restore() guarantees — so the empty log short-circuits.
+  OracleReport Check(const Store& final_store, const CommitLog& log) const;
+
+  const MapEvalContext& initial() const { return initial_; }
+  const Expr& invariant() const { return invariant_; }
+
+ private:
+  MapEvalContext initial_;
+  Expr invariant_;
+};
+
 }  // namespace semcor
 
 #endif  // SEMCOR_SEM_RT_ORACLE_H_

@@ -373,6 +373,33 @@ size_t Store::PruneVersionsBefore(Timestamp horizon) {
   return dropped;
 }
 
+/// Deep copy of the store's committed maps. Item and row entries are copied
+/// verbatim (version chains included) so a Restore reproduces snapshot
+/// visibility and commit timestamps exactly.
+class StoreCheckpoint {
+ public:
+  std::map<std::string, Store::ItemEntry> items;
+  std::map<std::string, TableData> tables;
+  Timestamp clock = 0;
+};
+
+std::shared_ptr<const StoreCheckpoint> Store::Checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto cp = std::make_shared<StoreCheckpoint>();
+  cp->items = items_;
+  cp->tables = tables_;
+  cp->clock = clock_.load();
+  return cp;
+}
+
+void Store::Restore(const StoreCheckpoint& cp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  items_ = cp.items;
+  tables_ = cp.tables;
+  touches_.clear();
+  clock_.store(cp.clock);
+}
+
 MapEvalContext Store::SnapshotToMap() const {
   std::lock_guard<std::mutex> lock(mu_);
   MapEvalContext ctx;

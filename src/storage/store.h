@@ -4,6 +4,7 @@
 #include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -29,6 +30,12 @@ struct SnapshotWriteSet {
 
   bool empty() const { return items.empty() && row_ops.empty(); }
 };
+
+/// Opaque capture of a store's committed state (items, tables, clock),
+/// produced by Store::Checkpoint. Defined in store.cc; callers only pass it
+/// back to Store::Restore. The schedule explorer keeps one per session and
+/// restores it between schedule runs instead of re-running workload setup.
+class StoreCheckpoint;
 
 /// In-memory versioned store for named items and relational tables. All
 /// methods are thread-safe (one coarse mutex — the testbed measures
@@ -107,6 +114,16 @@ class Store {
   /// Current timestamp (last assigned commit ts); snapshot start time.
   Timestamp CurrentTs() const { return clock_.load(); }
 
+  /// Captures the full committed state for later Restore. Must be taken
+  /// while no transaction is in flight (no uncommitted images); typically
+  /// right after workload setup.
+  std::shared_ptr<const StoreCheckpoint> Checkpoint() const;
+  /// Resets the store to a captured state: drops every item version, row
+  /// version, uncommitted image, and touch record accumulated since, and
+  /// rewinds the commit clock to the capture's value. Any transaction still
+  /// in flight against this store must be abandoned by the caller.
+  void Restore(const StoreCheckpoint& cp);
+
   /// Garbage-collects version history: for every item and row, drops all
   /// committed versions except the newest one visible at `horizon` and
   /// everything newer (snapshots started at or after `horizon` still read
@@ -139,6 +156,8 @@ class Store {
   };
 
   Result<Value> ReadItemInternal(const std::string& name, Timestamp ts) const;
+
+  friend class StoreCheckpoint;
 
   mutable std::mutex mu_;
   std::map<std::string, ItemEntry> items_;

@@ -4,14 +4,24 @@ namespace semcor {
 
 int StepDriver::Add(std::shared_ptr<const TxnProgram> program,
                     IsoLevel level) {
-  runs_.push_back(
-      std::make_unique<ProgramRun>(mgr_, std::move(program), level, log_));
+  runs_.push_back(std::make_unique<ProgramRun>(mgr_, std::move(program), level,
+                                               log_, lazy_begin_));
   return static_cast<int>(runs_.size()) - 1;
+}
+
+void StepDriver::Reset() {
+  for (auto& run : runs_) {
+    if (run->begun() && !run->Done()) {
+      run->ForceAbort(Status::Aborted("driver reset"));
+    }
+  }
+  runs_.clear();
 }
 
 StepOutcome StepDriver::Step(int i) {
   ProgramRun& run = *runs_[i];
   if (run.Done()) return run.outcome();
+  run.EnsureBegun();
   if (pre_step_) pre_step_(i);
   const Stmt* stmt = run.CurrentStmt();
   StepOutcome outcome = run.Step(/*wait=*/false);

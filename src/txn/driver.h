@@ -25,11 +25,20 @@ struct StepEvent {
 /// (e.g. write skew: r1 r1 r2 r2 w1 w2).
 class StepDriver {
  public:
-  explicit StepDriver(TxnManager* mgr, CommitLog* log = nullptr)
-      : mgr_(mgr), log_(log) {}
+  /// `lazy_begin` defers each transaction's Begin to its first scheduled
+  /// step (see ProgramRun); the schedule explorer uses this so that begin
+  /// order is part of the schedule, not of registration order.
+  explicit StepDriver(TxnManager* mgr, CommitLog* log = nullptr,
+                      bool lazy_begin = false)
+      : mgr_(mgr), log_(log), lazy_begin_(lazy_begin) {}
 
   /// Registers a transaction; returns its index.
   int Add(std::shared_ptr<const TxnProgram> program, IsoLevel level);
+
+  /// Drops all registered transactions (un-begun, committed, or aborted) so
+  /// the driver can be reused for the next schedule. Transactions still
+  /// active are force-aborted first.
+  void Reset();
 
   /// Advances transaction `i` one step (try-lock mode).
   StepOutcome Step(int i);
@@ -60,6 +69,7 @@ class StepDriver {
  private:
   TxnManager* mgr_;
   CommitLog* log_;
+  bool lazy_begin_ = false;
   std::vector<std::unique_ptr<ProgramRun>> runs_;
   Observer observer_;
   std::function<void(int)> pre_step_;

@@ -100,9 +100,15 @@ class LocalCtx : public EvalContext {
 
 ProgramRun::ProgramRun(TxnManager* mgr,
                        std::shared_ptr<const TxnProgram> program,
-                       IsoLevel level, CommitLog* log)
-    : mgr_(mgr), program_(std::move(program)), log_(log) {
-  txn_ = mgr_->Begin(level);
+                       IsoLevel level, CommitLog* log, bool lazy_begin)
+    : mgr_(mgr), program_(std::move(program)), log_(log), level_(level) {
+  if (!lazy_begin) EnsureBegun();
+}
+
+void ProgramRun::EnsureBegun() {
+  if (begun_ || Done()) return;
+  begun_ = true;
+  txn_ = mgr_->Begin(level_);
   txn_->locals = program_->params;
   // Capture logical variables (initial values of the bound items) from the
   // committed state at start.
@@ -127,6 +133,7 @@ const Stmt* ProgramRun::CurrentStmt() const {
 }
 
 Expr ProgramRun::ActiveAssertion() const {
+  if (!begun_) return program_->Precondition();
   if (Done() || body_done_) return program_->Postcondition();
   const Stmt* current = CurrentStmt();
   return current != nullptr && current->pre ? current->pre
@@ -239,7 +246,8 @@ Status ProgramRun::ExecStmt(const Stmt& stmt, bool wait) {
 
 StepOutcome ProgramRun::Step(bool wait) {
   if (Done()) return outcome_;
-  if (!failure_.ok()) {  // construction-time failure
+  EnsureBegun();
+  if (!failure_.ok()) {  // begin-time failure
     mgr_->Abort(txn_.get());
     outcome_ = StepOutcome::kAborted;
     return outcome_;
@@ -310,7 +318,7 @@ StepOutcome ProgramRun::Step(bool wait) {
 void ProgramRun::ForceAbort(Status reason) {
   if (Done()) return;
   failure_ = std::move(reason);
-  mgr_->Abort(txn_.get());
+  if (txn_ != nullptr) mgr_->Abort(txn_.get());
   outcome_ = StepOutcome::kAborted;
 }
 

@@ -29,8 +29,21 @@ const char* StepOutcomeName(StepOutcome outcome);
 ///  - Step(wait=true) / RunToCompletion(): blocking locks (thread executor).
 class ProgramRun {
  public:
+  /// With `lazy_begin` the transaction does not Begin (and a SNAPSHOT run
+  /// does not take its snapshot) until its first Step — the schedule
+  /// explorer needs begin time to be a schedulable event, so that a
+  /// transaction scheduled entirely after another's commit observes it.
+  /// The default (eager) matches the historical behaviour: Begin at
+  /// construction, which is what the hand-written schedule tests assume.
   ProgramRun(TxnManager* mgr, std::shared_ptr<const TxnProgram> program,
-             IsoLevel level, CommitLog* log = nullptr);
+             IsoLevel level, CommitLog* log = nullptr,
+             bool lazy_begin = false);
+
+  /// Begins the transaction if it has not begun yet (no-op otherwise).
+  /// Called automatically by Step; exposed so drivers can begin before
+  /// inspecting CurrentStmt.
+  void EnsureBegun();
+  bool begun() const { return begun_; }
 
   StepOutcome Step(bool wait);
   /// Runs with blocking locks until commit or abort.
@@ -46,6 +59,7 @@ class ProgramRun {
   }
   StepOutcome outcome() const { return outcome_; }
   const Status& failure() const { return failure_; }
+  /// Valid only after the transaction has begun (always true in eager mode).
   const Txn& txn() const { return *txn_; }
   Txn* mutable_txn() { return txn_.get(); }
   const TxnProgram& program() const { return *program_; }
@@ -79,6 +93,8 @@ class ProgramRun {
   TxnManager* mgr_;
   std::shared_ptr<const TxnProgram> program_;
   CommitLog* log_;
+  IsoLevel level_;
+  bool begun_ = false;
   std::unique_ptr<Txn> txn_;
   std::vector<Frame> stack_;
   StepOutcome outcome_ = StepOutcome::kRunning;

@@ -28,6 +28,11 @@ size_t CommitLog::size() const {
   return records_.size();
 }
 
+void CommitLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
 std::unique_ptr<Txn> TxnManager::Begin(IsoLevel level) {
   auto txn = std::make_unique<Txn>();
   txn->id = next_id_++;

@@ -53,6 +53,8 @@ class CommitLog {
   /// correctness is defined against).
   std::vector<CommitRecord> SortedByCommit() const;
   size_t size() const;
+  /// Empties the log (the schedule explorer reuses one log across runs).
+  void Clear();
 
  private:
   mutable std::mutex mu_;
@@ -98,6 +100,11 @@ class TxnManager {
 
   Store* store() { return store_; }
   LockManager* locks() { return locks_; }
+
+  /// Rewinds the transaction-id counter. Only valid while no transaction is
+  /// active; the schedule explorer calls it between runs so that identical
+  /// schedules replay with identical ids (and hence identical outcomes).
+  void ResetIds(TxnId next = 1) { next_id_.store(next); }
 
  private:
   /// Streams rows matching `pred` under the level's read-lock discipline

@@ -136,6 +136,30 @@ Workload MakeBankingWorkload(int accounts) {
            {"Withdraw_ch", 0.35},
            {"Deposit_sav", 0.15},
            {"Deposit_ch", 0.15}};
+
+  // Pinned scenarios for the schedule explorer. Balances start at 10+10;
+  // w=15 makes each withdrawal admissible against the sum (20) but not
+  // against either account alone — the Example 3 write-skew setup. Random
+  // draws (1..5) can never reach that regime.
+  w.explore_mixes = {
+      {"write_skew",
+       "Example 3: concurrent sav/ch withdrawals overdraw under SNAPSHOT",
+       {{"Withdraw_sav", {{"i", Value::Int(1)}, {"w", Value::Int(15)}}},
+        {"Withdraw_ch", {{"i", Value::Int(1)}, {"w", Value::Int(15)}}}}},
+      {"lost_update",
+       "two deposits to one account; lost update below REPEATABLE READ",
+       {{"Deposit_sav", {{"i", Value::Int(1)}, {"d", Value::Int(5)}}},
+        {"Deposit_sav", {{"i", Value::Int(1)}, {"d", Value::Int(7)}}}}},
+      {"disjoint_deposits",
+       "deposits to disjoint accounts; anomaly-free at every level",
+       {{"Deposit_sav", {{"i", Value::Int(0)}, {"d", Value::Int(3)}}},
+        {"Deposit_ch", {{"i", Value::Int(1)}, {"d", Value::Int(4)}}}}},
+      {"write_skew_padded",
+       "write_skew plus an unrelated deposit (shrinker exercise)",
+       {{"Withdraw_sav", {{"i", Value::Int(1)}, {"w", Value::Int(15)}}},
+        {"Withdraw_ch", {{"i", Value::Int(1)}, {"w", Value::Int(15)}}},
+        {"Deposit_sav", {{"i", Value::Int(0)}, {"d", Value::Int(3)}}}}},
+  };
   return w;
 }
 

@@ -268,6 +268,21 @@ Workload MakeOrdersWorkload(bool one_order_per_day) {
            {"New_Order", 0.45},
            {"Delivery", 0.25},
            {"Audit", 0.15}};
+
+  // Explorer scenario: two orders for the same customer racing on the
+  // "next sequence number" read (§6's phantom / duplicate-order hazard).
+  w.explore_mixes = {
+      {"new_order_race",
+       "two concurrent New_Order transactions for one customer",
+       {{"New_Order",
+         {{"customer", Value::Str("a")},
+          {"address", Value::Str("addr")},
+          {"order_info", Value::Int(101)}}},
+        {"New_Order",
+         {{"customer", Value::Str("a")},
+          {"address", Value::Str("addr")},
+          {"order_info", Value::Int(102)}}}}},
+  };
   return w;
 }
 

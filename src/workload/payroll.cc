@@ -114,6 +114,16 @@ Workload MakePayrollWorkload(int employees) {
   w.paper_levels = {{"Hours", IsoLevel::kReadCommitted},
                     {"Print_Records", IsoLevel::kReadCommitted}};
   w.mix = {{"Hours", 0.5}, {"Print_Records", 0.5}};
+
+  // Explorer scenario: an hours update racing the report printer (§5's
+  // READ COMMITTED discussion — Print_Records only needs a consistent view
+  // per record, so RC is enough and exploration should find no anomaly).
+  w.explore_mixes = {
+      {"hours_print",
+       "hours update concurrent with record printing",
+       {{"Hours", {{"i", Value::Int(1)}, {"h", Value::Int(4)}}},
+        {"Print_Records", {{"i", Value::Int(1)}}}}},
+  };
   return w;
 }
 

@@ -21,4 +21,19 @@ WorkItem Workload::DrawFromMix(Rng& rng,
   return item;
 }
 
+std::shared_ptr<const TxnProgram> Workload::InstantiateWith(
+    const std::string& type, const std::map<std::string, Value>& params) const {
+  for (const TransactionType& t : app.types) {
+    if (t.name == type) return std::make_shared<TxnProgram>(t.make(params));
+  }
+  return nullptr;
+}
+
+const ExploreMix* Workload::FindExploreMix(const std::string& name) const {
+  for (const ExploreMix& m : explore_mixes) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
 }  // namespace semcor

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "sem/check/theorems.h"
@@ -12,6 +13,22 @@
 #include "txn/executor.h"
 
 namespace semcor {
+
+/// A named, fully pinned transaction mix for the schedule explorer. Unlike
+/// the weighted random `mix`, every instance's parameters are fixed, so a
+/// mix names a *reproducible* concurrency scenario — including the corner
+/// cases (e.g. banking write skew needs withdrawals large enough that each
+/// is covered by the sum but not by one account, which random draws over
+/// small amounts essentially never produce).
+struct ExploreMix {
+  struct Entry {
+    std::string type;                     ///< transaction type name
+    std::map<std::string, Value> params;  ///< pinned parameter values
+  };
+  std::string name;
+  std::string note;  ///< what scenario this mix probes
+  std::vector<Entry> txns;
+};
 
 /// A paper workload: the statically analyzable Application plus the runtime
 /// harness pieces (initial database, random instance generation, and the
@@ -33,6 +50,19 @@ struct Workload {
 
   /// Default mix for the executor: type name -> weight.
   std::vector<std::pair<std::string, double>> mix;
+
+  /// Named pinned-parameter mixes for the schedule explorer (may be empty).
+  std::vector<ExploreMix> explore_mixes;
+
+  /// Instantiates one type with explicit parameters (no randomness); used
+  /// by the explorer to materialize ExploreMix entries. Returns nullptr for
+  /// unknown type names.
+  std::shared_ptr<const TxnProgram> InstantiateWith(
+      const std::string& type, const std::map<std::string, Value>& params)
+      const;
+
+  /// Looks up an explore mix by name (nullptr if absent).
+  const ExploreMix* FindExploreMix(const std::string& name) const;
 
   /// Draws a WorkItem from the mix at the given level assignment
   /// (every type mapped through `levels`; missing entries use `fallback`).

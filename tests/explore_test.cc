@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "explore/crosscheck.h"
+#include "explore/enumerate.h"
+#include "explore/explorer.h"
+#include "explore/fuzz.h"
+#include "explore/shrink.h"
+#include "workload/workload.h"
+
+namespace semcor {
+namespace {
+
+/// The classic write-skew interleaving of Example 3 as choice hints:
+/// T1 reads both balances, T2 reads both balances, then both decide and
+/// write. Choices per Withdraw: Read, Read, If-guard, Write, commit.
+const Schedule kClassicWriteSkew = {0, 0, 1, 1, 0, 0, 0, 1, 1, 1};
+
+std::unique_ptr<ExploreSession> BankingSession(const std::string& mix_name,
+                                               IsoLevel level) {
+  Workload w = MakeBankingWorkload();
+  const ExploreMix* mix = w.FindExploreMix(mix_name);
+  EXPECT_NE(mix, nullptr) << mix_name;
+  auto session = std::make_unique<ExploreSession>();
+  EXPECT_TRUE(session->Init(w, *mix, level).ok());
+  return session;
+}
+
+TEST(ExploreSession, ClassicWriteSkewIsAnomalousAtSnapshot) {
+  auto session = BankingSession("write_skew", IsoLevel::kSnapshot);
+  RunResult r = session->Run(kClassicWriteSkew);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.committed, 2);
+  EXPECT_TRUE(r.anomalous);
+  EXPECT_EQ(EventTrace(r.events), "r1 r1 r2 r2 w1 w2");
+  EXPECT_EQ(r.preemptions, 2);  // 0->1 (T1 active), 1->0 (T2 active)
+}
+
+TEST(ExploreSession, ReplayIsDeterministic) {
+  auto session = BankingSession("write_skew", IsoLevel::kSnapshot);
+  RunResult a = session->Run(kClassicWriteSkew);
+  RunResult b = session->Run(kClassicWriteSkew);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(EventTrace(a.events), EventTrace(b.events));
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.anomalous, b.anomalous);
+  EXPECT_EQ(a.Signature(), b.Signature());
+}
+
+TEST(ExploreSession, LazyBeginSeesEarlierCommits) {
+  // Run the two withdrawals serially. Because transactions begin (and
+  // SNAPSHOT captures its read view) only at their first scheduled step,
+  // the second withdrawal sees the first one's committed overdraft, its
+  // guard fails, and the outcome is semantically correct.
+  auto session = BankingSession("write_skew", IsoLevel::kSnapshot);
+  RunResult r = session->Run({0, 0, 0, 0, 0, 1, 1, 1, 1});
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.committed, 2);  // second one commits without writing
+  EXPECT_FALSE(r.anomalous);
+  EXPECT_EQ(EventTrace(r.events), "r1 r1 w1 r2 r2");
+}
+
+TEST(ExploreSession, ScheduleExhaustionForceAborts) {
+  auto session = BankingSession("write_skew", IsoLevel::kSnapshot);
+  RunResult r = session->Run({0, 0, 1});  // nobody reaches commit
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.committed, 0);
+  EXPECT_EQ(r.aborted, 2);
+  EXPECT_FALSE(r.anomalous);  // nothing committed, initial state intact
+}
+
+TEST(Enumerate, CountsMatchClosedForm) {
+  // Two independent deposits, three atomic steps each (read, write,
+  // commit): C(6,3) = 20 interleavings; 2 serial ones; 6 with at most one
+  // preemption.
+  struct Case {
+    int bound;
+    int64_t want;
+  };
+  for (const Case& c : {Case{-1, 20}, Case{0, 2}, Case{1, 6}}) {
+    auto session = BankingSession("disjoint_deposits", IsoLevel::kSnapshot);
+    EnumerateOptions opts;
+    opts.preemption_bound = c.bound;
+    ScheduleSpace space(session.get(), opts);
+    EnumerateStats stats = space.Enumerate([](const Schedule&,
+                                              const RunResult&) {});
+    EXPECT_EQ(stats.schedules, c.want) << "bound " << c.bound;
+    EXPECT_EQ(stats.anomalies, 0) << "bound " << c.bound;
+  }
+}
+
+TEST(Enumerate, SerializableWriteSkewSpaceIsClean) {
+  auto session = BankingSession("write_skew", IsoLevel::kSerializable);
+  ScheduleSpace space(session.get(), EnumerateOptions());
+  EnumerateStats stats = space.Enumerate([](const Schedule&,
+                                            const RunResult&) {});
+  EXPECT_GT(stats.schedules, 0);
+  EXPECT_EQ(stats.anomalies, 0);
+}
+
+TEST(Enumerate, SnapshotWriteSkewSpaceContainsAnomalies) {
+  auto session = BankingSession("write_skew", IsoLevel::kSnapshot);
+  ScheduleSpace space(session.get(), EnumerateOptions());
+  EnumerateStats stats = space.Enumerate([](const Schedule&,
+                                            const RunResult&) {});
+  EXPECT_GT(stats.schedules, 0);
+  EXPECT_GT(stats.anomalies, 0);
+}
+
+TEST(Fuzz, IndexedRunsAreSeedStable) {
+  auto a = BankingSession("write_skew", IsoLevel::kSnapshot);
+  auto b = BankingSession("write_skew", IsoLevel::kSnapshot);
+  ScheduleFuzzer fa(a.get(), /*seed=*/7);
+  ScheduleFuzzer fb(b.get(), /*seed=*/7);
+  int anomalies = 0;
+  for (int64_t i = 0; i < 50; ++i) {
+    Schedule ha, hb;
+    RunResult ra = fa.RunIndexed(i, &ha);
+    RunResult rb = fb.RunIndexed(i, &hb);
+    EXPECT_EQ(ha, hb) << "index " << i;
+    EXPECT_EQ(ra.executed, rb.executed) << "index " << i;
+    EXPECT_EQ(ra.anomalous, rb.anomalous) << "index " << i;
+    EXPECT_TRUE(ra.complete) << "index " << i;
+    if (ra.anomalous) ++anomalies;
+  }
+  // Write skew is dense in this space; random walks must trip over it.
+  EXPECT_GT(anomalies, 0);
+}
+
+TEST(Shrink, RecoversClassicWitnessFromPaddedSchedule) {
+  // The classic 10-choice write-skew schedule, interleaved with a third,
+  // unrelated deposit and trailing no-op choices: 20 choices total. The
+  // transaction-drop pass must eliminate the deposit wholesale and ddmin
+  // must strip the padding, leaving exactly the classic witness.
+  auto session = BankingSession("write_skew_padded", IsoLevel::kSnapshot);
+  Schedule padded = kClassicWriteSkew;
+  padded.insert(padded.end(), {2, 2, 2, 2, 2, 2, 2, 2, 2, 2});
+  RunResult before = session->Run(padded);
+  ASSERT_TRUE(before.anomalous);
+  ASSERT_TRUE(before.complete);
+
+  Shrinker shrinker(session.get());
+  Result<ShrinkResult> shrunk = shrinker.Minimize(padded);
+  ASSERT_TRUE(shrunk.ok());
+  EXPECT_EQ(shrunk.value().schedule, kClassicWriteSkew);
+  EXPECT_EQ(EventTrace(shrunk.value().result.events),
+            "r1 r1 r2 r2 w1 w2");
+  EXPECT_LE(shrunk.value().result.events.size(), 6u);
+}
+
+TEST(Shrink, RejectsNonAnomalousSchedule) {
+  auto session = BankingSession("write_skew", IsoLevel::kSnapshot);
+  Shrinker shrinker(session.get());
+  EXPECT_FALSE(shrinker.Minimize({0, 0, 0, 0, 0, 1, 1, 1, 1}).ok());
+}
+
+TEST(Explorer, SnapshotFindsAndShrinksWriteSkew) {
+  Workload w = MakeBankingWorkload();
+  ExploreOptions opts;
+  opts.level = IsoLevel::kSnapshot;
+  opts.threads = 4;
+  opts.budget = 2000;
+  Explorer explorer(w, *w.FindExploreMix("write_skew"), opts);
+  Result<ExploreReport> report = explorer.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().space_exhausted);
+  EXPECT_GT(report.value().enumerated, 0);
+  EXPECT_GT(report.value().anomalies, 0);
+  ASSERT_FALSE(report.value().witnesses.empty());
+  for (const ExploreWitness& witness : report.value().witnesses) {
+    // Any 1-minimal write-skew witness drives both withdrawals to commit:
+    // 5 productive choices each, 4 reads and 2 writes on the database.
+    EXPECT_EQ(witness.schedule.size(), 10u) << witness.trace;
+    RunResult replay = BankingSession("write_skew", IsoLevel::kSnapshot)
+                           ->Run(witness.schedule);
+    EXPECT_TRUE(replay.anomalous) << witness.trace;
+    int reads = 0, writes = 0;
+    for (const ScheduleEvent& e : replay.events) (e.write ? writes : reads)++;
+    EXPECT_EQ(reads, 4) << witness.trace;
+    EXPECT_EQ(writes, 2) << witness.trace;
+  }
+}
+
+TEST(Explorer, SerializableFindsNoAnomalies) {
+  Workload w = MakeBankingWorkload();
+  ExploreOptions opts;
+  opts.level = IsoLevel::kSerializable;
+  opts.threads = 4;
+  opts.budget = 2000;
+  Explorer explorer(w, *w.FindExploreMix("write_skew"), opts);
+  Result<ExploreReport> report = explorer.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().schedules(), 0);
+  EXPECT_EQ(report.value().anomalies, 0);
+  EXPECT_TRUE(report.value().witnesses.empty());
+}
+
+TEST(Explorer, LostUpdateLevelSweep) {
+  // Two deposits to one account: lost update strikes below REPEATABLE
+  // READ; at RR the long read locks force a deadlock-abort instead, which
+  // is semantically correct (the victim's effects vanish).
+  Workload w = MakeBankingWorkload();
+  for (IsoLevel level : {IsoLevel::kReadCommitted, IsoLevel::kRepeatableRead}) {
+    ExploreOptions opts;
+    opts.level = level;
+    opts.threads = 2;
+    opts.budget = 500;
+    opts.fuzz = false;
+    Explorer explorer(w, *w.FindExploreMix("lost_update"), opts);
+    Result<ExploreReport> report = explorer.Run();
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report.value().schedules(), 0);
+    if (level == IsoLevel::kReadCommitted) {
+      EXPECT_GT(report.value().anomalies, 0);
+    } else {
+      EXPECT_EQ(report.value().anomalies, 0);
+    }
+  }
+}
+
+TEST(CrossCheck, BankingSoundnessContract) {
+  Workload w = MakeBankingWorkload();
+  const ExploreMix* mix = w.FindExploreMix("write_skew");
+  ASSERT_NE(mix, nullptr);
+
+  ExploreOptions opts;
+  opts.threads = 2;
+  opts.budget = 500;
+
+  // SERIALIZABLE: statically correct, and exploration must agree.
+  opts.level = IsoLevel::kSerializable;
+  Result<CrossCheckResult> serializable = CrossCheck(w, *mix, opts);
+  ASSERT_TRUE(serializable.ok());
+  EXPECT_TRUE(serializable.value().static_correct);
+  EXPECT_EQ(serializable.value().exploration.anomalies, 0);
+  EXPECT_FALSE(serializable.value().unsound);
+
+  // SNAPSHOT: the pair condition fails statically AND exploration exhibits
+  // the anomaly — consistent in the other direction.
+  opts.level = IsoLevel::kSnapshot;
+  Result<CrossCheckResult> snapshot = CrossCheck(w, *mix, opts);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_FALSE(snapshot.value().static_correct);
+  EXPECT_GT(snapshot.value().exploration.anomalies, 0);
+  // Write skew drives the combined balance negative: these are genuine
+  // invariant violations, not mere replay divergence.
+  EXPECT_GT(snapshot.value().exploration.invariant_anomalies, 0);
+  EXPECT_FALSE(snapshot.value().unsound);
+  EXPECT_FALSE(snapshot.value().imprecise);
+}
+
+// The §2/§6 story: under the basic business rule a lost MAXDATE update is
+// semantically tolerated (duplicate delivery dates satisfy every rule), so
+// READ COMMITTED is statically correct even though the final state diverges
+// from any serial schedule. The cross-check must classify that divergence
+// as oracle strictness, not unsoundness. The "one order per day" variant
+// strengthens the invariant until the same interleaving violates it — and
+// the static checker rejects READ COMMITTED in lockstep.
+TEST(CrossCheck, OrdersReplayDivergenceIsNotUnsound) {
+  ExploreOptions opts;
+  opts.threads = 2;
+  opts.budget = 300;
+  opts.level = IsoLevel::kReadCommitted;
+
+  Workload basic = MakeOrdersWorkload(/*one_order_per_day=*/false);
+  const ExploreMix* mix = basic.FindExploreMix("new_order_race");
+  ASSERT_NE(mix, nullptr);
+  Result<CrossCheckResult> rc = CrossCheck(basic, *mix, opts);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_TRUE(rc.value().static_correct);
+  EXPECT_GT(rc.value().exploration.anomalies, 0);
+  EXPECT_EQ(rc.value().exploration.invariant_anomalies, 0);
+  EXPECT_FALSE(rc.value().unsound);
+  EXPECT_TRUE(rc.value().replay_divergent);
+
+  Workload unique = MakeOrdersWorkload(/*one_order_per_day=*/true);
+  mix = unique.FindExploreMix("new_order_race");
+  ASSERT_NE(mix, nullptr);
+
+  // Same interleavings, stronger invariant: now they are real anomalies,
+  // and the static side rejects the level too — consistent.
+  Result<CrossCheckResult> rc_unique = CrossCheck(unique, *mix, opts);
+  ASSERT_TRUE(rc_unique.ok());
+  EXPECT_FALSE(rc_unique.value().static_correct);
+  EXPECT_GT(rc_unique.value().exploration.invariant_anomalies, 0);
+  EXPECT_FALSE(rc_unique.value().unsound);
+
+  // First-committer-wins restores correctness dynamically and statically.
+  opts.level = IsoLevel::kReadCommittedFcw;
+  Result<CrossCheckResult> fcw = CrossCheck(unique, *mix, opts);
+  ASSERT_TRUE(fcw.ok());
+  EXPECT_TRUE(fcw.value().static_correct);
+  EXPECT_EQ(fcw.value().exploration.anomalies, 0);
+  EXPECT_FALSE(fcw.value().unsound);
+  EXPECT_FALSE(fcw.value().replay_divergent);
+}
+
+}  // namespace
+}  // namespace semcor
