@@ -14,7 +14,7 @@ struct PerfResult {
   long committed = 0;
   long aborted = 0;
   long deadlocks = 0;
-  long gave_up = 0;
+  long retries_exhausted = 0;
   int violation_rounds = 0;  ///< rounds whose final state was incorrect
   int rounds = 0;
 
@@ -58,7 +58,7 @@ inline PerfResult RunRounds(const Workload& w,
   out.committed = merged.committed;
   out.aborted = merged.aborted;
   out.deadlocks = merged.deadlocks;
-  out.gave_up = merged.gave_up;
+  out.retries_exhausted = merged.retries_exhausted;
   out.tps = merged.Throughput(total_wall);
   out.p50_us = merged.LatencyPercentileUs(50);
   out.p99_us = merged.LatencyPercentileUs(99);

@@ -30,4 +30,17 @@ cmake --build build -j
 ./build/examples/semcor_explore --workload=orders_unique --mix=new_order_race \
     --level=rc_fcw --threads=2 --budget=300 --seed=7 --expect-no-anomalies
 
+# Fault-injection stage, under ASan+UBSan: rebuild the explorer with
+# sanitizers and run the banking write-skew mix at READ UNCOMMITTED with a
+# fixed deterministic fault plan. The run must inject at least one fault
+# (reproducible from the seed), keep the soundness cross-check green
+# (exit 0), and trip no sanitizer.
+cmake -B build-asan -S . -DSEMCOR_SANITIZE=ON
+cmake --build build-asan -j --target semcor_explore
+fault_out=$(./build-asan/examples/semcor_explore --workload=banking \
+    --mix=write_skew --level=ru --threads=2 --budget=3000 --seed=42 \
+    --faults=seed:7)
+echo "$fault_out"
+echo "$fault_out" | grep -q 'injected_faults=[1-9]'
+
 echo "ci.sh: OK"

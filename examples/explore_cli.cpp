@@ -4,6 +4,13 @@
 //   semcor_explore --workload=banking --level=snapshot --threads=8
 //                  --budget=100000 --seed=42
 //
+// Fault injection: --faults=seed:N runs every schedule under a deterministic
+// fault plan (forced aborts, transient lock failures, crash-before-commit)
+// and switches aborts to schedulable rollback, so the explorer can interleave
+// undo writes with other transactions (Theorem 1's hazard at READ
+// UNCOMMITTED). --exec-items=N instead runs the closed-loop concurrent
+// executor as a resilience smoke test and prints its statistics.
+//
 // Exit codes: 0 = done (cross-check consistent), 1 = soundness violation
 // (static says correct, exploration found an anomaly), 2 = anomalies found
 // while --expect-no-anomalies was set, 3 = usage / setup error.
@@ -11,10 +18,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "explore/crosscheck.h"
+#include "txn/executor.h"
 #include "workload/workload.h"
 
 namespace {
@@ -27,6 +36,9 @@ struct CliOptions {
   std::string level = "snapshot";
   ExploreOptions explore;
   bool expect_no_anomalies = false;
+  bool atomic_rollback = false;  // opt out of schedulable rollback
+  int max_retries = 3;           // executor-mode retry budget
+  int exec_items = 0;            // >0: executor smoke mode, items per thread
 };
 
 bool ParseLevel(const std::string& name, IsoLevel* out) {
@@ -90,7 +102,14 @@ void Usage() {
       "                      [--threads=N] [--budget=N] [--seed=N]\n"
       "                      [--preemptions=N]   (-1 = unbounded)\n"
       "                      [--mode=enumerate|fuzz|both]\n"
-      "                      [--no-shrink] [--expect-no-anomalies]\n");
+      "                      [--no-shrink] [--expect-no-anomalies]\n"
+      "                      [--faults=seed:N]   (deterministic fault plan;\n"
+      "                                           implies schedulable undo)\n"
+      "                      [--atomic-rollback] (keep rollback one step)\n"
+      "                      [--deadlock-policy=youngest|wound_wait|\n"
+      "                                         bounded_wait[:N]]\n"
+      "                      [--max-retries=N] [--exec-items=N]\n"
+      "                                          (executor smoke mode)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts) {
@@ -124,6 +143,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       if (mode != "fuzz" && mode != "enumerate" && mode != "both") {
         return false;
       }
+    } else if (const char* v = value("--faults")) {
+      const std::string spec = v;
+      if (spec.compare(0, 5, "seed:") != 0) return false;
+      opts->explore.faults =
+          FaultPlan::Seeded(static_cast<uint64_t>(std::atoll(spec.c_str() + 5)));
+      opts->explore.schedulable_rollback = true;
+    } else if (const char* v = value("--deadlock-policy")) {
+      if (!ParseDeadlockPolicy(v, &opts->explore.deadlock_policy)) {
+        return false;
+      }
+    } else if (const char* v = value("--max-retries")) {
+      opts->max_retries = std::atoi(v);
+    } else if (const char* v = value("--exec-items")) {
+      opts->exec_items = std::atoi(v);
+    } else if (arg == "--atomic-rollback") {
+      opts->atomic_rollback = true;
     } else if (arg == "--no-shrink") {
       opts->explore.shrink = false;
     } else if (arg == "--expect-no-anomalies") {
@@ -131,6 +166,55 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     } else {
       return false;
     }
+  }
+  if (opts->atomic_rollback) opts->explore.schedulable_rollback = false;
+  return true;
+}
+
+/// Closed-loop executor smoke run: one fresh database per level, every type
+/// of the workload at that level, deterministic retry backoff, optional
+/// fault plan. Prints merged statistics; returns false on setup failure.
+bool RunExecutorMode(const Workload& workload, const CliOptions& opts,
+                     const std::vector<IsoLevel>& levels) {
+  for (IsoLevel level : levels) {
+    Store store;
+    LockManager locks;
+    TxnManager mgr(&store, &locks);
+    if (!workload.setup(&store).ok()) {
+      std::fprintf(stderr, "workload setup failed\n");
+      return false;
+    }
+    FaultInjector faults;
+    FaultInjector* faults_ptr = nullptr;
+    if (!opts.explore.faults.empty()) {
+      faults.SetPlan(opts.explore.faults);
+      faults.BeginRun();
+      locks.SetFaultHook([&faults](TxnId txn) {
+        return FaultStatus(faults.At(FaultSite::kLockGrant, txn));
+      });
+      faults_ptr = &faults;
+    }
+    std::map<std::string, IsoLevel> assignment;
+    for (const auto& [type, unused] : workload.paper_levels) {
+      assignment[type] = level;
+    }
+    CommitLog log;
+    ConcurrentExecutor executor(&mgr, opts.explore.threads);
+    RetryPolicy retry;
+    retry.max_attempts = opts.max_retries + 1;
+    double wall = 0;
+    ExecStats stats = executor.Run(
+        [&](Rng& rng) { return workload.DrawFromMix(rng, assignment, level); },
+        opts.exec_items, retry, &log, &wall, opts.explore.seed, faults_ptr);
+    std::printf(
+        "exec %s @ %s: committed=%ld aborted=%ld deadlocks=%ld "
+        "fcw_conflicts=%ld injected_faults=%ld retries_exhausted=%ld "
+        "(%d threads, %.2fs, policy=%s, max_retries=%d)\n",
+        workload.app.name.c_str(), IsoLevelName(level), stats.committed,
+        stats.aborted, stats.deadlocks, stats.fcw_conflicts,
+        stats.injected_faults, stats.retries_exhausted, opts.explore.threads,
+        wall, DeadlockPolicyName(opts.explore.deadlock_policy.kind),
+        opts.max_retries);
   }
   return true;
 }
@@ -170,6 +254,10 @@ int main(int argc, char** argv) {
       return 3;
     }
     levels.push_back(level);
+  }
+
+  if (opts.exec_items > 0) {
+    return RunExecutorMode(workload, opts, levels) ? 0 : 3;
   }
 
   bool unsound = false;

@@ -27,6 +27,8 @@ void ScheduleSpace::Expand(const Schedule& prefix, const LeafFn& on_leaf,
       if (result.anomalous) ++stats->anomalies;
       if (!result.oracle.invariant_holds) ++stats->invariant_anomalies;
       stats->deadlock_aborts += result.deadlock_aborts;
+      stats->injected_faults += result.injected_faults;
+      if (result.undo_dirty_reads > 0) ++stats->undo_read_runs;
       on_leaf(child, result);
     } else if (static_cast<int>(child.size()) < options_.max_choices) {
       children->push_back(std::move(child));

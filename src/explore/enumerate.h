@@ -33,6 +33,10 @@ struct EnumerateStats {
   int64_t pruned_duplicate = 0;   ///< hint resolved to a different txn
   int64_t pruned_preemption = 0;  ///< exceeded the preemption bound
   int64_t deadlock_aborts = 0;
+  int64_t injected_faults = 0;  ///< fault-injector firings over all leaves
+  /// Complete schedules in which some transaction read a value written by a
+  /// transaction that was mid-rollback (Theorem 1's undo-write hazard).
+  int64_t undo_read_runs = 0;
 
   void Add(const EnumerateStats& other) {
     schedules += other.schedules;
@@ -41,6 +45,8 @@ struct EnumerateStats {
     pruned_duplicate += other.pruned_duplicate;
     pruned_preemption += other.pruned_preemption;
     deadlock_aborts += other.deadlock_aborts;
+    injected_faults += other.injected_faults;
+    undo_read_runs += other.undo_read_runs;
   }
 };
 

@@ -24,11 +24,17 @@ std::string ExploreReport::Summary() const {
       " distinct witness(es), ",
       std::to_string(static_cast<int64_t>(schedules_per_sec)),
       " schedules/s");
+  if (injected_faults > 0 || undo_read_runs > 0) {
+    out += StrCat("\n  faults: injected_faults=",
+                  std::to_string(injected_faults),
+                  " undo_read_runs=", std::to_string(undo_read_runs));
+  }
   for (const ExploreWitness& w : witnesses) {
     out += StrCat("\n  witness ", ScheduleToString(w.schedule), "  trace: ",
                   w.trace,
                   w.invariant_violated ? "  [violates invariant]"
-                                       : "  [replay divergence only]");
+                                       : "  [replay divergence only]",
+                  w.undo_dirty_reads > 0 ? "  [reads mid-rollback value]" : "");
     for (const std::string& p : w.problems) out += StrCat("\n    - ", p);
   }
   return out;
@@ -51,7 +57,9 @@ struct SharedState {
   std::atomic<bool> stop{false};
 
   std::mutex witness_mu;
-  std::map<std::string, Schedule> witness_by_sig;  ///< first find per anomaly
+  /// Smallest (length, then lexicographic) schedule found per anomaly, so
+  /// the kept witness does not depend on which worker found one first.
+  std::map<std::string, Schedule> witness_by_sig;
 
   std::mutex stats_mu;
   EnumerateStats stats;
@@ -60,7 +68,14 @@ struct SharedState {
 void RecordWitness(SharedState* shared, int max_witnesses, const Schedule& s,
                    const RunResult& r) {
   std::lock_guard<std::mutex> lock(shared->witness_mu);
-  if (shared->witness_by_sig.count(r.Signature()) != 0) return;
+  auto it = shared->witness_by_sig.find(r.Signature());
+  if (it != shared->witness_by_sig.end()) {
+    Schedule& kept = it->second;
+    if (s.size() < kept.size() || (s.size() == kept.size() && s < kept)) {
+      kept = s;
+    }
+    return;
+  }
   if (static_cast<int>(shared->witness_by_sig.size()) >= max_witnesses) return;
   shared->witness_by_sig.emplace(r.Signature(), s);
 }
@@ -139,6 +154,8 @@ void FuzzWorker(ExploreSession* session, const ExploreOptions& options,
     RunResult r = fuzzer.RunIndexed(i, &hints);
     ++local.schedules;
     local.deadlock_aborts += r.deadlock_aborts;
+    local.injected_faults += r.injected_faults;
+    if (r.undo_dirty_reads > 0) ++local.undo_read_runs;
     if (r.anomalous) {
       ++local.anomalies;
       if (!r.oracle.invariant_holds) ++local.invariant_anomalies;
@@ -157,10 +174,14 @@ Result<ExploreReport> Explorer::Run() {
     return Status::InvalidArgument(StrCat("mix ", mix_.name, " is empty"));
   }
   const int threads = options_.threads < 1 ? 1 : options_.threads;
+  ExploreSessionOptions sopts;
+  sopts.faults = options_.faults;
+  sopts.schedulable_rollback = options_.schedulable_rollback;
+  sopts.deadlock_policy = options_.deadlock_policy;
   std::vector<std::unique_ptr<ExploreSession>> sessions;
   for (int i = 0; i < threads; ++i) {
     auto session = std::make_unique<ExploreSession>();
-    Status s = session->Init(workload_, *mix, options_.level);
+    Status s = session->Init(workload_, *mix, options_.level, sopts);
     if (!s.ok()) return s;
     sessions.push_back(std::move(session));
   }
@@ -211,6 +232,8 @@ Result<ExploreReport> Explorer::Run() {
   report.pruned_duplicate = shared.stats.pruned_duplicate;
   report.pruned_preemption = shared.stats.pruned_preemption;
   report.deadlock_aborts = shared.stats.deadlock_aborts;
+  report.injected_faults = shared.stats.injected_faults;
+  report.undo_read_runs = shared.stats.undo_read_runs;
   report.schedules_per_sec =
       report.seconds > 0 ? static_cast<double>(report.schedules()) /
                                report.seconds
@@ -231,6 +254,8 @@ Result<ExploreReport> Explorer::Run() {
         w.problems = shrunk.value().result.oracle.problems;
         w.invariant_violated = !shrunk.value().result.oracle.invariant_holds;
         w.shrink_runs = shrunk.value().runs_used;
+        w.undo_dirty_reads = shrunk.value().result.undo_dirty_reads;
+        w.injected_faults = shrunk.value().result.injected_faults;
         report.witnesses.push_back(std::move(w));
         continue;
       }
@@ -240,6 +265,8 @@ Result<ExploreReport> Explorer::Run() {
     w.trace = EventTrace(r.events);
     w.problems = r.oracle.problems;
     w.invariant_violated = !r.oracle.invariant_holds;
+    w.undo_dirty_reads = r.undo_dirty_reads;
+    w.injected_faults = r.injected_faults;
     report.witnesses.push_back(std::move(w));
   }
   return report;

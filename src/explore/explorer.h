@@ -23,6 +23,11 @@ struct ExploreOptions {
   bool shrink = true;     ///< minimize each distinct anomaly witness
   int max_witnesses = 4;  ///< distinct anomaly signatures to keep
   int max_choices = 256;  ///< schedule length safety cap
+
+  /// Failure model (defaults: no faults, atomic rollback, youngest-abort).
+  FaultPlan faults;
+  bool schedulable_rollback = false;
+  DeadlockPolicy deadlock_policy;
 };
 
 /// A minimized anomalous schedule.
@@ -36,6 +41,10 @@ struct ExploreWitness {
   /// constraint I; false when it only diverges from the serial replay.
   bool invariant_violated = false;
   int shrink_runs = 0;
+  /// Reads of a mid-rollback value in the minimized run (Theorem 1's
+  /// undo-write hazard) and faults the injector fired during it.
+  long undo_dirty_reads = 0;
+  long injected_faults = 0;
 };
 
 struct ExploreReport {
@@ -51,6 +60,8 @@ struct ExploreReport {
   int64_t pruned_duplicate = 0;
   int64_t pruned_preemption = 0;
   int64_t deadlock_aborts = 0;
+  int64_t injected_faults = 0;  ///< fault-injector firings over all schedules
+  int64_t undo_read_runs = 0;   ///< schedules that read a mid-rollback value
   bool space_exhausted = false;  ///< DFS finished before the budget did
   double seconds = 0;
   double schedules_per_sec = 0;

@@ -16,22 +16,38 @@ std::string EventTrace(const std::vector<ScheduleEvent>& events) {
   std::vector<std::string> parts;
   parts.reserve(events.size());
   for (const ScheduleEvent& e : events) {
-    parts.push_back(StrCat(e.write ? "w" : "r", e.txn + 1));
+    parts.push_back(
+        StrCat(e.undo ? "u" : (e.write ? "w" : "r"), e.txn + 1));
   }
   return Join(parts, " ");
 }
 
 std::string RunResult::Signature() const {
   if (!anomalous) return "";
-  return Join(oracle.problems, " | ");
+  std::string sig = Join(oracle.problems, " | ");
+  // Runs that read a mid-rollback value witness Theorem 1's undo-write
+  // obligations; keep them distinct from the plain-dirty-read variant of
+  // the same oracle complaint.
+  if (undo_dirty_reads > 0) sig += " | observed-mid-rollback";
+  return sig;
 }
 
 Status ExploreSession::Init(const Workload& workload, const ExploreMix& mix,
-                            IsoLevel level) {
+                            IsoLevel level,
+                            const ExploreSessionOptions& options) {
   if (checkpoint_ != nullptr) {
     return Status::InvalidArgument("session already initialized");
   }
   level_ = level;
+  session_options_ = options;
+  if (!options.faults.empty()) {
+    faults_.SetPlan(options.faults);
+    // Lock-grant faults flow through the lock manager's hook; the injector
+    // decides from (seed, txn, site, visit) only, so replays are exact.
+    locks_.SetFaultHook([this](TxnId txn) {
+      return FaultStatus(faults_.At(FaultSite::kLockGrant, txn));
+    });
+  }
   Status s = workload.setup(&store_);
   if (!s.ok()) return s;
   checkpoint_ = store_.Checkpoint();
@@ -57,6 +73,13 @@ void ExploreSession::ResetWorld() {
   locks_.Reset();
   log_.Clear();
   mgr_.ResetIds();
+  faults_.BeginRun();
+}
+
+void ExploreSession::ConfigureDriver(StepDriver* driver) {
+  driver->SetDeadlockPolicy(session_options_.deadlock_policy);
+  driver->SetSchedulableRollback(session_options_.schedulable_rollback);
+  if (!session_options_.faults.empty()) driver->SetFaultInjector(&faults_);
 }
 
 int ExploreSession::ApplyChoice(StepDriver& driver, int hint,
@@ -88,16 +111,19 @@ int ExploreSession::ApplyChoice(StepDriver& driver, int hint,
       if (blocked[i] || driver.run(i).Done()) continue;
       if (try_step(i)) return i;
     }
-    // Every active transaction is blocked: a try-lock deadlock. Abort the
-    // youngest blocked transaction (RunRoundRobin's victim rule) and
-    // resolve the choice against the freed locks.
-    int victim = -1;
-    for (int i = n - 1; i >= 0; --i) {
-      if (blocked[i] && !driver.run(i).Done()) {
-        victim = i;
-        break;
-      }
+    // Every active transaction is blocked: a try-lock deadlock. The
+    // session's deadlock policy picks the victim (default: youngest, same
+    // rule as StepDriver::RunRoundRobin) and resolution retries against the
+    // freed locks. Bounded-wait degenerates to youngest here: with try-locks
+    // a blocked sweep cannot make progress by waiting.
+    std::vector<int> blocked_idx;
+    for (int i = 0; i < n; ++i) {
+      if (blocked[i] && !driver.run(i).Done()) blocked_idx.push_back(i);
     }
+    const int victim = PickDeadlockVictim(
+        session_options_.deadlock_policy, blocked_idx, [&](int i) {
+          return driver.run(i).begun() ? driver.run(i).txn().id : TxnId{0};
+        });
     if (victim < 0) return -1;  // defensive: nothing left to do
     driver.run(victim).ForceAbort(
         Status::Deadlock("schedule-explorer deadlock victim"));
@@ -120,16 +146,27 @@ void ExploreSession::Finish(StepDriver& driver, RunResult* result) {
       ++result->aborted;
     }
   }
+  for (int i = 0; i < driver.size(); ++i) {
+    if (!driver.run(i).begun()) continue;
+    result->dirty_reads += driver.run(i).txn().dirty_reads;
+    result->undo_dirty_reads += driver.run(i).txn().undo_dirty_reads;
+  }
+  result->injected_faults = faults_.run_injected();
   result->oracle = oracle_->Check(store_, log_);
   result->anomalous = !result->oracle.ok();
 }
 
 namespace {
 
-/// Records the paper-style r/w trace of productive steps.
+/// Records the paper-style r/w trace of productive steps; undo writes of a
+/// schedulable rollback are recorded as writes flagged `undo`.
 StepDriver::Observer EventRecorder(RunResult* result) {
   return [result](const StepEvent& ev) {
-    if (ev.stmt == nullptr) return;  // commit step
+    if (ev.undo_write) {
+      result->events.push_back({ev.run_index, true, true});
+      return;
+    }
+    if (ev.stmt == nullptr) return;  // commit or rollback-finish step
     if (ev.outcome == StepOutcome::kBlocked ||
         ev.outcome == StepOutcome::kAborted) {
       return;  // the statement did not take effect
@@ -147,6 +184,7 @@ StepDriver::Observer EventRecorder(RunResult* result) {
 RunResult ExploreSession::Run(const Schedule& hints) {
   ResetWorld();
   StepDriver driver(&mgr_, &log_, /*lazy_begin=*/true);
+  ConfigureDriver(&driver);
   for (const auto& program : programs_) driver.Add(program, level_);
   RunResult result;
   driver.SetObserver(EventRecorder(&result));
@@ -162,6 +200,7 @@ RunResult ExploreSession::Fuzz(Rng& rng, int max_choices,
                                Schedule* hints_out) {
   ResetWorld();
   StepDriver driver(&mgr_, &log_, /*lazy_begin=*/true);
+  ConfigureDriver(&driver);
   for (const auto& program : programs_) driver.Add(program, level_);
   RunResult result;
   driver.SetObserver(EventRecorder(&result));

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "fault/fault.h"
+#include "fault/policy.h"
 #include "lock/lock_manager.h"
 #include "sem/rt/oracle.h"
 #include "storage/store.h"
@@ -22,14 +24,16 @@ using Schedule = std::vector<int>;
 std::string ScheduleToString(const Schedule& schedule);
 
 /// One database access performed by a schedule (guards, local assignments
-/// and commit steps are elided — this is the paper's r/w trace notation).
+/// and commit steps are elided — this is the paper's r/w trace notation,
+/// extended with undo writes: rollback steps are writes too, per Theorem 1).
 struct ScheduleEvent {
   int txn = 0;         ///< mix index, 0-based
   bool write = false;  ///< db write (w) vs db read (r)
+  bool undo = false;   ///< the write was an undo write of a rollback
 };
 
-/// Formats events as the paper writes schedules: "r1 r1 r2 r2 w1 w2"
-/// (1-based transaction numbers).
+/// Formats events as the paper writes schedules: "r1 r1 r2 r2 w1 w2";
+/// undo writes print as "u" (e.g. "w1 r2 u1 u1").
 std::string EventTrace(const std::vector<ScheduleEvent>& events);
 
 /// Everything one schedule execution produced.
@@ -47,9 +51,26 @@ struct RunResult {
   OracleReport oracle;
   bool anomalous = false;  ///< oracle found a semantic-correctness violation
 
-  /// Stable identity of the anomaly (joined oracle problems) for witness
-  /// de-duplication; empty when not anomalous.
+  /// Dirty-read observability (READ UNCOMMITTED runs; summed over the mix's
+  /// transactions): reads of a foreign uncommitted image, and the subset
+  /// read from a transaction that was mid-rollback at the time.
+  long dirty_reads = 0;
+  long undo_dirty_reads = 0;
+  /// Faults the injector fired during this run.
+  long injected_faults = 0;
+
+  /// Stable identity of the anomaly (joined oracle problems, plus a marker
+  /// when the run observed a mid-rollback value — those runs witness
+  /// Theorem 1's undo-write obligations and are kept as a distinct class)
+  /// for witness de-duplication; empty when not anomalous.
   std::string Signature() const;
+};
+
+/// Failure-model knobs for a session (all default to "off"/historical).
+struct ExploreSessionOptions {
+  FaultPlan faults;
+  bool schedulable_rollback = false;
+  DeadlockPolicy deadlock_policy;
 };
 
 /// One worker's private universe for schedule exploration: its own store,
@@ -71,7 +92,8 @@ class ExploreSession {
  public:
   /// Sets up the workload's initial database, captures the checkpoint the
   /// oracle and every Run restart from, and materializes the mix.
-  Status Init(const Workload& workload, const ExploreMix& mix, IsoLevel level);
+  Status Init(const Workload& workload, const ExploreMix& mix, IsoLevel level,
+              const ExploreSessionOptions& options = ExploreSessionOptions());
 
   /// Replays `hints` from the checkpoint. Unfinished transactions are
   /// force-aborted at the end (a schedule commits only what it explicitly
@@ -97,6 +119,9 @@ class ExploreSession {
   /// Force-aborts stragglers, tallies outcomes, runs the oracle.
   void Finish(StepDriver& driver, RunResult* result);
 
+  /// Configures a StepDriver with this session's failure model.
+  void ConfigureDriver(StepDriver* driver);
+
   Store store_;
   LockManager locks_;
   TxnManager mgr_{&store_, &locks_};
@@ -105,6 +130,8 @@ class ExploreSession {
   std::unique_ptr<ScheduleOracle> oracle_;
   std::vector<std::shared_ptr<const TxnProgram>> programs_;
   IsoLevel level_ = IsoLevel::kSerializable;
+  ExploreSessionOptions session_options_;
+  FaultInjector faults_;
 };
 
 }  // namespace semcor

@@ -6,14 +6,21 @@ namespace semcor {
 
 Result<ShrinkResult> Shrinker::Minimize(const Schedule& schedule) {
   int runs = 0;
-  auto still_anomalous = [&](const Schedule& candidate) {
-    ++runs;
-    return session_->Run(candidate).anomalous;
-  };
-  if (!still_anomalous(schedule)) {
+  RunResult first = session_->Run(schedule);
+  ++runs;
+  if (!first.anomalous) {
     return Status::InvalidArgument(
         "schedule is not anomalous; nothing to shrink");
   }
+  // Minimisation must preserve the witness's character: a schedule kept for
+  // observing a mid-rollback value (Theorem 1's undo-write hazard) must not
+  // shrink into a plain dirty-read variant of the same oracle complaint.
+  const bool must_undo = first.undo_dirty_reads > 0;
+  auto still_anomalous = [&](const Schedule& candidate) {
+    ++runs;
+    RunResult r = session_->Run(candidate);
+    return r.anomalous && (!must_undo || r.undo_dirty_reads > 0);
+  };
   Schedule cur = schedule;
 
   // Pass 1: drop whole transactions, youngest first. Dropping all hints of

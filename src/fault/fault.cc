@@ -1,0 +1,148 @@
+#include "fault/fault.h"
+
+namespace semcor {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kLockGrant:
+      return "lock-grant";
+    case FaultSite::kStatementApply:
+      return "statement-apply";
+    case FaultSite::kCommit:
+      return "commit";
+  }
+  return "?";
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kForcedAbort:
+      return "forced-abort";
+    case FaultKind::kTransientLockFailure:
+      return "transient-lock-failure";
+    case FaultKind::kCrashBeforeCommit:
+      return "crash-before-commit";
+  }
+  return "?";
+}
+
+Status FaultStatus(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return Status::Ok();
+    case FaultKind::kForcedAbort:
+      return Status::Aborted("fault injection: forced abort");
+    case FaultKind::kTransientLockFailure:
+      return Status::WouldBlock("fault injection: transient lock failure");
+    case FaultKind::kCrashBeforeCommit:
+      return Status::Aborted("fault injection: crash before commit");
+  }
+  return Status::Internal("bad fault kind");
+}
+
+FaultPlan FaultPlan::Seeded(uint64_t seed, double p_lock, double p_stmt,
+                            double p_commit) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.p_lock_grant = p_lock;
+  plan.p_statement_apply = p_stmt;
+  plan.p_commit = p_commit;
+  return plan;
+}
+
+void FaultInjector::SetPlan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  visits_.clear();
+  run_injected_ = 0;
+}
+
+void FaultInjector::BeginRun() {
+  std::lock_guard<std::mutex> lock(mu_);
+  visits_.clear();
+  run_injected_ = 0;
+}
+
+namespace {
+
+/// SplitMix64 finalizer: the standard strong 64-bit mixer.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultKind FaultInjector::Decide(FaultSite site, TxnId txn,
+                                uint64_t visit) const {
+  for (const ScriptedFault& f : plan_.script) {
+    if (f.site == site && (f.txn == 0 || f.txn == txn) && f.visit == visit) {
+      return f.kind;
+    }
+  }
+  double p = 0;
+  FaultKind kind = FaultKind::kNone;
+  switch (site) {
+    case FaultSite::kLockGrant:
+      p = plan_.p_lock_grant;
+      kind = FaultKind::kTransientLockFailure;
+      break;
+    case FaultSite::kStatementApply:
+      p = plan_.p_statement_apply;
+      kind = FaultKind::kForcedAbort;
+      break;
+    case FaultSite::kCommit:
+      p = plan_.p_commit;
+      kind = FaultKind::kCrashBeforeCommit;
+      break;
+  }
+  if (p <= 0) return FaultKind::kNone;
+  // Decision = hash(seed, txn, site, visit): interleaving-independent.
+  uint64_t h = Mix(plan_.seed);
+  h = Mix(h ^ txn);
+  h = Mix(h ^ static_cast<uint64_t>(site));
+  h = Mix(h ^ visit);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < p ? kind : FaultKind::kNone;
+}
+
+FaultKind FaultInjector::At(FaultSite site, TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_.empty()) return FaultKind::kNone;
+  const uint64_t visit = ++visits_[{txn, static_cast<int>(site)}];
+  const FaultKind kind = Decide(site, txn, visit);
+  if (kind != FaultKind::kNone) {
+    ++run_injected_;
+    ++stats_.injected;
+    switch (kind) {
+      case FaultKind::kForcedAbort:
+        ++stats_.forced_aborts;
+        break;
+      case FaultKind::kTransientLockFailure:
+        ++stats_.transient_lock_failures;
+        break;
+      case FaultKind::kCrashBeforeCommit:
+        ++stats_.crashes;
+        break;
+      case FaultKind::kNone:
+        break;
+    }
+  }
+  return kind;
+}
+
+long FaultInjector::run_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return run_injected_;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace semcor

@@ -1,0 +1,121 @@
+#ifndef SEMCOR_FAULT_FAULT_H_
+#define SEMCOR_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace semcor {
+
+/// Where a fault can be injected. Each site maps to a paper construct it
+/// stresses (see DESIGN.md "Fault injection & recovery"):
+///  - kLockGrant: a lock request that would succeed fails transiently —
+///    exercises the retry paths of the drivers and the executor;
+///  - kStatementApply: the transaction aborts just before one of its atomic
+///    statements — exposes partial effects (and, with schedulable rollback,
+///    the undo writes Theorem 1 reasons about);
+///  - kCommit: the transaction "crashes" after its whole body ran but before
+///    the commit took effect — the largest possible undo log.
+enum class FaultSite {
+  kLockGrant = 1,
+  kStatementApply = 2,
+  kCommit = 3,
+};
+
+enum class FaultKind {
+  kNone = 0,
+  kForcedAbort,           ///< the transaction aborts (Status::Aborted)
+  kTransientLockFailure,  ///< the grant fails once (Status::WouldBlock)
+  kCrashBeforeCommit,     ///< abort at the commit point, full rollback
+};
+
+const char* FaultSiteName(FaultSite site);
+const char* FaultKindName(FaultKind kind);
+
+/// Maps a fault decision to the Status the injection point reports.
+Status FaultStatus(FaultKind kind);
+
+/// One scripted injection: fire `kind` on the `visit`-th time transaction
+/// `txn` reaches `site` (txn 0 = any transaction; visits are 1-based and
+/// counted per (txn, site) pair within one run).
+struct ScriptedFault {
+  FaultSite site = FaultSite::kStatementApply;
+  TxnId txn = 0;  ///< 0 matches every transaction
+  uint64_t visit = 1;
+  FaultKind kind = FaultKind::kForcedAbort;
+};
+
+/// A reproducible fault schedule: exact scripted injections plus seeded
+/// per-site probabilities. The seeded decision for a visit is a pure
+/// function of (seed, txn id, site, visit number) — independent of thread
+/// identity and of how other transactions interleave — so identical
+/// schedules replay identical faults across runs and worker counts.
+struct FaultPlan {
+  uint64_t seed = 0;
+  double p_lock_grant = 0;       ///< kTransientLockFailure probability
+  double p_statement_apply = 0;  ///< kForcedAbort probability
+  double p_commit = 0;           ///< kCrashBeforeCommit probability
+  std::vector<ScriptedFault> script;
+
+  bool empty() const {
+    return script.empty() && p_lock_grant <= 0 && p_statement_apply <= 0 &&
+           p_commit <= 0;
+  }
+
+  /// The default seeded plan the CLI's --faults=seed:N uses: mostly
+  /// crash-before-commit (the site that produces the biggest undo logs),
+  /// with light statement-abort and transient-lock noise.
+  static FaultPlan Seeded(uint64_t seed, double p_lock = 0.02,
+                          double p_stmt = 0.03, double p_commit = 0.25);
+};
+
+/// Deterministic fault injector. Thread-safe: the visit counters are under a
+/// mutex, but the *decisions* depend only on (seed, txn, site, visit), never
+/// on arrival order, so concurrency cannot perturb outcomes of a fixed
+/// schedule. BeginRun() rewinds the per-run visit counters (the schedule
+/// explorer calls it from ResetWorld); cumulative stats survive runs.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  void SetPlan(FaultPlan plan);
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return !plan_.empty(); }
+
+  /// Rewinds visit counters and the per-run injection count.
+  void BeginRun();
+
+  /// Decides the fault (if any) for this visit of (site, txn) and counts it.
+  FaultKind At(FaultSite site, TxnId txn);
+
+  /// Injections since the last BeginRun().
+  long run_injected() const;
+
+  struct Stats {
+    long injected = 0;  ///< total non-kNone decisions
+    long forced_aborts = 0;
+    long transient_lock_failures = 0;
+    long crashes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  FaultKind Decide(FaultSite site, TxnId txn, uint64_t visit) const;
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  std::map<std::pair<TxnId, int>, uint64_t> visits_;
+  long run_injected_ = 0;
+  Stats stats_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_FAULT_FAULT_H_

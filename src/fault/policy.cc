@@ -1,0 +1,86 @@
+#include "fault/policy.h"
+
+#include <cstdlib>
+
+namespace semcor {
+
+const char* DeadlockPolicyName(DeadlockPolicyKind kind) {
+  switch (kind) {
+    case DeadlockPolicyKind::kYoungestAbort:
+      return "youngest";
+    case DeadlockPolicyKind::kWoundWait:
+      return "wound_wait";
+    case DeadlockPolicyKind::kBoundedWait:
+      return "bounded_wait";
+  }
+  return "?";
+}
+
+bool ParseDeadlockPolicy(const std::string& text, DeadlockPolicy* out) {
+  if (text == "youngest") {
+    out->kind = DeadlockPolicyKind::kYoungestAbort;
+    return true;
+  }
+  if (text == "wound_wait") {
+    out->kind = DeadlockPolicyKind::kWoundWait;
+    return true;
+  }
+  const std::string prefix = "bounded_wait";
+  if (text.compare(0, prefix.size(), prefix) == 0) {
+    out->kind = DeadlockPolicyKind::kBoundedWait;
+    if (text.size() == prefix.size()) return true;
+    if (text[prefix.size()] != ':') return false;
+    const int bound = std::atoi(text.c_str() + prefix.size() + 1);
+    if (bound < 0) return false;
+    out->wait_bound = bound;
+    return true;
+  }
+  return false;
+}
+
+int PickDeadlockVictim(const DeadlockPolicy& policy,
+                       const std::vector<int>& blocked,
+                       const std::function<TxnId(int)>& txn_id) {
+  if (blocked.empty()) return -1;
+  switch (policy.kind) {
+    case DeadlockPolicyKind::kYoungestAbort:
+    case DeadlockPolicyKind::kBoundedWait: {
+      int victim = blocked.front();
+      for (int i : blocked) victim = i > victim ? i : victim;
+      return victim;
+    }
+    case DeadlockPolicyKind::kWoundWait: {
+      // Abort the transaction that began last; ties (e.g. never-begun runs
+      // reporting id 0) break toward the higher driver index.
+      int victim = blocked.front();
+      for (int i : blocked) {
+        const TxnId vid = txn_id(victim);
+        const TxnId cid = txn_id(i);
+        if (cid > vid || (cid == vid && i > victim)) victim = i;
+      }
+      return victim;
+    }
+  }
+  return blocked.back();
+}
+
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t RetryPolicy::BackoffUs(int attempt, uint64_t salt) const {
+  if (backoff_base_us <= 0) return 0;
+  const uint64_t window =
+      static_cast<uint64_t>(backoff_base_us) *
+      static_cast<uint64_t>(attempt + 1);
+  return Mix(salt ^ static_cast<uint64_t>(attempt)) % window;
+}
+
+}  // namespace semcor

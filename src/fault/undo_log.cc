@@ -1,0 +1,44 @@
+#include "fault/undo_log.h"
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+std::string UndoRecordToString(const UndoRecord& rec) {
+  if (rec.kind == UndoRecord::Kind::kItem) {
+    return StrCat("undo item ", rec.item, " -> ",
+                  rec.prior_item ? rec.prior_item->ToString() : "(clear)");
+  }
+  std::string image = "(clear)";
+  if (rec.prior_row) {
+    image = rec.prior_row->has_value() ? TupleToString(**rec.prior_row)
+                                       : "(delete)";
+  }
+  return StrCat("undo row ", rec.table, ":", rec.row, " -> ", image);
+}
+
+void UndoLog::PushItem(std::string name, std::optional<Value> prior) {
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kItem;
+  rec.item = std::move(name);
+  rec.prior_item = std::move(prior);
+  records_.push_back(std::move(rec));
+}
+
+void UndoLog::PushRow(std::string table, RowId row,
+                      std::optional<std::optional<Tuple>> prior) {
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kRow;
+  rec.table = std::move(table);
+  rec.row = row;
+  rec.prior_row = std::move(prior);
+  records_.push_back(std::move(rec));
+}
+
+UndoRecord UndoLog::PopBack() {
+  UndoRecord rec = std::move(records_.back());
+  records_.pop_back();
+  return rec;
+}
+
+}  // namespace semcor

@@ -1,0 +1,58 @@
+#ifndef SEMCOR_FAULT_UNDO_LOG_H_
+#define SEMCOR_FAULT_UNDO_LOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+#include "storage/table.h"
+
+namespace semcor {
+
+/// One undoable write of a locking-level transaction. The `prior_*` image is
+/// the *uncommitted* image this transaction had installed before the write
+/// (nullopt = this was the transaction's first write to the object, so undo
+/// clears the uncommitted image entirely and the committed state shows
+/// through again). SNAPSHOT transactions buffer writes and never need undo.
+struct UndoRecord {
+  enum class Kind { kItem, kRow };
+  Kind kind = Kind::kItem;
+
+  std::string item;  ///< kItem
+  std::optional<Value> prior_item;
+
+  std::string table;  ///< kRow
+  RowId row = 0;
+  /// Outer nullopt = no prior own image (clear); inner nullopt = the prior
+  /// own image was a pending delete.
+  std::optional<std::optional<Tuple>> prior_row;
+};
+
+std::string UndoRecordToString(const UndoRecord& rec);
+
+/// Per-transaction log of undoable writes, appended by TxnManager's write
+/// paths and drained LIFO — each pop is one "undo write" in the sense of
+/// Theorem 1, applied as its own schedulable step when rollback is
+/// schedulable (see ProgramRun::StepRollback).
+class UndoLog {
+ public:
+  void PushItem(std::string name, std::optional<Value> prior);
+  void PushRow(std::string table, RowId row,
+               std::optional<std::optional<Tuple>> prior);
+
+  bool empty() const { return records_.empty(); }
+  size_t size() const { return records_.size(); }
+  const UndoRecord& back() const { return records_.back(); }
+
+  /// Removes and returns the newest record (LIFO undo order).
+  UndoRecord PopBack();
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<UndoRecord> records_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_FAULT_UNDO_LOG_H_

@@ -57,6 +57,13 @@ Status LockManager::AcquireLoop(
   while (true) {
     std::vector<TxnId> blockers = conflicts();
     if (blockers.empty()) {
+      if (fault_hook_) {
+        Status fault = fault_hook_(txn);
+        if (!fault.ok()) {
+          waiting_on_.erase(txn);
+          return fault;
+        }
+      }
       grant();
       waiting_on_.erase(txn);
       return Status::Ok();
@@ -99,6 +106,10 @@ Status LockManager::AcquireKey(TxnId txn, const std::string& key,
     return it == queues_.end() || it->second.empty();
   }();
   if (queue_empty && KeyConflicts(key, txn, mode).empty()) {
+    if (fault_hook_) {
+      Status fault = fault_hook_(txn);
+      if (!fault.ok()) return fault;
+    }
     grant();
     return Status::Ok();
   }
@@ -221,6 +232,11 @@ size_t LockManager::HeldCount(TxnId txn) const {
 LockManager::Stats LockManager::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;
+}
+
+void LockManager::SetFaultHook(FaultHook hook) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fault_hook_ = std::move(hook);
 }
 
 }  // namespace semcor

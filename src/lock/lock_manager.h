@@ -2,6 +2,7 @@
 #define SEMCOR_LOCK_LOCK_MANAGER_H_
 
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -63,6 +64,15 @@ class LockManager {
   };
   Stats stats() const;
 
+  /// Fault-injection hook, consulted at every grant point (just before a
+  /// request that has no conflicts is granted). A non-OK return vetoes the
+  /// grant and is reported to the requester — kWouldBlock models a
+  /// transient grant failure, kAborted/kDeadlock force the requester down
+  /// its abort path. Survives Reset() (the plan outlives runs); pass an
+  /// empty function to uninstall.
+  using FaultHook = std::function<Status(TxnId)>;
+  void SetFaultHook(FaultHook hook);
+
  private:
   struct LockEntry {
     std::map<TxnId, LockMode> holders;
@@ -96,6 +106,7 @@ class LockManager {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  FaultHook fault_hook_;
   std::map<std::string, LockEntry> locks_;
   std::map<std::string, std::vector<Waiter>> queues_;
   std::map<std::string, PredicateLockSet> predicate_locks_;  ///< by table

@@ -81,8 +81,8 @@ Result<Value> Store::ReadItemForTxn(const std::string& name, TxnId txn) const {
   return it->second.versions.back().value;
 }
 
-Status Store::WriteItemUncommitted(TxnId txn, const std::string& name,
-                                   Value v) {
+Status Store::WriteItemUncommitted(TxnId txn, const std::string& name, Value v,
+                                   std::optional<Value>* prior) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = items_.find(name);
   if (it == items_.end()) return Status::NotFound(StrCat("item ", name));
@@ -92,9 +92,73 @@ Status Store::WriteItemUncommitted(TxnId txn, const std::string& name,
         StrCat("item ", name, " has uncommitted image of txn ",
                *entry.uncommitted_owner));
   }
+  if (prior != nullptr) {
+    prior->reset();
+    if (entry.uncommitted_owner == txn) *prior = entry.uncommitted;
+  }
   entry.uncommitted_owner = txn;
   entry.uncommitted = std::move(v);
   touches_[txn].items.insert(name);
+  return Status::Ok();
+}
+
+std::optional<TxnId> Store::ItemPendingWriter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = items_.find(name);
+  if (it == items_.end()) return std::nullopt;
+  return it->second.uncommitted_owner;
+}
+
+Status Store::UndoItemWrite(TxnId txn, const std::string& name,
+                            const std::optional<Value>& prior) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = items_.find(name);
+  if (it == items_.end()) return Status::NotFound(StrCat("item ", name));
+  ItemEntry& entry = it->second;
+  if (entry.uncommitted_owner != txn) return Status::Ok();  // already gone
+  if (prior) {
+    entry.uncommitted = *prior;  // restore the earlier own image
+    return Status::Ok();
+  }
+  entry.uncommitted_owner.reset();
+  entry.uncommitted = Value();
+  auto touched = touches_.find(txn);
+  if (touched != touches_.end()) {
+    touched->second.items.erase(name);
+    if (touched->second.items.empty() && touched->second.rows.empty()) {
+      touches_.erase(touched);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Store::UndoRowWrite(TxnId txn, const std::string& table, RowId row,
+                           const std::optional<std::optional<Tuple>>& prior) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(StrCat("table ", table));
+  auto rit = it->second.mutable_rows().find(row);
+  if (rit == it->second.mutable_rows().end()) {
+    return Status::NotFound(StrCat("row ", row, " of ", table));
+  }
+  RowEntry& entry = rit->second;
+  if (entry.uncommitted_owner != txn) return Status::Ok();  // already gone
+  if (prior) {
+    entry.uncommitted = *prior;
+    return Status::Ok();
+  }
+  entry.uncommitted_owner.reset();
+  entry.uncommitted.reset();
+  if (entry.versions.empty()) {
+    it->second.mutable_rows().erase(rit);  // undo of an insert: GC the row
+  }
+  auto touched = touches_.find(txn);
+  if (touched != touches_.end()) {
+    touched->second.rows.erase({table, row});
+    if (touched->second.items.empty() && touched->second.rows.empty()) {
+      touches_.erase(touched);
+    }
+  }
   return Status::Ok();
 }
 
@@ -122,7 +186,8 @@ Result<RowId> Store::InsertRowUncommitted(TxnId txn, const std::string& table,
 }
 
 Status Store::WriteRowUncommitted(TxnId txn, const std::string& table,
-                                  RowId row, std::optional<Tuple> image) {
+                                  RowId row, std::optional<Tuple> image,
+                                  std::optional<std::optional<Tuple>>* prior) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound(StrCat("table ", table));
@@ -139,6 +204,10 @@ Status Store::WriteRowUncommitted(TxnId txn, const std::string& table,
     return Status::Conflict(StrCat("row ", row, " of ", table,
                                    " has uncommitted image of txn ",
                                    *entry.uncommitted_owner));
+  }
+  if (prior != nullptr) {
+    prior->reset();
+    if (entry.uncommitted_owner == txn) *prior = entry.uncommitted;
   }
   entry.uncommitted_owner = txn;
   entry.uncommitted = std::move(image);
@@ -209,6 +278,22 @@ Status Store::ScanWithPending(
       if (committed != nullptr && committed->has_value()) {
         fn(row, **committed, entry.uncommitted_owner);
       }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Store::ScanLatestWithWriter(
+    const std::string& table,
+    const std::function<void(RowId, const Tuple&, std::optional<TxnId>)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound(StrCat("table ", table));
+  for (const auto& [row, entry] : it->second.rows()) {
+    const std::optional<Tuple>* image = entry.Latest();
+    if (image != nullptr && image->has_value()) {
+      fn(row, **image, entry.uncommitted_owner);
     }
   }
   return Status::Ok();

@@ -66,15 +66,36 @@ class Store {
   Result<Value> ReadItemForTxn(const std::string& name, TxnId txn) const;
   /// Installs/overwrites the txn's uncommitted image. Fails with kConflict
   /// if another transaction has an uncommitted image (the lock manager
-  /// should make that impossible for locking levels).
-  Status WriteItemUncommitted(TxnId txn, const std::string& name, Value v);
+  /// should make that impossible for locking levels). If `prior` is non-null
+  /// it receives the txn's previous own uncommitted image (nullopt when this
+  /// is its first write to the item) — the undo log records it.
+  Status WriteItemUncommitted(TxnId txn, const std::string& name, Value v,
+                              std::optional<Value>* prior = nullptr);
   Result<Timestamp> ItemLastCommitTs(const std::string& name) const;
+  /// Transaction holding an uncommitted image of the item, if any.
+  std::optional<TxnId> ItemPendingWriter(const std::string& name) const;
+
+  // ---- stepwise undo (schedulable rollback) ----
+  /// Reverts one item write of `txn`: restores `prior` as the uncommitted
+  /// image, or clears the image entirely when `prior` is nullopt (the
+  /// committed state shows through again). No-op if the txn does not own
+  /// the image (e.g. it was already aborted wholesale).
+  Status UndoItemWrite(TxnId txn, const std::string& name,
+                       const std::optional<Value>& prior);
+  /// Row analogue; a cleared image on a row this txn inserted (no committed
+  /// versions) garbage-collects the row, exactly like AbortTxn.
+  Status UndoRowWrite(TxnId txn, const std::string& table, RowId row,
+                      const std::optional<std::optional<Tuple>>& prior);
 
   // ---- row access ----
   Result<RowId> InsertRowUncommitted(TxnId txn, const std::string& table,
                                      Tuple tuple);
+  /// As WriteItemUncommitted: `prior` (if non-null) receives the txn's
+  /// previous own uncommitted image of the row, or nullopt on first write.
   Status WriteRowUncommitted(TxnId txn, const std::string& table, RowId row,
-                             std::optional<Tuple> image);
+                             std::optional<Tuple> image,
+                             std::optional<std::optional<Tuple>>* prior =
+                                 nullptr);
   Result<std::optional<Tuple>> ReadRowLatest(const std::string& table,
                                              RowId row) const;
   Result<Timestamp> RowLastCommitTs(const std::string& table, RowId row) const;
@@ -93,6 +114,15 @@ class Store {
   /// Scans latest images together with the pending writer (if any): lets
   /// lock-based readers skip lock acquisition on clean rows entirely.
   Status ScanWithPending(
+      const std::string& table,
+      const std::function<void(RowId, const Tuple&, std::optional<TxnId>)>&
+          fn) const;
+
+  /// Dirty-latest scan (exactly the rows Scan(kLatest) reports) that also
+  /// exposes the pending writer of each reported image. Unlike
+  /// ScanWithPending, pending deletes stay invisible — this is the READ
+  /// UNCOMMITTED view, used to classify dirty reads.
+  Status ScanLatestWithWriter(
       const std::string& table,
       const std::function<void(RowId, const Tuple&, std::optional<TxnId>)>&
           fn) const;

@@ -6,7 +6,19 @@ int StepDriver::Add(std::shared_ptr<const TxnProgram> program,
                     IsoLevel level) {
   runs_.push_back(std::make_unique<ProgramRun>(mgr_, std::move(program), level,
                                                log_, lazy_begin_));
+  runs_.back()->EnableSchedulableRollback(schedulable_rollback_);
+  runs_.back()->SetFaultInjector(faults_);
   return static_cast<int>(runs_.size()) - 1;
+}
+
+void StepDriver::SetSchedulableRollback(bool on) {
+  schedulable_rollback_ = on;
+  for (auto& run : runs_) run->EnableSchedulableRollback(on);
+}
+
+void StepDriver::SetFaultInjector(FaultInjector* faults) {
+  faults_ = faults;
+  for (auto& run : runs_) run->SetFaultInjector(faults);
 }
 
 void StepDriver::Reset() {
@@ -23,9 +35,11 @@ StepOutcome StepDriver::Step(int i) {
   if (run.Done()) return run.outcome();
   run.EnsureBegun();
   if (pre_step_) pre_step_(i);
-  const Stmt* stmt = run.CurrentStmt();
+  // During rollback the pending statement is not what the step does — the
+  // step applies an undo write (or releases locks), so report no statement.
+  const Stmt* stmt = run.rolling_back() ? nullptr : run.CurrentStmt();
   StepOutcome outcome = run.Step(/*wait=*/false);
-  if (observer_) observer_({i, stmt, outcome});
+  if (observer_) observer_({i, stmt, outcome, run.last_step_applied_undo()});
   return outcome;
 }
 
@@ -38,24 +52,38 @@ std::vector<StepOutcome> StepDriver::RunSchedule(
 }
 
 void StepDriver::RunRoundRobin() {
+  int unproductive_sweeps = 0;
   while (!AllDone()) {
     bool progressed = false;
-    int last_blocked = -1;
+    std::vector<int> blocked;
     for (int i = 0; i < size(); ++i) {
       if (runs_[i]->Done()) continue;
       StepOutcome outcome = Step(i);
       if (outcome == StepOutcome::kBlocked) {
-        last_blocked = i;
+        blocked.push_back(i);
       } else {
         progressed = true;
       }
     }
-    if (!progressed && last_blocked >= 0) {
-      // All active transactions are blocked on each other: resolve the
-      // deadlock by aborting the youngest (highest index) blocked one.
-      runs_[last_blocked]->ForceAbort(
-          Status::Deadlock("step-driver deadlock victim"));
+    if (progressed || blocked.empty()) {
+      unproductive_sweeps = 0;
+      continue;
     }
+    // All active transactions are blocked on each other. A bounded-wait
+    // policy tolerates a few unproductive sweeps first (with try-locks
+    // nothing can change in between, so this only models the timeout);
+    // then the policy picks the victim.
+    if (deadlock_policy_.kind == DeadlockPolicyKind::kBoundedWait &&
+        ++unproductive_sweeps <= deadlock_policy_.wait_bound) {
+      continue;
+    }
+    unproductive_sweeps = 0;
+    const int victim =
+        PickDeadlockVictim(deadlock_policy_, blocked, [&](int i) {
+          return runs_[i]->begun() ? runs_[i]->txn().id : TxnId{0};
+        });
+    runs_[victim]->ForceAbort(
+        Status::Deadlock("step-driver deadlock victim"));
   }
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/policy.h"
 #include "txn/interpreter.h"
 
 namespace semcor {
@@ -12,9 +13,10 @@ namespace semcor {
 /// Event delivered to observers after each (attempted) step.
 struct StepEvent {
   int run_index = 0;
-  const Stmt* stmt = nullptr;  ///< the statement the step targeted (may be
-                               ///< nullptr for commit steps)
+  const Stmt* stmt = nullptr;  ///< the statement the step targeted (nullptr
+                               ///< for commit and rollback steps)
   StepOutcome outcome = StepOutcome::kRunning;
+  bool undo_write = false;  ///< the step applied one undo write
 };
 
 /// Deterministic interleaving driver: transactions advance one atomic
@@ -50,8 +52,17 @@ class StepDriver {
 
   /// Round-robin until every transaction commits or aborts. When every
   /// still-active transaction is blocked (deadlock among try-locks), the
-  /// youngest blocked transaction is aborted to make progress.
+  /// configured DeadlockPolicy picks a blocked victim to abort (default:
+  /// youngest, i.e. highest index — the historical rule).
   void RunRoundRobin();
+
+  /// Policy used by RunRoundRobin's deadlock resolution.
+  void SetDeadlockPolicy(DeadlockPolicy policy) { deadlock_policy_ = policy; }
+  const DeadlockPolicy& deadlock_policy() const { return deadlock_policy_; }
+
+  /// Applies to every registered and future run (see ProgramRun).
+  void SetSchedulableRollback(bool on);
+  void SetFaultInjector(FaultInjector* faults);
 
   bool AllDone() const;
   ProgramRun& run(int i) { return *runs_[i]; }
@@ -70,6 +81,9 @@ class StepDriver {
   TxnManager* mgr_;
   CommitLog* log_;
   bool lazy_begin_ = false;
+  bool schedulable_rollback_ = false;
+  FaultInjector* faults_ = nullptr;
+  DeadlockPolicy deadlock_policy_;
   std::vector<std::unique_ptr<ProgramRun>> runs_;
   Observer observer_;
   std::function<void(int)> pre_step_;

@@ -22,14 +22,19 @@ void ExecStats::Merge(const ExecStats& other) {
   aborted += other.aborted;
   deadlocks += other.deadlocks;
   fcw_conflicts += other.fcw_conflicts;
-  gave_up += other.gave_up;
+  injected_faults += other.injected_faults;
+  retries_exhausted += other.retries_exhausted;
   latency_us.insert(latency_us.end(), other.latency_us.begin(),
                     other.latency_us.end());
 }
 
 ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
-                                  int max_retries, CommitLog* log,
-                                  double* wall_seconds, uint64_t seed) {
+                                  const RetryPolicy& retry, CommitLog* log,
+                                  double* wall_seconds, uint64_t seed,
+                                  FaultInjector* faults) {
+  const int attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  const long faults_before =
+      faults != nullptr ? faults->stats().injected : 0;
   std::vector<ExecStats> per_thread(threads_);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
@@ -41,10 +46,10 @@ ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
       for (int i = 0; i < items_per_thread; ++i) {
         WorkItem item = gen(rng);
         bool committed = false;
-        for (int attempt = 0; attempt <= max_retries && !committed;
-             ++attempt) {
+        for (int attempt = 0; attempt < attempts && !committed; ++attempt) {
           const auto t0 = std::chrono::steady_clock::now();
           ProgramRun run(mgr_, item.program, item.level, log);
+          if (faults != nullptr) run.SetFaultInjector(faults);
           StepOutcome outcome = run.RunToCompletion();
           if (outcome == StepOutcome::kCommitted) {
             const auto t1 = std::chrono::steady_clock::now();
@@ -57,12 +62,22 @@ ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
           ++stats.aborted;
           if (run.failure().code() == Code::kDeadlock) ++stats.deadlocks;
           if (run.failure().code() == Code::kConflict) ++stats.fcw_conflicts;
-          // Randomized backoff keeps optimistic (FCW) retries from
-          // livelocking on hot items.
-          std::this_thread::sleep_for(std::chrono::microseconds(
-              rng.Uniform(0, 50 * (attempt + 1))));
+          // Backoff keeps optimistic (FCW) retries from livelocking on hot
+          // items; the deterministic variant is a pure function of
+          // (seed, thread, item, attempt), so runs with the same seed sleep
+          // identically.
+          const uint64_t us =
+              retry.deterministic
+                  ? retry.BackoffUs(
+                        attempt, seed ^ (static_cast<uint64_t>(t) << 32) ^
+                                     static_cast<uint64_t>(i))
+                  : static_cast<uint64_t>(rng.Uniform(
+                        0, retry.backoff_base_us * (attempt + 1)));
+          if (us > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(us));
+          }
         }
-        if (!committed) ++stats.gave_up;
+        if (!committed) ++stats.retries_exhausted;
       }
     });
   }
@@ -73,7 +88,20 @@ ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
   }
   ExecStats merged;
   for (const ExecStats& s : per_thread) merged.Merge(s);
+  if (faults != nullptr) {
+    merged.injected_faults = faults->stats().injected - faults_before;
+  }
   return merged;
+}
+
+ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
+                                  int max_retries, CommitLog* log,
+                                  double* wall_seconds, uint64_t seed) {
+  RetryPolicy retry;
+  retry.max_attempts = max_retries + 1;
+  retry.backoff_base_us = 50;
+  retry.deterministic = false;  // historical randomized backoff
+  return Run(gen, items_per_thread, retry, log, wall_seconds, seed, nullptr);
 }
 
 }  // namespace semcor

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "fault/policy.h"
 #include "txn/interpreter.h"
 
 namespace semcor {
@@ -21,7 +22,8 @@ struct ExecStats {
   long aborted = 0;        ///< attempts that ended aborted (any reason)
   long deadlocks = 0;
   long fcw_conflicts = 0;  ///< first-committer-wins aborts
-  long gave_up = 0;        ///< work items dropped after max retries
+  long injected_faults = 0;    ///< fault-injector decisions during the run
+  long retries_exhausted = 0;  ///< work items dropped after max attempts
   std::vector<double> latency_us;  ///< per committed txn, begin to commit
 
   double Throughput(double wall_seconds) const {
@@ -42,8 +44,16 @@ class ConcurrentExecutor {
 
   using Generator = std::function<WorkItem(Rng&)>;
 
-  /// Runs `items_per_thread` work items on each worker; returns merged
-  /// stats and the wall-clock seconds via `wall_seconds`.
+  /// Runs `items_per_thread` work items on each worker under `retry`;
+  /// returns merged stats and the wall-clock seconds via `wall_seconds`.
+  /// `faults` (optional) injects deterministic faults into every attempt
+  /// and is reflected in ExecStats::injected_faults.
+  ExecStats Run(const Generator& gen, int items_per_thread,
+                const RetryPolicy& retry, CommitLog* log, double* wall_seconds,
+                uint64_t seed = 42, FaultInjector* faults = nullptr);
+
+  /// Legacy form: `max_retries` retries after the first attempt, with the
+  /// historical randomized backoff.
   ExecStats Run(const Generator& gen, int items_per_thread, int max_retries,
                 CommitLog* log, double* wall_seconds, uint64_t seed = 42);
 

@@ -12,6 +12,8 @@ const char* StepOutcomeName(StepOutcome outcome) {
       return "running";
     case StepOutcome::kBlocked:
       return "blocked";
+    case StepOutcome::kRollingBack:
+      return "rolling-back";
     case StepOutcome::kCommitted:
       return "committed";
     case StepOutcome::kAborted:
@@ -244,27 +246,58 @@ Status ProgramRun::ExecStmt(const Stmt& stmt, bool wait) {
   return Status::Internal("unhandled statement kind");
 }
 
+StepOutcome ProgramRun::EnterAbort(Status reason) {
+  failure_ = std::move(reason);
+  if (schedulable_rollback_ && txn_ != nullptr && txn_->snapshot == nullptr &&
+      !txn_->undo.empty()) {
+    // Keep locks and images; the undo writes become schedulable steps.
+    mgr_->BeginRollback(txn_.get());
+    rolling_back_ = true;
+    return StepOutcome::kRollingBack;
+  }
+  if (txn_ != nullptr) mgr_->Abort(txn_.get());
+  outcome_ = StepOutcome::kAborted;
+  return outcome_;
+}
+
+StepOutcome ProgramRun::StepRollback() {
+  if (!txn_->undo.empty()) {
+    mgr_->UndoOneWrite(txn_.get());
+    last_step_undo_ = true;
+    return StepOutcome::kRollingBack;
+  }
+  // Final step: release locks and retire the transaction.
+  mgr_->FinishRollback(txn_.get());
+  rolling_back_ = false;
+  outcome_ = StepOutcome::kAborted;
+  return outcome_;
+}
+
 StepOutcome ProgramRun::Step(bool wait) {
   if (Done()) return outcome_;
+  last_step_undo_ = false;
+  if (rolling_back_) return StepRollback();
   EnsureBegun();
-  if (!failure_.ok()) {  // begin-time failure
-    mgr_->Abort(txn_.get());
-    outcome_ = StepOutcome::kAborted;
-    return outcome_;
+  if (!failure_.ok()) {  // begin-time failure (nothing written: atomic abort)
+    return EnterAbort(failure_);
   }
   Status settled = SettleFrames();
   if (!settled.ok()) {
-    failure_ = settled;
-    mgr_->Abort(txn_.get());
-    outcome_ = StepOutcome::kAborted;
-    return outcome_;
+    return EnterAbort(settled);
   }
   if (body_done_) {
+    if (faults_ != nullptr) {
+      const FaultKind kind = faults_->At(FaultSite::kCommit, txn_->id);
+      if (kind == FaultKind::kCrashBeforeCommit ||
+          kind == FaultKind::kForcedAbort) {
+        return EnterAbort(FaultStatus(kind));
+      }
+    }
     Status s = mgr_->Commit(txn_.get());
     if (!s.ok()) {
-      failure_ = s;
-      outcome_ = StepOutcome::kAborted;
-      return outcome_;
+      // A SNAPSHOT commit failure already aborted internally; nothing is
+      // left to undo, so EnterAbort resolves to the atomic path.
+      return EnterAbort(s);
     }
     if (log_ != nullptr) log_->Append(program_, txn_->commit_ts);
     outcome_ = StepOutcome::kCommitted;
@@ -275,10 +308,7 @@ StepOutcome ProgramRun::Step(bool wait) {
   if (stmt->kind == StmtKind::kIf) {
     Result<bool> guard = EvalGuard(stmt->expr);
     if (!guard.ok()) {
-      failure_ = guard.status();
-      mgr_->Abort(txn_.get());
-      outcome_ = StepOutcome::kAborted;
-      return outcome_;
+      return EnterAbort(guard.status());
     }
     Advance();  // resume after the If once the branch finishes
     const StmtList& branch = guard.value() ? stmt->then_body : stmt->else_body;
@@ -288,10 +318,7 @@ StepOutcome ProgramRun::Step(bool wait) {
   if (stmt->kind == StmtKind::kWhile) {
     Result<bool> guard = EvalGuard(stmt->expr);
     if (!guard.ok()) {
-      failure_ = guard.status();
-      mgr_->Abort(txn_.get());
-      outcome_ = StepOutcome::kAborted;
-      return outcome_;
+      return EnterAbort(guard.status());
     }
     if (guard.value()) {
       stack_.push_back({&stmt->then_body, 0, stmt});
@@ -301,6 +328,17 @@ StepOutcome ProgramRun::Step(bool wait) {
     return StepOutcome::kRunning;
   }
 
+  if (faults_ != nullptr) {
+    const FaultKind kind = faults_->At(FaultSite::kStatementApply, txn_->id);
+    if (kind == FaultKind::kForcedAbort ||
+        kind == FaultKind::kCrashBeforeCommit) {
+      return EnterAbort(FaultStatus(kind));
+    }
+    if (kind == FaultKind::kTransientLockFailure) {
+      if (!wait) return StepOutcome::kBlocked;  // retried on the next visit
+      return EnterAbort(FaultStatus(kind));
+    }
+  }
   Status s = ExecStmt(*stmt, wait);
   if (s.ok()) {
     Advance();
@@ -309,16 +347,16 @@ StepOutcome ProgramRun::Step(bool wait) {
   if (s.code() == Code::kWouldBlock && !wait) {
     return StepOutcome::kBlocked;  // retry the same statement later
   }
-  failure_ = s;
-  mgr_->Abort(txn_.get());
-  outcome_ = StepOutcome::kAborted;
-  return outcome_;
+  return EnterAbort(s);
 }
 
 void ProgramRun::ForceAbort(Status reason) {
   if (Done()) return;
-  failure_ = std::move(reason);
+  if (!rolling_back_) failure_ = std::move(reason);
+  // Abort completes an in-progress rollback wholesale (the victim must not
+  // keep holding locks while the driver waits for progress).
   if (txn_ != nullptr) mgr_->Abort(txn_.get());
+  rolling_back_ = false;
   outcome_ = StepOutcome::kAborted;
 }
 

@@ -4,16 +4,18 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.h"
 #include "txn/txn.h"
 
 namespace semcor {
 
 /// Outcome of advancing a transaction by one atomic statement.
 enum class StepOutcome {
-  kRunning,    ///< statement executed; more remain
-  kBlocked,    ///< a lock would block (try-lock mode); statement not executed
-  kCommitted,  ///< the commit step ran successfully
-  kAborted,    ///< the transaction rolled back (explicit, deadlock, FCW, ...)
+  kRunning,     ///< statement executed; more remain
+  kBlocked,     ///< a lock would block (try-lock mode); statement not executed
+  kRollingBack, ///< the step applied (or is about to apply) an undo write
+  kCommitted,   ///< the commit step ran successfully
+  kAborted,     ///< the transaction rolled back (explicit, deadlock, FCW, ...)
 };
 
 const char* StepOutcomeName(StepOutcome outcome);
@@ -50,8 +52,26 @@ class ProgramRun {
   StepOutcome RunToCompletion();
 
   /// Externally aborts the transaction (deadlock victim selection by a
-  /// driver). No-op if already finished.
+  /// driver). Completes any in-progress rollback wholesale — only Step-path
+  /// aborts roll back stepwise (a victim holding locks mid-rollback would
+  /// deadlock the victim-selection loop itself). No-op if already finished.
   void ForceAbort(Status reason);
+
+  /// Makes abort a multi-step process: instead of discarding its images
+  /// atomically, the transaction enters kRollingBack and each undo write is
+  /// applied by its own Step call, followed by one finishing step that
+  /// releases locks — so schedule exploration can interleave other
+  /// transactions with the rollback (Theorem 1's undo-write obligations).
+  /// SNAPSHOT runs are unaffected (they buffer writes; nothing to undo).
+  void EnableSchedulableRollback(bool on) { schedulable_rollback_ = on; }
+  /// Wires deterministic fault injection into this run's steps (lifetime
+  /// managed by the caller; may be nullptr to disable).
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
+
+  bool rolling_back() const { return rolling_back_; }
+  /// True when the last Step applied an undo write (drivers record these as
+  /// write events in the schedule trace).
+  bool last_step_applied_undo() const { return last_step_undo_; }
 
   bool Done() const {
     return outcome_ == StepOutcome::kCommitted ||
@@ -79,6 +99,12 @@ class ProgramRun {
     const Stmt* loop = nullptr;  ///< set when this frame is a while body
   };
 
+  /// Routes a failure into either stepwise rollback (kRollingBack, when
+  /// enabled and there is something to undo) or the atomic abort.
+  StepOutcome EnterAbort(Status reason);
+  /// Applies one undo write, or finishes the rollback when none remain.
+  StepOutcome StepRollback();
+
   /// Executes one atomic statement; Ok, or kConflict (blocked), or failure.
   Status ExecStmt(const Stmt& stmt, bool wait);
   /// Advances the control stack past the current statement.
@@ -100,6 +126,10 @@ class ProgramRun {
   StepOutcome outcome_ = StepOutcome::kRunning;
   Status failure_;
   bool body_done_ = false;
+  bool schedulable_rollback_ = false;
+  bool rolling_back_ = false;
+  bool last_step_undo_ = false;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace semcor

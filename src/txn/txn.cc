@@ -58,6 +58,16 @@ Status TxnManager::ReadItem(Txn* txn, const std::string& name, Value* out,
     if (!s.ok()) return s;
   }
   Result<Value> v = store_->ReadItemLatest(name);
+  if (!txn->policy.read_locks && v.ok()) {
+    // READ UNCOMMITTED: classify the dirty read. A pending foreign image is
+    // a dirty read; if its writer is mid-rollback the value is a
+    // not-yet-undone (or partially undone) image — the Theorem 1 case.
+    std::optional<TxnId> writer = store_->ItemPendingWriter(name);
+    if (writer && *writer != txn->id) {
+      ++txn->dirty_reads;
+      if (IsRollingBack(*writer)) ++txn->undo_dirty_reads;
+    }
+  }
   if (v.ok() && txn->policy.fcw_validation && !txn->fcw_read_ts.count(name)) {
     // Capture the version timestamp while the S lock is still held: no
     // writer can commit a newer version in between, so the recorded version
@@ -99,8 +109,12 @@ Status TxnManager::WriteItem(Txn* txn, const std::string& name, const Value& v,
       }
     }
   }
-  Status w = store_->WriteItemUncommitted(txn->id, name, v);
-  if (w.ok()) txn->written_items.insert(name);
+  std::optional<Value> prior;
+  Status w = store_->WriteItemUncommitted(txn->id, name, v, &prior);
+  if (w.ok()) {
+    txn->written_items.insert(name);
+    txn->undo.PushItem(name, std::move(prior));
+  }
   return w;
 }
 
@@ -108,19 +122,26 @@ Status TxnManager::LockingSelect(
     Txn* txn, const std::string& table, const Expr& pred, bool wait,
     const std::function<void(RowId, const Tuple&)>& fn) {
   MapEvalContext empty;
-  // READ UNCOMMITTED scans take no locks and see dirty data.
+  // READ UNCOMMITTED scans take no locks and see dirty data. The scan also
+  // reports each image's pending writer so the dirty reads (and mid-rollback
+  // reads) can be counted.
   if (!txn->policy.read_locks) {
     Status inner = Status::Ok();
-    Status s = store_->Scan(table, Store::kLatest, [&](RowId row,
-                                                       const Tuple& t) {
-      if (!inner.ok()) return;
-      Result<bool> match = EvalTuplePred(pred, t, empty);
-      if (!match.ok()) {
-        inner = match.status();
-        return;
-      }
-      if (match.value()) fn(row, t);
-    });
+    Status s = store_->ScanLatestWithWriter(
+        table, [&](RowId row, const Tuple& t, std::optional<TxnId> writer) {
+          if (!inner.ok()) return;
+          Result<bool> match = EvalTuplePred(pred, t, empty);
+          if (!match.ok()) {
+            inner = match.status();
+            return;
+          }
+          if (!match.value()) return;
+          if (writer && *writer != txn->id) {
+            ++txn->dirty_reads;
+            if (IsRollingBack(*writer)) ++txn->undo_dirty_reads;
+          }
+          fn(row, t);
+        });
     if (!s.ok()) return s;
     return inner;
   }
@@ -327,10 +348,12 @@ Status TxnManager::UpdateRows(Txn* txn, const std::string& table,
   }
   // Phase 2: apply (store writes never block).
   for (auto& [row, image] : new_images) {
+    std::optional<std::optional<Tuple>> prior;
     Status w = store_->WriteRowUncommitted(txn->id, table, row,
-                                           std::move(image));
+                                           std::move(image), &prior);
     if (!w.ok()) return w;
     txn->written_rows.insert({table, row});
+    txn->undo.PushRow(table, row, std::move(prior));
     if (rows_updated != nullptr) ++*rows_updated;
   }
   return Status::Ok();
@@ -349,6 +372,8 @@ Status TxnManager::InsertRow(Txn* txn, const std::string& table, Tuple tuple,
                                                    std::move(tuple));
   if (!row.ok()) return row.status();
   txn->written_rows.insert({table, row.value()});
+  // Undo of an insert clears the image (no prior), removing the row.
+  txn->undo.PushRow(table, row.value(), std::nullopt);
   // The new row is X-locked so that scans above RU wait for our outcome.
   return locks_->AcquireRow(txn->id, table, row.value(), LockMode::kExclusive,
                             wait);
@@ -391,9 +416,12 @@ Status TxnManager::DeleteRows(Txn* txn, const std::string& table,
     if (!gate.ok()) return gate;
   }
   for (const auto& [row, old] : matches) {
-    Status w = store_->WriteRowUncommitted(txn->id, table, row, std::nullopt);
+    std::optional<std::optional<Tuple>> prior;
+    Status w = store_->WriteRowUncommitted(txn->id, table, row, std::nullopt,
+                                           &prior);
     if (!w.ok()) return w;
     txn->written_rows.insert({table, row});
+    txn->undo.PushRow(table, row, std::move(prior));
     if (rows_deleted != nullptr) ++*rows_deleted;
   }
   return Status::Ok();
@@ -420,10 +448,57 @@ Status TxnManager::Commit(Txn* txn) {
 }
 
 void TxnManager::Abort(Txn* txn) {
-  if (txn->state != Txn::State::kActive) return;
+  if (txn->state == Txn::State::kCommitted ||
+      txn->state == Txn::State::kAborted) {
+    return;
+  }
+  // Aborting a kRollingBack transaction completes its rollback wholesale.
   store_->AbortTxn(txn->id);
   locks_->ReleaseAll(txn->id);
+  txn->undo.Clear();
+  {
+    std::lock_guard<std::mutex> lock(rb_mu_);
+    rolling_back_.erase(txn->id);
+  }
   txn->state = Txn::State::kAborted;
+}
+
+void TxnManager::BeginRollback(Txn* txn) {
+  if (txn->state != Txn::State::kActive) return;
+  txn->state = Txn::State::kRollingBack;
+  std::lock_guard<std::mutex> lock(rb_mu_);
+  rolling_back_.insert(txn->id);
+}
+
+Status TxnManager::UndoOneWrite(Txn* txn) {
+  if (txn->state != Txn::State::kRollingBack) {
+    return Status::Internal("undo step outside rollback");
+  }
+  if (txn->undo.empty()) return Status::Ok();
+  UndoRecord rec = txn->undo.PopBack();
+  if (rec.kind == UndoRecord::Kind::kItem) {
+    return store_->UndoItemWrite(txn->id, rec.item, rec.prior_item);
+  }
+  return store_->UndoRowWrite(txn->id, rec.table, rec.row, rec.prior_row);
+}
+
+void TxnManager::FinishRollback(Txn* txn) {
+  if (txn->state != Txn::State::kRollingBack) return;
+  // The undo log is normally drained by now; AbortTxn clears whatever is
+  // left (defensive) plus the touch records.
+  store_->AbortTxn(txn->id);
+  locks_->ReleaseAll(txn->id);
+  txn->undo.Clear();
+  {
+    std::lock_guard<std::mutex> lock(rb_mu_);
+    rolling_back_.erase(txn->id);
+  }
+  txn->state = Txn::State::kAborted;
+}
+
+bool TxnManager::IsRollingBack(TxnId id) const {
+  std::lock_guard<std::mutex> lock(rb_mu_);
+  return rolling_back_.count(id) > 0;
 }
 
 }  // namespace semcor

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/undo_log.h"
 #include "lock/lock_manager.h"
 #include "mvcc/version_store.h"
 #include "sem/prog/program.h"
@@ -34,7 +35,18 @@ struct Txn {
   std::set<std::string> written_items;
   std::set<std::pair<std::string, RowId>> written_rows;
 
-  enum class State { kActive, kCommitted, kAborted };
+  /// LIFO log of this txn's uncommitted writes, for stepwise rollback.
+  /// SNAPSHOT transactions buffer writes instead and keep it empty.
+  UndoLog undo;
+
+  /// READ UNCOMMITTED observability counters: reads that saw a foreign
+  /// uncommitted image, and the subset where the writer was mid-rollback
+  /// (i.e. the value read was a not-yet-undone or partially-undone image —
+  /// exactly the interleavings Theorem 1's undo-write obligations cover).
+  long dirty_reads = 0;
+  long undo_dirty_reads = 0;
+
+  enum class State { kActive, kRollingBack, kCommitted, kAborted };
   State state = State::kActive;
   Timestamp commit_ts = 0;
 };
@@ -98,6 +110,20 @@ class TxnManager {
   Status Commit(Txn* txn);
   void Abort(Txn* txn);
 
+  // ---- stepwise rollback (schedulable undo) ----
+  /// Moves an active transaction into kRollingBack: its undo log will be
+  /// drained one write at a time (each a schedulable step) while it keeps
+  /// its locks — READ UNCOMMITTED readers can observe the intermediate
+  /// images, which is what Theorem 1's undo-write obligations are about.
+  void BeginRollback(Txn* txn);
+  /// Applies the newest undo record of a kRollingBack transaction.
+  Status UndoOneWrite(Txn* txn);
+  /// Completes a rollback: discards any remaining images wholesale,
+  /// releases all locks, and marks the transaction kAborted.
+  void FinishRollback(Txn* txn);
+  /// True while `id` is between BeginRollback and FinishRollback/Abort.
+  bool IsRollingBack(TxnId id) const;
+
   Store* store() { return store_; }
   LockManager* locks() { return locks_; }
 
@@ -125,6 +151,11 @@ class TxnManager {
   Store* store_;
   LockManager* locks_;
   std::atomic<TxnId> next_id_{1};
+
+  /// Ids currently rolling back stepwise, visible to concurrent readers
+  /// that want to classify a dirty read as an undo read.
+  mutable std::mutex rb_mu_;
+  std::set<TxnId> rolling_back_;
 };
 
 }  // namespace semcor

@@ -54,7 +54,7 @@ TEST_F(ExecutorTest, BankingMixedLevelsStaysCorrect) {
       40, 20, &log, &wall);
   EXPECT_GT(stats.committed, 0);
   EXPECT_EQ(stats.committed, static_cast<long>(log.size()));
-  EXPECT_EQ(stats.gave_up, 0);
+  EXPECT_EQ(stats.retries_exhausted, 0);
   OracleReport report =
       CheckSemanticCorrectness(initial, store_, log, w.app.invariant);
   EXPECT_TRUE(report.ok()) << report.ToString();
@@ -81,10 +81,36 @@ TEST_F(ExecutorTest, HighContentionSerializableStaysCorrect) {
       },
       25, 50, &log, &wall);
   EXPECT_GT(stats.committed, 0);
-  EXPECT_EQ(stats.gave_up, 0);
+  EXPECT_EQ(stats.retries_exhausted, 0);
   OracleReport report =
       CheckSemanticCorrectness(initial, store_, log, w.app.invariant);
   EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(ExecutorTest, DeadlockStatsAgreeAcrossLayers) {
+  // Deadlock-heavy run: a tiny banking world at SERIALIZABLE with blocking
+  // locks forces lock-order cycles. The lock manager counts deadlocks where
+  // it detects them (wait-for cycle / wait timeout) and the executor counts
+  // attempts that failed with Code::kDeadlock — the two tallies must agree.
+  Workload w = MakeBankingWorkload(2);
+  ASSERT_TRUE(w.setup(&store_).ok());
+  CommitLog log;
+  ConcurrentExecutor executor(&mgr_, 4);
+  double wall = 0;
+  RetryPolicy retry;
+  retry.max_attempts = 8;
+  retry.backoff_base_us = 0;  // no backoff: maximize lock-cycle pressure
+  ExecStats stats = executor.Run(
+      [&](Rng& rng) {
+        WorkItem item;
+        item.program = w.instantiate(
+            rng.Bernoulli(0.5) ? "Withdraw_sav" : "Deposit_ch", rng);
+        item.level = IsoLevel::kSerializable;
+        return item;
+      },
+      50, retry, &log, &wall);
+  EXPECT_GT(stats.committed, 0);
+  EXPECT_EQ(locks_.stats().deadlocks, stats.deadlocks);
 }
 
 TEST_F(ExecutorTest, TpccMixAtPaperLevelsCorrect) {
@@ -100,7 +126,7 @@ TEST_F(ExecutorTest, TpccMixAtPaperLevelsCorrect) {
       },
       30, 20, &log, &wall);
   EXPECT_GT(stats.committed, 0);
-  EXPECT_EQ(stats.gave_up, 0);
+  EXPECT_EQ(stats.retries_exhausted, 0);
   OracleReport report =
       CheckSemanticCorrectness(initial, store_, log, w.app.invariant);
   EXPECT_TRUE(report.ok()) << report.ToString();

@@ -217,6 +217,72 @@ TEST(Explorer, LostUpdateLevelSweep) {
   }
 }
 
+TEST(FaultExploration, UndoReadWitnessFoundAndReproducible) {
+  // Acceptance scenario for fault-driven exploration: banking write-skew at
+  // READ UNCOMMITTED under a fixed seeded fault plan with schedulable
+  // rollback. The explorer must find runs in which one transaction reads a
+  // value of another that is mid-rollback (Theorem 1's undo-write hazard),
+  // keep a witness of that class, stay consistent with the static verdict
+  // (Theorem 1 rejects the level, so anomalies are expected, not unsound),
+  // and reproduce the exact same witnesses across repeat runs and thread
+  // counts.
+  Workload w = MakeBankingWorkload();
+  const ExploreMix* mix = w.FindExploreMix("write_skew");
+  ASSERT_NE(mix, nullptr);
+
+  ExploreOptions opts;
+  opts.level = IsoLevel::kReadUncommitted;
+  opts.budget = 3000;
+  opts.seed = 42;
+  opts.max_witnesses = 8;
+  opts.faults = FaultPlan::Seeded(7);
+  opts.schedulable_rollback = true;
+
+  auto run_once = [&](int threads) {
+    opts.threads = threads;
+    Result<CrossCheckResult> r = CrossCheck(w, *mix, opts);
+    EXPECT_TRUE(r.ok());
+    return r.take();
+  };
+  auto witness_fingerprint = [](const CrossCheckResult& r) {
+    std::string out;
+    for (const ExploreWitness& wit : r.exploration.witnesses) {
+      out += wit.signature + " " + ScheduleToString(wit.schedule) + " " +
+             wit.trace + " " + std::to_string(wit.undo_dirty_reads) + "\n";
+    }
+    return out;
+  };
+
+  CrossCheckResult first = run_once(2);
+  EXPECT_GT(first.exploration.injected_faults, 0);
+  EXPECT_GT(first.exploration.undo_read_runs, 0);
+  bool has_undo_witness = false;
+  for (const ExploreWitness& wit : first.exploration.witnesses) {
+    if (wit.undo_dirty_reads > 0) {
+      has_undo_witness = true;
+      EXPECT_NE(wit.signature.find("observed-mid-rollback"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(has_undo_witness);
+  // Theorem 1 rejects READ UNCOMMITTED for the withdrawals, and exploration
+  // agrees there are anomalies: consistent, not unsound, not imprecise.
+  EXPECT_FALSE(first.static_correct);
+  EXPECT_GT(first.exploration.anomalies, 0);
+  EXPECT_FALSE(first.unsound);
+  EXPECT_FALSE(first.imprecise);
+
+  // Same seed, same fault plan: bit-for-bit identical witnesses across a
+  // repeat run and across thread counts.
+  CrossCheckResult again = run_once(2);
+  CrossCheckResult single = run_once(1);
+  EXPECT_EQ(witness_fingerprint(first), witness_fingerprint(again));
+  EXPECT_EQ(witness_fingerprint(first), witness_fingerprint(single));
+  EXPECT_EQ(first.exploration.injected_faults,
+            single.exploration.injected_faults);
+  EXPECT_EQ(first.exploration.undo_read_runs,
+            single.exploration.undo_read_runs);
+}
+
 TEST(CrossCheck, BankingSoundnessContract) {
   Workload w = MakeBankingWorkload();
   const ExploreMix* mix = w.FindExploreMix("write_skew");

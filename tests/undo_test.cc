@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "fault/fault.h"
 #include "sem/check/theorems.h"
 #include "sem/expr/simplify.h"
 #include "sem/prog/builder.h"
+#include "txn/driver.h"
 
 namespace semcor {
 namespace {
@@ -93,6 +95,62 @@ TEST(UndoTest, OneUndoPerWrite) {
   b.Read("Y", "y");  // not a write: no undo
   TxnProgram p = b.Build({});
   EXPECT_EQ(SynthesizeUndoWrites(p, True(), Shapes()).size(), 4u);
+}
+
+// ---- Runtime counterpart: undo writes as schedulable events ----
+
+TEST(UndoTest, ReadUncommittedObservesMidRollbackValue) {
+  // Theorem 1 treats the undo writes an abort generates as writes in their
+  // own right: at READ UNCOMMITTED, a concurrent reader can observe the
+  // database between them. This scripts exactly that schedule — the static
+  // tests above synthesize the undo writes; here the runtime plays them out
+  // one step at a time and the reader's dirty read is classified as a read
+  // of a rolling-back transaction's value.
+  Store store;
+  LockManager locks;
+  TxnManager mgr(&store, &locks);
+  ASSERT_TRUE(store.CreateItem("x", Value::Int(0)).ok());
+
+  ProgramBuilder bw("Writer");
+  bw.Write("x", Lit(int64_t{100}));
+  ProgramBuilder br("Reader");
+  br.Read("X", "x");
+
+  FaultPlan plan;
+  // Pinned to the writer (eager begin: first Add = txn id 1); the reader's
+  // own commit must stay fault-free.
+  plan.script.push_back(
+      {FaultSite::kCommit, /*txn=*/1, 1, FaultKind::kCrashBeforeCommit});
+  FaultInjector inj(plan);
+  inj.BeginRun();
+
+  StepDriver driver(&mgr, nullptr);
+  driver.SetSchedulableRollback(true);
+  driver.SetFaultInjector(&inj);
+  const int w = driver.Add(std::make_shared<TxnProgram>(bw.Build({})),
+                           IsoLevel::kReadCommitted);
+  const int r = driver.Add(std::make_shared<TxnProgram>(br.Build({})),
+                           IsoLevel::kReadUncommitted);
+
+  int undo_steps = 0;
+  driver.SetObserver([&](const StepEvent& ev) {
+    if (ev.undo_write) ++undo_steps;
+  });
+
+  // w1(x) · crash at commit · r2(x) while w is mid-rollback · undo steps.
+  ASSERT_EQ(driver.Step(w), StepOutcome::kRunning);      // w1(x := 100)
+  ASSERT_EQ(driver.Step(w), StepOutcome::kRollingBack);  // crash, not undone
+  ASSERT_EQ(driver.Step(r), StepOutcome::kRunning);      // r2 reads dirty 100
+  EXPECT_EQ(driver.run(r).txn().locals.at("X").AsInt(), 100);
+  EXPECT_EQ(driver.run(r).txn().undo_dirty_reads, 1);
+  ASSERT_EQ(driver.Step(w), StepOutcome::kRollingBack);  // u1: restore x = 0
+  EXPECT_EQ(undo_steps, 1);
+  EXPECT_EQ(store.ReadItemLatest("x").value().AsInt(), 0);
+  ASSERT_EQ(driver.Step(w), StepOutcome::kAborted);      // release locks
+  ASSERT_EQ(driver.Step(r), StepOutcome::kCommitted);
+  // The reader committed a value no committed state ever contained — the
+  // inconsistency Theorem 1's non-interference conditions exist to exclude.
+  EXPECT_EQ(store.ReadItemCommitted("x").value().AsInt(), 0);
 }
 
 // ---- ReadStepPostcondition (Theorem 5's two-step model) ----
