@@ -36,7 +36,8 @@ Application Synthetic(int k, int n) {
   return app;
 }
 
-void Report(const std::string& label, const ObligationCounts& counts) {
+void Report(const std::string& label, const ObligationCounts& counts,
+            bench::JsonReport* json) {
   bench::Table table({"application", "K", "N(total)", "naive OG", "RU", "RC",
                       "RC-FCW", "RR", "SER", "SNAPSHOT"});
   table.AddRow({label, std::to_string(counts.num_instances),
@@ -49,6 +50,7 @@ void Report(const std::string& label, const ObligationCounts& counts) {
                 std::to_string(counts.per_level.at(IsoLevel::kSerializable)),
                 std::to_string(counts.per_level.at(IsoLevel::kSnapshot))});
   table.Print();
+  json->AddTable(label, table);
 }
 
 }  // namespace
@@ -57,14 +59,17 @@ void Report(const std::string& label, const ObligationCounts& counts) {
 int main() {
   using namespace semcor;
   bench::Banner("E1: non-interference obligations per isolation level");
+  bench::JsonReport json("E1");
 
   std::printf("Paper workloads:\n\n");
-  Report("banking (Ex.3)", CountObligations(MakeBankingWorkload().app));
-  Report("payroll (Ex.2)", CountObligations(MakePayrollWorkload().app));
-  Report("mailing (Ex.1)", CountObligations(MakeMailingWorkload().app));
-  Report("orders (sec.6)", CountObligations(MakeOrdersWorkload(false).app));
-  Report("orders 1/day", CountObligations(MakeOrdersWorkload(true).app));
-  Report("tpcc-lite", CountObligations(MakeTpccWorkload().app));
+  Report("banking (Ex.3)", CountObligations(MakeBankingWorkload().app), &json);
+  Report("payroll (Ex.2)", CountObligations(MakePayrollWorkload().app), &json);
+  Report("mailing (Ex.1)", CountObligations(MakeMailingWorkload().app), &json);
+  Report("orders (sec.6)", CountObligations(MakeOrdersWorkload(false).app),
+         &json);
+  Report("orders 1/day", CountObligations(MakeOrdersWorkload(true).app),
+         &json);
+  Report("tpcc-lite", CountObligations(MakeTpccWorkload().app), &json);
 
   std::printf(
       "\nSynthetic sweep (conventional app, K types x N statements):\n"
@@ -87,5 +92,7 @@ int main() {
     }
   }
   sweep.Print();
+  json.AddTable("synthetic_sweep", sweep);
+  json.Write();
   return 0;
 }

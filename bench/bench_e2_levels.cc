@@ -11,7 +11,8 @@
 namespace semcor {
 namespace {
 
-void ReportWorkload(const Workload& w) {
+void ReportWorkload(const Workload& w, const std::string& json_key,
+                    bench::JsonReport* json) {
   bench::Banner(StrCat("application: ", w.app.name));
   LevelAdvisor advisor(w.app, AdvisorOptions());
   bench::Table table({"transaction type", "advisor (lowest correct)",
@@ -45,6 +46,7 @@ void ReportWorkload(const Workload& w) {
     }
   }
   table.Print();
+  json->AddTable(json_key, table);
 }
 
 }  // namespace
@@ -53,11 +55,13 @@ void ReportWorkload(const Workload& w) {
 int main() {
   using namespace semcor;
   bench::Banner("E2: lowest correct isolation level per transaction type");
-  ReportWorkload(MakeMailingWorkload());
-  ReportWorkload(MakePayrollWorkload());
-  ReportWorkload(MakeBankingWorkload());
-  ReportWorkload(MakeOrdersWorkload(false));
-  ReportWorkload(MakeOrdersWorkload(true));
-  ReportWorkload(MakeTpccWorkload());
+  bench::JsonReport json("E2");
+  ReportWorkload(MakeMailingWorkload(), "mailing", &json);
+  ReportWorkload(MakePayrollWorkload(), "payroll", &json);
+  ReportWorkload(MakeBankingWorkload(), "banking", &json);
+  ReportWorkload(MakeOrdersWorkload(false), "orders", &json);
+  ReportWorkload(MakeOrdersWorkload(true), "orders_1day", &json);
+  ReportWorkload(MakeTpccWorkload(), "tpcc_lite", &json);
+  json.Write();
   return 0;
 }

@@ -38,18 +38,26 @@ int main() {
        bench::AllAt(w, IsoLevel::kReadUncommitted)},
   };
 
-  bench::Table table({"policy", "txns/s", "p50 us", "p99 us", "abort %",
-                      "deadlocks", "violating rounds"});
+  bench::JsonReport json("E3");
+  json.Scalar("threads", 4);
+  json.Scalar("items_per_thread", 120);
+  json.Scalar("rounds", 12);
+  bench::Table table({"policy", "txns/s", "p50 us", "p95 us", "p99 us",
+                      "abort %", "deadlocks", "violating rounds"});
+  bench::Table jt(bench::PerfJsonHeaders());
   for (const Config& config : configs) {
     bench::PerfResult r = bench::RunRounds(
         w, config.levels, IsoLevel::kSerializable, /*threads=*/4,
         /*items_per_thread=*/120, /*rounds=*/12);
     table.AddRow({config.label, bench::Fmt(r.tps, 0), bench::Fmt(r.p50_us),
-                  bench::Fmt(r.p99_us), bench::Fmt(r.AbortRate()),
-                  std::to_string(r.deadlocks),
+                  bench::Fmt(r.p95_us), bench::Fmt(r.p99_us),
+                  bench::Fmt(r.AbortRate()), std::to_string(r.deadlocks),
                   StrCat(r.violation_rounds, "/", r.rounds)});
+    jt.AddRow(bench::PerfJsonRow(config.label, r));
   }
   table.Print();
+  json.AddTable("policies", jt);
+  json.Write();
   std::printf(
       "\nExpected shape: advisor levels >= all-SER throughput with 0 "
       "violations;\nunsafe policies run faster but violate the business "

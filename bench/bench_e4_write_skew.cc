@@ -100,6 +100,10 @@ int main() {
     }
   }
   table.Print();
+  bench::JsonReport json("E4");
+  json.Scalar("rounds_per_cell", kRounds);
+  json.AddTable("write_skew", table);
+  json.Write();
   std::printf(
       "\nExpected shape: SNAPSHOT violation rate grows as contention rises "
       "(fewer accounts);\nSERIALIZABLE shows zero violations at the cost of "

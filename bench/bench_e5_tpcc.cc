@@ -26,22 +26,33 @@ int main() {
        bench::AllAt(w, IsoLevel::kReadCommitted)},
   };
 
-  bench::Table table({"policy", "txns/s", "p50 us", "p99 us", "abort %",
-                      "deadlocks", "violating rounds"});
+  bench::JsonReport json("E5");
+  json.Scalar("threads", 4);
+  json.Scalar("items_per_thread", 100);
+  json.Scalar("rounds", 12);
+  bench::Table table({"policy", "txns/s", "p50 us", "p95 us", "p99 us",
+                      "abort %", "deadlocks", "violating rounds"});
+  bench::Table jt(bench::PerfJsonHeaders());
   for (const Config& config : configs) {
     bench::PerfResult r = bench::RunRounds(
         w, config.levels, IsoLevel::kSerializable, /*threads=*/4,
         /*items_per_thread=*/100, /*rounds=*/12);
     table.AddRow({config.label, bench::Fmt(r.tps, 0), bench::Fmt(r.p50_us),
-                  bench::Fmt(r.p99_us), bench::Fmt(r.AbortRate()),
-                  std::to_string(r.deadlocks),
+                  bench::Fmt(r.p95_us), bench::Fmt(r.p99_us),
+                  bench::Fmt(r.AbortRate()), std::to_string(r.deadlocks),
                   StrCat(r.violation_rounds, "/", r.rounds)});
+    jt.AddRow(bench::PerfJsonRow(config.label, r));
   }
   table.Print();
+  json.AddTable("policies", jt);
 
   std::printf("\nAdvisor level assignment:\n");
+  bench::Table advisor({"type", "level"});
   for (const auto& [type, level] : w.paper_levels) {
     std::printf("  %-14s -> %s\n", type.c_str(), IsoLevelName(level));
+    advisor.AddRow({type, IsoLevelName(level)});
   }
+  json.AddTable("advisor_levels", advisor);
+  json.Write();
   return 0;
 }

@@ -65,6 +65,8 @@ int main() {
   bench::Banner("E7: runtime invalidation monitoring (payroll, Example 2)");
 
   constexpr int kRounds = 150;
+  bench::JsonReport json("E7");
+  json.Scalar("rounds_per_level", kRounds);
   bench::Table table({"Print_Records level", "transient invalidations",
                       "violated pres at exec", "assertion evals", "steps",
                       "wall ms"});
@@ -78,6 +80,7 @@ int main() {
                   bench::Fmt(r.wall_ms)});
   }
   table.Print();
+  json.AddTable("invalidations", table);
 
   bench::Banner("monitoring overhead");
   MonitorRun with = RunRounds(IsoLevel::kReadUncommitted, true, kRounds);
@@ -88,6 +91,8 @@ int main() {
   overhead.AddRow({"without monitor", bench::Fmt(without.wall_ms),
                    bench::Fmt(1000.0 * without.wall_ms / without.steps, 2)});
   overhead.Print();
+  json.AddTable("overhead", overhead);
+  json.Write();
   std::printf(
       "\nExpected shape: invalidations occur at READ-UNCOMMITTED (dirty "
       "half-updates of\nHours) and vanish at READ-COMMITTED and above — "

@@ -44,7 +44,8 @@ std::vector<Config> Configs() {
   return out;
 }
 
-void Ablate(const Workload& w) {
+void Ablate(const Workload& w, const std::string& json_key,
+            bench::JsonReport* json) {
   bench::Banner(StrCat("application: ", w.app.name));
   std::vector<std::string> headers = {"configuration"};
   for (const TransactionType& t : w.app.types) headers.push_back(t.name);
@@ -70,6 +71,7 @@ void Ablate(const Workload& w) {
     table.AddRow(std::move(row));
   }
   table.Print();
+  json->AddTable(json_key, table);
 }
 
 }  // namespace
@@ -80,8 +82,10 @@ int main() {
   bench::Banner(
       "E8: checker-strategy ablation ((*) = deviates from the paper level; "
       "deviations are always upward, never unsound)");
-  Ablate(MakePayrollWorkload());
-  Ablate(MakeBankingWorkload());
-  Ablate(MakeOrdersWorkload(true));
+  bench::JsonReport json("E8");
+  Ablate(MakePayrollWorkload(), "payroll", &json);
+  Ablate(MakeBankingWorkload(), "banking", &json);
+  Ablate(MakeOrdersWorkload(true), "orders_1day", &json);
+  json.Write();
   return 0;
 }

@@ -6,6 +6,7 @@
 // until memory bandwidth interferes. Also reports the systematic DFS
 // (enumeration) of the same space for reference.
 
+#include <cstdlib>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -38,10 +39,15 @@ ExploreReport RunOnce(const Workload& w, const ExploreMix& mix, int threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Workload w = MakeBankingWorkload();
   const ExploreMix* mix = w.FindExploreMix("write_skew");
-  const int64_t budget = 40000;
+  // Optional override so CI can run a small budget quickly.
+  const int64_t budget = argc > 1 ? std::atoll(argv[1]) : 40000;
+  if (budget <= 0) {
+    std::fprintf(stderr, "usage: %s [schedule-budget > 0]\n", argv[0]);
+    return 2;
+  }
 
   bench::Banner("E9: parallel schedule exploration (banking write_skew @ "
                 "SNAPSHOT)");
@@ -71,6 +77,12 @@ int main() {
   }
   table.Print();
 
+  bench::JsonReport json("E9");
+  json.Scalar("mix", "banking write_skew @ SNAPSHOT");
+  json.Scalar("budget", static_cast<long>(budget));
+  json.Scalar("hardware_threads", hw);
+  json.AddTable("fuzz_scaling", table);
+
   bench::Banner("systematic DFS of the same space (reference)");
   ExploreReport dfs = RunOnce(w, *mix, 4, -1, /*enumerate=*/true);
   bench::Table ref({"schedules", "anomalous", "dup-pruned", "seconds",
@@ -79,5 +91,7 @@ int main() {
               std::to_string(dfs.pruned_duplicate), Fmt(dfs.seconds, 2),
               Fmt(dfs.schedules_per_sec, 0)});
   ref.Print();
+  json.AddTable("dfs_reference", ref);
+  json.Write();
   return 0;
 }

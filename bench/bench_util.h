@@ -1,8 +1,12 @@
 #ifndef SEMCOR_BENCH_BENCH_UTIL_H_
 #define SEMCOR_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/str_util.h"
@@ -17,6 +21,9 @@ class Table {
       : headers_(std::move(headers)) {}
 
   void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   void Print() const {
     std::vector<size_t> widths(headers_.size());
@@ -61,6 +68,160 @@ inline std::string Fmt(double v, int decimals = 1) {
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
 }
+
+/// Machine-readable twin of the printed report: accumulates scalars and
+/// tables in insertion order and writes them as `BENCH_<id>.json` in the
+/// working directory, so CI and scripts can track bench results across
+/// commits without scraping the human tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string id) : id_(std::move(id)) {}
+
+  void Scalar(const std::string& key, double v) { Field(KeyName(key), Num(v)); }
+  void Scalar(const std::string& key, long v) {
+    Field(KeyName(key), std::to_string(v));
+  }
+  void Scalar(const std::string& key, int v) { Scalar(key, static_cast<long>(v)); }
+  void Scalar(const std::string& key, long long v) {
+    Field(KeyName(key), std::to_string(v));
+  }
+  void Scalar(const std::string& key, unsigned long v) {
+    Field(KeyName(key), std::to_string(v));
+  }
+  void Scalar(const std::string& key, const std::string& v) {
+    Field(KeyName(key), Quote(v));
+  }
+  void Scalar(const std::string& key, const char* v) {
+    Field(KeyName(key), Quote(v));
+  }
+
+  /// Serializes a table as an array of objects keyed by the sanitized
+  /// column headers; cells whose printed form is already a valid JSON
+  /// number are emitted unquoted.
+  void AddTable(const std::string& key, const Table& table) {
+    std::vector<std::string> keys;
+    keys.reserve(table.headers().size());
+    for (const std::string& h : table.headers()) keys.push_back(KeyName(h));
+    std::string out = "[";
+    bool first = true;
+    for (const auto& row : table.rows()) {
+      out += first ? "\n    {" : ",\n    {";
+      first = false;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : kEmpty();
+        if (i > 0) out += ", ";
+        out += Quote(keys[i]) + ": " + Cell(cell);
+      }
+      out += "}";
+    }
+    out += first ? "]" : "\n  ]";
+    Field(KeyName(key), std::move(out));
+  }
+
+  std::string Render() const {
+    std::string out = "{\n  \"bench\": " + Quote(id_);
+    for (const auto& [key, value] : fields_) {
+      out += ",\n  " + Quote(key) + ": " + value;
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Writes `BENCH_<id>.json`; false (plus a note on stderr) on I/O error.
+  bool Write() const {
+    const std::string path = "BENCH_" + id_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = Render();
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    if (ok) std::printf("\n[bench] wrote %s\n", path.c_str());
+    return ok;
+  }
+
+  /// "p50 (us)" -> "p50_us": lowercased alphanumerics; each run of other
+  /// characters collapses to a single underscore, none leading or trailing.
+  static std::string KeyName(const std::string& header) {
+    std::string out;
+    bool sep = false;
+    for (char c : header) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        if (sep && !out.empty()) out += '_';
+        sep = false;
+        out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      } else {
+        sep = true;
+      }
+    }
+    return out.empty() ? std::string("col") : out;
+  }
+
+ private:
+  static const std::string& kEmpty() {
+    static const std::string empty;
+    return empty;
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string Num(double v) {
+    if (!std::isfinite(v)) return Quote(v != v ? "nan" : "inf");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+  }
+
+  static std::string Cell(const std::string& cell) {
+    // Accept only the characters a decimal/scientific literal can contain
+    // before trusting strtod: hex ("0x10") and partial parses must stay
+    // quoted, or the output would not be valid JSON.
+    if (!cell.empty() &&
+        (std::isdigit(static_cast<unsigned char>(cell[0])) || cell[0] == '-') &&
+        cell.find_first_not_of("0123456789+-.eE") == std::string::npos) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() + cell.size() && std::isfinite(v)) return cell;
+    }
+    return Quote(cell);
+  }
+
+  void Field(const std::string& key, std::string value) {
+    for (auto& [k, v] : fields_) {
+      if (k == key) {
+        v = std::move(value);
+        return;
+      }
+    }
+    fields_.emplace_back(key, std::move(value));
+  }
+
+  std::string id_;
+  /// (key, rendered JSON value), insertion-ordered; duplicate keys overwrite.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace semcor::bench
 

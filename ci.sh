@@ -43,4 +43,28 @@ fault_out=$(./build-asan/examples/semcor_explore --workload=banking \
 echo "$fault_out"
 echo "$fault_out" | grep -q 'injected_faults=[1-9]'
 
+# The sharded lock manager's multi-threaded stress battery must also be
+# clean under ASan (use-after-free in the waiter queues would surface here).
+cmake --build build-asan -j --target lock_shard_test
+./build-asan/tests/lock_shard_test
+
+# ThreadSanitizer stage: the sharded lock manager is the one component with
+# genuine cross-thread mutation, so its battery — plus the executor and
+# fault suites that drive it from worker threads — must come up race-free.
+cmake -B build-tsan -S . -DSEMCOR_SANITIZE=thread
+cmake --build build-tsan -j --target lock_test lock_shard_test executor_test \
+    fault_test
+for t in lock_test lock_shard_test executor_test fault_test; do
+  ./build-tsan/tests/"$t"
+done
+
+# Machine-readable bench artifacts: every bench_e* emits BENCH_E<n>.json;
+# CI produces the two cheap ones (substrate microbenches and the explorer
+# scaling table) with small budgets — this checks the plumbing, not the
+# numbers.
+./build/bench/bench_e6_substrate --benchmark_min_time=0.05
+test -s BENCH_E6.json
+./build/bench/bench_e9_explore 5000
+test -s BENCH_E9.json
+
 echo "ci.sh: OK"

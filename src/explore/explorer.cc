@@ -178,6 +178,7 @@ Result<ExploreReport> Explorer::Run() {
   sopts.faults = options_.faults;
   sopts.schedulable_rollback = options_.schedulable_rollback;
   sopts.deadlock_policy = options_.deadlock_policy;
+  sopts.lock_shards = options_.lock_shards;
   std::vector<std::unique_ptr<ExploreSession>> sessions;
   for (int i = 0; i < threads; ++i) {
     auto session = std::make_unique<ExploreSession>();

@@ -28,6 +28,11 @@ struct ExploreOptions {
   FaultPlan faults;
   bool schedulable_rollback = false;
   DeadlockPolicy deadlock_policy;
+
+  /// Lock-manager shards per worker universe (0 = default). Exploration is
+  /// try-lock only, so results must not depend on this; it exists to let
+  /// tests and benches pin the shard count.
+  size_t lock_shards = 0;
 };
 
 /// A minimized anomalous schedule.

@@ -40,6 +40,7 @@ Status ExploreSession::Init(const Workload& workload, const ExploreMix& mix,
   }
   level_ = level;
   session_options_ = options;
+  if (options.lock_shards != 0) locks_.Reshard(options.lock_shards);
   if (!options.faults.empty()) {
     faults_.SetPlan(options.faults);
     // Lock-grant faults flow through the lock manager's hook; the injector

@@ -71,6 +71,11 @@ struct ExploreSessionOptions {
   FaultPlan faults;
   bool schedulable_rollback = false;
   DeadlockPolicy deadlock_policy;
+  /// Lock-manager shard count for this session's private universe
+  /// (0 = LockManager::DefaultShardCount()). Exploration runs in try-lock
+  /// mode, whose outcomes are independent of the shard count — the
+  /// regression test in explore_test.cc holds this contract to the fire.
+  size_t lock_shards = 0;
 };
 
 /// One worker's private universe for schedule exploration: its own store,

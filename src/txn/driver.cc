@@ -28,6 +28,8 @@ void StepDriver::Reset() {
     }
   }
   runs_.clear();
+  blocked_steps_ = 0;
+  deadlock_victims_ = 0;
 }
 
 StepOutcome StepDriver::Step(int i) {
@@ -39,6 +41,7 @@ StepOutcome StepDriver::Step(int i) {
   // step applies an undo write (or releases locks), so report no statement.
   const Stmt* stmt = run.rolling_back() ? nullptr : run.CurrentStmt();
   StepOutcome outcome = run.Step(/*wait=*/false);
+  if (outcome == StepOutcome::kBlocked) ++blocked_steps_;
   if (observer_) observer_({i, stmt, outcome, run.last_step_applied_undo()});
   return outcome;
 }
@@ -82,6 +85,7 @@ void StepDriver::RunRoundRobin() {
         PickDeadlockVictim(deadlock_policy_, blocked, [&](int i) {
           return runs_[i]->begun() ? runs_[i]->txn().id : TxnId{0};
         });
+    ++deadlock_victims_;
     runs_[victim]->ForceAbort(
         Status::Deadlock("step-driver deadlock victim"));
   }

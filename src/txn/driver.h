@@ -68,6 +68,14 @@ class StepDriver {
   ProgramRun& run(int i) { return *runs_[i]; }
   int size() const { return static_cast<int>(runs_.size()); }
 
+  /// Try-lock steps that reported kBlocked since construction/Reset — the
+  /// deterministic-mode counterpart of LockManager::Stats::blocks (try-lock
+  /// conflicts never reach the manager's wait loop, so they are invisible
+  /// to its counters).
+  long blocked_steps() const { return blocked_steps_; }
+  /// Transactions force-aborted by RunRoundRobin's deadlock resolution.
+  long deadlock_victims() const { return deadlock_victims_; }
+
   using Observer = std::function<void(const StepEvent&)>;
   void SetObserver(Observer observer) { observer_ = std::move(observer); }
   /// Invoked immediately before each step executes, with the index of the
@@ -84,6 +92,8 @@ class StepDriver {
   bool schedulable_rollback_ = false;
   FaultInjector* faults_ = nullptr;
   DeadlockPolicy deadlock_policy_;
+  long blocked_steps_ = 0;
+  long deadlock_victims_ = 0;
   std::vector<std::unique_ptr<ProgramRun>> runs_;
   Observer observer_;
   std::function<void(int)> pre_step_;

@@ -26,6 +26,13 @@ void ExecStats::Merge(const ExecStats& other) {
   retries_exhausted += other.retries_exhausted;
   latency_us.insert(latency_us.end(), other.latency_us.begin(),
                     other.latency_us.end());
+  lock.Add(other.lock);
+  if (lock_shards.size() < other.lock_shards.size()) {
+    lock_shards.resize(other.lock_shards.size());
+  }
+  for (size_t i = 0; i < other.lock_shards.size(); ++i) {
+    lock_shards[i].Add(other.lock_shards[i]);
+  }
 }
 
 ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
@@ -35,6 +42,8 @@ ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
   const int attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
   const long faults_before =
       faults != nullptr ? faults->stats().injected : 0;
+  const std::vector<LockManager::Stats> lock_before =
+      mgr_->locks()->ShardStats();
   std::vector<ExecStats> per_thread(threads_);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
@@ -90,6 +99,20 @@ ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
   for (const ExecStats& s : per_thread) merged.Merge(s);
   if (faults != nullptr) {
     merged.injected_faults = faults->stats().injected - faults_before;
+  }
+  const std::vector<LockManager::Stats> lock_after =
+      mgr_->locks()->ShardStats();
+  merged.lock_shards.assign(lock_after.size(), LockManager::Stats());
+  for (size_t i = 0; i < lock_after.size(); ++i) {
+    LockManager::Stats& d = merged.lock_shards[i];
+    d = lock_after[i];
+    if (i < lock_before.size()) {
+      d.grants -= lock_before[i].grants;
+      d.blocks -= lock_before[i].blocks;
+      d.deadlocks -= lock_before[i].deadlocks;
+      d.contention_waits -= lock_before[i].contention_waits;
+    }
+    merged.lock.Add(d);
   }
   return merged;
 }

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "fault/policy.h"
+#include "lock/lock_manager.h"
 #include "txn/interpreter.h"
 
 namespace semcor {
@@ -25,6 +26,12 @@ struct ExecStats {
   long injected_faults = 0;    ///< fault-injector decisions during the run
   long retries_exhausted = 0;  ///< work items dropped after max attempts
   std::vector<double> latency_us;  ///< per committed txn, begin to commit
+
+  /// Lock-manager activity during the run (deltas, so back-to-back runs on
+  /// one manager don't double-count): totals plus the per-shard break-down
+  /// (grant/contention imbalance across stripes).
+  LockManager::Stats lock;
+  std::vector<LockManager::Stats> lock_shards;
 
   double Throughput(double wall_seconds) const {
     return wall_seconds > 0 ? committed / wall_seconds : 0;

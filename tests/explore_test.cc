@@ -283,6 +283,56 @@ TEST(FaultExploration, UndoReadWitnessFoundAndReproducible) {
             single.exploration.undo_read_runs);
 }
 
+TEST(Explorer, WitnessesIndependentOfLockShardCount) {
+  // The sharded lock manager must not perturb deterministic replay: a
+  // fixed-seed exploration of the banking and orders mixes has to produce
+  // the same witness set and bit-for-bit identical traces whether each
+  // session's manager runs 1, 2, or 4 shards (exploration is try-lock
+  // only, and try-lock outcomes are a pure function of per-key state).
+  struct Scenario {
+    Workload workload;
+    const char* mix;
+    IsoLevel level;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({MakeBankingWorkload(), "write_skew",
+                       IsoLevel::kSnapshot});
+  scenarios.push_back({MakeOrdersWorkload(false), "new_order_race",
+                       IsoLevel::kReadCommitted});
+  for (const Scenario& scenario : scenarios) {
+    const ExploreMix* mix = scenario.workload.FindExploreMix(scenario.mix);
+    ASSERT_NE(mix, nullptr) << scenario.mix;
+    std::string baseline;
+    for (const size_t shards : {1u, 2u, 4u}) {
+      ExploreOptions opts;
+      opts.level = scenario.level;
+      opts.threads = 2;
+      opts.budget = 600;
+      opts.seed = 42;
+      opts.max_witnesses = 8;
+      opts.lock_shards = shards;
+      Result<ExploreReport> report =
+          Explorer(scenario.workload, *mix, opts).Run();
+      ASSERT_TRUE(report.ok()) << scenario.mix;
+      std::string fingerprint;
+      for (const ExploreWitness& wit : report.value().witnesses) {
+        fingerprint += wit.signature + " " + ScheduleToString(wit.schedule) +
+                       " " + wit.trace + "\n";
+      }
+      fingerprint += "anomalies=" +
+                     std::to_string(report.value().anomalies) + " schedules=" +
+                     std::to_string(report.value().schedules());
+      if (baseline.empty()) {
+        baseline = fingerprint;
+        EXPECT_FALSE(baseline.empty());
+      } else {
+        EXPECT_EQ(fingerprint, baseline)
+            << scenario.mix << " with " << shards << " shards";
+      }
+    }
+  }
+}
+
 TEST(CrossCheck, BankingSoundnessContract) {
   Workload w = MakeBankingWorkload();
   const ExploreMix* mix = w.FindExploreMix("write_skew");
