@@ -165,27 +165,10 @@ class JsonReport {
     return empty;
   }
 
-  static std::string Quote(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    out += '"';
-    return out;
-  }
+  /// Delegates to the shared, unit-tested escaper in common/str_util so a
+  /// hostile header or cell (quotes, backslashes, control bytes) can never
+  /// corrupt the report.
+  static std::string Quote(const std::string& s) { return JsonQuote(s); }
 
   static std::string Num(double v) {
     if (!std::isfinite(v)) return Quote(v != v ? "nan" : "inf");

@@ -49,14 +49,38 @@ cmake --build build-asan -j --target lock_shard_test
 ./build-asan/tests/lock_shard_test
 
 # ThreadSanitizer stage: the sharded lock manager is the one component with
-# genuine cross-thread mutation, so its battery — plus the executor and
-# fault suites that drive it from worker threads — must come up race-free.
+# genuine cross-thread mutation, so its battery — plus the executor, fault,
+# and network-server suites that drive it from worker threads — must come up
+# race-free.
 cmake -B build-tsan -S . -DSEMCOR_SANITIZE=thread
 cmake --build build-tsan -j --target lock_test lock_shard_test executor_test \
-    fault_test
-for t in lock_test lock_shard_test executor_test fault_test; do
+    fault_test net_test
+for t in lock_test lock_shard_test executor_test fault_test net_test; do
   ./build-tsan/tests/"$t"
 done
+
+# Network front-end stage: boot the server daemon on an ephemeral port, drive
+# it with the bench client across explicit RU/RC/RR/SI sessions, and ask it to
+# shut the server down. The client exits non-zero on any counter mismatch,
+# invariant violation, or hang; the daemon must exit cleanly; the run must
+# leave a parseable BENCH_E10.json behind.
+rm -f BENCH_E10.json semcor_serverd.port
+./build/examples/semcor_serverd --workload=banking --port=0 \
+    --port-file=semcor_serverd.port &
+serverd_pid=$!
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  test -s semcor_serverd.port && break
+  sleep 0.2
+done
+./build/examples/semcor_bench_client --port="$(cat semcor_serverd.port)" \
+    --threads=4 --txns=60 --levels=ru,rc,rr,si --report-id=E10 \
+    --shutdown-server
+wait "$serverd_pid"
+rm -f semcor_serverd.port
+test -s BENCH_E10.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json; json.load(open("BENCH_E10.json"))'
+fi
 
 # Machine-readable bench artifacts: every bench_e* emits BENCH_E<n>.json;
 # CI produces the two cheap ones (substrate microbenches and the explorer

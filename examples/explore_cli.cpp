@@ -22,8 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "explore/crosscheck.h"
 #include "txn/executor.h"
+#include "txn/isolation.h"
 #include "workload/workload.h"
 
 namespace {
@@ -40,32 +42,6 @@ struct CliOptions {
   int max_retries = 3;           // executor-mode retry budget
   int exec_items = 0;            // >0: executor smoke mode, items per thread
 };
-
-bool ParseLevel(const std::string& name, IsoLevel* out) {
-  struct Entry {
-    const char* name;
-    IsoLevel level;
-  };
-  static const Entry kLevels[] = {
-      {"read_uncommitted", IsoLevel::kReadUncommitted},
-      {"ru", IsoLevel::kReadUncommitted},
-      {"read_committed", IsoLevel::kReadCommitted},
-      {"rc", IsoLevel::kReadCommitted},
-      {"read_committed_fcw", IsoLevel::kReadCommittedFcw},
-      {"rc_fcw", IsoLevel::kReadCommittedFcw},
-      {"repeatable_read", IsoLevel::kRepeatableRead},
-      {"rr", IsoLevel::kRepeatableRead},
-      {"serializable", IsoLevel::kSerializable},
-      {"snapshot", IsoLevel::kSnapshot},
-  };
-  for (const Entry& e : kLevels) {
-    if (name == e.name) {
-      *out = e.level;
-      return true;
-    }
-  }
-  return false;
-}
 
 std::vector<IsoLevel> AllLevels() {
   return {IsoLevel::kReadUncommitted, IsoLevel::kReadCommitted,
@@ -91,81 +67,68 @@ bool MakeWorkload(const std::string& name, Workload* out) {
   return true;
 }
 
-void Usage() {
-  std::fprintf(
-      stderr,
-      "usage: semcor_explore [--workload=banking|payroll|orders|\n"
-      "                                  orders_unique]\n"
-      "                      [--mix=NAME]        (default: every mix)\n"
-      "                      [--level=LEVEL|all] (ru, rc, rc_fcw, rr,\n"
-      "                                           snapshot, serializable)\n"
-      "                      [--threads=N] [--budget=N] [--seed=N]\n"
-      "                      [--preemptions=N]   (-1 = unbounded)\n"
-      "                      [--mode=enumerate|fuzz|both]\n"
-      "                      [--no-shrink] [--expect-no-anomalies]\n"
-      "                      [--faults=seed:N]   (deterministic fault plan;\n"
-      "                                           implies schedulable undo)\n"
-      "                      [--atomic-rollback] (keep rollback one step)\n"
-      "                      [--deadlock-policy=youngest|wound_wait|\n"
-      "                                         bounded_wait[:N]]\n"
-      "                      [--max-retries=N] [--exec-items=N]\n"
-      "                                          (executor smoke mode)\n");
-}
-
-bool ParseArgs(int argc, char** argv, CliOptions* opts) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&](const char* flag) -> const char* {
-      const size_t len = std::strlen(flag);
-      if (arg.compare(0, len, flag) == 0 && arg[len] == '=') {
-        return arg.c_str() + len + 1;
-      }
-      return nullptr;
-    };
-    if (const char* v = value("--workload")) {
-      opts->workload = v;
-    } else if (const char* v = value("--mix")) {
-      opts->mix = v;
-    } else if (const char* v = value("--level")) {
-      opts->level = v;
-    } else if (const char* v = value("--threads")) {
-      opts->explore.threads = std::atoi(v);
-    } else if (const char* v = value("--budget")) {
-      opts->explore.budget = std::atoll(v);
-    } else if (const char* v = value("--seed")) {
-      opts->explore.seed = static_cast<uint64_t>(std::atoll(v));
-    } else if (const char* v = value("--preemptions")) {
-      opts->explore.preemption_bound = std::atoi(v);
-    } else if (const char* v = value("--mode")) {
-      const std::string mode = v;
-      opts->explore.enumerate = mode != "fuzz";
-      opts->explore.fuzz = mode != "enumerate";
-      if (mode != "fuzz" && mode != "enumerate" && mode != "both") {
-        return false;
-      }
-    } else if (const char* v = value("--faults")) {
-      const std::string spec = v;
-      if (spec.compare(0, 5, "seed:") != 0) return false;
-      opts->explore.faults =
-          FaultPlan::Seeded(static_cast<uint64_t>(std::atoll(spec.c_str() + 5)));
-      opts->explore.schedulable_rollback = true;
-    } else if (const char* v = value("--deadlock-policy")) {
-      if (!ParseDeadlockPolicy(v, &opts->explore.deadlock_policy)) {
-        return false;
-      }
-    } else if (const char* v = value("--max-retries")) {
-      opts->max_retries = std::atoi(v);
-    } else if (const char* v = value("--exec-items")) {
-      opts->exec_items = std::atoi(v);
-    } else if (arg == "--atomic-rollback") {
-      opts->atomic_rollback = true;
-    } else if (arg == "--no-shrink") {
-      opts->explore.shrink = false;
-    } else if (arg == "--expect-no-anomalies") {
-      opts->expect_no_anomalies = true;
-    } else {
+/// Declares every flag against `opts` plus the string-shaped ones that need
+/// post-parse validation (mode / faults / deadlock policy specs). Returns
+/// false (after the parser already printed the problem and usage) on any
+/// unknown flag or malformed value; *help is set when --help was given.
+bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* help) {
+  std::string mode = "both";
+  std::string faults;
+  std::string deadlock_policy;
+  bool no_shrink = false;
+  cli::Flags flags("semcor_explore",
+                   "Parallel schedule-space exploration with counterexample "
+                   "shrinking, cross-checked against the static analysis.");
+  flags.Str("workload", &opts->workload,
+            "workload (banking|payroll|orders|orders_unique)");
+  flags.Str("mix", &opts->mix, "explore mix name (empty = every mix)");
+  flags.Str("level", &opts->level,
+            "isolation level (ru, rc, rc_fcw, rr, snapshot, serializable) "
+            "or 'all'");
+  flags.Int("threads", &opts->explore.threads, "exploration worker threads");
+  flags.I64("budget", &opts->explore.budget, "complete-schedule budget");
+  flags.U64("seed", &opts->explore.seed, "fuzz-phase seed");
+  flags.Int("preemptions", &opts->explore.preemption_bound,
+            "preemption bound (-1 = unbounded)");
+  flags.Str("mode", &mode, "enumerate|fuzz|both");
+  flags.Bool("no-shrink", &no_shrink, "keep witnesses unminimized");
+  flags.Bool("expect-no-anomalies", &opts->expect_no_anomalies,
+             "exit 2 if any anomaly is found");
+  flags.Str("faults", &faults,
+            "deterministic fault plan 'seed:N' (implies schedulable undo)");
+  flags.Bool("atomic-rollback", &opts->atomic_rollback,
+             "keep rollback a single step");
+  flags.Str("deadlock-policy", &deadlock_policy,
+            "youngest|wound_wait|bounded_wait[:N]");
+  flags.Int("max-retries", &opts->max_retries, "executor-mode retry budget");
+  flags.Int("exec-items", &opts->exec_items,
+            "executor smoke mode: items per thread (0 = explore mode)");
+  if (!flags.Parse(argc, argv)) return false;
+  if (flags.help_requested()) {
+    *help = true;
+    return true;
+  }
+  if (mode != "fuzz" && mode != "enumerate" && mode != "both") {
+    std::fprintf(stderr, "semcor_explore: bad --mode=%s\n", mode.c_str());
+    return false;
+  }
+  opts->explore.enumerate = mode != "fuzz";
+  opts->explore.fuzz = mode != "enumerate";
+  opts->explore.shrink = !no_shrink;
+  if (!faults.empty()) {
+    if (faults.compare(0, 5, "seed:") != 0) {
+      std::fprintf(stderr, "semcor_explore: bad --faults=%s\n", faults.c_str());
       return false;
     }
+    opts->explore.faults =
+        FaultPlan::Seeded(static_cast<uint64_t>(std::atoll(faults.c_str() + 5)));
+    opts->explore.schedulable_rollback = true;
+  }
+  if (!deadlock_policy.empty() &&
+      !ParseDeadlockPolicy(deadlock_policy, &opts->explore.deadlock_policy)) {
+    std::fprintf(stderr, "semcor_explore: bad --deadlock-policy=%s\n",
+                 deadlock_policy.c_str());
+    return false;
   }
   if (opts->atomic_rollback) opts->explore.schedulable_rollback = false;
   return true;
@@ -223,10 +186,9 @@ bool RunExecutorMode(const Workload& workload, const CliOptions& opts,
 
 int main(int argc, char** argv) {
   CliOptions opts;
-  if (!ParseArgs(argc, argv, &opts)) {
-    Usage();
-    return 3;
-  }
+  bool help = false;
+  if (!ParseArgs(argc, argv, &opts, &help)) return 3;
+  if (help) return 0;
   Workload workload;
   if (!MakeWorkload(opts.workload, &workload)) {
     std::fprintf(stderr, "unknown workload %s\n", opts.workload.c_str());
@@ -249,7 +211,7 @@ int main(int argc, char** argv) {
     levels = AllLevels();
   } else {
     IsoLevel level;
-    if (!ParseLevel(opts.level, &level)) {
+    if (!ParseIsoLevel(opts.level, &level)) {
       std::fprintf(stderr, "unknown level %s\n", opts.level.c_str());
       return 3;
     }

@@ -1,5 +1,7 @@
 #include "common/str_util.h"
 
+#include <cstdio>
+
 namespace semcor {
 
 std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
@@ -35,6 +37,36 @@ std::string ItemName(const std::string& base, int64_t index,
 
 std::string ItemName(const std::string& base, int64_t index) {
   return StrCat(base, "[", index, "]");
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonQuote(const std::string& s) {
+  return StrCat("\"", JsonEscape(s), "\"");
 }
 
 }  // namespace semcor

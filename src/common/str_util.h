@@ -43,6 +43,16 @@ std::string ItemName(const std::string& base, int64_t index,
 /// Name for an indexed scalar, e.g. "cust[7]".
 std::string ItemName(const std::string& base, int64_t index);
 
+/// Escapes `s` for embedding inside a JSON string literal: the quote, the
+/// backslash, and every control character (U+0000..U+001F) are escaped;
+/// everything else (including UTF-8 multi-byte sequences) passes through
+/// byte-for-byte. The result is always valid JSON string content, no matter
+/// what workload label or error message it came from.
+std::string JsonEscape(const std::string& s);
+
+/// JsonEscape wrapped in double quotes — a complete JSON string literal.
+std::string JsonQuote(const std::string& s);
+
 }  // namespace semcor
 
 #endif  // SEMCOR_COMMON_STR_UTIL_H_

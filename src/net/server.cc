@@ -1,0 +1,812 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "sem/expr/eval.h"
+
+namespace semcor::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrCat(what, ": ", std::strerror(errno)));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+bool MakeWorkloadByName(const std::string& name, Workload* out) {
+  if (name == "banking") {
+    *out = MakeBankingWorkload();
+  } else if (name == "payroll") {
+    *out = MakePayrollWorkload();
+  } else if (name == "orders") {
+    *out = MakeOrdersWorkload();
+  } else if (name == "orders_unique") {
+    *out = MakeOrdersWorkload(/*one_order_per_day=*/true);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string ErrorFrame(WireError code, const std::string& message) {
+  ErrorResp resp;
+  resp.code = static_cast<uint16_t>(code);
+  resp.message = message;
+  return EncodeFrame(MsgType::kError, resp.Encode());
+}
+
+double PercentileUs(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size());
+  size_t idx = static_cast<size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= v.size()) idx = v.size() - 1;
+  return v[idx];
+}
+
+}  // namespace
+
+long ServerMetricsSnapshot::Committed() const {
+  long n = 0;
+  for (long c : commits) n += c;
+  return n;
+}
+
+long ServerMetricsSnapshot::Aborted() const {
+  long n = 0;
+  for (long a : aborts) n += a;
+  return n;
+}
+
+/// All counters behind one mutex; workers touch it only at txn boundaries
+/// and on blocked retries, never per row.
+struct Server::MetricsState {
+  mutable std::mutex mu;
+  ServerMetricsSnapshot data;
+};
+
+/// Connection state. Field ownership follows the threading model:
+///  - `fd`, registration, and all socket I/O belong to the loop thread.
+///  - Everything under `mu` (queue, outbox, flags) is shared loop<->worker.
+///  - The transaction fields (`run`, `level_idx`, ...) are touched only by
+///    the worker that holds the `in_worker` baton, or by whoever performs
+///    the one-shot cleanup after `closed` — never concurrently.
+struct Server::Session {
+  int fd = -1;
+  uint64_t id = 0;
+  Rng rng{0};
+  FrameParser parser;  ///< loop thread only (all reads happen there)
+
+  std::mutex mu;
+  std::deque<Frame> pending;  ///< parsed frames awaiting a worker
+  std::string outbox;         ///< bytes awaiting the loop thread's write
+  bool in_worker = false;     ///< a worker holds this session's baton
+  bool closed = false;        ///< fd closed / deregistered by the loop
+  bool close_after_flush = false;
+  bool cleaned = false;       ///< one-shot transaction cleanup done
+
+  // Worker-owned transaction state (see ownership note above).
+  bool hello_done = false;
+  std::unique_ptr<ProgramRun> run;
+  std::string txn_type;
+  int level_idx = 0;
+  int blocked_streak = 0;
+  std::chrono::steady_clock::time_point begin_time;
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      locks_(options_.lock_shards),
+      metrics_(new MetricsState) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_) return Status::Internal("server already started");
+
+  if (!MakeWorkloadByName(options_.workload, &workload_)) {
+    return Status::InvalidArgument(
+        StrCat("unknown workload '", options_.workload,
+               "' (banking|payroll|orders|orders_unique)"));
+  }
+  if (Status s = workload_.setup(&store_); !s.ok()) return s;
+
+  // The §5 analysis runs once at startup; BEGIN negotiation is then a map
+  // lookup, so static checking never sits on the request path.
+  LevelAdvisor advisor(workload_.app, AdvisorOptions{});
+  for (LevelAdvice& advice : advisor.AdviseAll()) {
+    advice_[advice.txn_type] = std::move(advice);
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 64) != 0) return Errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  if (Status s = loop_.Init(); !s.ok()) return s;
+  loop_.Register(listen_fd_, [this](bool, bool) { OnAccept(); });
+  loop_.SetWakeupHandler([this] { OnWakeup(); });
+
+  start_time_ = std::chrono::steady_clock::now();
+  serving_.store(true, std::memory_order_release);
+  started_ = true;
+
+  loop_thread_ = std::thread([this] {
+    loop_.Run();
+    serving_.store(false, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state_cv_.notify_all();
+  });
+  const int workers = options_.workers > 0 ? options_.workers : 1;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (!started_ || stopped_joined_) return;
+  stopped_joined_ = true;
+
+  serving_.store(false, std::memory_order_release);
+  loop_.Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  // With every thread joined, session state is exclusively ours.
+  for (auto& [fd, session] : sessions_) {
+    std::lock_guard<std::mutex> lock(session->mu);
+    session->closed = true;
+    ReleaseTxn(*session, "server stop");
+    ::close(fd);
+  }
+  sessions_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  state_cv_.notify_all();
+}
+
+void Server::WaitUntilStopped() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  state_cv_.wait(lock, [this] { return !serving(); });
+}
+
+ServerMetricsSnapshot Server::Metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_->mu);
+  return metrics_->data;
+}
+
+bool Server::InvariantHolds() const {
+  const auto ctx = store_.SnapshotToMap();
+  Result<bool> r = EvalBool(workload_.app.invariant, ctx);
+  return r.ok() && r.value();
+}
+
+// ---------------------------------------------------------------------------
+// Loop thread.
+// ---------------------------------------------------------------------------
+
+void Server::OnAccept() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (or transient error): poll will re-arm
+    SetNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    session->id = next_session_id_++;
+    // Deterministic per-session stream: server draws (types, params) are
+    // reproducible for a fixed seed and connection order.
+    session->rng = Rng(options_.seed * 0x9E3779B97F4A7C15ull + session->id);
+    sessions_[fd] = session;
+    {
+      std::lock_guard<std::mutex> lock(metrics_->mu);
+      metrics_->data.sessions_accepted++;
+    }
+    std::weak_ptr<Session> weak = session;
+    loop_.Register(fd, [this, weak](bool readable, bool writable) {
+      if (auto s = weak.lock()) OnSessionIo(s, readable, writable);
+    });
+  }
+}
+
+void Server::OnSessionIo(const std::shared_ptr<Session>& session,
+                         bool readable, bool writable) {
+  if (readable) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(session->fd, buf, sizeof(buf));
+      if (n > 0) {
+        session->parser.Feed(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      CloseSession(session);  // EOF or hard error
+      return;
+    }
+    bool enqueue = false;
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      Frame frame;
+      for (;;) {
+        const FrameParser::PopResult r = session->parser.Pop(&frame);
+        if (r == FrameParser::PopResult::kNeedMore) break;
+        if (r == FrameParser::PopResult::kError) {
+          // Unrecoverable: framing is lost. Report, flush, close.
+          std::lock_guard<std::mutex> mlock(metrics_->mu);
+          metrics_->data.protocol_errors++;
+          session->outbox +=
+              ErrorFrame(WireError::kBadFrame, session->parser.error());
+          metrics_->data.frames_out++;
+          session->close_after_flush = true;
+          break;
+        }
+        {
+          std::lock_guard<std::mutex> mlock(metrics_->mu);
+          metrics_->data.frames_in++;
+        }
+        if (session->pending.size() >= options_.session_queue_limit) {
+          // Per-session backpressure: a pipelining client that outruns the
+          // workers gets an immediate BUSY instead of unbounded buffering.
+          BusyResp busy;
+          busy.retry_after_ms = options_.busy_retry_after_ms;
+          busy.reason = "session queue full";
+          session->outbox += EncodeFrame(MsgType::kBusy, busy.Encode());
+          std::lock_guard<std::mutex> mlock(metrics_->mu);
+          metrics_->data.queue_rejected++;
+          metrics_->data.frames_out++;
+          continue;
+        }
+        session->pending.push_back(std::move(frame));
+      }
+      if (!session->pending.empty() && !session->in_worker &&
+          !session->closed) {
+        session->in_worker = true;
+        enqueue = true;
+      }
+    }
+    if (enqueue) EnqueueWork(session);
+  }
+  if (writable || readable) TryFlush(session);
+}
+
+void Server::TryFlush(std::shared_ptr<Session> session) {
+  bool close_now = false;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->closed) return;
+    while (!session->outbox.empty()) {
+      const ssize_t n = ::send(session->fd, session->outbox.data(),
+                               session->outbox.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        session->outbox.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close_now = true;  // peer vanished
+      break;
+    }
+    if (!close_now) {
+      loop_.WantWrite(session->fd, !session->outbox.empty());
+      if (session->outbox.empty() && session->close_after_flush) {
+        close_now = true;
+      }
+    }
+  }
+  if (close_now) CloseSession(std::move(session));
+}
+
+void Server::CloseSession(std::shared_ptr<Session> session) {
+  bool shutdown_now = false;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->closed) return;
+    session->closed = true;
+    loop_.Deregister(session->fd);
+    ::close(session->fd);
+    sessions_.erase(session->fd);
+    // If a worker holds the baton it performs the transaction cleanup when
+    // it drains; otherwise the session is idle and cleanup is ours.
+    if (!session->in_worker) ReleaseTxn(*session, "disconnect");
+    shutdown_now = shutdown_requested_.load(std::memory_order_acquire);
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_->mu);
+    metrics_->data.sessions_closed++;
+  }
+  if (shutdown_now) loop_.Stop();
+}
+
+void Server::OnWakeup() {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    fds.swap(flush_fds_);
+  }
+  for (int fd : fds) {
+    auto it = sessions_.find(fd);
+    if (it != sessions_.end()) TryFlush(it->second);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker threads.
+// ---------------------------------------------------------------------------
+
+void Server::EnqueueWork(const std::shared_ptr<Session>& session) {
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_queue_.push_back(session);
+    depth = work_queue_.size();
+  }
+  work_cv_.notify_one();
+  std::lock_guard<std::mutex> lock(metrics_->mu);
+  if (static_cast<long>(depth) > metrics_->data.queue_depth_peak) {
+    metrics_->data.queue_depth_peak = static_cast<long>(depth);
+  }
+}
+
+void Server::RequestFlush(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_fds_.push_back(fd);
+  }
+  loop_.Wakeup();
+}
+
+void Server::WorkerMain() {
+  for (;;) {
+    std::shared_ptr<Session> session;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this] { return work_stop_ || !work_queue_.empty(); });
+      if (work_stop_) return;
+      session = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    ServeSession(session);
+  }
+}
+
+void Server::ServeSession(const std::shared_ptr<Session>& session) {
+  int fd = -1;
+  for (;;) {
+    Frame frame;
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      if (session->closed) {
+        session->in_worker = false;
+        ReleaseTxn(*session, "disconnect");
+        return;  // fd already closed; nothing to flush
+      }
+      if (session->pending.empty()) {
+        session->in_worker = false;
+        fd = session->fd;
+        break;
+      }
+      frame = std::move(session->pending.front());
+      session->pending.pop_front();
+    }
+    // The baton (`in_worker`) makes this the only thread touching the
+    // session's transaction, so Dispatch runs without the session mutex.
+    std::string resp = Dispatch(*session, frame);
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      if (!resp.empty() && !session->closed) {
+        session->outbox += resp;
+        std::lock_guard<std::mutex> mlock(metrics_->mu);
+        metrics_->data.frames_out++;
+      }
+    }
+  }
+  if (fd >= 0) RequestFlush(fd);
+}
+
+std::string Server::Dispatch(Session& session, const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kHello:
+      return HandleHello(session, frame);
+    case MsgType::kBegin:
+      return HandleBegin(session, frame);
+    case MsgType::kStmt: {
+      Result<StmtReq> req = StmtReq::Decode(frame.payload);
+      if (!req.ok()) {
+        std::lock_guard<std::mutex> lock(metrics_->mu);
+        metrics_->data.protocol_errors++;
+        return ErrorFrame(WireError::kBadFrame, req.status().message());
+      }
+      if (!session.run) {
+        return ErrorFrame(WireError::kBadState, "STMT without a transaction");
+      }
+      uint32_t max_steps = req.value().max_steps;
+      if (max_steps == 0) max_steps = 1;
+      return HandleStep(session, max_steps, /*stop_before_commit=*/true);
+    }
+    case MsgType::kCommit:
+      if (!session.run) {
+        return ErrorFrame(WireError::kBadState, "COMMIT without a transaction");
+      }
+      // No step cap: run to a terminal state (or a lock conflict — the
+      // client re-sends COMMIT after the retry hint).
+      return HandleStep(session, UINT32_MAX, /*stop_before_commit=*/false);
+    case MsgType::kAbort:
+      if (!session.run) {
+        return ErrorFrame(WireError::kBadState, "ABORT without a transaction");
+      }
+      return HandleAbort(session);
+    case MsgType::kStats:
+      return BuildStats();
+    case MsgType::kShutdown: {
+      shutdown_requested_.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(session.mu);
+      session.close_after_flush = true;
+      return EncodeFrame(MsgType::kShutdownOk, "");
+    }
+    default: {
+      std::lock_guard<std::mutex> lock(metrics_->mu);
+      metrics_->data.protocol_errors++;
+      return ErrorFrame(
+          WireError::kBadFrame,
+          StrCat("unexpected frame type ", MsgTypeName(frame.type)));
+    }
+  }
+}
+
+std::string Server::HandleHello(Session& session, const Frame& frame) {
+  Result<HelloReq> req = HelloReq::Decode(frame.payload);
+  if (!req.ok()) {
+    std::lock_guard<std::mutex> lock(metrics_->mu);
+    metrics_->data.protocol_errors++;
+    return ErrorFrame(WireError::kBadFrame, req.status().message());
+  }
+  if (session.hello_done) {
+    return ErrorFrame(WireError::kBadState, "duplicate HELLO");
+  }
+  if (req.value().version != kProtocolVersion) {
+    std::lock_guard<std::mutex> lock(session.mu);
+    session.close_after_flush = true;
+    return ErrorFrame(WireError::kBadVersion,
+                      StrCat("server speaks protocol ", kProtocolVersion,
+                             ", client sent ", req.value().version));
+  }
+  session.hello_done = true;
+  HelloResp resp;
+  resp.session_id = session.id;
+  resp.workload = options_.workload;
+  return EncodeFrame(MsgType::kHelloOk, resp.Encode());
+}
+
+std::string Server::HandleBegin(Session& session, const Frame& frame) {
+  Result<BeginReq> req = BeginReq::Decode(frame.payload);
+  if (!req.ok()) {
+    std::lock_guard<std::mutex> lock(metrics_->mu);
+    metrics_->data.protocol_errors++;
+    return ErrorFrame(WireError::kBadFrame, req.status().message());
+  }
+  if (!session.hello_done) {
+    return ErrorFrame(WireError::kBadState, "BEGIN before HELLO");
+  }
+  if (session.run) {
+    return ErrorFrame(WireError::kBadState, "transaction already active");
+  }
+  const BeginReq& begin = req.value();
+
+  // Admission control: reserve an in-flight slot or turn the client away
+  // with a retry hint. The reservation happens inside the metrics lock so
+  // concurrent BEGINs cannot oversubscribe.
+  {
+    std::lock_guard<std::mutex> lock(metrics_->mu);
+    if (metrics_->data.inflight >= options_.max_inflight_txns) {
+      metrics_->data.admission_rejected++;
+      BusyResp busy;
+      busy.retry_after_ms = options_.busy_retry_after_ms;
+      busy.reason = "transaction admission limit reached";
+      return EncodeFrame(MsgType::kBusy, busy.Encode());
+    }
+    metrics_->data.inflight++;
+    if (metrics_->data.inflight > metrics_->data.inflight_peak) {
+      metrics_->data.inflight_peak = metrics_->data.inflight;
+    }
+  }
+  auto release_slot = [this] {
+    std::lock_guard<std::mutex> lock(metrics_->mu);
+    metrics_->data.inflight--;
+  };
+
+  // Resolve the transaction type and program.
+  std::string type = begin.txn_type;
+  std::shared_ptr<const TxnProgram> program;
+  if (type.empty() && !workload_.mix.empty()) {
+    // Server-side draw from the workload mix (deterministic per session).
+    double total = 0;
+    for (const auto& [name, weight] : workload_.mix) total += weight;
+    double pick = session.rng.NextDouble() * total;
+    type = workload_.mix.back().first;
+    for (const auto& [name, weight] : workload_.mix) {
+      pick -= weight;
+      if (pick <= 0) {
+        type = name;
+        break;
+      }
+    }
+  }
+  if (!begin.params.empty()) {
+    std::map<std::string, Value> params;
+    for (const auto& [key, value] : begin.params) {
+      params[key] = Value::Int(value);
+    }
+    program = workload_.InstantiateWith(type, params);
+  } else {
+    program = workload_.instantiate(type, session.rng);
+  }
+  if (!program) {
+    release_slot();
+    return ErrorFrame(WireError::kBadRequest,
+                      StrCat("unknown transaction type '", type, "'"));
+  }
+
+  // Negotiate (or validate) the isolation level.
+  const auto advice_it = advice_.find(type);
+  IsoLevel level;
+  BeginResp resp;
+  if (begin.requested_level == kNegotiateLevel) {
+    // §5: run at the lowest level the static analysis proved correct.
+    if (advice_it == advice_.end()) {
+      release_slot();
+      return ErrorFrame(WireError::kBadRequest,
+                        StrCat("no advice for type '", type, "'"));
+    }
+    level = advice_it->second.recommended;
+    resp.negotiated = true;
+    resp.advisor_correct = true;
+    std::lock_guard<std::mutex> lock(metrics_->mu);
+    metrics_->data.negotiated_begins++;
+  } else {
+    if (!IsoLevelFromIndex(begin.requested_level, &level)) {
+      release_slot();
+      return ErrorFrame(WireError::kBadRequest,
+                        StrCat("bad isolation level index ",
+                               begin.requested_level));
+    }
+    // Honour the explicit choice, but tell the client what the analysis
+    // thinks of it (under-isolation is flagged, not forbidden).
+    resp.advisor_correct = advice_it != advice_.end() &&
+                           advice_it->second.CorrectAt(level);
+  }
+  if (advice_it != advice_.end()) {
+    resp.verdict = SummarizeAdvice(advice_it->second);
+  }
+
+  session.run = std::make_unique<ProgramRun>(&mgr_, std::move(program), level,
+                                             &log_);
+  session.txn_type = type;
+  session.level_idx = static_cast<int>(level);
+  session.blocked_streak = 0;
+  session.begin_time = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(metrics_->mu);
+    metrics_->data.begins[session.level_idx]++;
+  }
+
+  resp.txn_type = type;
+  resp.level = static_cast<uint8_t>(level);
+  return EncodeFrame(MsgType::kBeginOk, resp.Encode());
+}
+
+std::string Server::HandleStep(Session& session, uint32_t max_steps,
+                               bool stop_before_commit) {
+  ProgramRun& run = *session.run;
+  uint32_t steps = 0;
+  while (steps < max_steps) {
+    if (stop_before_commit && !run.rolling_back() && !run.Done() &&
+        run.CurrentStmt() == nullptr) {
+      // Body finished; the commit decision belongs to the client.
+      StepResp resp;
+      resp.outcome = static_cast<uint8_t>(StepWire::kBodyDone);
+      resp.steps = steps;
+      return EncodeFrame(MsgType::kStepReport, resp.Encode());
+    }
+    const StepOutcome outcome = run.Step(/*wait=*/false);
+    if (outcome == StepOutcome::kBlocked) {
+      // Try-lock discipline: a conflicted statement never parks a worker.
+      // Persistent blocking (a cross-session deadlock shows up as every
+      // participant spinning here) is resolved by bounded wait: past the
+      // threshold this transaction becomes the victim.
+      session.blocked_streak++;
+      {
+        std::lock_guard<std::mutex> lock(metrics_->mu);
+        metrics_->data.blocked_retries++;
+      }
+      if (session.blocked_streak > options_.blocked_abort_threshold) {
+        {
+          std::lock_guard<std::mutex> lock(metrics_->mu);
+          metrics_->data.deadlock_victims++;
+        }
+        run.ForceAbort(Status::Deadlock("bounded-wait deadlock abort"));
+        return FinishTxn(session, StepOutcome::kAborted, steps);
+      }
+      StepResp resp;
+      resp.outcome = static_cast<uint8_t>(StepWire::kBlocked);
+      resp.steps = steps;
+      resp.retry_after_ms = options_.retry_after_ms;
+      return EncodeFrame(MsgType::kStepReport, resp.Encode());
+    }
+    session.blocked_streak = 0;
+    ++steps;
+    if (outcome == StepOutcome::kCommitted || outcome == StepOutcome::kAborted) {
+      return FinishTxn(session, outcome, steps);
+    }
+  }
+  StepResp resp;
+  resp.outcome = static_cast<uint8_t>(StepWire::kRunning);
+  resp.steps = steps;
+  return EncodeFrame(MsgType::kStepReport, resp.Encode());
+}
+
+std::string Server::HandleAbort(Session& session) {
+  session.run->ForceAbort(Status::Aborted("client abort"));
+  return FinishTxn(session, StepOutcome::kAborted, 0);
+}
+
+std::string Server::FinishTxn(Session& session, StepOutcome outcome,
+                              uint32_t steps) {
+  StepResp resp;
+  resp.steps = steps;
+  const Status& failure = session.run->failure();
+  {
+    std::lock_guard<std::mutex> lock(metrics_->mu);
+    ServerMetricsSnapshot& m = metrics_->data;
+    m.inflight--;
+    if (outcome == StepOutcome::kCommitted) {
+      m.commits[session.level_idx]++;
+      const double us =
+          std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+              std::chrono::steady_clock::now() - session.begin_time)
+              .count();
+      m.latency_us.push_back(us);
+    } else {
+      m.aborts[session.level_idx]++;
+      if (failure.code() == Code::kDeadlock) m.deadlocks++;
+      if (failure.code() == Code::kConflict) m.fcw_conflicts++;
+    }
+  }
+  if (outcome == StepOutcome::kCommitted) {
+    resp.outcome = static_cast<uint8_t>(StepWire::kCommitted);
+  } else {
+    resp.outcome = static_cast<uint8_t>(StepWire::kAborted);
+    resp.detail = failure.ToString();
+  }
+  session.run.reset();
+  session.blocked_streak = 0;
+  return EncodeFrame(MsgType::kStepReport, resp.Encode());
+}
+
+void Server::ReleaseTxn(Session& session, const char* reason) {
+  if (session.cleaned) return;
+  session.cleaned = true;
+  if (!session.run) return;
+  session.run->ForceAbort(Status::Aborted(StrCat("session closed: ", reason)));
+  session.run.reset();
+  std::lock_guard<std::mutex> lock(metrics_->mu);
+  metrics_->data.inflight--;
+  metrics_->data.aborts[session.level_idx]++;
+}
+
+std::string Server::BuildStats() {
+  StatsResp stats;
+  ServerMetricsSnapshot m;
+  {
+    std::lock_guard<std::mutex> lock(metrics_->mu);
+    m = metrics_->data;
+  }
+  auto c = [&stats](const std::string& name, long v) {
+    stats.counters.emplace_back(name, static_cast<int64_t>(v));
+  };
+  // ExecStats-parity block: same names and meanings as the in-process
+  // executor/driver counters, so tests can equate the two directly.
+  c("committed", m.Committed());
+  c("aborted", m.Aborted());
+  c("deadlocks", m.deadlocks);
+  c("fcw_conflicts", m.fcw_conflicts);
+  c("injected_faults", 0);
+  c("retries_exhausted", m.retries_exhausted);
+  c("blocked_retries", m.blocked_retries);
+  c("deadlock_victims", m.deadlock_victims);
+  // Server-side lifecycle and backpressure.
+  c("sessions_accepted", m.sessions_accepted);
+  c("sessions_closed", m.sessions_closed);
+  c("frames_in", m.frames_in);
+  c("frames_out", m.frames_out);
+  c("protocol_errors", m.protocol_errors);
+  c("admission_rejected", m.admission_rejected);
+  c("queue_rejected", m.queue_rejected);
+  c("negotiated_begins", m.negotiated_begins);
+  c("inflight", m.inflight);
+  c("inflight_peak", m.inflight_peak);
+  c("queue_depth_peak", m.queue_depth_peak);
+  for (int i = 0; i < kIsoLevelCount; ++i) {
+    IsoLevel level;
+    if (!IsoLevelFromIndex(i, &level)) continue;
+    const char* name = IsoLevelName(level);
+    if (m.begins[i] != 0) c(StrCat("begin.", name), m.begins[i]);
+    if (m.commits[i] != 0) c(StrCat("commit.", name), m.commits[i]);
+    if (m.aborts[i] != 0) c(StrCat("abort.", name), m.aborts[i]);
+  }
+  const LockManager::Stats lock = locks_.stats();
+  c("lock.grants", lock.grants);
+  c("lock.blocks", lock.blocks);
+  c("lock.deadlocks", lock.deadlocks);
+  c("lock.contention_waits", lock.contention_waits);
+  const std::vector<LockManager::Stats> shards = locks_.ShardStats();
+  c("lock.shards", static_cast<long>(shards.size()));
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].grants == 0 && shards[i].blocks == 0) continue;
+    c(StrCat("lock.shard", i, ".grants"), shards[i].grants);
+    c(StrCat("lock.shard", i, ".blocks"), shards[i].blocks);
+  }
+  // Exact only at quiescence; see Server::InvariantHolds.
+  c("invariant_ok", InvariantHolds() ? 1 : 0);
+
+  const double uptime =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+  auto g = [&stats](const std::string& name, double v) {
+    stats.gauges.emplace_back(name, v);
+  };
+  g("uptime_s", uptime);
+  g("throughput_tps", uptime > 0 ? m.Committed() / uptime : 0);
+  g("p50_us", PercentileUs(m.latency_us, 50));
+  g("p95_us", PercentileUs(m.latency_us, 95));
+  g("p99_us", PercentileUs(m.latency_us, 99));
+  return EncodeFrame(MsgType::kStatsOk, stats.Encode());
+}
+
+}  // namespace semcor::net

@@ -1,0 +1,200 @@
+#ifndef SEMCOR_NET_SERVER_H_
+#define SEMCOR_NET_SERVER_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/wire.h"
+#include "sem/check/advisor.h"
+#include "txn/txn.h"
+#include "txn/interpreter.h"
+#include "workload/workload.h"
+
+namespace semcor::net {
+
+struct ServerOptions {
+  std::string workload = "banking";  ///< banking|payroll|orders|orders_unique
+  uint16_t port = 0;                 ///< 0 = kernel-assigned ephemeral port
+  int workers = 4;                   ///< fixed worker pool size
+  /// Admission control: BEGIN is rejected with kBusy (retry-after) once this
+  /// many transactions are in flight, so overload degrades to client backoff
+  /// instead of lock-queue collapse.
+  int max_inflight_txns = 64;
+  /// Parsed-but-unserved frames buffered per session; beyond it the loop
+  /// answers kBusy directly (per-session backpressure for pipelined clients).
+  size_t session_queue_limit = 8;
+  /// Consecutive blocked step attempts before the server force-aborts the
+  /// transaction as a deadlock victim (bounded-wait resolution — the
+  /// network analogue of DeadlockPolicyKind::kBoundedWait). Steps use
+  /// try-locks, so a cross-session deadlock surfaces as every participant
+  /// retrying forever; this bound turns that into one victim abort.
+  int blocked_abort_threshold = 64;
+  uint32_t retry_after_ms = 1;       ///< suggested backoff after kBlocked
+  uint32_t busy_retry_after_ms = 5;  ///< suggested backoff after kBusy
+  uint64_t seed = 42;                ///< server-side instance draws
+  size_t lock_shards = 0;            ///< 0 = LockManager default
+};
+
+/// Counter snapshot returned by Server::Metrics and serialized (plus derived
+/// gauges) into the STATS response. The committed/aborted/deadlocks/
+/// fcw_conflicts/retries_exhausted names deliberately mirror ExecStats so
+/// tests can equate server counters with in-process runs of the same
+/// workload; blocked_retries/deadlock_victims mirror StepDriver's
+/// blocked_steps()/deadlock_victims().
+struct ServerMetricsSnapshot {
+  long sessions_accepted = 0;
+  long sessions_closed = 0;
+  long frames_in = 0;
+  long frames_out = 0;
+  long protocol_errors = 0;
+  long admission_rejected = 0;  ///< BEGINs turned away at the inflight cap
+  long queue_rejected = 0;      ///< frames turned away at the session queue cap
+  long negotiated_begins = 0;
+  long blocked_retries = 0;   ///< step attempts that found a lock conflict
+  long deadlock_victims = 0;  ///< bounded-wait forced aborts
+  long fcw_conflicts = 0;     ///< first-committer-wins aborts
+  long deadlocks = 0;         ///< deadlock-coded aborts (victims included)
+  long retries_exhausted = 0; ///< always 0: retry is the client's job
+  long inflight = 0;
+  long inflight_peak = 0;
+  long queue_depth_peak = 0;  ///< worker-queue high-water mark
+  std::array<long, kIsoLevelCount> begins{};
+  std::array<long, kIsoLevelCount> commits{};
+  std::array<long, kIsoLevelCount> aborts{};
+  std::vector<double> latency_us;  ///< BEGIN→commit, committed txns only
+
+  long Committed() const;
+  long Aborted() const;
+};
+
+/// Multi-client transaction server: exposes one workload's transaction types
+/// over the wire protocol of net/wire.h. A poll(2) event loop owns the
+/// sockets and framing; parsed requests are dispatched onto a fixed worker
+/// pool (one in-flight request per session, FIFO per session); workers drive
+/// the shared TxnManager with try-lock steps so no worker ever parks inside
+/// the lock manager — a blocked statement becomes a kBlocked response with a
+/// retry-after hint, and persistent blocking becomes a bounded-wait victim
+/// abort. BEGIN negotiates the isolation level per session: an explicit
+/// level is honoured (and flagged when the static analysis rejects it), and
+/// kNegotiateLevel runs the paper's §5 procedure from a LevelAdvisor cache
+/// computed at startup.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, precomputes the advisor cache, spawns the loop thread
+  /// and the worker pool. On success port() is the bound port.
+  Status Start();
+
+  /// Graceful stop: stops the loop, joins all threads, force-aborts any
+  /// in-flight transactions, closes every socket. Idempotent.
+  void Stop();
+
+  /// Async-signal-safe stop request (atomic flag + self-pipe write): the
+  /// loop thread winds down on its own and WaitUntilStopped returns. Stop()
+  /// must still be called (from normal context) to join the threads.
+  void RequestStop() { loop_.Stop(); }
+
+  /// Blocks until the server stops serving — via Stop(), a client SHUTDOWN
+  /// request, or a fatal loop error. Stop() must still be called to join.
+  void WaitUntilStopped();
+
+  bool serving() const { return serving_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+
+  ServerMetricsSnapshot Metrics() const;
+
+  /// Evaluates the workload's consistency constraint I against the current
+  /// committed store state. Exact when the server is quiescent (STATS after
+  /// clients drained); advisory under load.
+  bool InvariantHolds() const;
+
+ private:
+  struct Session;
+  struct MetricsState;
+
+  // --- loop thread ---
+  void OnAccept();
+  void OnSessionIo(const std::shared_ptr<Session>& session, bool readable,
+                   bool writable);
+  // Both take the session by value: CloseSession erases the sessions_ map
+  // entry, which destroys the shared_ptr stored there — a caller passing a
+  // reference into the map would hand us a pointer that dies mid-call.
+  void TryFlush(std::shared_ptr<Session> session);
+  void CloseSession(std::shared_ptr<Session> session);
+  void OnWakeup();
+
+  // --- worker threads ---
+  void WorkerMain();
+  void ServeSession(const std::shared_ptr<Session>& session);
+  std::string Dispatch(Session& session, const Frame& frame);
+  std::string HandleHello(Session& session, const Frame& frame);
+  std::string HandleBegin(Session& session, const Frame& frame);
+  std::string HandleStep(Session& session, uint32_t max_steps,
+                         bool stop_before_commit);
+  std::string HandleAbort(Session& session);
+  std::string BuildStats();
+
+  // --- shared ---
+  void EnqueueWork(const std::shared_ptr<Session>& session);
+  void RequestFlush(int fd);
+  /// Releases a session's transaction (force-abort) exactly once; called on
+  /// disconnect by whichever side (loop or worker) turns the session idle.
+  void ReleaseTxn(Session& session, const char* reason);
+  std::string FinishTxn(Session& session, StepOutcome outcome,
+                        uint32_t steps);
+
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  Workload workload_;
+  Store store_;
+  LockManager locks_;
+  TxnManager mgr_{&store_, &locks_};
+  CommitLog log_;
+  /// Startup advisor cache: type name → advice (negotiation + verdicts).
+  std::map<std::string, LevelAdvice> advice_;
+
+  EventLoop loop_;
+  std::thread loop_thread_;
+  std::map<int, std::shared_ptr<Session>> sessions_;  // loop thread only
+  uint64_t next_session_id_ = 1;                      // loop thread only
+
+  std::vector<std::thread> workers_;
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Session>> work_queue_;
+  bool work_stop_ = false;
+
+  std::mutex flush_mu_;
+  std::vector<int> flush_fds_;
+
+  std::unique_ptr<MetricsState> metrics_;
+
+  std::atomic<bool> serving_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  bool started_ = false;
+  bool stopped_joined_ = false;
+  std::mutex state_mu_;
+  std::condition_variable state_cv_;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace semcor::net
+
+#endif  // SEMCOR_NET_SERVER_H_

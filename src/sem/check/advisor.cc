@@ -44,6 +44,25 @@ std::vector<LevelAdvice> LevelAdvisor::AdviseAll() {
   return out;
 }
 
+bool LevelAdvice::CorrectAt(IsoLevel level) const {
+  if (level == IsoLevel::kSnapshot) return snapshot_correct;
+  for (const LevelCheckReport& r : reports) {
+    if (r.level == level) return r.correct;
+  }
+  return static_cast<int>(level) >= static_cast<int>(recommended);
+}
+
+std::string SummarizeAdvice(const LevelAdvice& advice) {
+  int rejected = 0;
+  for (const LevelCheckReport& r : advice.reports) {
+    if (!r.correct) ++rejected;
+  }
+  return StrCat(advice.txn_type, ": lowest correct level = ",
+                IsoLevelName(advice.recommended), "; SNAPSHOT ",
+                advice.snapshot_correct ? "ok" : "unsafe", "; ", rejected,
+                rejected == 1 ? " level" : " levels", " rejected below it");
+}
+
 std::string RenderAdviceTable(const std::vector<LevelAdvice>& advice) {
   std::string out;
   out += StrCat("| ", "transaction type", " | lowest correct level | SNAPSHOT ok? | triples checked |\n");

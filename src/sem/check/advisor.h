@@ -18,6 +18,12 @@ struct LevelAdvice {
   /// Reports for every level that was evaluated (lowest first).
   std::vector<LevelCheckReport> reports;
   LevelCheckReport snapshot_report;
+
+  /// Whether this type is semantically correct at `level`. Levels the ladder
+  /// walk never reached (it stops at the first correct one) are answered by
+  /// the ladder's monotonicity: everything at or above `recommended` is
+  /// correct. SNAPSHOT is answered from its separate report.
+  bool CorrectAt(IsoLevel level) const;
 };
 
 struct AdvisorOptions {
@@ -48,6 +54,12 @@ class LevelAdvisor {
 
 /// Renders a per-type advice table (the E2 report rows).
 std::string RenderAdviceTable(const std::vector<LevelAdvice>& advice);
+
+/// One-line human-readable verdict for a type ("Withdraw_sav: lowest correct
+/// level = REPEATABLE-READ; SNAPSHOT ok; 3 levels rejected below it") — the
+/// transaction server returns this in the BEGIN response so clients can log
+/// why a level was negotiated.
+std::string SummarizeAdvice(const LevelAdvice& advice);
 
 }  // namespace semcor
 

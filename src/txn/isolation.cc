@@ -20,6 +20,40 @@ const char* IsoLevelName(IsoLevel level) {
   return "?";
 }
 
+bool ParseIsoLevel(const std::string& name, IsoLevel* out) {
+  struct Entry {
+    const char* name;
+    IsoLevel level;
+  };
+  static const Entry kLevels[] = {
+      {"read_uncommitted", IsoLevel::kReadUncommitted},
+      {"ru", IsoLevel::kReadUncommitted},
+      {"read_committed", IsoLevel::kReadCommitted},
+      {"rc", IsoLevel::kReadCommitted},
+      {"read_committed_fcw", IsoLevel::kReadCommittedFcw},
+      {"rc_fcw", IsoLevel::kReadCommittedFcw},
+      {"repeatable_read", IsoLevel::kRepeatableRead},
+      {"rr", IsoLevel::kRepeatableRead},
+      {"serializable", IsoLevel::kSerializable},
+      {"ser", IsoLevel::kSerializable},
+      {"snapshot", IsoLevel::kSnapshot},
+      {"si", IsoLevel::kSnapshot},
+  };
+  for (const Entry& e : kLevels) {
+    if (name == e.name) {
+      *out = e.level;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsoLevelFromIndex(int index, IsoLevel* out) {
+  if (index < 0 || index >= kIsoLevelCount) return false;
+  *out = static_cast<IsoLevel>(index);
+  return true;
+}
+
 LevelPolicy PolicyFor(IsoLevel level) {
   LevelPolicy p;
   switch (level) {

@@ -1,6 +1,8 @@
 #ifndef SEMCOR_TXN_ISOLATION_H_
 #define SEMCOR_TXN_ISOLATION_H_
 
+#include <string>
+
 namespace semcor {
 
 /// Isolation levels supported by both the static analysis (Theorems 1-6) and
@@ -15,7 +17,18 @@ enum class IsoLevel {
   kSnapshot,
 };
 
+/// Number of IsoLevel values (per-level counter arrays, wire validation).
+inline constexpr int kIsoLevelCount = 6;
+
 const char* IsoLevelName(IsoLevel level);
+
+/// Parses the CLI/protocol spellings: full names ("read_committed",
+/// "serializable", "snapshot") and the short forms ("ru", "rc", "rc_fcw",
+/// "rr", "ser", "si" — SI being snapshot isolation).
+bool ParseIsoLevel(const std::string& name, IsoLevel* out);
+
+/// Validates an untrusted integer (wire byte) as an IsoLevel.
+bool IsoLevelFromIndex(int index, IsoLevel* out);
 
 /// The locking/multiversion discipline of a level, following Berenson et
 /// al.'s locking implementations ([2] in the paper): write locks on items

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/cli.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/str_util.h"
@@ -119,6 +120,136 @@ TEST(IsolationTest, LevelNames) {
   EXPECT_STREQ(IsoLevelName(IsoLevel::kReadCommittedFcw),
                "READ-COMMITTED-FCW");
   EXPECT_STREQ(IsoLevelName(IsoLevel::kSnapshot), "SNAPSHOT");
+}
+
+TEST(IsolationTest, ParseIsoLevel) {
+  IsoLevel level;
+  ASSERT_TRUE(ParseIsoLevel("ru", &level));
+  EXPECT_EQ(level, IsoLevel::kReadUncommitted);
+  ASSERT_TRUE(ParseIsoLevel("read_committed", &level));
+  EXPECT_EQ(level, IsoLevel::kReadCommitted);
+  ASSERT_TRUE(ParseIsoLevel("rc_fcw", &level));
+  EXPECT_EQ(level, IsoLevel::kReadCommittedFcw);
+  ASSERT_TRUE(ParseIsoLevel("rr", &level));
+  EXPECT_EQ(level, IsoLevel::kRepeatableRead);
+  ASSERT_TRUE(ParseIsoLevel("ser", &level));
+  EXPECT_EQ(level, IsoLevel::kSerializable);
+  ASSERT_TRUE(ParseIsoLevel("si", &level));
+  EXPECT_EQ(level, IsoLevel::kSnapshot);
+  EXPECT_FALSE(ParseIsoLevel("read-committed", &level));
+  EXPECT_FALSE(ParseIsoLevel("", &level));
+}
+
+TEST(IsolationTest, IsoLevelFromIndex) {
+  IsoLevel level;
+  for (int i = 0; i < kIsoLevelCount; ++i) {
+    ASSERT_TRUE(IsoLevelFromIndex(i, &level)) << i;
+    EXPECT_EQ(static_cast<int>(level), i);
+  }
+  EXPECT_FALSE(IsoLevelFromIndex(-1, &level));
+  EXPECT_FALSE(IsoLevelFromIndex(kIsoLevelCount, &level));
+  EXPECT_FALSE(IsoLevelFromIndex(255, &level));
+}
+
+TEST(StrUtilTest, JsonEscape) {
+  // Plain text passes through untouched, including non-ASCII bytes (JSON is
+  // UTF-8; only the structural and control characters need escaping).
+  EXPECT_EQ(JsonEscape("plain text"), "plain text");
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape("\b\f"), "\\b\\f");
+  // Remaining C0 control characters become \u00XX escapes.
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(JsonEscape(std::string(1, '\0')), "\\u0000");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(StrUtilTest, JsonQuote) {
+  EXPECT_EQ(JsonQuote("x"), "\"x\"");
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote(""), "\"\"");
+}
+
+TEST(CliTest, ParsesEveryKind) {
+  std::string s = "default";
+  int i = 1;
+  int64_t i64 = 2;
+  uint64_t u64 = 3;
+  bool flag = false;
+  bool negated = true;
+  cli::Flags flags("prog", "test");
+  flags.Str("str", &s, "");
+  flags.Int("int", &i, "");
+  flags.I64("i64", &i64, "");
+  flags.U64("u64", &u64, "");
+  flags.Bool("flag", &flag, "");
+  flags.Bool("negated", &negated, "");
+  const char* argv[] = {"prog",       "--str=hello", "--int=-7",
+                        "--i64=-900", "--u64=18",    "--flag",
+                        "--negated=false"};
+  ASSERT_TRUE(flags.Parse(7, const_cast<char**>(argv)));
+  EXPECT_FALSE(flags.help_requested());
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(i, -7);
+  EXPECT_EQ(i64, -900);
+  EXPECT_EQ(u64, 18u);
+  EXPECT_TRUE(flag);
+  EXPECT_FALSE(negated);
+}
+
+TEST(CliTest, RejectsBadInput) {
+  int i = 0;
+  bool b = false;
+  {
+    cli::Flags flags("prog", "test");
+    flags.Int("n", &i, "");
+    const char* argv[] = {"prog", "--unknown=1"};
+    EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+  }
+  {
+    cli::Flags flags("prog", "test");
+    flags.Int("n", &i, "");
+    const char* argv[] = {"prog", "--n=12x"};  // trailing junk in a number
+    EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+  }
+  {
+    cli::Flags flags("prog", "test");
+    flags.Int("n", &i, "");
+    const char* argv[] = {"prog", "--n"};  // non-bool flag without a value
+    EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+  }
+  {
+    cli::Flags flags("prog", "test");
+    flags.Bool("b", &b, "");
+    const char* argv[] = {"prog", "--b=maybe"};
+    EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+  }
+  {
+    cli::Flags flags("prog", "test");
+    flags.Int("n", &i, "");
+    const char* argv[] = {"prog", "stray"};  // positional argument
+    EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+  }
+  {
+    uint64_t u = 0;
+    cli::Flags flags("prog", "test");
+    flags.U64("u", &u, "");
+    const char* argv[] = {"prog", "--u=-1"};  // negative into unsigned
+    EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+  }
+}
+
+TEST(CliTest, HelpStopsParsingWithoutFailing) {
+  int i = 0;
+  cli::Flags flags("prog", "test");
+  flags.Int("n", &i, "");
+  const char* argv[] = {"prog", "--help", "--garbage"};
+  EXPECT_TRUE(flags.Parse(3, const_cast<char**>(argv)));
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_EQ(i, 0);  // nothing after --help is applied
 }
 
 }  // namespace
