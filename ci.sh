@@ -30,6 +30,14 @@ cmake --build build -j
 ./build/examples/semcor_explore --workload=orders_unique --mix=new_order_race \
     --level=rc_fcw --threads=2 --budget=300 --seed=7 --expect-no-anomalies
 
+# Durability smoke: the crash-point matrix. Random write-skew schedules run
+# against a WAL; every byte prefix a crash could leave must recover to a
+# commit-order prefix of the schedule's history (exit 1 on any divergence).
+./build/examples/semcor_explore --workload=banking --mix=write_skew \
+    --level=serializable --crash-matrix=3 --seed=42
+./build/examples/semcor_explore --workload=banking --mix=write_skew \
+    --level=snapshot --crash-matrix=3 --seed=43
+
 # Fault-injection stage, under ASan+UBSan: rebuild the explorer with
 # sanitizers and run the banking write-skew mix at READ UNCOMMITTED with a
 # fixed deterministic fault plan. The run must inject at least one fault
@@ -44,18 +52,22 @@ echo "$fault_out"
 echo "$fault_out" | grep -q 'injected_faults=[1-9]'
 
 # The sharded lock manager's multi-threaded stress battery must also be
-# clean under ASan (use-after-free in the waiter queues would surface here).
-cmake --build build-asan -j --target lock_shard_test
+# clean under ASan (use-after-free in the waiter queues would surface here),
+# as must the WAL suite (codec round-trips, crash-point recovery, and the
+# group-commit flusher handing buffers across threads).
+cmake --build build-asan -j --target lock_shard_test wal_test
 ./build-asan/tests/lock_shard_test
+./build-asan/tests/wal_test
 
-# ThreadSanitizer stage: the sharded lock manager is the one component with
-# genuine cross-thread mutation, so its battery — plus the executor, fault,
-# and network-server suites that drive it from worker threads — must come up
+# ThreadSanitizer stage: the sharded lock manager and the WAL (group-commit
+# flusher fsyncing outside the append mutex) are the components with genuine
+# cross-thread mutation, so their batteries — plus the executor, fault, and
+# network-server suites that drive them from worker threads — must come up
 # race-free.
 cmake -B build-tsan -S . -DSEMCOR_SANITIZE=thread
 cmake --build build-tsan -j --target lock_test lock_shard_test executor_test \
-    fault_test net_test
-for t in lock_test lock_shard_test executor_test fault_test net_test; do
+    fault_test net_test wal_test
+for t in lock_test lock_shard_test executor_test fault_test net_test wal_test; do
   ./build-tsan/tests/"$t"
 done
 
@@ -65,8 +77,9 @@ done
 # invariant violation, or hang; the daemon must exit cleanly; the run must
 # leave a parseable BENCH_E10.json behind.
 rm -f BENCH_E10.json semcor_serverd.port
+rm -rf ci_wal_e10
 ./build/examples/semcor_serverd --workload=banking --port=0 \
-    --port-file=semcor_serverd.port &
+    --port-file=semcor_serverd.port --wal-dir=ci_wal_e10 --wal-fsync=group &
 serverd_pid=$!
 for _ in 1 2 3 4 5 6 7 8 9 10; do
   test -s semcor_serverd.port && break
@@ -77,9 +90,56 @@ done
     --shutdown-server
 wait "$serverd_pid"
 rm -f semcor_serverd.port
+rm -rf ci_wal_e10
 test -s BENCH_E10.json
 if command -v python3 >/dev/null 2>&1; then
   python3 -c 'import json; json.load(open("BENCH_E10.json"))'
+fi
+
+# Crash-recovery stage: the daemon serves from a WAL directory, dies by
+# kill -9 mid-bench (torn tail and all), and a restart on the same directory
+# must recover. The post-restart client requires invariant_ok=1 over the
+# recovered state and counter parity for its own run; the JSON must report a
+# non-trivial recovery.
+rm -rf ci_wal_dir
+rm -f BENCH_E10R.json semcor_serverd.port
+./build/examples/semcor_serverd --workload=banking --port=0 \
+    --port-file=semcor_serverd.port --wal-dir=ci_wal_dir --wal-fsync=group &
+serverd_pid=$!
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  test -s semcor_serverd.port && break
+  sleep 0.2
+done
+./build/examples/semcor_bench_client --port="$(cat semcor_serverd.port)" \
+    --threads=4 --txns=100000 --report-id=E10kill >/dev/null 2>&1 &
+client_pid=$!
+sleep 2
+kill -9 "$serverd_pid"
+wait "$client_pid" 2>/dev/null || true
+wait "$serverd_pid" 2>/dev/null || true
+rm -f semcor_serverd.port
+./build/examples/semcor_serverd --workload=banking --port=0 \
+    --port-file=semcor_serverd.port --wal-dir=ci_wal_dir --wal-fsync=group &
+serverd_pid=$!
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  test -s semcor_serverd.port && break
+  sleep 0.2
+done
+./build/examples/semcor_bench_client --port="$(cat semcor_serverd.port)" \
+    --threads=2 --txns=40 --report-id=E10R --shutdown-server
+wait "$serverd_pid"
+rm -f semcor_serverd.port
+rm -rf ci_wal_dir
+test -s BENCH_E10R.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+r = json.load(open("BENCH_E10R.json"))
+assert r["server_invariant_ok"] == 1, r
+assert r["counters_consistent"] == 1, r
+assert r["server_recovered_commits"] >= 1, r
+assert r["server_wal_appends"] >= 1, r
+EOF
 fi
 
 # Machine-readable bench artifacts: every bench_e* emits BENCH_E<n>.json;
@@ -90,5 +150,10 @@ fi
 test -s BENCH_E6.json
 ./build/bench/bench_e9_explore 5000
 test -s BENCH_E9.json
+./build/bench/bench_e11_wal --threads=2 --txns=30
+test -s BENCH_E11.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json; assert json.load(open("BENCH_E11.json"))["all_ok"] == 1'
+fi
 
 echo "ci.sh: OK"

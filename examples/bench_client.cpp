@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
             "give up after this many consecutive BUSY responses");
   flags.Int("timeout-ms", &timeout_ms, "per-receive timeout");
   if (!flags.Parse(argc, argv)) return 2;
-  if (flags.help_requested()) return 0;
+  if (flags.help_requested() || flags.version_requested()) return 0;
   if (port <= 0 || port > 65535) {
     std::fprintf(stderr, "semcor_bench_client: --port is required\n");
     return 2;
@@ -268,6 +268,16 @@ int main(int argc, char** argv) {
   json.Scalar("server_deadlock_victims", stats.Counter("deadlock_victims"));
   json.Scalar("server_admission_rejected", stats.Counter("admission_rejected"));
   json.Scalar("server_invariant_ok", invariant_ok);
+  // Durability counters: all zero when the server runs memory-only (the
+  // counters are simply absent from STATS and Counter() defaults to 0).
+  json.Scalar("server_wal_appends", stats.Counter("wal_appends"));
+  json.Scalar("server_fsyncs", stats.Counter("fsyncs"));
+  json.Scalar("server_group_commit_batches",
+              stats.Counter("group_commit_batches"));
+  json.Scalar("server_mean_batch_size", stats.Gauge("group_commit_mean_batch"));
+  json.Scalar("server_recovery_replayed_txns",
+              stats.Counter("recovery_replayed_txns"));
+  json.Scalar("server_recovered_commits", stats.Counter("recovered_commits"));
   json.Scalar("counters_consistent", consistent ? 1L : 0L);
   json.AddTable("per_level", per_level);
   if (!json.Write()) return 1;

@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/rng.h"
 #include "explore/crosscheck.h"
+#include "explore/session.h"
 #include "txn/executor.h"
 #include "txn/isolation.h"
 #include "workload/workload.h"
@@ -41,6 +43,7 @@ struct CliOptions {
   bool atomic_rollback = false;  // opt out of schedulable rollback
   int max_retries = 3;           // executor-mode retry budget
   int exec_items = 0;            // >0: executor smoke mode, items per thread
+  int crash_matrix = 0;          // >0: crash-recovery mode, schedules per mix
 };
 
 std::vector<IsoLevel> AllLevels() {
@@ -103,8 +106,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* help) {
   flags.Int("max-retries", &opts->max_retries, "executor-mode retry budget");
   flags.Int("exec-items", &opts->exec_items,
             "executor smoke mode: items per thread (0 = explore mode)");
+  flags.Int("crash-matrix", &opts->crash_matrix,
+            "crash-recovery mode: run N random schedules per mix/level "
+            "through the WAL crash-point matrix (0 = explore mode)");
   if (!flags.Parse(argc, argv)) return false;
-  if (flags.help_requested()) {
+  if (flags.help_requested() || flags.version_requested()) {
     *help = true;
     return true;
   }
@@ -182,6 +188,52 @@ bool RunExecutorMode(const Workload& workload, const CliOptions& opts,
   return true;
 }
 
+/// Crash-recovery mode: for each mix/level, draw N random schedules and run
+/// each through the WAL crash-point matrix — every byte prefix of the log a
+/// crash could leave must recover to a commit-order prefix of the schedule's
+/// history. Returns false on any mismatch (a durability violation).
+bool RunCrashMatrixMode(const Workload& workload,
+                        const std::vector<const ExploreMix*>& mixes,
+                        const std::vector<IsoLevel>& levels,
+                        const CliOptions& opts) {
+  bool all_ok = true;
+  for (const ExploreMix* mix : mixes) {
+    for (IsoLevel level : levels) {
+      ExploreSession session;
+      ExploreSessionOptions sopts;
+      sopts.schedulable_rollback = opts.explore.schedulable_rollback;
+      sopts.deadlock_policy = opts.explore.deadlock_policy;
+      if (Status s = session.Init(workload, *mix, level, sopts); !s.ok()) {
+        std::fprintf(stderr, "semcor_explore: %s\n", s.ToString().c_str());
+        return false;
+      }
+      Rng rng(opts.explore.seed);
+      long points = 0, torn = 0, mismatches = 0, commits = 0;
+      for (int n = 0; n < opts.crash_matrix; ++n) {
+        Schedule hints;
+        session.Fuzz(rng, 256, &hints);  // draw a complete random schedule
+        const CrashMatrixResult cm = session.RunCrashMatrix(hints);
+        points += cm.points_checked;
+        torn += cm.torn_points;
+        commits += cm.committed;
+        mismatches += cm.mismatches;
+        if (!cm.ok()) {
+          all_ok = false;
+          std::fprintf(stderr, "%s @ %s schedule %s\n%s\n",
+                       mix->name.c_str(), IsoLevelName(level),
+                       ScheduleToString(hints).c_str(), cm.Summary().c_str());
+        }
+      }
+      std::printf(
+          "crash-matrix %s @ %s: %d schedules, %ld commits, %ld crash points "
+          "(%ld torn), %ld mismatches\n",
+          mix->name.c_str(), IsoLevelName(level), opts.crash_matrix, commits,
+          points, torn, mismatches);
+    }
+  }
+  return all_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,6 +272,11 @@ int main(int argc, char** argv) {
 
   if (opts.exec_items > 0) {
     return RunExecutorMode(workload, opts, levels) ? 0 : 3;
+  }
+  if (opts.crash_matrix > 0) {
+    // Exit 1: a recovery that diverged from commit-order replay is the
+    // durability analogue of a soundness violation.
+    return RunCrashMatrixMode(workload, mixes, levels, opts) ? 0 : 1;
   }
 
   bool unsound = false;

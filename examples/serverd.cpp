@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   int64_t max_inflight = options.max_inflight_txns;
   int64_t queue_limit = static_cast<int64_t>(options.session_queue_limit);
   int64_t lock_shards = 0;
+  int64_t group_commit_us = options.group_commit_us;
 
   semcor::cli::Flags flags(
       "semcor_serverd",
@@ -60,8 +61,14 @@ int main(int argc, char** argv) {
   flags.I64("lock-shards", &lock_shards, "lock manager shards (0 = default)");
   flags.Str("port-file", &port_file, "write the bound port to this file");
   flags.Int("duration-s", &duration_s, "stop after N seconds (0 = run forever)");
+  flags.Str("wal-dir", &options.wal_dir,
+            "write-ahead-log directory (empty = memory-only)");
+  flags.Str("wal-fsync", &options.wal_fsync,
+            "WAL fsync policy: none|per_commit|group");
+  flags.I64("group-commit-us", &group_commit_us,
+            "group-commit epoch length in microseconds");
   if (!flags.Parse(argc, argv)) return 2;
-  if (flags.help_requested()) return 0;
+  if (flags.help_requested() || flags.version_requested()) return 0;
   if (port < 0 || port > 65535) {
     std::fprintf(stderr, "semcor_serverd: bad --port=%d\n", port);
     return 2;
@@ -70,6 +77,7 @@ int main(int argc, char** argv) {
   options.max_inflight_txns = static_cast<int>(max_inflight);
   options.session_queue_limit = static_cast<size_t>(queue_limit);
   options.lock_shards = static_cast<size_t>(lock_shards);
+  options.group_commit_us = static_cast<uint32_t>(group_commit_us);
 
   semcor::net::Server server(options);
   if (semcor::Status s = server.Start(); !s.ok()) {

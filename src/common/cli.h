@@ -10,13 +10,27 @@
 
 namespace semcor::cli {
 
+/// Build identity reported by every binary's `--version` flag. One shared
+/// constant, so a mixed deployment (server vs bench client vs explorer) can
+/// be diagnosed from the version lines alone.
+inline constexpr const char* kVersion = "semcor 0.6.0";
+
 /// Tiny declarative flag parser shared by the command-line binaries
-/// (semcor_explore, semcor_serverd, semcor_bench_client) so they agree on
-/// syntax and error behaviour. Flags are `--name=value`; bool flags also
-/// accept bare `--name`. Unknown flags, malformed numbers, and stray
-/// positional arguments are errors: Parse prints the problem plus the usage
-/// text to stderr and returns false (callers exit non-zero). `--help` / `-h`
-/// prints usage to stdout and sets help_requested() without failing.
+/// (semcor_explore, semcor_serverd, semcor_bench_client, semcor_analyze) so
+/// they agree on syntax and error behaviour. Flags are `--name=value`; bool
+/// flags also accept bare `--name`. Unknown flags, malformed numbers, and
+/// stray positional arguments are errors: Parse prints the problem plus the
+/// usage text to stderr and returns false (callers exit non-zero).
+/// `--help` / `-h` prints usage to stdout and sets help_requested() without
+/// failing; `--version` prints kVersion to stdout and sets
+/// version_requested() the same way.
+///
+/// Repeated flags are allowed and take **last-wins** semantics: each
+/// occurrence assigns in argv order, so `--threads=4 --threads=8` leaves 8.
+/// This makes wrapper scripts safe — a caller can append overrides to a base
+/// command line without stripping its earlier values. Occurrences() reports
+/// how many times a flag was seen, so a binary can warn on (or test for)
+/// unintended repetition.
 class Flags {
  public:
   Flags(std::string program, std::string summary)
@@ -39,15 +53,29 @@ class Flags {
   }
 
   bool help_requested() const { return help_requested_; }
+  bool version_requested() const { return version_requested_; }
+
+  /// How many times --name appeared on the parsed command line (0 for a
+  /// flag never given; repeated flags count every occurrence even though
+  /// only the last value sticks).
+  int Occurrences(const std::string& name) const {
+    const Flag* flag = FindConst(name);
+    return flag != nullptr ? flag->occurrences : 0;
+  }
 
   /// Parses argv. Returns false on the first unknown flag, malformed value,
-  /// or positional argument.
+  /// or positional argument. Repeated flags assign in order (last wins).
   bool Parse(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--help" || arg == "-h") {
         help_requested_ = true;
         PrintUsage(stdout);
+        return true;
+      }
+      if (arg == "--version") {
+        version_requested_ = true;
+        std::fprintf(stdout, "%s\n", kVersion);
         return true;
       }
       if (arg.rfind("--", 0) != 0) {
@@ -59,6 +87,7 @@ class Flags {
                                                  : eq - 2);
       Flag* flag = Find(name);
       if (flag == nullptr) return Fail("unknown flag --" + name);
+      ++flag->occurrences;
       if (eq == std::string::npos) {
         if (flag->kind != Kind::kBool) {
           return Fail("flag --" + name + " needs a value (--" + name + "=...)");
@@ -82,6 +111,8 @@ class Flags {
                    f.help.c_str(), f.def.c_str());
     }
     std::fprintf(out, "  --%-24s print this help and exit\n", "help");
+    std::fprintf(out, "  --%-24s print the build version and exit\n",
+                 "version");
   }
 
  private:
@@ -93,15 +124,23 @@ class Flags {
     Kind kind;
     void* target;
     std::string def;
+    int occurrences = 0;
   };
 
   void Add(const char* name, const char* help, Kind kind, void* target,
            std::string def) {
-    flags_.push_back(Flag{name, help, kind, target, std::move(def)});
+    flags_.push_back(Flag{name, help, kind, target, std::move(def), 0});
   }
 
   Flag* Find(const std::string& name) {
     for (Flag& f : flags_) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+
+  const Flag* FindConst(const std::string& name) const {
+    for (const Flag& f : flags_) {
       if (f.name == name) return &f;
     }
     return nullptr;
@@ -158,6 +197,7 @@ class Flags {
   std::string summary_;
   std::vector<Flag> flags_;
   bool help_requested_ = false;
+  bool version_requested_ = false;
 };
 
 }  // namespace semcor::cli

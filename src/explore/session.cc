@@ -1,7 +1,11 @@
 #include "explore/session.h"
 
+#include <cstdint>
+#include <utility>
+
 #include "common/str_util.h"
 #include "sem/prog/stmt.h"
+#include "wal/wal.h"
 
 namespace semcor {
 
@@ -194,6 +198,175 @@ RunResult ExploreSession::Run(const Schedule& hints) {
     result.executed.push_back(ApplyChoice(driver, hint, &result, &last_exec));
   }
   Finish(driver, &result);
+  return result;
+}
+
+std::string CrashMatrixResult::Summary() const {
+  std::string out = StrCat(
+      "crash-matrix: ", points_checked, " crash points over ", log_bytes,
+      " log bytes (", committed, " commits, ", torn_points, " torn tails): ",
+      mismatches == 0 ? "all recoveries match commit-order replay"
+                      : StrCat(mismatches, " MISMATCHES"));
+  for (const std::string& p : problems) out += StrCat("\n  ", p);
+  return out;
+}
+
+namespace {
+
+/// Committed-state equality for the crash matrix. Items and rows (values and
+/// commit timestamps) must match exactly. The clock and the row-id
+/// watermarks are deliberately excluded: the live store advances both for
+/// in-flight transactions (begin reads, uncommitted inserts) that recovery
+/// rightly never sees. Returns an empty string on equality, else a
+/// description of the first divergence.
+std::string DiffCommittedStates(const CommittedState& want,
+                                const CommittedState& got) {
+  using ItemMap = std::map<std::string, std::pair<Timestamp, Value>>;
+  ItemMap want_items, got_items;
+  for (const auto& it : want.items)
+    want_items[it.name] = {it.commit_ts, it.value};
+  for (const auto& it : got.items) got_items[it.name] = {it.commit_ts, it.value};
+  for (const auto& [name, v] : want_items) {
+    auto it = got_items.find(name);
+    if (it == got_items.end())
+      return StrCat("item ", name, " missing after recovery");
+    if (it->second != v)
+      return StrCat("item ", name, " recovered as ", it->second.second.ToString(),
+                    "@", it->second.first, ", expected ", v.second.ToString(),
+                    "@", v.first);
+  }
+  if (got_items.size() != want_items.size())
+    return "recovery resurrected an item that should not exist";
+
+  using RowMap = std::map<RowId, std::pair<Timestamp, std::optional<Tuple>>>;
+  std::map<std::string, RowMap> want_rows, got_rows;
+  for (const auto& t : want.tables)
+    for (const auto& r : t.rows) want_rows[t.name][r.row] = {r.commit_ts, r.image};
+  for (const auto& t : got.tables)
+    for (const auto& r : t.rows) got_rows[t.name][r.row] = {r.commit_ts, r.image};
+  for (const auto& [table, rows] : want_rows) {
+    const RowMap& grows = got_rows[table];
+    for (const auto& [row, v] : rows) {
+      auto it = grows.find(row);
+      if (it == grows.end())
+        return StrCat("row ", table, "/", row, " missing after recovery");
+      if (it->second != v)
+        return StrCat("row ", table, "/", row, " diverged after recovery");
+    }
+    if (grows.size() != rows.size())
+      return StrCat("table ", table, " has extra rows after recovery");
+  }
+  return "";
+}
+
+/// Frame boundaries of a WAL image: byte offsets where each complete record
+/// frame ends (the framing is [u32 len][u32 crc][payload]).
+std::vector<size_t> FrameEnds(const std::string& bytes) {
+  std::vector<size_t> ends;
+  size_t off = 0;
+  while (off + 8 <= bytes.size()) {
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes.data() + off);
+    const uint32_t len = static_cast<uint32_t>(p[0]) |
+                         static_cast<uint32_t>(p[1]) << 8 |
+                         static_cast<uint32_t>(p[2]) << 16 |
+                         static_cast<uint32_t>(p[3]) << 24;
+    const size_t next = off + 8 + len;
+    if (next > bytes.size()) break;  // torn tail already on disk
+    ends.push_back(next);
+    off = next;
+  }
+  return ends;
+}
+
+}  // namespace
+
+CrashMatrixResult ExploreSession::RunCrashMatrix(const Schedule& hints) {
+  CrashMatrixResult result;
+  ResetWorld();
+  auto device = std::make_unique<wal::MemDevice>();
+  wal::MemDevice* mem = device.get();
+  wal::WalOptions wopts;
+  // No fsync policy and no auto-truncation: the matrix enumerates survivor
+  // prefixes itself, and a mid-run checkpoint would fold commits out of the
+  // per-commit capture the comparison is anchored to (checkpoint crash
+  // coverage lives in wal_test's fault-hook cases).
+  wopts.fsync = wal::FsyncPolicy::kNone;
+  wopts.checkpoint_every_bytes = 0;
+  wal::WriteAheadLog wal(std::move(device), &store_, wopts);
+  wal.Start();
+  mgr_.SetWal(&wal);
+
+  // Clean run, capturing the committed state after every logged commit:
+  // capture[k] is what recovering a prefix with exactly k complete commit
+  // records must reproduce. A choice resolves one productive step, so at
+  // most one commit lands per iteration.
+  std::vector<CommittedState> capture;
+  capture.push_back(store_.DumpCommittedState());
+  {
+    StepDriver driver(&mgr_, &log_, /*lazy_begin=*/true);
+    ConfigureDriver(&driver);
+    for (const auto& program : programs_) driver.Add(program, level_);
+    RunResult run;
+    int last_exec = -1;
+    for (int hint : hints) {
+      ApplyChoice(driver, hint, &run, &last_exec);
+      while (capture.size() <= wal.stats().commits_logged) {
+        capture.push_back(store_.DumpCommittedState());
+      }
+    }
+    result.complete = driver.AllDone();
+    // Stragglers stay in flight: their begin/write records make them the
+    // losers every recovery below must discard.
+  }
+  mgr_.SetWal(nullptr);
+  wal.Stop();
+  result.committed = static_cast<int>(wal.stats().commits_logged);
+
+  const std::string bytes = mem->data();
+  result.log_bytes = static_cast<long>(bytes.size());
+
+  // Crash points: byte 0, every frame boundary, and a cut through the middle
+  // of every frame (a torn append the CRC must reject).
+  std::vector<size_t> cuts;
+  cuts.push_back(0);
+  size_t frame_start = 0;
+  for (size_t end : FrameEnds(bytes)) {
+    cuts.push_back(frame_start + (end - frame_start) / 2);
+    cuts.push_back(end);
+    frame_start = end;
+  }
+
+  for (size_t cut : cuts) {
+    Store recovered;
+    recovered.Restore(*checkpoint_);
+    const wal::RecoveryResult rec = wal::RecoverFromBytes(
+        std::string_view(bytes).substr(0, cut), &recovered);
+    ++result.points_checked;
+    if (rec.tail_torn) ++result.torn_points;
+    auto report = [&](std::string what) {
+      ++result.mismatches;
+      if (result.problems.size() < 8) {
+        result.problems.push_back(StrCat("cut@", cut, " (", rec.replayed_txns,
+                                         " commits replayed): ",
+                                         std::move(what)));
+      }
+    };
+    const size_t k = static_cast<size_t>(rec.replayed_txns);
+    if (k >= capture.size()) {
+      report("recovered more commits than the schedule performed");
+      continue;
+    }
+    // The full image must yield every commit: a lost acked commit is a
+    // durability violation even if the final states happen to coincide.
+    if (cut == bytes.size() && k + 1 != capture.size()) {
+      report(StrCat("full log recovered only ", k, " of ", capture.size() - 1,
+                    " commits"));
+      continue;
+    }
+    const std::string diff =
+        DiffCommittedStates(capture[k], recovered.DumpCommittedState());
+    if (!diff.empty()) report(diff);
+  }
   return result;
 }
 

@@ -66,6 +66,22 @@ struct RunResult {
   std::string Signature() const;
 };
 
+/// Outcome of ExploreSession::RunCrashMatrix: one schedule executed against
+/// a WAL, then every crash point (byte prefix of the log image) recovered
+/// into a fresh store and compared with the commit-order replay oracle.
+struct CrashMatrixResult {
+  bool complete = false;   ///< the clean run finished every transaction
+  int committed = 0;       ///< commits the clean run logged
+  long log_bytes = 0;      ///< WAL image size the clean run produced
+  int points_checked = 0;  ///< crash points recovered
+  int torn_points = 0;     ///< points that cut a record in half (torn tail)
+  int mismatches = 0;      ///< recoveries that diverged from the oracle
+  std::vector<std::string> problems;  ///< one line per divergence (capped)
+
+  bool ok() const { return mismatches == 0; }
+  std::string Summary() const;
+};
+
 /// Failure-model knobs for a session (all default to "off"/historical).
 struct ExploreSessionOptions {
   FaultPlan faults;
@@ -109,6 +125,17 @@ class ExploreSession {
   /// all finish (or `max_choices`). The chosen hints land in *hints_out so
   /// anomalous walks can be shrunk and replayed.
   RunResult Fuzz(Rng& rng, int max_choices, Schedule* hints_out);
+
+  /// Crash-recovery exploration: replays `hints` with a memory-backed WAL
+  /// attached, capturing the committed state after every logged commit, then
+  /// enumerates crash points — every record boundary of the log image plus a
+  /// cut through the middle of every record (a torn append) — and recovers
+  /// each prefix into a fresh store. A prefix holding exactly k complete
+  /// commit records must recover to the captured state after commit k; any
+  /// other outcome is a mismatch. This is the durability analogue of the
+  /// oracle check: the recovered state must be a commit-order prefix of the
+  /// schedule's history, at every possible crash instant.
+  CrashMatrixResult RunCrashMatrix(const Schedule& hints);
 
   int txn_count() const { return static_cast<int>(programs_.size()); }
   IsoLevel level() const { return level_; }

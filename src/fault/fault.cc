@@ -10,6 +10,14 @@ const char* FaultSiteName(FaultSite site) {
       return "statement-apply";
     case FaultSite::kCommit:
       return "commit";
+    case FaultSite::kWalAppend:
+      return "wal-append";
+    case FaultSite::kWalPreSync:
+      return "wal-pre-sync";
+    case FaultSite::kWalPostSync:
+      return "wal-post-sync";
+    case FaultSite::kWalCheckpoint:
+      return "wal-checkpoint";
   }
   return "?";
 }
@@ -24,6 +32,8 @@ const char* FaultKindName(FaultKind kind) {
       return "transient-lock-failure";
     case FaultKind::kCrashBeforeCommit:
       return "crash-before-commit";
+    case FaultKind::kWalCrash:
+      return "wal-crash";
   }
   return "?";
 }
@@ -38,6 +48,8 @@ Status FaultStatus(FaultKind kind) {
       return Status::WouldBlock("fault injection: transient lock failure");
     case FaultKind::kCrashBeforeCommit:
       return Status::Aborted("fault injection: crash before commit");
+    case FaultKind::kWalCrash:
+      return Status::Aborted("fault injection: wal crash");
   }
   return Status::Internal("bad fault kind");
 }
@@ -99,6 +111,13 @@ FaultKind FaultInjector::Decide(FaultSite site, TxnId txn,
       p = plan_.p_commit;
       kind = FaultKind::kCrashBeforeCommit;
       break;
+    case FaultSite::kWalAppend:
+    case FaultSite::kWalPreSync:
+    case FaultSite::kWalPostSync:
+    case FaultSite::kWalCheckpoint:
+      // WAL crash points are script-only: a seeded probability of killing
+      // the whole process would end every run almost immediately.
+      break;
   }
   if (p <= 0) return FaultKind::kNone;
   // Decision = hash(seed, txn, site, visit): interleaving-independent.
@@ -126,6 +145,7 @@ FaultKind FaultInjector::At(FaultSite site, TxnId txn) {
         ++stats_.transient_lock_failures;
         break;
       case FaultKind::kCrashBeforeCommit:
+      case FaultKind::kWalCrash:
         ++stats_.crashes;
         break;
       case FaultKind::kNone:

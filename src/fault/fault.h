@@ -21,11 +21,20 @@ namespace semcor {
 ///    statements — exposes partial effects (and, with schedulable rollback,
 ///    the undo writes Theorem 1 reasons about);
 ///  - kCommit: the transaction "crashes" after its whole body ran but before
-///    the commit took effect — the largest possible undo log.
+///    the commit took effect — the largest possible undo log;
+///  - kWalAppend / kWalPreSync / kWalPostSync / kWalCheckpoint: process-crash
+///    points inside the write-ahead log (a torn record append, an appended
+///    but unsynced tail, a just-synced tail, a checkpoint that never
+///    replaced the log) — together the crash-point matrix the recovery
+///    oracle walks.
 enum class FaultSite {
   kLockGrant = 1,
   kStatementApply = 2,
   kCommit = 3,
+  kWalAppend = 4,
+  kWalPreSync = 5,
+  kWalPostSync = 6,
+  kWalCheckpoint = 7,
 };
 
 enum class FaultKind {
@@ -33,6 +42,7 @@ enum class FaultKind {
   kForcedAbort,           ///< the transaction aborts (Status::Aborted)
   kTransientLockFailure,  ///< the grant fails once (Status::WouldBlock)
   kCrashBeforeCommit,     ///< abort at the commit point, full rollback
+  kWalCrash,              ///< freeze the WAL: simulated whole-process crash
 };
 
 const char* FaultSiteName(FaultSite site);

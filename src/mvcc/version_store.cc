@@ -100,7 +100,7 @@ Status SnapshotView::DeleteRow(const std::string& table, RowId row) {
   return Status::Ok();
 }
 
-Result<Timestamp> SnapshotView::Commit(TxnId txn) {
+Result<Timestamp> SnapshotView::Commit(TxnId txn, TxnEffects* applied) {
   // Collapse multiple buffered ops per base row to the final image before
   // handing the set to the store.
   SnapshotWriteSet collapsed;
@@ -122,7 +122,7 @@ Result<Timestamp> SnapshotView::Commit(TxnId txn) {
     }
     // An own insert later deleted (image == nullopt) has no effect.
   }
-  return store_->SnapshotCommit(txn, collapsed, start_ts_);
+  return store_->SnapshotCommit(txn, collapsed, start_ts_, applied);
 }
 
 }  // namespace semcor

@@ -42,7 +42,9 @@ class SnapshotView {
   Status DeleteRow(const std::string& table, RowId row);
 
   /// Validates and installs the write set; returns the commit timestamp.
-  Result<Timestamp> Commit(TxnId txn);
+  /// `applied` (optional) receives the promoted after-images with insert row
+  /// ids resolved — see Store::SnapshotCommit.
+  Result<Timestamp> Commit(TxnId txn, TxnEffects* applied = nullptr);
 
  private:
   /// Effective image of a base row after the txn's own buffered ops

@@ -19,6 +19,7 @@
 #include "sem/check/advisor.h"
 #include "txn/txn.h"
 #include "txn/interpreter.h"
+#include "wal/wal.h"
 #include "workload/workload.h"
 
 namespace semcor::net {
@@ -44,6 +45,15 @@ struct ServerOptions {
   uint32_t busy_retry_after_ms = 5;  ///< suggested backoff after kBusy
   uint64_t seed = 42;                ///< server-side instance draws
   size_t lock_shards = 0;            ///< 0 = LockManager default
+  /// Write-ahead-log directory; empty = memory-only (no durability). When
+  /// set, Start() recovers whatever a previous incarnation left there before
+  /// serving, and COMMIT acknowledgements wait for the commit record's
+  /// fsync (see wal_fsync).
+  std::string wal_dir;
+  /// Fsync policy: "none" | "per_commit" | "group" (group commit).
+  std::string wal_fsync = "group";
+  /// Group-commit epoch length in microseconds.
+  uint32_t group_commit_us = 100;
 };
 
 /// Counter snapshot returned by Server::Metrics and serialized (plus derived
@@ -123,6 +133,10 @@ class Server {
   /// clients drained); advisory under load.
   bool InvariantHolds() const;
 
+  /// What WAL recovery did at Start() (all zeros when running memory-only
+  /// or on a fresh log).
+  const wal::RecoveryResult& Recovery() const { return recovery_; }
+
  private:
   struct Session;
   struct MetricsState;
@@ -167,6 +181,8 @@ class Server {
   LockManager locks_;
   TxnManager mgr_{&store_, &locks_};
   CommitLog log_;
+  std::unique_ptr<wal::WriteAheadLog> wal_;
+  wal::RecoveryResult recovery_;
   /// Startup advisor cache: type name → advice (negotiation + verdicts).
   std::map<std::string, LevelAdvice> advice_;
 

@@ -371,8 +371,10 @@ void Store::AbortTxn(TxnId txn) {
 }
 
 Result<Timestamp> Store::SnapshotCommit(TxnId txn, const SnapshotWriteSet& ws,
-                                        Timestamp start_ts) {
+                                        Timestamp start_ts,
+                                        TxnEffects* applied) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (applied != nullptr) *applied = TxnEffects();
   // First-committer-wins validation: nothing we wrote may have a committed
   // version newer than our snapshot, nor a pending uncommitted image.
   for (const auto& [name, value] : ws.items) {
@@ -408,6 +410,7 @@ Result<Timestamp> Store::SnapshotCommit(TxnId txn, const SnapshotWriteSet& ws,
   const Timestamp ts = ++clock_;
   for (const auto& [name, value] : ws.items) {
     items_.at(name).versions.push_back({ts, value});
+    if (applied != nullptr) applied->items.push_back({name, value});
   }
   for (const auto& op : ws.row_ops) {
     TableData& table = tables_.at(op.table);
@@ -417,13 +420,110 @@ Result<Timestamp> Store::SnapshotCommit(TxnId txn, const SnapshotWriteSet& ws,
         if (!valid.ok()) return valid;
         RowEntry entry;
         entry.versions.push_back({ts, *op.image});
-        table.mutable_rows().emplace(table.NextRowId(), std::move(entry));
+        const RowId fresh = table.NextRowId();
+        table.mutable_rows().emplace(fresh, std::move(entry));
+        if (applied != nullptr) {
+          applied->rows.push_back({op.table, fresh, *op.image});
+        }
       }
       continue;
     }
     table.mutable_rows().at(op.row).versions.push_back({ts, op.image});
+    if (applied != nullptr) applied->rows.push_back({op.table, op.row, op.image});
   }
   return ts;
+}
+
+TxnEffects Store::CollectTxnEffects(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TxnEffects effects;
+  auto touched = touches_.find(txn);
+  if (touched == touches_.end()) return effects;
+  for (const std::string& name : touched->second.items) {
+    const ItemEntry& entry = items_.at(name);
+    if (entry.uncommitted_owner == txn) {
+      effects.items.push_back({name, entry.uncommitted});
+    }
+  }
+  for (const auto& [table, row] : touched->second.rows) {
+    const RowEntry& entry = tables_.at(table).rows().at(row);
+    if (entry.uncommitted_owner == txn) {
+      effects.rows.push_back({table, row, entry.uncommitted});
+    }
+  }
+  return effects;
+}
+
+CommittedState Store::DumpCommittedState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CommittedState state;
+  state.clock = clock_.load();
+  for (const auto& [name, entry] : items_) {
+    const ItemVersion& latest = entry.versions.back();
+    state.items.push_back({name, latest.commit_ts, latest.value});
+  }
+  for (const auto& [name, table] : tables_) {
+    CommittedState::TableState ts;
+    ts.name = name;
+    ts.schema = table.schema();
+    ts.next_row_id = table.PeekNextRowId();
+    for (const auto& [row, entry] : table.rows()) {
+      // Rows with no committed version yet (an in-flight insert) are not part
+      // of the committed state; the inserter's commit record will carry them.
+      if (entry.versions.empty()) continue;
+      const RowVersion& latest = entry.versions.back();
+      ts.rows.push_back({row, latest.commit_ts, latest.tuple});
+    }
+    state.tables.push_back(std::move(ts));
+  }
+  return state;
+}
+
+void Store::LoadCommittedState(const CommittedState& state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  items_.clear();
+  tables_.clear();
+  touches_.clear();
+  clock_.store(state.clock);
+  for (const CommittedState::ItemState& item : state.items) {
+    ItemEntry entry;
+    entry.versions.push_back({item.commit_ts, item.value});
+    items_.emplace(item.name, std::move(entry));
+  }
+  for (const CommittedState::TableState& ts : state.tables) {
+    TableData table(ts.schema);
+    for (const CommittedState::RowState& row : ts.rows) {
+      RowEntry entry;
+      entry.versions.push_back({row.commit_ts, row.image});
+      table.mutable_rows().emplace(row.row, std::move(entry));
+    }
+    table.BumpNextRowId(ts.next_row_id);
+    tables_.emplace(ts.name, std::move(table));
+  }
+}
+
+Status Store::RecoveryApply(const TxnEffects& effects, Timestamp commit_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TxnEffects::ItemWrite& w : effects.items) {
+    auto it = items_.find(w.name);
+    if (it == items_.end()) {
+      return Status::NotFound(StrCat("recovery: item ", w.name));
+    }
+    it->second.versions.push_back({commit_ts, w.value});
+  }
+  for (const TxnEffects::RowWrite& w : effects.rows) {
+    auto it = tables_.find(w.table);
+    if (it == tables_.end()) {
+      return Status::NotFound(StrCat("recovery: table ", w.table));
+    }
+    RowEntry& entry = it->second.mutable_rows()[w.row];
+    entry.versions.push_back({commit_ts, w.image});
+    it->second.BumpNextRowId(w.row + 1);
+  }
+  Timestamp cur = clock_.load();
+  while (cur < commit_ts && !clock_.compare_exchange_weak(cur, commit_ts)) {
+  }
+  return Status::Ok();
 }
 
 size_t Store::PruneVersionsBefore(Timestamp horizon) {

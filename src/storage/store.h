@@ -37,6 +37,56 @@ struct SnapshotWriteSet {
 /// restores it between schedule runs instead of re-running workload setup.
 class StoreCheckpoint;
 
+/// The after-images one transaction's commit promoted: what WAL redo must
+/// reapply. Row ids are the real ids in the store — SNAPSHOT inserts get
+/// their id resolved at commit and reported here, so later log records that
+/// reference the row compose correctly during recovery.
+struct TxnEffects {
+  struct ItemWrite {
+    std::string name;
+    Value value;
+  };
+  struct RowWrite {
+    std::string table;
+    RowId row = 0;
+    std::optional<Tuple> image;  ///< nullopt = delete (tombstone)
+  };
+  std::vector<ItemWrite> items;
+  std::vector<RowWrite> rows;
+
+  bool empty() const { return items.empty() && rows.empty(); }
+};
+
+/// Flat, committed-latest capture of the store for WAL checkpoints: one
+/// value per item, one optional image per row (tombstones included, so
+/// row-id continuity survives recovery), plus each table's schema and
+/// row-id watermark and the commit clock. Unlike StoreCheckpoint (a deep
+/// copy of the version chains for in-process Restore), this is the
+/// serializable form — version history is deliberately collapsed, which is
+/// exactly what a fuzzy checkpoint may keep: snapshots older than the
+/// checkpoint cannot be in use after a crash.
+struct CommittedState {
+  struct ItemState {
+    std::string name;
+    Timestamp commit_ts = 0;
+    Value value;
+  };
+  struct RowState {
+    RowId row = 0;
+    Timestamp commit_ts = 0;
+    std::optional<Tuple> image;  ///< nullopt = tombstone
+  };
+  struct TableState {
+    std::string name;
+    Schema schema;
+    RowId next_row_id = 1;
+    std::vector<RowState> rows;
+  };
+  std::vector<ItemState> items;
+  std::vector<TableState> tables;
+  Timestamp clock = 0;
+};
+
 /// In-memory versioned store for named items and relational tables. All
 /// methods are thread-safe (one coarse mutex — the testbed measures
 /// *relative* isolation-level behaviour, not raw storage throughput).
@@ -137,9 +187,32 @@ class Store {
 
   /// Atomically validates (first-committer-wins: nothing in the write set
   /// was committed after start_ts) and applies a SNAPSHOT write set,
-  /// returning the commit ts, or kConflict.
+  /// returning the commit ts, or kConflict. `applied` (optional) receives
+  /// the promoted after-images with insert row ids resolved — the WAL's
+  /// redo payload.
   Result<Timestamp> SnapshotCommit(TxnId txn, const SnapshotWriteSet& ws,
-                                   Timestamp start_ts);
+                                   Timestamp start_ts,
+                                   TxnEffects* applied = nullptr);
+
+  // ---- WAL bridge (checkpointing + recovery) ----
+  /// The txn's current uncommitted images as commit after-images. Must be
+  /// called while the images are still installed (immediately before
+  /// CommitTxn); the caller's locks guarantee they cannot change in between.
+  TxnEffects CollectTxnEffects(TxnId txn) const;
+  /// Captures the committed-latest state in serializable form. Fuzzy: taken
+  /// under the store mutex while transactions are in flight — uncommitted
+  /// images are simply not part of the committed state.
+  CommittedState DumpCommittedState() const;
+  /// Replaces the entire store contents with a checkpoint capture (schema,
+  /// rows, items, clock, row-id watermarks). Any transaction in flight
+  /// against this store must be abandoned by the caller; WAL recovery runs
+  /// before the system serves.
+  void LoadCommittedState(const CommittedState& state);
+  /// Applies one committed transaction's effects during WAL recovery:
+  /// installs each after-image as a committed version at `commit_ts`,
+  /// creating rows as needed, and advances the clock and the row-id
+  /// watermarks past everything it sees.
+  Status RecoveryApply(const TxnEffects& effects, Timestamp commit_ts);
 
   /// Current timestamp (last assigned commit ts); snapshot start time.
   Timestamp CurrentTs() const { return clock_.load(); }

@@ -50,6 +50,13 @@ class TableData {
 
   RowId NextRowId() { return next_row_id_++; }
 
+  /// Row-id watermark access for WAL checkpoints and recovery: a recovered
+  /// table must hand out fresh ids above everything the log ever assigned.
+  RowId PeekNextRowId() const { return next_row_id_; }
+  void BumpNextRowId(RowId floor) {
+    if (next_row_id_ < floor) next_row_id_ = floor;
+  }
+
  private:
   Schema schema_;
   std::map<RowId, RowEntry> rows_;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "wal/wal.h"
+
 namespace semcor {
 
 double ExecStats::LatencyPercentileUs(double p) const {
@@ -24,6 +26,11 @@ void ExecStats::Merge(const ExecStats& other) {
   fcw_conflicts += other.fcw_conflicts;
   injected_faults += other.injected_faults;
   retries_exhausted += other.retries_exhausted;
+  wal_appends += other.wal_appends;
+  fsyncs += other.fsyncs;
+  group_commit_batches += other.group_commit_batches;
+  group_commit_batch_commits += other.group_commit_batch_commits;
+  recovery_replayed_txns += other.recovery_replayed_txns;
   latency_us.insert(latency_us.end(), other.latency_us.begin(),
                     other.latency_us.end());
   lock.Add(other.lock);
@@ -44,6 +51,8 @@ ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
       faults != nullptr ? faults->stats().injected : 0;
   const std::vector<LockManager::Stats> lock_before =
       mgr_->locks()->ShardStats();
+  const wal::WalStats wal_before =
+      mgr_->wal() != nullptr ? mgr_->wal()->stats() : wal::WalStats();
   std::vector<ExecStats> per_thread(threads_);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
@@ -113,6 +122,16 @@ ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
       d.contention_waits -= lock_before[i].contention_waits;
     }
     merged.lock.Add(d);
+  }
+  if (mgr_->wal() != nullptr) {
+    const wal::WalStats wal_after = mgr_->wal()->stats();
+    merged.wal_appends =
+        static_cast<long>(wal_after.appends - wal_before.appends);
+    merged.fsyncs = static_cast<long>(wal_after.fsyncs - wal_before.fsyncs);
+    merged.group_commit_batches = static_cast<long>(
+        wal_after.group_commit_batches - wal_before.group_commit_batches);
+    merged.group_commit_batch_commits = static_cast<long>(
+        wal_after.batch_commits - wal_before.batch_commits);
   }
   return merged;
 }

@@ -33,6 +33,21 @@ struct ExecStats {
   LockManager::Stats lock;
   std::vector<LockManager::Stats> lock_shards;
 
+  /// Durability activity during the run (deltas from the attached WAL; all
+  /// zero when the manager runs memory-only).
+  long wal_appends = 0;
+  long fsyncs = 0;
+  long group_commit_batches = 0;
+  long group_commit_batch_commits = 0;  ///< commits those batches covered
+  long recovery_replayed_txns = 0;  ///< commits redone by the last recovery
+
+  double MeanBatchSize() const {
+    return group_commit_batches > 0
+               ? static_cast<double>(group_commit_batch_commits) /
+                     static_cast<double>(group_commit_batches)
+               : 0.0;
+  }
+
   double Throughput(double wall_seconds) const {
     return wall_seconds > 0 ? committed / wall_seconds : 0;
   }

@@ -4,6 +4,7 @@
 
 #include "common/str_util.h"
 #include "sem/expr/eval.h"
+#include "wal/wal.h"
 
 namespace semcor {
 
@@ -42,6 +43,7 @@ std::unique_ptr<Txn> TxnManager::Begin(IsoLevel level) {
   if (txn->policy.snapshot_reads) {
     txn->snapshot = std::make_unique<SnapshotView>(store_, txn->start_ts);
   }
+  if (wal_ != nullptr) wal_->LogBegin(txn->id, level);
   return txn;
 }
 
@@ -113,6 +115,7 @@ Status TxnManager::WriteItem(Txn* txn, const std::string& name, const Value& v,
   Status w = store_->WriteItemUncommitted(txn->id, name, v, &prior);
   if (w.ok()) {
     txn->written_items.insert(name);
+    if (wal_ != nullptr) wal_->LogItemWrite(txn->id, name, prior);
     txn->undo.PushItem(name, std::move(prior));
   }
   return w;
@@ -353,6 +356,7 @@ Status TxnManager::UpdateRows(Txn* txn, const std::string& table,
                                            std::move(image), &prior);
     if (!w.ok()) return w;
     txn->written_rows.insert({table, row});
+    if (wal_ != nullptr) wal_->LogRowWrite(txn->id, table, row, prior);
     txn->undo.PushRow(table, row, std::move(prior));
     if (rows_updated != nullptr) ++*rows_updated;
   }
@@ -372,6 +376,9 @@ Status TxnManager::InsertRow(Txn* txn, const std::string& table, Tuple tuple,
                                                    std::move(tuple));
   if (!row.ok()) return row.status();
   txn->written_rows.insert({table, row.value()});
+  if (wal_ != nullptr) {
+    wal_->LogRowWrite(txn->id, table, row.value(), std::nullopt);
+  }
   // Undo of an insert clears the image (no prior), removing the row.
   txn->undo.PushRow(table, row.value(), std::nullopt);
   // The new row is X-locked so that scans above RU wait for our outcome.
@@ -421,6 +428,7 @@ Status TxnManager::DeleteRows(Txn* txn, const std::string& table,
                                            &prior);
     if (!w.ok()) return w;
     txn->written_rows.insert({table, row});
+    if (wal_ != nullptr) wal_->LogRowWrite(txn->id, table, row, prior);
     txn->undo.PushRow(table, row, std::move(prior));
     if (rows_deleted != nullptr) ++*rows_deleted;
   }
@@ -432,6 +440,21 @@ Status TxnManager::Commit(Txn* txn) {
     return Status::Internal("commit of non-active transaction");
   }
   if (txn->snapshot) {
+    if (wal_ != nullptr) {
+      Status apply_status;
+      wal::WriteAheadLog::CommitHandle h = wal_->LogCommit(
+          txn->id,
+          [&](TxnEffects* eff) { return txn->snapshot->Commit(txn->id, eff); },
+          &apply_status);
+      if (!h.applied) {
+        Abort(txn);
+        return apply_status;
+      }
+      txn->commit_ts = h.commit_ts;
+      txn->state = Txn::State::kCommitted;
+      txn->durable = wal_->WaitDurable(h.lsn);
+      return Status::Ok();
+    }
     Result<Timestamp> ts = txn->snapshot->Commit(txn->id);
     if (!ts.ok()) {
       Abort(txn);
@@ -439,6 +462,26 @@ Status TxnManager::Commit(Txn* txn) {
     }
     txn->commit_ts = ts.value();
     txn->state = Txn::State::kCommitted;
+    return Status::Ok();
+  }
+  if (wal_ != nullptr) {
+    Status apply_status;
+    wal::WriteAheadLog::CommitHandle h = wal_->LogCommit(
+        txn->id,
+        [&](TxnEffects* eff) -> Result<Timestamp> {
+          // Effects must be captured while the uncommitted images are still
+          // installed; the txn's X locks keep them stable in between.
+          *eff = store_->CollectTxnEffects(txn->id);
+          return store_->CommitTxn(txn->id);
+        },
+        &apply_status);
+    txn->commit_ts = h.commit_ts;
+    // Release locks after the commit record is ordered but before the fsync
+    // wait: a dependent commit appends later, so the durable prefix still
+    // respects commit order, and nobody holds locks across an epoch sleep.
+    locks_->ReleaseAll(txn->id);
+    txn->state = Txn::State::kCommitted;
+    txn->durable = wal_->WaitDurable(h.lsn);
     return Status::Ok();
   }
   txn->commit_ts = store_->CommitTxn(txn->id);
@@ -461,6 +504,7 @@ void TxnManager::Abort(Txn* txn) {
     rolling_back_.erase(txn->id);
   }
   txn->state = Txn::State::kAborted;
+  if (wal_ != nullptr) wal_->LogAbort(txn->id);
 }
 
 void TxnManager::BeginRollback(Txn* txn) {
@@ -477,9 +521,13 @@ Status TxnManager::UndoOneWrite(Txn* txn) {
   if (txn->undo.empty()) return Status::Ok();
   UndoRecord rec = txn->undo.PopBack();
   if (rec.kind == UndoRecord::Kind::kItem) {
-    return store_->UndoItemWrite(txn->id, rec.item, rec.prior_item);
+    Status s = store_->UndoItemWrite(txn->id, rec.item, rec.prior_item);
+    if (s.ok() && wal_ != nullptr) wal_->LogClrItem(txn->id, rec.item);
+    return s;
   }
-  return store_->UndoRowWrite(txn->id, rec.table, rec.row, rec.prior_row);
+  Status s = store_->UndoRowWrite(txn->id, rec.table, rec.row, rec.prior_row);
+  if (s.ok() && wal_ != nullptr) wal_->LogClrRow(txn->id, rec.table, rec.row);
+  return s;
 }
 
 void TxnManager::FinishRollback(Txn* txn) {
@@ -494,6 +542,7 @@ void TxnManager::FinishRollback(Txn* txn) {
     rolling_back_.erase(txn->id);
   }
   txn->state = Txn::State::kAborted;
+  if (wal_ != nullptr) wal_->LogAbort(txn->id);
 }
 
 bool TxnManager::IsRollingBack(TxnId id) const {

@@ -15,6 +15,10 @@
 
 namespace semcor {
 
+namespace wal {
+class WriteAheadLog;
+}  // namespace wal
+
 /// Runtime state of one transaction execution.
 struct Txn {
   TxnId id = 0;
@@ -49,6 +53,11 @@ struct Txn {
   enum class State { kActive, kRollingBack, kCommitted, kAborted };
   State state = State::kActive;
   Timestamp commit_ts = 0;
+
+  /// Whether the commit is known durable (WAL fsync covered its record).
+  /// Always true without a WAL; false when a simulated crash beat the sync —
+  /// such a commit must never be acknowledged to a client.
+  bool durable = true;
 };
 
 /// Record of a committed transaction, for the semantic-correctness oracle.
@@ -127,6 +136,14 @@ class TxnManager {
   Store* store() { return store_; }
   LockManager* locks() { return locks_; }
 
+  /// Attaches a write-ahead log (nullptr = memory-only, the default). When
+  /// set, every begin/write/undo/abort is chronicled and Commit routes
+  /// through WriteAheadLog::LogCommit so log order equals commit order;
+  /// Commit then blocks until the commit record is durable (group-commit
+  /// epoch fsync) and records the ack in Txn::durable.
+  void SetWal(wal::WriteAheadLog* w) { wal_ = w; }
+  wal::WriteAheadLog* wal() { return wal_; }
+
   /// Rewinds the transaction-id counter. Only valid while no transaction is
   /// active; the schedule explorer calls it between runs so that identical
   /// schedules replay with identical ids (and hence identical outcomes).
@@ -150,6 +167,7 @@ class TxnManager {
 
   Store* store_;
   LockManager* locks_;
+  wal::WriteAheadLog* wal_ = nullptr;
   std::atomic<TxnId> next_id_{1};
 
   /// Ids currently rolling back stepwise, visible to concurrent readers

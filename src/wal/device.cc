@@ -1,0 +1,135 @@
+#include "wal/device.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace semcor::wal {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrCat(what, ": ", std::strerror(errno)));
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open wal dir");
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync wal dir");
+  return Status::Ok();
+}
+
+Status WriteFully(int fd, std::string_view bytes) {
+  const char* p = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write wal");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FileDevice>> FileDevice::Open(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir wal dir");
+  }
+  std::string path = dir + "/wal.log";
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) return Errno("open wal.log");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("stat wal.log");
+  }
+  return std::unique_ptr<FileDevice>(new FileDevice(
+      dir, std::move(path), fd, static_cast<uint64_t>(st.st_size)));
+}
+
+FileDevice::~FileDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileDevice::Append(std::string_view bytes) {
+  Status s = WriteFully(fd_, bytes);
+  if (s.ok()) size_ += bytes.size();
+  return s;
+}
+
+Status FileDevice::Sync() {
+  // Sync runs concurrently with Reset's fd swap (the WAL fsyncs outside its
+  // append mutex): dup our own descriptor so a checkpoint closing fd_
+  // mid-fsync cannot yank it from under us. Syncing the replaced inode is
+  // harmless — the WAL's durable-watermark guard never acks past a
+  // checkpoint it didn't cover.
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    fd = ::dup(fd_);
+  }
+  if (fd < 0) return Errno("dup wal.log");
+  const int rc = ::fdatasync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fdatasync wal.log");
+  return Status::Ok();
+}
+
+Result<std::string> FileDevice::ReadAll() {
+  int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open wal.log for read");
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read wal.log");
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status FileDevice::Reset(std::string_view bytes) {
+  const std::string tmp = path_ + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open wal.log.tmp");
+  Status s = WriteFully(fd, bytes);
+  if (s.ok() && ::fdatasync(fd) != 0) s = Errno("fdatasync wal.log.tmp");
+  ::close(fd);
+  if (!s.ok()) return s;
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Errno("rename wal.log.tmp");
+  }
+  s = SyncDir(dir_);
+  if (!s.ok()) return s;
+  // The old append fd still points at the replaced inode; reopen.
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    ::close(fd_);
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  }
+  if (fd_ < 0) return Errno("reopen wal.log");
+  size_ = bytes.size();
+  return Status::Ok();
+}
+
+uint64_t FileDevice::Size() const { return size_; }
+
+}  // namespace semcor::wal

@@ -1,0 +1,446 @@
+#include "wal/record.h"
+
+#include <array>
+
+#include "common/str_util.h"
+#include "net/wire.h"
+
+namespace semcor::wal {
+
+namespace {
+
+using net::WireReader;
+using net::WireWriter;
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// ---- value / tuple / effects codec -----------------------------------------
+
+void PutValue(WireWriter* w, const Value& v) {
+  w->U8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kInt:
+      w->I64(v.AsInt());
+      break;
+    case Value::Type::kBool:
+      w->U8(v.AsBool() ? 1 : 0);
+      break;
+    case Value::Type::kString:
+      w->Str(v.AsString());
+      break;
+  }
+}
+
+bool GetValue(WireReader* r, Value* out) {
+  uint8_t tag = 0;
+  if (!r->U8(&tag)) return false;
+  switch (static_cast<Value::Type>(tag)) {
+    case Value::Type::kNull:
+      *out = Value::Null();
+      return true;
+    case Value::Type::kInt: {
+      int64_t v = 0;
+      if (!r->I64(&v)) return false;
+      *out = Value::Int(v);
+      return true;
+    }
+    case Value::Type::kBool: {
+      uint8_t v = 0;
+      if (!r->U8(&v)) return false;
+      *out = Value::Bool(v != 0);
+      return true;
+    }
+    case Value::Type::kString: {
+      std::string v;
+      if (!r->Str(&v)) return false;
+      *out = Value::Str(std::move(v));
+      return true;
+    }
+  }
+  return false;
+}
+
+void PutTuple(WireWriter* w, const Tuple& t) {
+  w->U32(static_cast<uint32_t>(t.size()));
+  for (const auto& [k, v] : t) {
+    w->Str(k);
+    PutValue(w, v);
+  }
+}
+
+bool GetTuple(WireReader* r, Tuple* out) {
+  uint32_t n = 0;
+  if (!r->U32(&n)) return false;
+  out->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string k;
+    Value v;
+    if (!r->Str(&k) || !GetValue(r, &v)) return false;
+    (*out)[std::move(k)] = std::move(v);
+  }
+  return true;
+}
+
+void PutOptTuple(WireWriter* w, const std::optional<Tuple>& t) {
+  w->U8(t.has_value() ? 1 : 0);
+  if (t.has_value()) PutTuple(w, *t);
+}
+
+bool GetOptTuple(WireReader* r, std::optional<Tuple>* out) {
+  uint8_t present = 0;
+  if (!r->U8(&present)) return false;
+  if (present == 0) {
+    out->reset();
+    return true;
+  }
+  Tuple t;
+  if (!GetTuple(r, &t)) return false;
+  *out = std::move(t);
+  return true;
+}
+
+void PutEffects(WireWriter* w, const TxnEffects& e) {
+  w->U32(static_cast<uint32_t>(e.items.size()));
+  for (const auto& item : e.items) {
+    w->Str(item.name);
+    PutValue(w, item.value);
+  }
+  w->U32(static_cast<uint32_t>(e.rows.size()));
+  for (const auto& row : e.rows) {
+    w->Str(row.table);
+    w->U64(row.row);
+    PutOptTuple(w, row.image);
+  }
+}
+
+bool GetEffects(WireReader* r, TxnEffects* out) {
+  uint32_t n = 0;
+  if (!r->U32(&n)) return false;
+  for (uint32_t i = 0; i < n; ++i) {
+    TxnEffects::ItemWrite item;
+    if (!r->Str(&item.name) || !GetValue(r, &item.value)) return false;
+    out->items.push_back(std::move(item));
+  }
+  if (!r->U32(&n)) return false;
+  for (uint32_t i = 0; i < n; ++i) {
+    TxnEffects::RowWrite row;
+    if (!r->Str(&row.table) || !r->U64(&row.row) ||
+        !GetOptTuple(r, &row.image)) {
+      return false;
+    }
+    out->rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+void PutState(WireWriter* w, const CommittedState& s) {
+  w->U64(s.clock);
+  w->U32(static_cast<uint32_t>(s.items.size()));
+  for (const auto& item : s.items) {
+    w->Str(item.name);
+    w->U64(item.commit_ts);
+    PutValue(w, item.value);
+  }
+  w->U32(static_cast<uint32_t>(s.tables.size()));
+  for (const auto& table : s.tables) {
+    w->Str(table.name);
+    w->U32(static_cast<uint32_t>(table.schema.columns().size()));
+    for (const auto& col : table.schema.columns()) {
+      w->Str(col.name);
+      w->U8(static_cast<uint8_t>(col.type));
+    }
+    w->U64(table.next_row_id);
+    w->U32(static_cast<uint32_t>(table.rows.size()));
+    for (const auto& row : table.rows) {
+      w->U64(row.row);
+      w->U64(row.commit_ts);
+      PutOptTuple(w, row.image);
+    }
+  }
+}
+
+bool GetState(WireReader* r, CommittedState* out) {
+  if (!r->U64(&out->clock)) return false;
+  uint32_t n = 0;
+  if (!r->U32(&n)) return false;
+  for (uint32_t i = 0; i < n; ++i) {
+    CommittedState::ItemState item;
+    if (!r->Str(&item.name) || !r->U64(&item.commit_ts) ||
+        !GetValue(r, &item.value)) {
+      return false;
+    }
+    out->items.push_back(std::move(item));
+  }
+  if (!r->U32(&n)) return false;
+  for (uint32_t i = 0; i < n; ++i) {
+    CommittedState::TableState table;
+    if (!r->Str(&table.name)) return false;
+    uint32_t cols = 0;
+    if (!r->U32(&cols)) return false;
+    std::vector<Column> columns;
+    for (uint32_t c = 0; c < cols; ++c) {
+      Column col;
+      uint8_t type = 0;
+      if (!r->Str(&col.name) || !r->U8(&type)) return false;
+      col.type = static_cast<Value::Type>(type);
+      columns.push_back(std::move(col));
+    }
+    table.schema = Schema(std::move(columns));
+    uint32_t rows = 0;
+    if (!r->U64(&table.next_row_id) || !r->U32(&rows)) return false;
+    for (uint32_t j = 0; j < rows; ++j) {
+      CommittedState::RowState row;
+      if (!r->U64(&row.row) || !r->U64(&row.commit_ts) ||
+          !GetOptTuple(r, &row.image)) {
+        return false;
+      }
+      table.rows.push_back(std::move(row));
+    }
+    out->tables.push_back(std::move(table));
+  }
+  return true;
+}
+
+// ---- per-type bodies -------------------------------------------------------
+
+void PutBody(WireWriter* w, const Record& rec) {
+  switch (rec.type) {
+    case RecordType::kBegin: {
+      const auto& b = std::get<BeginBody>(rec.body);
+      w->U64(b.txn);
+      w->U8(b.level);
+      return;
+    }
+    case RecordType::kWrite: {
+      const auto& b = std::get<WriteBody>(rec.body);
+      w->U64(b.txn);
+      w->U8(b.is_row ? 1 : 0);
+      w->Str(b.target);
+      if (b.is_row) {
+        w->U64(b.row);
+        w->U8(b.row_prior.has_value() ? 1 : 0);
+        if (b.row_prior.has_value()) PutOptTuple(w, *b.row_prior);
+      } else {
+        w->U8(b.item_prior.has_value() ? 1 : 0);
+        if (b.item_prior.has_value()) PutValue(w, *b.item_prior);
+      }
+      return;
+    }
+    case RecordType::kClr: {
+      const auto& b = std::get<ClrBody>(rec.body);
+      w->U64(b.txn);
+      w->U8(b.is_row ? 1 : 0);
+      w->Str(b.target);
+      if (b.is_row) w->U64(b.row);
+      return;
+    }
+    case RecordType::kCommit: {
+      const auto& b = std::get<CommitBody>(rec.body);
+      w->U64(b.txn);
+      w->U64(b.commit_ts);
+      PutEffects(w, b.effects);
+      return;
+    }
+    case RecordType::kAbort: {
+      w->U64(std::get<AbortBody>(rec.body).txn);
+      return;
+    }
+    case RecordType::kCheckpoint: {
+      const auto& b = std::get<CheckpointBody>(rec.body);
+      PutState(w, b.state);
+      w->U32(static_cast<uint32_t>(b.active.size()));
+      for (TxnId t : b.active) w->U64(t);
+      w->U64(b.committed_total);
+      return;
+    }
+  }
+}
+
+bool GetBody(WireReader* r, Record* rec) {
+  switch (rec->type) {
+    case RecordType::kBegin: {
+      BeginBody b;
+      if (!r->U64(&b.txn) || !r->U8(&b.level)) return false;
+      rec->body = std::move(b);
+      return true;
+    }
+    case RecordType::kWrite: {
+      WriteBody b;
+      uint8_t is_row = 0;
+      if (!r->U64(&b.txn) || !r->U8(&is_row) || !r->Str(&b.target)) {
+        return false;
+      }
+      b.is_row = is_row != 0;
+      uint8_t present = 0;
+      if (b.is_row) {
+        if (!r->U64(&b.row) || !r->U8(&present)) return false;
+        if (present != 0) {
+          std::optional<Tuple> inner;
+          if (!GetOptTuple(r, &inner)) return false;
+          b.row_prior = std::move(inner);
+        }
+      } else {
+        if (!r->U8(&present)) return false;
+        if (present != 0) {
+          Value v;
+          if (!GetValue(r, &v)) return false;
+          b.item_prior = std::move(v);
+        }
+      }
+      rec->body = std::move(b);
+      return true;
+    }
+    case RecordType::kClr: {
+      ClrBody b;
+      uint8_t is_row = 0;
+      if (!r->U64(&b.txn) || !r->U8(&is_row) || !r->Str(&b.target)) {
+        return false;
+      }
+      b.is_row = is_row != 0;
+      if (b.is_row && !r->U64(&b.row)) return false;
+      rec->body = std::move(b);
+      return true;
+    }
+    case RecordType::kCommit: {
+      CommitBody b;
+      if (!r->U64(&b.txn) || !r->U64(&b.commit_ts) ||
+          !GetEffects(r, &b.effects)) {
+        return false;
+      }
+      rec->body = std::move(b);
+      return true;
+    }
+    case RecordType::kAbort: {
+      AbortBody b;
+      if (!r->U64(&b.txn)) return false;
+      rec->body = std::move(b);
+      return true;
+    }
+    case RecordType::kCheckpoint: {
+      CheckpointBody b;
+      if (!GetState(r, &b.state)) return false;
+      uint32_t n = 0;
+      if (!r->U32(&n)) return false;
+      for (uint32_t i = 0; i < n; ++i) {
+        TxnId t = 0;
+        if (!r->U64(&t)) return false;
+        b.active.push_back(t);
+      }
+      if (!r->U64(&b.committed_total)) return false;
+      rec->body = std::move(b);
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t ReadU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+const char* RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kBegin:
+      return "BEGIN";
+    case RecordType::kWrite:
+      return "WRITE";
+    case RecordType::kClr:
+      return "CLR";
+    case RecordType::kCommit:
+      return "COMMIT";
+    case RecordType::kAbort:
+      return "ABORT";
+    case RecordType::kCheckpoint:
+      return "CHECKPOINT";
+  }
+  return "?";
+}
+
+std::string EncodeRecord(const Record& rec) {
+  WireWriter payload;
+  payload.U64(rec.lsn);
+  payload.U8(static_cast<uint8_t>(rec.type));
+  PutBody(&payload, rec);
+
+  WireWriter frame;
+  frame.U32(static_cast<uint32_t>(payload.str().size()));
+  frame.U32(Crc32(payload.str()));
+  std::string out = frame.Take();
+  out += payload.str();
+  return out;
+}
+
+Result<Record> DecodeRecordPayload(std::string_view payload) {
+  WireReader r(payload);
+  Record rec;
+  uint8_t type = 0;
+  if (!r.U64(&rec.lsn) || !r.U8(&type)) {
+    return Status::InvalidArgument("wal: short record header");
+  }
+  if (type < 1 || type > 6) {
+    return Status::InvalidArgument(StrCat("wal: unknown record type ", type));
+  }
+  rec.type = static_cast<RecordType>(type);
+  if (!GetBody(&r, &rec) || !r.Done()) {
+    return Status::InvalidArgument(
+        StrCat("wal: malformed ", RecordTypeName(rec.type), " body"));
+  }
+  return rec;
+}
+
+ScanResult ScanRecords(std::string_view log) {
+  ScanResult out;
+  size_t pos = 0;
+  while (log.size() - pos >= 8) {
+    const uint32_t len = ReadU32Le(log.data() + pos);
+    const uint32_t crc = ReadU32Le(log.data() + pos + 4);
+    if (len == 0 || log.size() - pos - 8 < len) {
+      out.tail_torn = true;
+      break;
+    }
+    std::string_view payload = log.substr(pos + 8, len);
+    if (Crc32(payload) != crc) {
+      out.tail_torn = true;
+      break;
+    }
+    Result<Record> rec = DecodeRecordPayload(payload);
+    if (!rec.ok()) {
+      // CRC-valid but undecodable: corrupt tail, same treatment.
+      out.tail_torn = true;
+      break;
+    }
+    out.records.push_back(rec.take());
+    pos += 8 + len;
+    out.clean_bytes = pos;
+  }
+  if (pos < log.size() && log.size() - pos < 8) out.tail_torn = true;
+  return out;
+}
+
+}  // namespace semcor::wal

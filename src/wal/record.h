@@ -1,0 +1,132 @@
+#ifndef SEMCOR_WAL_RECORD_H_
+#define SEMCOR_WAL_RECORD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/store.h"
+
+namespace semcor::wal {
+
+/// Log sequence number. LSNs increase by one per record and are compared
+/// wrap-tolerantly (à la the V6 log): `LsnLe(a, b)` means "a is not newer
+/// than b" as long as the two are within half the LSN space of each other,
+/// so a counter that wraps past 2^64 keeps ordering correctly.
+using Lsn = uint64_t;
+
+inline bool LsnLe(Lsn a, Lsn b) {
+  constexpr Lsn kHalf = (~Lsn{0}) >> 1;
+  return b - a <= kHalf;
+}
+
+inline bool LsnLt(Lsn a, Lsn b) { return a != b && LsnLe(a, b); }
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`. Every record's payload is
+/// checksummed so a torn tail write is detected, not replayed.
+uint32_t Crc32(std::string_view data);
+
+/// On-disk record framing:
+///   [u32 payload_len][u32 crc32(payload)][payload]      (little-endian)
+/// payload:
+///   [u64 lsn][u8 type][body]
+/// A scan stops at the first frame whose length header runs past the end of
+/// the log or whose CRC mismatches — that is the torn tail left by a crash.
+enum class RecordType : uint8_t {
+  kBegin = 1,       ///< txn started (body: txn id, isolation-level byte)
+  kWrite = 2,       ///< undo-side chronicle of one uncommitted write
+  kClr = 3,         ///< compensation: one undo step applied during rollback
+  kCommit = 4,      ///< redo payload: full after-image write set + commit ts
+  kAbort = 5,       ///< txn rolled back completely
+  kCheckpoint = 6,  ///< fuzzy checkpoint: committed state + active txns
+};
+
+const char* RecordTypeName(RecordType type);
+
+struct BeginBody {
+  TxnId txn = 0;
+  uint8_t level = 0;  ///< IsoLevel index
+};
+
+/// One uncommitted write, with the prior image the UndoLog recorded. This is
+/// the undo side of the log: recovery only uses it for loser accounting
+/// (uncommitted images never reach the checkpointed committed state), but it
+/// chronicles exactly what a rollback would have to undo.
+struct WriteBody {
+  TxnId txn = 0;
+  bool is_row = false;
+  std::string target;  ///< item name, or table name when is_row
+  RowId row = 0;
+  /// Item prior image: engaged when the txn had already written the item.
+  std::optional<Value> item_prior;
+  /// Row prior image: outer nullopt = first write, inner nullopt = the
+  /// prior own image was a delete.
+  std::optional<std::optional<Tuple>> row_prior;
+};
+
+/// Compensation record: one undo step of a schedulable rollback completed.
+struct ClrBody {
+  TxnId txn = 0;
+  bool is_row = false;
+  std::string target;
+  RowId row = 0;
+};
+
+/// The redo payload: everything this commit promoted, with insert row ids
+/// resolved. Redo never needs earlier kWrite records — replaying commit
+/// records in commit_ts order reproduces the committed prefix exactly.
+struct CommitBody {
+  TxnId txn = 0;
+  Timestamp commit_ts = 0;
+  TxnEffects effects;
+};
+
+struct AbortBody {
+  TxnId txn = 0;
+};
+
+/// Fuzzy checkpoint: the committed-latest state, the set of transactions
+/// active at capture time (their pre-checkpoint records may be truncated
+/// away; if one later commits, its commit record carries its full write
+/// set), and the cumulative committed-transaction count so durability
+/// counters survive truncation.
+struct CheckpointBody {
+  CommittedState state;
+  std::vector<TxnId> active;
+  uint64_t committed_total = 0;
+};
+
+struct Record {
+  Lsn lsn = 0;
+  RecordType type = RecordType::kBegin;
+  std::variant<BeginBody, WriteBody, ClrBody, CommitBody, AbortBody,
+               CheckpointBody>
+      body;
+};
+
+/// Encodes one record as a complete frame (header + payload).
+std::string EncodeRecord(const Record& rec);
+
+/// Decodes one payload (no frame header). Fails on unknown types, bad
+/// value tags, or trailing bytes.
+Result<Record> DecodeRecordPayload(std::string_view payload);
+
+/// Result of scanning a log image.
+struct ScanResult {
+  std::vector<Record> records;  ///< the clean prefix, in log order
+  size_t clean_bytes = 0;       ///< bytes covered by complete, CRC-valid frames
+  bool tail_torn = false;       ///< trailing partial/corrupt frame was dropped
+};
+
+/// Scans `log` from the start, collecting complete CRC-valid records. The
+/// scan stops at the first incomplete or corrupt frame (`tail_torn`); by the
+/// append-only write discipline everything before it is intact.
+ScanResult ScanRecords(std::string_view log);
+
+}  // namespace semcor::wal
+
+#endif  // SEMCOR_WAL_RECORD_H_

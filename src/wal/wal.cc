@@ -1,0 +1,500 @@
+#include "wal/wal.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace semcor::wal {
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone:
+      return "none";
+    case FsyncPolicy::kPerCommit:
+      return "per_commit";
+    case FsyncPolicy::kGroupCommit:
+      return "group";
+  }
+  return "?";
+}
+
+bool ParseFsyncPolicy(const std::string& name, FsyncPolicy* out) {
+  if (name == "none") {
+    *out = FsyncPolicy::kNone;
+  } else if (name == "per_commit" || name == "per-commit") {
+    *out = FsyncPolicy::kPerCommit;
+  } else if (name == "group" || name == "group_commit") {
+    *out = FsyncPolicy::kGroupCommit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+RecoveryResult RecoverFromBytes(std::string_view log, Store* store) {
+  RecoveryResult out;
+  ScanResult scan = ScanRecords(log);
+  out.scanned_records = scan.records.size();
+  out.tail_torn = scan.tail_torn;
+  out.clean_bytes = scan.clean_bytes;
+
+  // Analysis: find the last complete checkpoint; classify transactions.
+  size_t cp_index = scan.records.size();  // "none"
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    if (scan.records[i].type == RecordType::kCheckpoint) cp_index = i;
+  }
+
+  std::set<TxnId> started;   // kBegin seen after the checkpoint
+  std::set<TxnId> finished;  // committed or aborted after the checkpoint
+  std::map<TxnId, uint64_t> writes;
+  std::map<TxnId, uint64_t> clrs;
+  std::vector<const CommitBody*> commits;
+  const size_t redo_from = cp_index == scan.records.size() ? 0 : cp_index;
+
+  auto see_txn = [&](TxnId txn) {
+    if (txn > out.max_txn_id) out.max_txn_id = txn;
+  };
+
+  if (cp_index != scan.records.size()) {
+    const auto& cp = std::get<CheckpointBody>(scan.records[cp_index].body);
+    store->LoadCommittedState(cp.state);
+    out.found_checkpoint = true;
+    out.recovered_commits = cp.committed_total;
+    for (TxnId txn : cp.active) {
+      started.insert(txn);
+      see_txn(txn);
+    }
+  }
+  for (size_t i = redo_from; i < scan.records.size(); ++i) {
+    const Record& rec = scan.records[i];
+    switch (rec.type) {
+      case RecordType::kBegin: {
+        const auto& b = std::get<BeginBody>(rec.body);
+        started.insert(b.txn);
+        see_txn(b.txn);
+        break;
+      }
+      case RecordType::kWrite: {
+        const auto& b = std::get<WriteBody>(rec.body);
+        ++writes[b.txn];
+        see_txn(b.txn);
+        break;
+      }
+      case RecordType::kClr: {
+        const auto& b = std::get<ClrBody>(rec.body);
+        ++clrs[b.txn];
+        see_txn(b.txn);
+        break;
+      }
+      case RecordType::kCommit: {
+        const auto& b = std::get<CommitBody>(rec.body);
+        commits.push_back(&b);
+        finished.insert(b.txn);
+        see_txn(b.txn);
+        break;
+      }
+      case RecordType::kAbort: {
+        const auto& b = std::get<AbortBody>(rec.body);
+        finished.insert(b.txn);
+        see_txn(b.txn);
+        break;
+      }
+      case RecordType::kCheckpoint:
+        break;
+    }
+  }
+
+  // Redo: replay the committed prefix in commit-timestamp order. LogCommit's
+  // append-mutex discipline already puts commit records in ts order; the
+  // sort is defensive.
+  std::sort(commits.begin(), commits.end(),
+            [](const CommitBody* a, const CommitBody* b) {
+              return a->commit_ts < b->commit_ts;
+            });
+  for (const CommitBody* commit : commits) {
+    Status s = store->RecoveryApply(commit->effects, commit->commit_ts);
+    if (s.ok()) {
+      ++out.replayed_txns;
+      ++out.recovered_commits;
+    }
+  }
+
+  // Undo: losers (started, never finished) are discarded with accounting —
+  // their uncommitted images were never checkpointed, so there is nothing
+  // to physically revert; the kWrite/kClr chronicle says how many undo
+  // steps a live rollback would still have owed.
+  for (TxnId txn : started) {
+    if (finished.count(txn)) continue;
+    ++out.losers_aborted;
+    const uint64_t w = writes.count(txn) ? writes.at(txn) : 0;
+    const uint64_t c = clrs.count(txn) ? clrs.at(txn) : 0;
+    out.undone_writes += w > c ? w - c : 0;
+  }
+
+  out.clock = store->CurrentTs();
+  out.next_lsn =
+      scan.records.empty() ? Lsn{1} : scan.records.back().lsn + 1;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// WriteAheadLog
+// ---------------------------------------------------------------------------
+
+WriteAheadLog::WriteAheadLog(std::unique_ptr<LogDevice> device, Store* store,
+                             WalOptions options)
+    : device_(std::move(device)),
+      store_(store),
+      options_(options),
+      next_lsn_(options.first_lsn),
+      last_lsn_(options.first_lsn - 1),
+      durable_lsn_(options.first_lsn - 1) {}
+
+WriteAheadLog::~WriteAheadLog() { Stop(); }
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::OpenDir(
+    const std::string& dir, Store* store, WalOptions options,
+    RecoveryResult* recovery) {
+  Result<std::unique_ptr<FileDevice>> device = FileDevice::Open(dir);
+  if (!device.ok()) return device.status();
+  Result<std::string> image = device.value()->ReadAll();
+  if (!image.ok()) return image.status();
+  RecoveryResult rec = RecoverFromBytes(image.value(), store);
+  if (recovery != nullptr) *recovery = rec;
+  if (rec.next_lsn > options.first_lsn) options.first_lsn = rec.next_lsn;
+  auto wal = std::make_unique<WriteAheadLog>(
+      std::unique_ptr<LogDevice>(device.take()), store, options);
+  wal->committed_base_ = rec.recovered_commits;
+  // A fresh checkpoint bounds the next recovery and truncates the replayed
+  // history (first boot: captures the workload's setup state).
+  Status s = wal->Checkpoint();
+  if (!s.ok()) return s;
+  wal->Start();
+  return wal;
+}
+
+void WriteAheadLog::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.fsync != FsyncPolicy::kGroupCommit) return;
+  if (flusher_running_ || stop_ || crashed_) return;
+  flusher_running_ = true;
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+void WriteAheadLog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    flusher_cv_.notify_all();
+    durable_cv_.notify_all();
+  }
+  if (flusher_.joinable()) flusher_.join();
+  Lsn target = 0;
+  uint64_t commits = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_ || !LsnLt(durable_lsn_, last_lsn_)) return;
+    target = last_lsn_;
+    commits = stats_.commits_logged;
+  }
+  SyncUpTo(target, commits);
+}
+
+bool WriteAheadLog::HookSaysCrash(FaultSite site, TxnId txn) {
+  if (!hook_ || crashed_) return crashed_;
+  if (hook_(site, txn)) {
+    crashed_ = true;
+    durable_cv_.notify_all();
+    flusher_cv_.notify_all();
+  }
+  return crashed_;
+}
+
+Lsn WriteAheadLog::TakeLsn() {
+  // LSN 0 is the "no record appended" sentinel, so a wrapping counter skips
+  // it; LsnLe keeps ordering across the wrap.
+  if (next_lsn_ == 0) ++next_lsn_;
+  return next_lsn_++;
+}
+
+Lsn WriteAheadLog::AppendLocked(Record* rec, TxnId txn) {
+  if (crashed_) return 0;
+  rec->lsn = TakeLsn();
+  std::string bytes = EncodeRecord(*rec);
+  if (HookSaysCrash(FaultSite::kWalAppend, txn)) {
+    // A torn append: half the frame reaches the device, then the crash.
+    device_->Append(std::string_view(bytes).substr(0, bytes.size() / 2));
+    return 0;
+  }
+  device_->Append(bytes);
+  last_lsn_ = rec->lsn;
+  ++stats_.appends;
+  stats_.bytes_appended += bytes.size();
+  return rec->lsn;
+}
+
+void WriteAheadLog::LogBegin(TxnId txn, IsoLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return;
+  active_.insert(txn);
+  Record rec;
+  rec.type = RecordType::kBegin;
+  rec.body = BeginBody{txn, static_cast<uint8_t>(level)};
+  AppendLocked(&rec, txn);
+}
+
+void WriteAheadLog::LogItemWrite(TxnId txn, const std::string& name,
+                                 const std::optional<Value>& prior) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return;
+  Record rec;
+  rec.type = RecordType::kWrite;
+  WriteBody body;
+  body.txn = txn;
+  body.target = name;
+  body.item_prior = prior;
+  rec.body = std::move(body);
+  AppendLocked(&rec, txn);
+}
+
+void WriteAheadLog::LogRowWrite(
+    TxnId txn, const std::string& table, RowId row,
+    const std::optional<std::optional<Tuple>>& prior) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return;
+  Record rec;
+  rec.type = RecordType::kWrite;
+  WriteBody body;
+  body.txn = txn;
+  body.is_row = true;
+  body.target = table;
+  body.row = row;
+  body.row_prior = prior;
+  rec.body = std::move(body);
+  AppendLocked(&rec, txn);
+}
+
+void WriteAheadLog::LogClrItem(TxnId txn, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return;
+  Record rec;
+  rec.type = RecordType::kClr;
+  rec.body = ClrBody{txn, false, name, 0};
+  AppendLocked(&rec, txn);
+}
+
+void WriteAheadLog::LogClrRow(TxnId txn, const std::string& table, RowId row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return;
+  Record rec;
+  rec.type = RecordType::kClr;
+  rec.body = ClrBody{txn, true, table, row};
+  AppendLocked(&rec, txn);
+}
+
+void WriteAheadLog::LogAbort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(txn);
+  if (crashed_) return;
+  Record rec;
+  rec.type = RecordType::kAbort;
+  rec.body = AbortBody{txn};
+  AppendLocked(&rec, txn);
+}
+
+WriteAheadLog::CommitHandle WriteAheadLog::LogCommit(
+    TxnId txn, const std::function<Result<Timestamp>(TxnEffects*)>& apply,
+    Status* apply_status) {
+  std::unique_lock<std::mutex> lock(mu_);
+  CommitHandle handle;
+  // The store commit runs under mu_, so log order == commit order even when
+  // sessions race: the durable log prefix is always a commit-order prefix.
+  TxnEffects effects;
+  Result<Timestamp> ts = apply(&effects);
+  if (apply_status != nullptr) *apply_status = ts.status();
+  if (!ts.ok()) return handle;
+  handle.applied = true;
+  handle.commit_ts = ts.value();
+  active_.erase(txn);
+  if (crashed_) return handle;
+
+  Record rec;
+  rec.type = RecordType::kCommit;
+  rec.body = CommitBody{txn, ts.value(), std::move(effects)};
+  handle.lsn = AppendLocked(&rec, txn);
+  if (handle.lsn == 0) return handle;
+  ++stats_.commits_logged;
+
+  switch (options_.fsync) {
+    case FsyncPolicy::kNone:
+      durable_lsn_ = last_lsn_;
+      acked_commits_ = stats_.commits_logged;
+      durable_cv_.notify_all();
+      break;
+    case FsyncPolicy::kPerCommit:
+      break;  // synced below, outside mu_
+    case FsyncPolicy::kGroupCommit:
+      break;  // the epoch flusher picks it up
+  }
+
+  if (options_.checkpoint_every_bytes > 0 && !crashed_ &&
+      device_->Size() >= options_.checkpoint_every_bytes) {
+    // The checkpoint's Reset is itself durable, so when it folds this commit
+    // in, the per-commit sync below sees durable_lsn_ already past it.
+    CheckpointLocked();
+  }
+  if (options_.fsync == FsyncPolicy::kPerCommit) {
+    const Lsn target = last_lsn_;
+    const uint64_t commits = stats_.commits_logged;
+    lock.unlock();
+    SyncUpTo(target, commits);
+  }
+  return handle;
+}
+
+void WriteAheadLog::SyncUpTo(Lsn target, uint64_t target_commits) {
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  const TxnId site_txn = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_ || LsnLe(target, durable_lsn_)) return;
+    if (HookSaysCrash(FaultSite::kWalPreSync, site_txn)) return;
+  }
+  const Status synced = device_->Sync();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!synced.ok() || crashed_) return;
+  ++stats_.fsyncs;
+  // A checkpoint may have truncated past `target` while the fsync ran; only
+  // advance the watermark, never rewind it.
+  if (LsnLt(durable_lsn_, target)) {
+    durable_lsn_ = target;
+    const uint64_t batch = target_commits - acked_commits_;
+    if (batch > 0 && options_.fsync == FsyncPolicy::kGroupCommit) {
+      ++stats_.group_commit_batches;
+      stats_.batch_commits += batch;
+    }
+    if (acked_commits_ < target_commits) acked_commits_ = target_commits;
+    durable_cv_.notify_all();
+  }
+  HookSaysCrash(FaultSite::kWalPostSync, site_txn);
+}
+
+void WriteAheadLog::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_ && !crashed_) {
+    flusher_cv_.wait_for(lock,
+                         std::chrono::microseconds(options_.group_commit_us),
+                         [&] { return stop_ || crashed_; });
+    if (stop_ || crashed_) break;
+    if (LsnLt(durable_lsn_, last_lsn_)) {
+      const Lsn target = last_lsn_;
+      const uint64_t commits = stats_.commits_logged;
+      lock.unlock();
+      SyncUpTo(target, commits);
+      lock.lock();
+    }
+  }
+  flusher_running_ = false;
+}
+
+bool WriteAheadLog::WaitDurable(Lsn lsn) {
+  if (lsn == 0) return false;
+  std::unique_lock<std::mutex> lock(mu_);
+  durable_cv_.wait(lock, [&] {
+    return crashed_ || stop_ || LsnLe(lsn, durable_lsn_);
+  });
+  return LsnLe(lsn, durable_lsn_);
+}
+
+Status WriteAheadLog::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+Status WriteAheadLog::CheckpointLocked() {
+  if (crashed_) return Status::Aborted("wal crashed");
+  if (HookSaysCrash(FaultSite::kWalCheckpoint, 0)) {
+    // Mid-checkpoint crash: the atomic-replace never happened; the old log
+    // (with whatever tail was durable) is what recovery sees.
+    return Status::Aborted("wal crashed at checkpoint");
+  }
+  Record rec;
+  rec.type = RecordType::kCheckpoint;
+  CheckpointBody body;
+  body.state = store_->DumpCommittedState();
+  body.active.assign(active_.begin(), active_.end());
+  body.committed_total = committed_base_ + stats_.commits_logged;
+  rec.body = std::move(body);
+  rec.lsn = TakeLsn();
+  std::string bytes = EncodeRecord(rec);
+  const uint64_t old_size = device_->Size();
+  Status s = device_->Reset(bytes);
+  if (!s.ok()) return s;
+  last_lsn_ = rec.lsn;
+  durable_lsn_ = rec.lsn;
+  ++stats_.appends;
+  ++stats_.checkpoints;
+  ++stats_.truncations;
+  ++stats_.fsyncs;
+  stats_.bytes_appended += bytes.size();
+  stats_.bytes_reclaimed += old_size;
+  acked_commits_ = stats_.commits_logged;
+  durable_cv_.notify_all();
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Flush() {
+  Lsn target = 0;
+  uint64_t commits = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return Status::Aborted("wal crashed");
+    target = last_lsn_;
+    commits = stats_.commits_logged;
+  }
+  SyncUpTo(target, commits);
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_ ? Status::Aborted("wal crashed") : Status::Ok();
+}
+
+void WriteAheadLog::SetFaultHook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hook_ = std::move(hook);
+}
+
+void WriteAheadLog::Freeze() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+  durable_cv_.notify_all();
+  flusher_cv_.notify_all();
+}
+
+bool WriteAheadLog::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+WalStats WriteAheadLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStats out = stats_;
+  out.log_bytes = device_->Size();
+  return out;
+}
+
+uint64_t WriteAheadLog::committed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_base_ + stats_.commits_logged;
+}
+
+Lsn WriteAheadLog::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+}  // namespace semcor::wal

@@ -252,5 +252,53 @@ TEST(CliTest, HelpStopsParsingWithoutFailing) {
   EXPECT_EQ(i, 0);  // nothing after --help is applied
 }
 
+TEST(CliTest, VersionStopsParsingWithoutFailing) {
+  int i = 0;
+  cli::Flags flags("prog", "test");
+  flags.Int("n", &i, "");
+  const char* argv[] = {"prog", "--version", "--garbage"};
+  EXPECT_TRUE(flags.Parse(3, const_cast<char**>(argv)));
+  EXPECT_TRUE(flags.version_requested());
+  EXPECT_FALSE(flags.help_requested());
+  EXPECT_EQ(i, 0);  // nothing after --version is applied
+}
+
+TEST(CliTest, RepeatedFlagsTakeLastValue) {
+  // Last-wins lets wrapper scripts append overrides to a base command line
+  // without stripping its earlier values.
+  int i = 0;
+  std::string s;
+  cli::Flags flags("prog", "test");
+  flags.Int("n", &i, "");
+  flags.Str("s", &s, "");
+  const char* argv[] = {"prog", "--n=4", "--s=a", "--n=8", "--n=15", "--s=b"};
+  ASSERT_TRUE(flags.Parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(i, 15);
+  EXPECT_EQ(s, "b");
+  EXPECT_EQ(flags.Occurrences("n"), 3);
+  EXPECT_EQ(flags.Occurrences("s"), 2);
+  EXPECT_EQ(flags.Occurrences("never-given"), 0);
+}
+
+TEST(CliTest, RepeatedBoolAndMalformedRepeatStillFail) {
+  bool b = false;
+  cli::Flags flags("prog", "test");
+  flags.Bool("b", &b, "");
+  {
+    // Bare then explicit-false: the later occurrence wins.
+    const char* argv[] = {"prog", "--b", "--b=false"};
+    ASSERT_TRUE(flags.Parse(3, const_cast<char**>(argv)));
+    EXPECT_FALSE(b);
+    EXPECT_EQ(flags.Occurrences("b"), 2);
+  }
+  {
+    // A malformed later occurrence is still an error, not silently ignored.
+    cli::Flags again("prog", "test");
+    again.Bool("b", &b, "");
+    const char* argv[] = {"prog", "--b=true", "--b=maybe"};
+    EXPECT_FALSE(again.Parse(3, const_cast<char**>(argv)));
+  }
+}
+
 }  // namespace
 }  // namespace semcor
