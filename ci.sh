@@ -142,6 +142,22 @@ assert r["server_wal_appends"] >= 1, r
 EOF
 fi
 
+# Chaos soak: seeded fault injection at both I/O boundaries. Phase 1 drives
+# clients through the ChaosProxy (frame drops/truncation/duplication/delays/
+# splitting) against a server with statement/transaction/idle deadlines, then
+# drains gracefully; phase 2 serves from a WAL under a seeded disk-fault plan
+# with the panic fsync-failure policy, then recovers the faulted log and
+# checks every acked commit survived. The binary exits non-zero if any
+# oracle (no leaked sessions, nothing in flight, invariant intact, acked
+# subset of recovered) fails; every fault replays from the seed.
+rm -rf chaos_wal_dir BENCH_E12.json
+./build/examples/semcor_chaos --duration-s=30 --threads=4 --seed=42
+rm -rf chaos_wal_dir
+test -s BENCH_E12.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json; assert json.load(open("BENCH_E12.json"))["all_ok"] == 1'
+fi
+
 # Machine-readable bench artifacts: every bench_e* emits BENCH_E<n>.json;
 # CI produces the two cheap ones (substrate microbenches and the explorer
 # scaling table) with small budgets — this checks the plumbing, not the
@@ -155,5 +171,12 @@ test -s BENCH_E11.json
 if command -v python3 >/dev/null 2>&1; then
   python3 -c 'import json; assert json.load(open("BENCH_E11.json"))["all_ok"] == 1'
 fi
+
+# Archive every machine-readable artifact this run produced, so a CI
+# wrapper only has to preserve one directory.
+mkdir -p ci_artifacts
+for f in BENCH_E*.json; do
+  if [ -s "$f" ]; then cp "$f" ci_artifacts/; fi
+done
 
 echo "ci.sh: OK"

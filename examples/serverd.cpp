@@ -7,9 +7,12 @@
 // (clients may request a level or let the server pick the lowest
 // semantically-correct one per the paper's §5 procedure). Prints the bound
 // port on stdout (and to --port-file, for scripts racing an ephemeral port),
-// then runs until SIGINT/SIGTERM, a client SHUTDOWN request, or
-// --duration-s elapses. Exit codes: 0 = clean shutdown, 1 = setup error,
-// 2 = usage error.
+// then runs until SIGINT (immediate stop), SIGTERM (graceful drain: stop
+// accepting, let in-flight transactions finish up to --drain-timeout, final
+// checkpoint), a client SHUTDOWN request, or --duration-s elapses.
+// Exit codes: 0 = clean shutdown, 1 = setup error (including WAL recovery
+// failure), 2 = usage error, 3 = the WAL froze on a device error under the
+// panic policy (acked durability could no longer be honoured).
 
 #include <unistd.h>
 
@@ -25,10 +28,14 @@ namespace {
 
 semcor::net::Server* g_server = nullptr;
 
-void HandleSignal(int) {
+void HandleStop(int) {
   // Only async-signal-safe work here (atomic store + self-pipe write); the
   // actual teardown happens on the main thread after WaitUntilStopped.
   if (g_server != nullptr) g_server->RequestStop();
+}
+
+void HandleDrain(int) {
+  if (g_server != nullptr) g_server->RequestDrain();
 }
 
 }  // namespace
@@ -67,6 +74,22 @@ int main(int argc, char** argv) {
             "WAL fsync policy: none|per_commit|group");
   flags.I64("group-commit-us", &group_commit_us,
             "group-commit epoch length in microseconds");
+  flags.Str("wal-fsync-failure", &options.wal_fsync_failure,
+            "reaction to a failed WAL fsync: panic|degrade");
+  flags.Str("disk-faults", &options.disk_faults,
+            "deterministic WAL fault plan: none | seed:N[:p_append[:p_short"
+            "[:p_sync]]]");
+  flags.DurationUs("stmt-timeout", &options.stmt_timeout_us,
+                   "max blocked time per statement, 0 = off (us/ms/s suffix, "
+                   "bare = ms)");
+  flags.DurationUs("txn-timeout", &options.txn_timeout_us,
+                   "max BEGIN-to-decision time per transaction, 0 = off");
+  flags.DurationUs("idle-timeout", &options.idle_timeout_us,
+                   "reap sessions with no inbound frames for this long, "
+                   "0 = off");
+  flags.DurationUs("drain-timeout", &options.drain_timeout_us,
+                   "SIGTERM drain: wait this long for in-flight transactions "
+                   "before forcing stop");
   if (!flags.Parse(argc, argv)) return 2;
   if (flags.help_requested() || flags.version_requested()) return 0;
   if (port < 0 || port > 65535) {
@@ -81,7 +104,11 @@ int main(int argc, char** argv) {
 
   semcor::net::Server server(options);
   if (semcor::Status s = server.Start(); !s.ok()) {
-    std::fprintf(stderr, "semcor_serverd: %s\n", s.ToString().c_str());
+    // A failed start is a refusal to serve; the most important case is WAL
+    // recovery rejecting the log (a committed transaction that cannot be
+    // replayed) — serving anyway would silently drop acked durability.
+    std::fprintf(stderr, "semcor_serverd: startup failed: %s\n",
+                 s.ToString().c_str());
     return 1;
   }
   std::printf("semcor_serverd: serving %s on 127.0.0.1:%u (%d workers)\n",
@@ -100,25 +127,33 @@ int main(int argc, char** argv) {
   }
 
   g_server = &server;
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleDrain);
 
   if (duration_s > 0) {
     // Alarm-based stop keeps the main thread free to wait.
-    std::signal(SIGALRM, HandleSignal);
+    std::signal(SIGALRM, HandleStop);
     ::alarm(static_cast<unsigned>(duration_s));
   }
   server.WaitUntilStopped();
+  const bool drained = server.draining();
   server.Stop();
   g_server = nullptr;
 
   const semcor::net::ServerMetricsSnapshot m = server.Metrics();
   std::printf(
-      "semcor_serverd: stopped; sessions=%ld txns=%ld committed=%ld "
+      "semcor_serverd: stopped%s; sessions=%ld txns=%ld committed=%ld "
       "aborted=%ld deadlock_victims=%ld admission_rejected=%ld "
-      "invariant_ok=%d\n",
-      m.sessions_accepted, m.Committed() + m.Aborted(), m.Committed(),
-      m.Aborted(), m.deadlock_victims, m.admission_rejected,
-      server.InvariantHolds() ? 1 : 0);
+      "timeouts=%ld/%ld/%ld invariant_ok=%d\n",
+      drained ? " (drained)" : "", m.sessions_accepted,
+      m.Committed() + m.Aborted(), m.Committed(), m.Aborted(),
+      m.deadlock_victims, m.admission_rejected, m.stmt_timeouts,
+      m.txn_timeouts, m.idle_timeouts, server.InvariantHolds() ? 1 : 0);
+  if (semcor::Status wal = server.WalFailure(); !wal.ok()) {
+    std::fprintf(stderr,
+                 "semcor_serverd: WAL froze under the panic policy: %s\n",
+                 wal.ToString().c_str());
+    return 3;
+  }
   return 0;
 }

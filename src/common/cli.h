@@ -15,6 +15,41 @@ namespace semcor::cli {
 /// be diagnosed from the version lines alone.
 inline constexpr const char* kVersion = "semcor 0.6.0";
 
+/// Parses a duration into microseconds: "250ms", "2s", "1500us". A bare
+/// number means milliseconds (the common case for timeout flags). Rejects
+/// empty strings, negatives, unknown suffixes, trailing junk, and values
+/// that would overflow uint64 microseconds. Shared by the Flags parser
+/// (DurationUs kind) and exposed directly so tests can pin the grammar.
+inline bool ParseDurationUs(const std::string& value, uint64_t* out) {
+  if (value.empty() || value[0] == '-' || value[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str()) return false;
+  const std::string suffix(end);
+  uint64_t scale = 0;
+  if (suffix.empty() || suffix == "ms") {
+    scale = 1000;
+  } else if (suffix == "us") {
+    scale = 1;
+  } else if (suffix == "s") {
+    scale = 1000000;
+  } else {
+    return false;
+  }
+  if (scale != 1 && n > UINT64_MAX / scale) return false;
+  *out = static_cast<uint64_t>(n) * scale;
+  return true;
+}
+
+/// Renders microseconds with the largest exact suffix ("2s", "250ms",
+/// "1500us") — used for flag defaults in --help output.
+inline std::string FormatDurationUs(uint64_t us) {
+  if (us != 0 && us % 1000000 == 0) return std::to_string(us / 1000000) + "s";
+  if (us % 1000 == 0) return std::to_string(us / 1000) + "ms";
+  return std::to_string(us) + "us";
+}
+
 /// Tiny declarative flag parser shared by the command-line binaries
 /// (semcor_explore, semcor_serverd, semcor_bench_client, semcor_analyze) so
 /// they agree on syntax and error behaviour. Flags are `--name=value`; bool
@@ -50,6 +85,11 @@ class Flags {
   }
   void Bool(const char* name, bool* var, const char* help) {
     Add(name, help, Kind::kBool, var, *var ? "true" : "false");
+  }
+  /// Duration flag stored as microseconds; accepts `us`/`ms`/`s` suffixes,
+  /// bare numbers are milliseconds (see ParseDurationUs).
+  void DurationUs(const char* name, uint64_t* var, const char* help) {
+    Add(name, help, Kind::kDurationUs, var, FormatDurationUs(*var));
   }
 
   bool help_requested() const { return help_requested_; }
@@ -116,7 +156,7 @@ class Flags {
   }
 
  private:
-  enum class Kind { kStr, kInt, kI64, kU64, kBool };
+  enum class Kind { kStr, kInt, kI64, kU64, kBool, kDurationUs };
 
   struct Flag {
     std::string name;
@@ -151,6 +191,8 @@ class Flags {
       case Kind::kStr:
         *static_cast<std::string*>(flag.target) = value;
         return true;
+      case Kind::kDurationUs:
+        return ParseDurationUs(value, static_cast<uint64_t*>(flag.target));
       case Kind::kBool:
         if (value == "true" || value == "1" || value == "yes") {
           *static_cast<bool*>(flag.target) = true;

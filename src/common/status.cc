@@ -24,6 +24,8 @@ const char* CodeName(Code code) {
       return "Unsupported";
     case Code::kInternal:
       return "Internal";
+    case Code::kTimeout:
+      return "Timeout";
   }
   return "Unknown";
 }

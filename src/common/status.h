@@ -20,6 +20,7 @@ enum class Code {
   kWouldBlock,        ///< Try-lock failed; retry later (step-driver mode).
   kUnsupported,       ///< Operation not available in this configuration.
   kInternal,          ///< Invariant breakage inside the library (a bug).
+  kTimeout,           ///< A deadline expired (statement/transaction/idle).
 };
 
 /// Returns a stable human-readable name for a code ("OK", "Aborted", ...).
@@ -61,6 +62,9 @@ class Status {
   static Status Internal(std::string m) {
     return Status(Code::kInternal, std::move(m));
   }
+  static Status Timeout(std::string m) {
+    return Status(Code::kTimeout, std::move(m));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -69,7 +73,7 @@ class Status {
   /// True for any of the "transaction must restart" outcomes.
   bool IsTransactionFailure() const {
     return code_ == Code::kAborted || code_ == Code::kDeadlock ||
-           code_ == Code::kConflict;
+           code_ == Code::kConflict || code_ == Code::kTimeout;
   }
 
   /// "OK" or "<CodeName>: <message>".

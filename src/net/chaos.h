@@ -1,0 +1,98 @@
+#ifndef SEMCOR_NET_CHAOS_H_
+#define SEMCOR_NET_CHAOS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace semcor::net {
+
+/// Per-chunk fault probabilities for the chaos proxy. Decisions are a pure
+/// function of (seed, connection, direction, chunk index) — rerunning the
+/// same scenario with the same seed injects the same fault sequence, so a
+/// chaos failure is replayable. Probabilities are checked in the order
+/// close, truncate, duplicate, delay; at most one fires per chunk.
+struct ChaosOptions {
+  std::string upstream_host = "127.0.0.1";
+  uint16_t upstream_port = 0;
+  uint64_t seed = 1;
+  double p_close = 0;      ///< drop the connection instead of forwarding
+  double p_truncate = 0;   ///< forward half the chunk, then drop the conn
+  double p_duplicate = 0;  ///< forward the chunk twice (duplicated frames)
+  double p_delay = 0;      ///< sleep delay_ms before forwarding
+  uint32_t delay_ms = 5;
+  /// When nonzero, every forwarded chunk is written in pieces of at most
+  /// this many bytes, so the receiver's FrameParser sees frames arriving
+  /// byte-by-byte across reads. 0 = pass chunks through intact.
+  size_t split_bytes = 0;
+};
+
+struct ChaosStats {
+  long connections = 0;
+  long chunks = 0;        ///< reads forwarded (or faulted)
+  long closes = 0;        ///< connections dropped mid-stream
+  long truncates = 0;     ///< chunks cut in half before the drop
+  long duplicates = 0;    ///< chunks forwarded twice
+  long delays = 0;        ///< chunks held for delay_ms
+};
+
+/// In-process chaos transport: a TCP proxy that sits between a Client and a
+/// Server on loopback and mangles the byte stream according to a seeded
+/// fault plan. Tests point the client at proxy.port() instead of the server;
+/// everything else is unchanged, so the same client/server code paths that
+/// run in production are the ones exercised under faults.
+///
+/// Each accepted connection dials the upstream and pumps bytes both ways on
+/// two threads. A "chunk" is one read(2) result; faults apply per chunk per
+/// direction. Dropping a connection closes BOTH sides so the server sees a
+/// mid-transaction disconnect and the client sees a reset — exactly the
+/// failure the session-teardown path must absorb.
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosOptions options) : options_(options) {}
+  ~ChaosProxy();
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds a loopback listener (port() afterwards) and starts accepting.
+  Status Start();
+  /// Closes the listener and every live connection, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  ChaosStats Stats() const;
+
+ private:
+  struct Conn;
+
+  void AcceptLoop();
+  /// Pumps src -> dst until EOF, error, or an injected close. `dir` is 0 for
+  /// client->server, 1 for server->client (the fault streams are
+  /// independent).
+  void Pump(const std::shared_ptr<Conn>& conn, int src, int dst, int dir);
+  /// Writes `data` to fd honouring split_bytes; false on error.
+  bool ForwardAll(int fd, const std::string& data);
+
+  ChaosOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 0;
+  ChaosStats stats_;
+};
+
+}  // namespace semcor::net
+
+#endif  // SEMCOR_NET_CHAOS_H_

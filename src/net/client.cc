@@ -26,6 +26,11 @@ Status Unexpected(const Frame& frame) {
   if (frame.type == MsgType::kError) {
     Result<ErrorResp> err = ErrorResp::Decode(frame.payload);
     if (err.ok()) {
+      if (err.value().code ==
+          static_cast<uint16_t>(WireError::kShuttingDown)) {
+        return Status::Aborted(StrCat("server draining: ",
+                                      err.value().message));
+      }
       return Status::InvalidArgument(
           StrCat("server error ", err.value().code, ": ",
                  err.value().message));
@@ -33,6 +38,15 @@ Status Unexpected(const Frame& frame) {
   }
   return Status::Internal(
       StrCat("unexpected frame ", MsgTypeName(frame.type)));
+}
+
+/// SplitMix64 — the same mixer the server-side fault plans use, so client
+/// jitter is reproducible from the seed alone.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -119,11 +133,51 @@ Status Client::RecvFrame(Frame* out) {
   }
 }
 
+uint32_t Client::NextBackoffMs(int attempt, uint32_t server_hint_ms) {
+  // Lazy-seed the jitter stream so the schedule is a pure function of
+  // backoff_seed — independent of whether (or how often) Connect ran.
+  if (backoff_state_ == 0) backoff_state_ = Mix(options_.backoff_seed) | 1;
+  const uint64_t base = options_.backoff_base_ms > 0 ? options_.backoff_base_ms : 1;
+  const uint64_t cap = options_.backoff_max_ms > 0 ? options_.backoff_max_ms : 1;
+  const int shift = attempt < 16 ? attempt : 16;
+  const uint64_t ceiling = std::min<uint64_t>(base << shift, cap);
+  // Equal-jitter: [ceiling/2, ceiling], so retries neither synchronize
+  // (full determinism per client, decorrelated across seeds) nor collapse
+  // to zero sleep.
+  backoff_state_ = Mix(backoff_state_);
+  const uint64_t half = ceiling / 2;
+  const uint64_t span = ceiling - half + 1;
+  uint64_t ms = half + backoff_state_ % span;
+  if (ms < server_hint_ms) ms = server_hint_ms;
+  if (ms == 0) ms = 1;
+  return static_cast<uint32_t>(ms);
+}
+
 Result<Frame> Client::Call(MsgType type, const std::string& payload) {
   if (Status s = SendFrame(type, payload); !s.ok()) return s;
-  Frame frame;
-  if (Status s = RecvFrame(&frame); !s.ok()) return s;
-  return frame;
+  for (;;) {
+    Frame frame;
+    if (Status s = RecvFrame(&frame); !s.ok()) return s;
+    if (frame.type != MsgType::kTimeout) return frame;
+    Result<TimeoutResp> timeout = TimeoutResp::Decode(frame.payload);
+    if (!timeout.ok()) return timeout.status();
+    switch (static_cast<TimeoutKind>(timeout.value().what)) {
+      case TimeoutKind::kStatement:
+        // The server aborted the statement we were waiting on: this frame
+        // IS the response.
+        timed_out_ = true;
+        return frame;
+      case TimeoutKind::kTxn:
+        // Unsolicited (the sweep aborted between our frames); the response
+        // to the request we just sent is still on the wire behind it.
+        timed_out_ = true;
+        continue;
+      case TimeoutKind::kIdle:
+        return Status::Timeout(
+            StrCat("session reaped: ", timeout.value().detail));
+    }
+    return Status::Internal("bad TIMEOUT kind");
+  }
 }
 
 Result<HelloResp> Client::Hello() {
@@ -161,9 +215,11 @@ Result<BeginResult> Client::Begin(
 
 namespace {
 
-/// Shared tail for STMT/COMMIT/ABORT: a step report, or a BUSY (session
-/// queue backpressure) folded into a kBlocked report so RunTxn's retry loop
-/// handles both uniformly.
+/// Shared tail for STMT/COMMIT/ABORT: a step report, or one of the frames
+/// that fold into it — BUSY (session queue backpressure) becomes kBlocked;
+/// a statement TIMEOUT becomes kAborted; a kNotDurable error becomes
+/// kAborted too, because whatever the live store did, the server would not
+/// promise the commit survives a crash and the client must not count it.
 Result<StepResp> AsStepReport(const Frame& frame) {
   if (frame.type == MsgType::kBusy) {
     Result<BusyResp> busy = BusyResp::Decode(frame.payload);
@@ -173,6 +229,24 @@ Result<StepResp> AsStepReport(const Frame& frame) {
     blocked.retry_after_ms = busy.value().retry_after_ms;
     blocked.detail = busy.value().reason;
     return blocked;
+  }
+  if (frame.type == MsgType::kTimeout) {
+    Result<TimeoutResp> timeout = TimeoutResp::Decode(frame.payload);
+    if (!timeout.ok()) return timeout.status();
+    StepResp aborted;
+    aborted.outcome = static_cast<uint8_t>(StepWire::kAborted);
+    aborted.detail = timeout.value().detail;
+    return aborted;
+  }
+  if (frame.type == MsgType::kError) {
+    Result<ErrorResp> err = ErrorResp::Decode(frame.payload);
+    if (err.ok() &&
+        err.value().code == static_cast<uint16_t>(WireError::kNotDurable)) {
+      StepResp aborted;
+      aborted.outcome = static_cast<uint8_t>(StepWire::kAborted);
+      aborted.detail = err.value().message;
+      return aborted;
+    }
   }
   if (frame.type != MsgType::kStepReport) return Unexpected(frame);
   return StepResp::Decode(frame.payload);
@@ -222,8 +296,14 @@ Result<TxnResult> Client::RunTxn(
     int max_busy_retries) {
   TxnResult result;
   const auto start = std::chrono::steady_clock::now();
-  auto backoff = [](uint32_t ms) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(ms > 0 ? ms : 1));
+  timed_out_ = false;
+  // Consecutive-retry counter drives the exponential; any real progress
+  // resets it so a long transaction is not punished for early contention.
+  int attempt = 0;
+  auto backoff = [&](uint32_t server_hint_ms) {
+    const uint32_t ms = NextBackoffMs(attempt++, server_hint_ms);
+    result.backoff_ms += ms;
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
   };
 
   // BEGIN, absorbing admission-control pushback.
@@ -243,9 +323,11 @@ Result<TxnResult> Client::RunTxn(
     }
     backoff(begin.value().retry_after_ms);
   }
+  attempt = 0;
 
   // Step the body, then commit. kBlocked and BUSY both mean "retry after a
-  // nap"; the server's bounded-wait policy guarantees this terminates.
+  // nap"; the server's bounded-wait policy (and, with deadlines enabled,
+  // the statement timeout) guarantees this terminates.
   bool committing = false;
   for (;;) {
     Result<StepResp> step = committing ? Commit() : Stmt();
@@ -253,12 +335,14 @@ Result<TxnResult> Client::RunTxn(
     const StepResp& r = step.value();
     switch (static_cast<StepWire>(r.outcome)) {
       case StepWire::kRunning:
+        attempt = 0;
         break;
       case StepWire::kBlocked:
         result.blocked_retries++;
         backoff(r.retry_after_ms);
         break;
       case StepWire::kBodyDone:
+        attempt = 0;
         committing = true;
         break;
       case StepWire::kCommitted:
@@ -266,6 +350,7 @@ Result<TxnResult> Client::RunTxn(
         result.committed =
             static_cast<StepWire>(r.outcome) == StepWire::kCommitted;
         result.detail = r.detail;
+        result.timed_out = timed_out_;
         result.latency_us =
             std::chrono::duration_cast<
                 std::chrono::duration<double, std::micro>>(

@@ -18,6 +18,13 @@ struct ClientOptions {
   /// wedged server turns into a test failure, not a stuck CI job.
   int recv_timeout_ms = 20000;
   std::string client_name = "semcor-client";
+  /// RunTxn retry backoff: exponential from base to max (doubling per
+  /// consecutive BUSY/kBlocked), with deterministic jitter drawn from
+  /// backoff_seed so a fixed seed replays the identical sleep sequence.
+  /// The server's retry-after hint always acts as a floor.
+  uint32_t backoff_base_ms = 1;
+  uint32_t backoff_max_ms = 64;
+  uint64_t backoff_seed = 1;
 };
 
 /// BEGIN outcome: either a transaction slot (resp valid) or a backpressure
@@ -39,6 +46,8 @@ struct TxnResult {
   int busy_retries = 0;      ///< BUSY responses absorbed (admission/queue)
   int blocked_retries = 0;   ///< kBlocked step reports absorbed
   double latency_us = 0;     ///< BEGIN sent -> terminal report received
+  uint64_t backoff_ms = 0;   ///< total retry sleep this call
+  bool timed_out = false;    ///< aborted by a server-side deadline
 };
 
 /// Blocking client for the semcor transaction server. One connection, one
@@ -84,13 +93,25 @@ class Client {
   Status SendRaw(const std::string& bytes);
   Status RecvFrame(Frame* out);
 
+  /// Next backoff delay for the given consecutive-retry count: exponential
+  /// base<<attempt capped at backoff_max_ms, jittered into [half, full] by
+  /// the deterministic seed stream, floored at the server's hint. Public so
+  /// the jitter schedule is unit-testable without a server.
+  uint32_t NextBackoffMs(int attempt, uint32_t server_hint_ms);
+
  private:
-  /// Sends a request and returns the next frame (skipping nothing).
+  /// Sends a request and returns its response frame. Unsolicited TIMEOUT
+  /// frames (a sweep aborted the transaction between requests) are absorbed
+  /// here: statement timeouts ARE the response, transaction timeouts are
+  /// noted (timed_out_) and skipped, idle timeouts fail the call — the
+  /// server is closing this connection.
   Result<Frame> Call(MsgType type, const std::string& payload);
 
   ClientOptions options_;
   int fd_ = -1;
   FrameParser parser_;
+  uint64_t backoff_state_ = 0;
+  bool timed_out_ = false;  ///< an unsolicited TIMEOUT arrived
 };
 
 }  // namespace semcor::net

@@ -1,0 +1,51 @@
+#include "net/deadline.h"
+
+#include <utility>
+
+namespace semcor::net {
+
+DeadlineQueue::TimerId DeadlineQueue::ScheduleAt(MonoTime when, Callback cb) {
+  const TimerId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+DeadlineQueue::TimerId DeadlineQueue::ScheduleAfter(
+    std::chrono::microseconds delay, Callback cb) {
+  return ScheduleAt(MonoClock::now() + delay, std::move(cb));
+}
+
+bool DeadlineQueue::Cancel(TimerId id) {
+  // The heap entry stays behind and is skipped when it reaches the top.
+  return callbacks_.erase(id) > 0;
+}
+
+std::optional<MonoTime> DeadlineQueue::NextDeadline() {
+  while (!heap_.empty() && callbacks_.count(heap_.top().id) == 0) {
+    heap_.pop();
+  }
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().when;
+}
+
+size_t DeadlineQueue::FireDue(MonoTime now) {
+  size_t fired = 0;
+  for (;;) {
+    std::optional<MonoTime> next = NextDeadline();
+    if (!next.has_value() || *next > now) break;
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // cancelled between peeks
+    // Detach before invoking: the callback may schedule or cancel timers,
+    // and must see this one as already fired.
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    cb();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace semcor::net

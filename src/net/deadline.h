@@ -1,0 +1,71 @@
+#ifndef SEMCOR_NET_DEADLINE_H_
+#define SEMCOR_NET_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace semcor::net {
+
+/// All deadlines are monotonic-clock: wall-clock jumps (NTP, suspend) must
+/// never fire a statement timeout or spare an idle session.
+using MonoClock = std::chrono::steady_clock;
+using MonoTime = MonoClock::time_point;
+
+/// Timer min-heap with lazy cancellation. Single-threaded by design: the
+/// event loop's thread owns it outright — no mutex — the same way it owns
+/// fds and framing; other threads reach it only via EventLoop::Wakeup().
+///
+/// Cancel is O(1): it just drops the callback, and the dead heap entry is
+/// discarded when it surfaces at the top. Schedule and firing stay
+/// O(log n) amortized.
+class DeadlineQueue {
+ public:
+  using TimerId = uint64_t;
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at `when`. Timers never fire early: FireDue only runs
+  /// entries with `when <= now`.
+  TimerId ScheduleAt(MonoTime when, Callback cb);
+  TimerId ScheduleAfter(std::chrono::microseconds delay, Callback cb);
+
+  /// Drops the timer. False when the id already fired, was cancelled, or
+  /// never existed — callers treat all three the same (lazy cancellation).
+  bool Cancel(TimerId id);
+
+  /// Earliest live deadline, or nullopt when no timer is pending. Discards
+  /// cancelled entries from the heap top as a side effect.
+  std::optional<MonoTime> NextDeadline();
+
+  /// Fires every callback due at `now` in deadline order and returns how
+  /// many ran. Callbacks may schedule or cancel other timers; a timer they
+  /// schedule that is already due at `now` fires in this same pass.
+  size_t FireDue(MonoTime now);
+
+  /// Live (scheduled, not yet fired or cancelled) timer count.
+  size_t live() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    MonoTime when;
+    TimerId id = 0;
+    /// Later deadline = lower priority; ties broken by schedule order so
+    /// equal deadlines fire FIFO.
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<TimerId, Callback> callbacks_;
+  TimerId next_id_ = 1;
+};
+
+}  // namespace semcor::net
+
+#endif  // SEMCOR_NET_DEADLINE_H_

@@ -4,7 +4,9 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -79,11 +81,23 @@ void EventLoop::Run() {
       pfds.push_back(pollfd{fd, events, 0});
       order.push_back(fd);
     }
-    const int n = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/500);
+    // Sleep until the earliest deadline (capped at 500ms so a stale shared
+    // flag is still noticed promptly), but never negative: an overdue timer
+    // means poll should only collect what's already ready.
+    int timeout_ms = 500;
+    if (std::optional<MonoTime> next = timers_.NextDeadline()) {
+      const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *next - MonoClock::now());
+      const auto clamped = std::clamp<int64_t>(until.count() + 1, 0, 500);
+      timeout_ms = static_cast<int>(clamped);
+    }
+    const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // unrecoverable poll failure; owner notices via stopped()
     }
+    if (stopped()) break;
+    timers_.FireDue(MonoClock::now());
     if (stopped()) break;
     if (pfds[0].revents != 0) {
       char drain[256];

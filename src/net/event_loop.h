@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/status.h"
+#include "net/deadline.h"
 
 namespace semcor::net {
 
@@ -37,6 +38,12 @@ class EventLoop {
   /// Invoked on the loop thread after every Wakeup() (coalesced).
   void SetWakeupHandler(std::function<void()> handler);
 
+  /// Deadline timers, owned by the loop thread like every fd: poll sleeps
+  /// no longer than the earliest live deadline and due callbacks run on the
+  /// loop thread right after dispatch. Loop thread only — other threads
+  /// request timer work via Wakeup() and a shared flag, never directly.
+  DeadlineQueue& timers() { return timers_; }
+
   /// Polls and dispatches until Stop(). Returns after the stop flag is seen.
   void Run();
 
@@ -54,6 +61,7 @@ class EventLoop {
   };
 
   std::map<int, Entry> fds_;
+  DeadlineQueue timers_;
   std::function<void()> on_wakeup_;
   int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> stop_{false};

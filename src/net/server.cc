@@ -51,6 +51,13 @@ std::string ErrorFrame(WireError code, const std::string& message) {
   return EncodeFrame(MsgType::kError, resp.Encode());
 }
 
+std::string TimeoutFrame(TimeoutKind kind, const std::string& detail) {
+  TimeoutResp resp;
+  resp.what = static_cast<uint8_t>(kind);
+  resp.detail = detail;
+  return EncodeFrame(MsgType::kTimeout, resp.Encode());
+}
+
 double PercentileUs(std::vector<double> v, double p) {
   if (v.empty()) return 0;
   std::sort(v.begin(), v.end());
@@ -102,6 +109,17 @@ struct Server::Session {
   bool close_after_flush = false;
   bool cleaned = false;       ///< one-shot transaction cleanup done
 
+  // Deadline state shared with the loop thread's sweep (under mu). The
+  // transaction itself stays worker-owned; the sweep only reads the mirror
+  // (txn_active/txn_deadline) and raises timeout_pending — the abort itself
+  // is always performed by a worker holding the baton.
+  MonoTime last_activity{};    ///< set at accept + every inbound read
+  bool txn_active = false;     ///< mirrors run != nullptr
+  MonoTime txn_deadline{};     ///< valid while txn_active (0 timeout: unset)
+  bool timeout_pending = false;
+  uint8_t timeout_kind = 0;    ///< TimeoutKind, set with timeout_pending
+  std::string timeout_detail;
+
   // Worker-owned transaction state (see ownership note above).
   bool hello_done = false;
   std::unique_ptr<ProgramRun> run;
@@ -109,6 +127,12 @@ struct Server::Session {
   int level_idx = 0;
   int blocked_streak = 0;
   std::chrono::steady_clock::time_point begin_time;
+  MonoTime blocked_since{};    ///< first blocked attempt of this statement
+  uint8_t pending_timeout_kind = 0;  ///< FinishTxn emits TIMEOUT when set
+  /// After a sweep-driven timeout abort, the client's in-flight STMT/COMMIT
+  /// still deserves a transactional answer (kAborted with this detail), not
+  /// a kBadState protocol error.
+  std::string last_timeout_detail;
 };
 
 Server::Server(ServerOptions options)
@@ -136,6 +160,17 @@ Status Server::Start() {
                  "' (none|per_commit|group)"));
     }
     wopts.group_commit_us = options_.group_commit_us;
+    if (!wal::ParseFsyncFailurePolicy(options_.wal_fsync_failure,
+                                      &wopts.fsync_failure)) {
+      return Status::InvalidArgument(
+          StrCat("bad --wal-fsync-failure '", options_.wal_fsync_failure,
+                 "' (panic|degrade)"));
+    }
+    if (!wal::ParseDiskFaultPlan(options_.disk_faults, &wopts.disk_faults)) {
+      return Status::InvalidArgument(
+          StrCat("bad --disk-faults '", options_.disk_faults,
+                 "' (none | seed:N[:p_append[:p_short[:p_sync]]])"));
+    }
     // OpenDir replays whatever a previous incarnation left in the log over
     // the setup state (a fresh log just re-checkpoints the setup), so a
     // kill -9 mid-bench resumes from exactly the durable committed prefix.
@@ -196,7 +231,18 @@ Status Server::Start() {
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerMain(); });
   }
+  // Timers are loop-thread-only, so the first deadline sweep is scheduled
+  // from OnWakeup rather than here.
+  if (options_.stmt_timeout_us > 0 || options_.txn_timeout_us > 0 ||
+      options_.idle_timeout_us > 0) {
+    loop_.Wakeup();
+  }
   return Status::Ok();
+}
+
+Status Server::WalFailure() const {
+  if (!wal_ || !wal_->panicked()) return Status::Ok();
+  return wal_->device_error();
 }
 
 void Server::Stop() {
@@ -266,6 +312,7 @@ void Server::OnAccept() {
     auto session = std::make_shared<Session>();
     session->fd = fd;
     session->id = next_session_id_++;
+    session->last_activity = MonoClock::now();
     // Deterministic per-session stream: server draws (types, params) are
     // reproducible for a fixed seed and connection order.
     session->rng = Rng(options_.seed * 0x9E3779B97F4A7C15ull + session->id);
@@ -299,6 +346,7 @@ void Server::OnSessionIo(const std::shared_ptr<Session>& session,
     bool enqueue = false;
     {
       std::lock_guard<std::mutex> lock(session->mu);
+      session->last_activity = MonoClock::now();
       Frame frame;
       for (;;) {
         const FrameParser::PopResult r = session->parser.Pop(&frame);
@@ -400,6 +448,120 @@ void Server::OnWakeup() {
     auto it = sessions_.find(fd);
     if (it != sessions_.end()) TryFlush(it->second);
   }
+  if (draining_.load(std::memory_order_acquire) && !drain_started_) {
+    BeginDrain();
+  }
+  if (!sweep_scheduled_ &&
+      (options_.stmt_timeout_us > 0 || options_.txn_timeout_us > 0 ||
+       options_.idle_timeout_us > 0 || drain_started_)) {
+    sweep_scheduled_ = true;
+    loop_.timers().ScheduleAfter(std::chrono::microseconds(0),
+                                 [this] { SweepDeadlines(); });
+  }
+}
+
+void Server::BeginDrain() {
+  drain_started_ = true;
+  // No new connections; existing sessions keep their sockets until their
+  // transactions settle (new BEGINs are refused with kShuttingDown).
+  if (listen_fd_ >= 0) {
+    loop_.Deregister(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (options_.drain_timeout_us > 0) {
+    loop_.timers().ScheduleAfter(
+        std::chrono::microseconds(options_.drain_timeout_us),
+        [this] { loop_.Stop(); });
+  }
+}
+
+void Server::SweepDeadlines() {
+  const MonoTime now = MonoClock::now();
+  const auto stmt_to = std::chrono::microseconds(options_.stmt_timeout_us);
+  const auto txn_to = std::chrono::microseconds(options_.txn_timeout_us);
+  const auto idle_to = std::chrono::microseconds(options_.idle_timeout_us);
+  std::vector<std::shared_ptr<Session>> to_close;
+  std::vector<std::shared_ptr<Session>> to_enqueue;
+  for (auto& [fd, session] : sessions_) {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->closed) continue;
+    if (options_.idle_timeout_us > 0 && !session->in_worker &&
+        session->pending.empty() && now - session->last_activity >= idle_to) {
+      // Reap regardless of transaction or outbox state: a peer that stopped
+      // reading (or a half-open connection) would otherwise park a session
+      // — and any locks its transaction holds — until process exit. The
+      // TIMEOUT frame is best-effort; the close is not.
+      session->outbox += TimeoutFrame(
+          TimeoutKind::kIdle,
+          StrCat("idle for ", options_.idle_timeout_us, "us"));
+      {
+        std::lock_guard<std::mutex> mlock(metrics_->mu);
+        metrics_->data.idle_timeouts++;
+        metrics_->data.frames_out++;
+      }
+      to_close.push_back(session);
+      continue;
+    }
+    if (options_.txn_timeout_us > 0 && session->txn_active &&
+        !session->timeout_pending && now >= session->txn_deadline) {
+      // Mark and hand to a worker: only a baton holder may touch the run.
+      session->timeout_pending = true;
+      session->timeout_kind = static_cast<uint8_t>(TimeoutKind::kTxn);
+      session->timeout_detail =
+          StrCat("transaction exceeded ", options_.txn_timeout_us, "us");
+      if (!session->in_worker) {
+        session->in_worker = true;
+        to_enqueue.push_back(session);
+      }
+    }
+  }
+  for (auto& session : to_close) {
+    TryFlush(session);       // best-effort TIMEOUT bytes
+    CloseSession(session);   // idempotent if TryFlush already closed
+  }
+  for (auto& session : to_enqueue) EnqueueWork(session);
+
+  if (drain_started_) {
+    long inflight;
+    {
+      std::lock_guard<std::mutex> lock(metrics_->mu);
+      inflight = metrics_->data.inflight;
+    }
+    bool queue_empty;
+    {
+      std::lock_guard<std::mutex> lock(work_mu_);
+      queue_empty = work_queue_.empty();
+    }
+    // A worker that just finished its transaction may not have parked its
+    // response in the outbox yet (inflight dropped first), and a parked
+    // response may not have flushed: stopping now would eat the final ack.
+    bool sessions_settled = true;
+    for (auto& [fd, session] : sessions_) {
+      std::lock_guard<std::mutex> lock(session->mu);
+      if (session->closed) continue;
+      if (session->in_worker || !session->pending.empty() ||
+          !session->outbox.empty()) {
+        sessions_settled = false;
+        break;
+      }
+    }
+    if (inflight == 0 && queue_empty && sessions_settled) {
+      loop_.Stop();
+      return;
+    }
+  }
+  // Re-arm: quarter of the tightest deadline, clamped to [5ms, 250ms]
+  // (drain polls at the floor so completion is noticed promptly).
+  uint64_t period_us = 250'000;
+  for (uint64_t t : {options_.stmt_timeout_us, options_.txn_timeout_us,
+                     options_.idle_timeout_us}) {
+    if (t > 0) period_us = std::min(period_us, t / 4);
+  }
+  if (drain_started_) period_us = std::min<uint64_t>(period_us, 5'000);
+  period_us = std::max<uint64_t>(period_us, 5'000);
+  loop_.timers().ScheduleAfter(std::chrono::microseconds(period_us),
+                               [this] { SweepDeadlines(); });
 }
 
 // ---------------------------------------------------------------------------
@@ -446,6 +608,9 @@ void Server::ServeSession(const std::shared_ptr<Session>& session) {
   int fd = -1;
   for (;;) {
     Frame frame;
+    bool handle_timeout = false;
+    uint8_t timeout_kind = 0;
+    std::string timeout_detail;
     {
       std::lock_guard<std::mutex> lock(session->mu);
       if (session->closed) {
@@ -453,17 +618,29 @@ void Server::ServeSession(const std::shared_ptr<Session>& session) {
         ReleaseTxn(*session, "disconnect");
         return;  // fd already closed; nothing to flush
       }
-      if (session->pending.empty()) {
+      if (session->timeout_pending) {
+        // Sweep-marked deadline: handled before any queued frame so the
+        // abort happens now, not after more statements run.
+        session->timeout_pending = false;
+        handle_timeout = true;
+        timeout_kind = session->timeout_kind;
+        timeout_detail = std::move(session->timeout_detail);
+        session->timeout_detail.clear();
+      } else if (session->pending.empty()) {
         session->in_worker = false;
         fd = session->fd;
         break;
+      } else {
+        frame = std::move(session->pending.front());
+        session->pending.pop_front();
       }
-      frame = std::move(session->pending.front());
-      session->pending.pop_front();
     }
     // The baton (`in_worker`) makes this the only thread touching the
     // session's transaction, so Dispatch runs without the session mutex.
-    std::string resp = Dispatch(*session, frame);
+    std::string resp = handle_timeout
+                           ? HandleTimeout(*session, timeout_kind,
+                                           timeout_detail)
+                           : Dispatch(*session, frame);
     {
       std::lock_guard<std::mutex> lock(session->mu);
       if (!resp.empty() && !session->closed) {
@@ -490,6 +667,16 @@ std::string Server::Dispatch(Session& session, const Frame& frame) {
         return ErrorFrame(WireError::kBadFrame, req.status().message());
       }
       if (!session.run) {
+        if (!session.last_timeout_detail.empty()) {
+          // The sweep aborted this transaction between the client's frames;
+          // answer transactionally so the client retries instead of treating
+          // it as a protocol error.
+          StepResp resp;
+          resp.outcome = static_cast<uint8_t>(StepWire::kAborted);
+          resp.detail = session.last_timeout_detail;
+          session.last_timeout_detail.clear();
+          return EncodeFrame(MsgType::kStepReport, resp.Encode());
+        }
         return ErrorFrame(WireError::kBadState, "STMT without a transaction");
       }
       uint32_t max_steps = req.value().max_steps;
@@ -498,6 +685,13 @@ std::string Server::Dispatch(Session& session, const Frame& frame) {
     }
     case MsgType::kCommit:
       if (!session.run) {
+        if (!session.last_timeout_detail.empty()) {
+          StepResp resp;
+          resp.outcome = static_cast<uint8_t>(StepWire::kAborted);
+          resp.detail = session.last_timeout_detail;
+          session.last_timeout_detail.clear();
+          return EncodeFrame(MsgType::kStepReport, resp.Encode());
+        }
         return ErrorFrame(WireError::kBadState, "COMMIT without a transaction");
       }
       // No step cap: run to a terminal state (or a lock conflict — the
@@ -562,6 +756,12 @@ std::string Server::HandleBegin(Session& session, const Frame& frame) {
   }
   if (session.run) {
     return ErrorFrame(WireError::kBadState, "transaction already active");
+  }
+  if (draining()) {
+    std::lock_guard<std::mutex> lock(metrics_->mu);
+    metrics_->data.drain_rejects++;
+    return ErrorFrame(WireError::kShuttingDown,
+                      "server draining; no new transactions");
   }
   const BeginReq& begin = req.value();
 
@@ -657,6 +857,18 @@ std::string Server::HandleBegin(Session& session, const Frame& frame) {
   session.level_idx = static_cast<int>(level);
   session.blocked_streak = 0;
   session.begin_time = std::chrono::steady_clock::now();
+  session.pending_timeout_kind = 0;
+  session.last_timeout_detail.clear();
+  {
+    // Mirror the live transaction for the loop thread's deadline sweep.
+    std::lock_guard<std::mutex> lock(session.mu);
+    session.txn_active = true;
+    if (options_.txn_timeout_us > 0) {
+      session.txn_deadline =
+          MonoClock::now() +
+          std::chrono::microseconds(options_.txn_timeout_us);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(metrics_->mu);
     metrics_->data.begins[session.level_idx]++;
@@ -691,6 +903,25 @@ std::string Server::HandleStep(Session& session, uint32_t max_steps,
         std::lock_guard<std::mutex> lock(metrics_->mu);
         metrics_->data.blocked_retries++;
       }
+      const MonoTime now = MonoClock::now();
+      if (session.blocked_streak == 1) session.blocked_since = now;
+      if (options_.stmt_timeout_us > 0 &&
+          now - session.blocked_since >=
+              std::chrono::microseconds(options_.stmt_timeout_us)) {
+        // The statement's cumulative blocked time (across the client's
+        // kBlocked retries) exceeded the deadline: abort rather than let
+        // the client spin against an immovable conflict forever.
+        {
+          std::lock_guard<std::mutex> lock(metrics_->mu);
+          metrics_->data.stmt_timeouts++;
+        }
+        session.pending_timeout_kind =
+            static_cast<uint8_t>(TimeoutKind::kStatement);
+        run.ForceAbort(Status::Timeout(
+            StrCat("statement blocked past ", options_.stmt_timeout_us,
+                   "us")));
+        return FinishTxn(session, StepOutcome::kAborted, steps);
+      }
       if (session.blocked_streak > options_.blocked_abort_threshold) {
         {
           std::lock_guard<std::mutex> lock(metrics_->mu);
@@ -722,17 +953,39 @@ std::string Server::HandleAbort(Session& session) {
   return FinishTxn(session, StepOutcome::kAborted, 0);
 }
 
+std::string Server::HandleTimeout(Session& session, uint8_t kind,
+                                  const std::string& detail) {
+  // The transaction may have settled between the sweep's mark and this
+  // worker picking it up; a stale mark is dropped silently.
+  if (!session.run) return std::string();
+  {
+    std::lock_guard<std::mutex> lock(metrics_->mu);
+    metrics_->data.txn_timeouts++;
+  }
+  session.pending_timeout_kind = kind;
+  session.run->ForceAbort(Status::Timeout(detail));
+  return FinishTxn(session, StepOutcome::kAborted, 0);
+}
+
 std::string Server::FinishTxn(Session& session, StepOutcome outcome,
                               uint32_t steps) {
   StepResp resp;
   resp.steps = steps;
   const Status& failure = session.run->failure();
+  // Durable-ack gate: a commit may only be acknowledged as kCommitted when
+  // its WAL record is actually durable. A failed fsync makes txn().durable
+  // false; the commit applied in the live store (other transactions saw it)
+  // but the promise "survives a crash" would be a lie, so the client gets
+  // kNotDurable instead.
+  const bool refuse_ack = outcome == StepOutcome::kCommitted && wal_ &&
+                          !session.run->txn().durable;
   {
     std::lock_guard<std::mutex> lock(metrics_->mu);
     ServerMetricsSnapshot& m = metrics_->data;
     m.inflight--;
     if (outcome == StepOutcome::kCommitted) {
       m.commits[session.level_idx]++;
+      if (refuse_ack) m.commit_acks_refused++;
       const double us =
           std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
               std::chrono::steady_clock::now() - session.begin_time)
@@ -744,20 +997,44 @@ std::string Server::FinishTxn(Session& session, StepOutcome outcome,
       if (failure.code() == Code::kConflict) m.fcw_conflicts++;
     }
   }
+  const uint8_t timeout_kind = session.pending_timeout_kind;
   if (outcome == StepOutcome::kCommitted) {
     resp.outcome = static_cast<uint8_t>(StepWire::kCommitted);
   } else {
     resp.outcome = static_cast<uint8_t>(StepWire::kAborted);
     resp.detail = failure.ToString();
+    if (timeout_kind != 0) session.last_timeout_detail = resp.detail;
   }
   session.run.reset();
   session.blocked_streak = 0;
+  session.pending_timeout_kind = 0;
+  {
+    std::lock_guard<std::mutex> lock(session.mu);
+    session.txn_active = false;
+    session.timeout_pending = false;
+  }
+  if (refuse_ack) {
+    // Under the panic policy the WAL is now frozen; no future commit can be
+    // made durable either, so the server winds down (serverd exits non-zero
+    // via WalFailure).
+    if (wal_->panicked()) RequestStop();
+    return ErrorFrame(
+        WireError::kNotDurable,
+        StrCat("commit applied but not durable: ",
+               wal_->device_error().ToString()));
+  }
+  if (timeout_kind != 0) {
+    return TimeoutFrame(static_cast<TimeoutKind>(timeout_kind), resp.detail);
+  }
   return EncodeFrame(MsgType::kStepReport, resp.Encode());
 }
 
 void Server::ReleaseTxn(Session& session, const char* reason) {
+  // Callers hold session.mu (Stop, CloseSession, ServeSession's closed
+  // branch), so the txn_active mirror can be cleared directly here.
   if (session.cleaned) return;
   session.cleaned = true;
+  session.txn_active = false;
   if (!session.run) return;
   session.run->ForceAbort(Status::Aborted(StrCat("session closed: ", reason)));
   session.run.reset();
@@ -798,6 +1075,13 @@ std::string Server::BuildStats() {
   c("inflight", m.inflight);
   c("inflight_peak", m.inflight_peak);
   c("queue_depth_peak", m.queue_depth_peak);
+  // Deadlines, drain, and fault posture.
+  c("stmt_timeouts", m.stmt_timeouts);
+  c("txn_timeouts", m.txn_timeouts);
+  c("idle_timeouts", m.idle_timeouts);
+  c("commit_acks_refused", m.commit_acks_refused);
+  c("drain_rejects", m.drain_rejects);
+  c("draining", draining() ? 1 : 0);
   for (int i = 0; i < kIsoLevelCount; ++i) {
     IsoLevel level;
     if (!IsoLevelFromIndex(i, &level)) continue;
@@ -832,6 +1116,20 @@ std::string Server::BuildStats() {
     c("recovery_replayed_txns", static_cast<long>(recovery_.replayed_txns));
     c("recovered_commits", static_cast<long>(wal_->committed_total()));
     c("recovery_losers_aborted", static_cast<long>(recovery_.losers_aborted));
+    // Fault posture: degraded means acks flow without durability claims;
+    // crashed under a device error means the log froze (panic policy).
+    c("wal_degraded", wal_->degraded() ? 1 : 0);
+    c("wal_panicked", wal_->panicked() ? 1 : 0);
+    c("wal_device_errors", static_cast<long>(w.device_errors));
+    c("wal_fsyncs_skipped", static_cast<long>(w.fsyncs_skipped));
+    c("wal_unsafe_acks", static_cast<long>(w.unsafe_acks));
+    const wal::DiskFaultStats df = wal_->disk_fault_stats();
+    if (df.injected > 0) {
+      c("disk_faults_injected", df.injected);
+      c("disk_faults_append_eio", df.append_eio);
+      c("disk_faults_short_writes", df.short_writes);
+      c("disk_faults_sync_failures", df.sync_failures);
+    }
   }
   // Exact only at quiescence; see Server::InvariantHolds.
   c("invariant_ok", InvariantHolds() ? 1 : 0);

@@ -54,6 +54,21 @@ struct ServerOptions {
   std::string wal_fsync = "group";
   /// Group-commit epoch length in microseconds.
   uint32_t group_commit_us = 100;
+  /// Reaction to a failed WAL fsync: "panic" (freeze the log, refuse acks,
+  /// stop serving) or "degrade" (keep serving without durability claims).
+  std::string wal_fsync_failure = "panic";
+  /// Deterministic disk-fault plan spec ("seed:N[:p...]"), empty = none.
+  std::string disk_faults;
+  /// Deadlines, monotonic-clock microseconds; 0 disables. stmt_timeout_us
+  /// caps one statement's cumulative blocked time; txn_timeout_us caps
+  /// BEGIN→decision; idle_timeout_us reaps sessions with no inbound frames
+  /// (including sessions parked mid-transaction holding locks).
+  uint64_t stmt_timeout_us = 0;
+  uint64_t txn_timeout_us = 0;
+  uint64_t idle_timeout_us = 0;
+  /// Drain: how long RequestDrain waits for in-flight transactions before
+  /// forcing the stop anyway.
+  uint64_t drain_timeout_us = 5'000'000;
 };
 
 /// Counter snapshot returned by Server::Metrics and serialized (plus derived
@@ -79,6 +94,11 @@ struct ServerMetricsSnapshot {
   long inflight = 0;
   long inflight_peak = 0;
   long queue_depth_peak = 0;  ///< worker-queue high-water mark
+  long stmt_timeouts = 0;     ///< statements aborted at --stmt-timeout
+  long txn_timeouts = 0;      ///< transactions aborted at --txn-timeout
+  long idle_timeouts = 0;     ///< sessions reaped at --idle-timeout
+  long commit_acks_refused = 0;  ///< commits applied but not durable (kNotDurable)
+  long drain_rejects = 0;        ///< BEGINs refused while draining
   std::array<long, kIsoLevelCount> begins{};
   std::array<long, kIsoLevelCount> commits{};
   std::array<long, kIsoLevelCount> aborts{};
@@ -119,6 +139,20 @@ class Server {
   /// must still be called (from normal context) to join the threads.
   void RequestStop() { loop_.Stop(); }
 
+  /// Async-signal-safe graceful drain (SIGTERM): stop accepting, refuse new
+  /// BEGINs with kShuttingDown, let in-flight transactions finish (up to
+  /// drain_timeout_us, then force), then stop the loop. Stop() must still be
+  /// called to join threads, write the final checkpoint, and close the WAL.
+  void RequestDrain() {
+    draining_.store(true, std::memory_order_release);
+    loop_.Wakeup();
+  }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Non-OK once the WAL froze on a device error under the panic policy;
+  /// serverd exits non-zero with this reason.
+  Status WalFailure() const;
+
   /// Blocks until the server stops serving — via Stop(), a client SHUTDOWN
   /// request, or a fatal loop error. Stop() must still be called to join.
   void WaitUntilStopped();
@@ -151,6 +185,13 @@ class Server {
   void TryFlush(std::shared_ptr<Session> session);
   void CloseSession(std::shared_ptr<Session> session);
   void OnWakeup();
+  /// Periodic loop-thread pass: reaps idle sessions, marks expired
+  /// transaction deadlines for their workers, and (while draining) stops
+  /// the loop once nothing is in flight. Reschedules itself.
+  void SweepDeadlines();
+  /// First OnWakeup after RequestDrain: close the listener, arm the drain
+  /// deadline, and start sweeping.
+  void BeginDrain();
 
   // --- worker threads ---
   void WorkerMain();
@@ -161,6 +202,10 @@ class Server {
   std::string HandleStep(Session& session, uint32_t max_steps,
                          bool stop_before_commit);
   std::string HandleAbort(Session& session);
+  /// Worker-side handling of a sweep-marked transaction deadline: force-
+  /// aborts the run and emits the unsolicited TIMEOUT frame.
+  std::string HandleTimeout(Session& session, uint8_t kind,
+                            const std::string& detail);
   std::string BuildStats();
 
   // --- shared ---
@@ -204,6 +249,9 @@ class Server {
 
   std::atomic<bool> serving_{false};
   std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> draining_{false};
+  bool drain_started_ = false;  // loop thread only
+  bool sweep_scheduled_ = false;  // loop thread only
   bool started_ = false;
   bool stopped_joined_ = false;
   std::mutex state_mu_;

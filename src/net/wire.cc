@@ -36,6 +36,16 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kError: return "ERROR";
     case MsgType::kShutdown: return "SHUTDOWN";
     case MsgType::kShutdownOk: return "SHUTDOWN_OK";
+    case MsgType::kTimeout: return "TIMEOUT";
+  }
+  return "?";
+}
+
+const char* TimeoutKindName(TimeoutKind kind) {
+  switch (kind) {
+    case TimeoutKind::kStatement: return "statement";
+    case TimeoutKind::kTxn: return "transaction";
+    case TimeoutKind::kIdle: return "idle";
   }
   return "?";
 }
@@ -336,6 +346,26 @@ Result<ErrorResp> ErrorResp::Decode(std::string_view payload) {
   ErrorResp m;
   if (!r.U16(&m.code) || !r.Str(&m.message) || !r.Done()) {
     return DecodeError("ERROR");
+  }
+  return m;
+}
+
+std::string TimeoutResp::Encode() const {
+  WireWriter w;
+  w.U8(what);
+  w.Str(detail);
+  return w.Take();
+}
+
+Result<TimeoutResp> TimeoutResp::Decode(std::string_view payload) {
+  WireReader r(payload);
+  TimeoutResp m;
+  if (!r.U8(&m.what) || !r.Str(&m.detail) || !r.Done()) {
+    return DecodeError("TIMEOUT");
+  }
+  if (m.what < static_cast<uint8_t>(TimeoutKind::kStatement) ||
+      m.what > static_cast<uint8_t>(TimeoutKind::kIdle)) {
+    return DecodeError("TIMEOUT kind");
   }
   return m;
 }

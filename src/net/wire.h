@@ -15,8 +15,10 @@ namespace semcor::net {
 
 /// Protocol version spoken by this build. HELLO carries the client's
 /// version; the server rejects mismatches with kError so an incompatible
-/// client fails fast instead of mis-parsing frames.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// client fails fast instead of mis-parsing frames. v2 added the TIMEOUT
+/// frame, which the server may send unsolicited — a v1 client would treat
+/// it as garbage, hence the bump.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Hard cap on one frame body (type byte + payload). Anything larger is a
 /// protocol error: the parser refuses to buffer it, so a hostile 4-byte
@@ -45,17 +47,29 @@ enum class MsgType : uint8_t {
   kError = 12,       ///< s->c: protocol violation / bad state
   kShutdown = 13,    ///< c->s: ask the server to stop (bench/CI convenience)
   kShutdownOk = 14,  ///< s->c
+  kTimeout = 15,     ///< s->c: a deadline fired (may arrive unsolicited)
 };
 
 const char* MsgTypeName(MsgType type);
 
 /// kError reason codes.
 enum class WireError : uint16_t {
-  kBadFrame = 1,    ///< undecodable payload / unknown frame type
-  kBadVersion = 2,  ///< HELLO version mismatch
-  kBadState = 3,    ///< request illegal in the session's current state
-  kBadRequest = 4,  ///< well-formed but unsatisfiable (unknown type/level)
+  kBadFrame = 1,      ///< undecodable payload / unknown frame type
+  kBadVersion = 2,    ///< HELLO version mismatch
+  kBadState = 3,      ///< request illegal in the session's current state
+  kBadRequest = 4,    ///< well-formed but unsatisfiable (unknown type/level)
+  kNotDurable = 5,    ///< commit applied but durability could not be promised
+  kShuttingDown = 6,  ///< server draining; no new transactions
 };
+
+/// What deadline a kTimeout frame reports.
+enum class TimeoutKind : uint8_t {
+  kStatement = 1,  ///< one statement exceeded --stmt-timeout (txn aborted)
+  kTxn = 2,        ///< the whole transaction exceeded --txn-timeout (aborted)
+  kIdle = 3,       ///< session idle past --idle-timeout (connection closes)
+};
+
+const char* TimeoutKindName(TimeoutKind kind);
 
 /// Transaction-step outcome carried by kStepReport.
 enum class StepWire : uint8_t {
@@ -215,6 +229,18 @@ struct ErrorResp {
 
   std::string Encode() const;
   static Result<ErrorResp> Decode(std::string_view payload);
+};
+
+/// A deadline fired. Sent in place of the pending response when a worker
+/// notices the expiry, or unsolicited between requests when the loop's
+/// sweep reaps an idle or timed-out session; clients must absorb it at any
+/// point (that is why it needed the protocol bump).
+struct TimeoutResp {
+  uint8_t what = 0;  ///< TimeoutKind
+  std::string detail;
+
+  std::string Encode() const;
+  static Result<TimeoutResp> Decode(std::string_view payload);
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,209 @@
+#include "wal/faulty_device.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace semcor::wal {
+
+const char* DiskOpName(DiskOp op) {
+  switch (op) {
+    case DiskOp::kAppend:
+      return "append";
+    case DiskOp::kSync:
+      return "sync";
+    case DiskOp::kReset:
+      return "reset";
+  }
+  return "?";
+}
+
+const char* DiskFaultKindName(DiskFaultKind kind) {
+  switch (kind) {
+    case DiskFaultKind::kNone:
+      return "none";
+    case DiskFaultKind::kEio:
+      return "eio";
+    case DiskFaultKind::kShortWrite:
+      return "short-write";
+    case DiskFaultKind::kSyncFail:
+      return "sync-fail";
+  }
+  return "?";
+}
+
+DiskFaultPlan DiskFaultPlan::Seeded(uint64_t seed, double p_append,
+                                    double p_short, double p_sync) {
+  DiskFaultPlan plan;
+  plan.seed = seed;
+  plan.p_append_eio = p_append;
+  plan.p_short_write = p_short;
+  plan.p_sync_fail = p_sync;
+  return plan;
+}
+
+bool ParseDiskFaultPlan(const std::string& spec, DiskFaultPlan* out) {
+  if (spec.empty() || spec == "none") {
+    *out = DiskFaultPlan{};
+    return true;
+  }
+  if (spec.rfind("seed:", 0) != 0) return false;
+  // seed:N[:p_append[:p_short[:p_sync]]]
+  std::vector<std::string> parts;
+  size_t start = 5;
+  for (;;) {
+    const size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(start, colon == std::string::npos
+                                           ? std::string::npos
+                                           : colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.empty() || parts.size() > 4) return false;
+  char* end = nullptr;
+  const unsigned long long seed = std::strtoull(parts[0].c_str(), &end, 10);
+  if (end != parts[0].c_str() + parts[0].size() || parts[0].empty()) {
+    return false;
+  }
+  DiskFaultPlan plan = DiskFaultPlan::Seeded(seed);
+  double* probs[] = {&plan.p_append_eio, &plan.p_short_write,
+                     &plan.p_sync_fail};
+  for (size_t i = 1; i < parts.size(); ++i) {
+    end = nullptr;
+    const double p = std::strtod(parts[i].c_str(), &end);
+    if (parts[i].empty() || end != parts[i].c_str() + parts[i].size() ||
+        p < 0 || p > 1) {
+      return false;
+    }
+    *probs[i - 1] = p;
+  }
+  *out = plan;
+  return true;
+}
+
+namespace {
+
+/// SplitMix64 finalizer — same mixer FaultInjector uses, so disk-fault
+/// streams are as interleaving-independent as transaction-fault streams.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double UnitDraw(uint64_t seed, DiskOp op, uint64_t visit, uint64_t salt) {
+  const uint64_t h = Mix(Mix(seed ^ (static_cast<uint64_t>(op) << 32)) ^
+                         Mix(visit * 2 + salt));
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Status Eio(DiskOp op) {
+  return Status::Internal(
+      StrCat("injected disk fault: ", DiskOpName(op), " EIO"));
+}
+
+}  // namespace
+
+FaultyDevice::FaultyDevice(std::unique_ptr<LogDevice> inner,
+                           DiskFaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {}
+
+DiskFaultKind FaultyDevice::Decide(DiskOp op, uint64_t visit) const {
+  for (const ScriptedDiskFault& f : plan_.script) {
+    if (f.op == op && f.visit == visit) return f.kind;
+  }
+  switch (op) {
+    case DiskOp::kAppend:
+      if (plan_.p_append_eio > 0 &&
+          UnitDraw(plan_.seed, op, visit, 0) < plan_.p_append_eio) {
+        return DiskFaultKind::kEio;
+      }
+      if (plan_.p_short_write > 0 &&
+          UnitDraw(plan_.seed, op, visit, 1) < plan_.p_short_write) {
+        return DiskFaultKind::kShortWrite;
+      }
+      break;
+    case DiskOp::kSync:
+      if (plan_.p_sync_fail > 0 &&
+          UnitDraw(plan_.seed, op, visit, 0) < plan_.p_sync_fail) {
+        return DiskFaultKind::kSyncFail;
+      }
+      break;
+    case DiskOp::kReset:
+      if (plan_.p_reset_fail > 0 &&
+          UnitDraw(plan_.seed, op, visit, 0) < plan_.p_reset_fail) {
+        return DiskFaultKind::kEio;
+      }
+      break;
+  }
+  return DiskFaultKind::kNone;
+}
+
+DiskFaultKind FaultyDevice::At(DiskOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t visit = ++visits_[static_cast<int>(op) - 1];
+  const DiskFaultKind kind = Decide(op, visit);
+  if (kind != DiskFaultKind::kNone) {
+    ++stats_.injected;
+    switch (kind) {
+      case DiskFaultKind::kEio:
+        if (op == DiskOp::kReset) {
+          ++stats_.reset_failures;
+        } else {
+          ++stats_.append_eio;
+        }
+        break;
+      case DiskFaultKind::kShortWrite:
+        ++stats_.short_writes;
+        break;
+      case DiskFaultKind::kSyncFail:
+        ++stats_.sync_failures;
+        break;
+      case DiskFaultKind::kNone:
+        break;
+    }
+  }
+  return kind;
+}
+
+Status FaultyDevice::Append(std::string_view bytes) {
+  switch (At(DiskOp::kAppend)) {
+    case DiskFaultKind::kEio:
+      return Eio(DiskOp::kAppend);
+    case DiskFaultKind::kShortWrite: {
+      // Genuinely tear the tail: the prefix reaches the inner device, then
+      // the "disk" fails — recovery must reject the torn record by CRC.
+      inner_->Append(bytes.substr(0, bytes.size() / 2));
+      return Status::Internal("injected disk fault: short write");
+    }
+    default:
+      return inner_->Append(bytes);
+  }
+}
+
+Status FaultyDevice::Sync() {
+  if (At(DiskOp::kSync) == DiskFaultKind::kSyncFail) {
+    // The bytes handed to Append may or may not have hit the platter; the
+    // inner device keeps them (a crash now would be a separate event). What
+    // the caller must honour is: this fsync vouches for nothing.
+    return Status::Internal("injected disk fault: fsync failed");
+  }
+  return inner_->Sync();
+}
+
+Result<std::string> FaultyDevice::ReadAll() { return inner_->ReadAll(); }
+
+Status FaultyDevice::Reset(std::string_view bytes) {
+  if (At(DiskOp::kReset) == DiskFaultKind::kEio) return Eio(DiskOp::kReset);
+  return inner_->Reset(bytes);
+}
+
+uint64_t FaultyDevice::Size() const { return inner_->Size(); }
+
+DiskFaultStats FaultyDevice::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace semcor::wal

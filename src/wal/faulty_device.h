@@ -1,0 +1,112 @@
+#ifndef SEMCOR_WAL_FAULTY_DEVICE_H_
+#define SEMCOR_WAL_FAULTY_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wal/device.h"
+
+namespace semcor::wal {
+
+/// Device operations a disk fault can target. Reads are deliberately not a
+/// site: recovery must always be able to examine whatever the disk holds —
+/// the interesting question is what the *writes* left there.
+enum class DiskOp {
+  kAppend = 1,
+  kSync = 2,
+  kReset = 3,  ///< checkpoint's atomic replace
+};
+
+enum class DiskFaultKind {
+  kNone = 0,
+  kEio,         ///< the operation fails wholesale (write error / EIO)
+  kShortWrite,  ///< append writes a prefix of the bytes, then fails
+  kSyncFail,    ///< fsync reports failure; appended bytes may or may not be
+                ///< durable — the caller must not assume either
+};
+
+const char* DiskOpName(DiskOp op);
+const char* DiskFaultKindName(DiskFaultKind kind);
+
+/// One scripted disk fault: fire `kind` on the `visit`-th invocation of `op`
+/// (1-based, counted per op over the device's lifetime).
+struct ScriptedDiskFault {
+  DiskOp op = DiskOp::kAppend;
+  uint64_t visit = 1;
+  DiskFaultKind kind = DiskFaultKind::kEio;
+};
+
+/// Reproducible disk-fault schedule: exact scripted injections plus seeded
+/// per-op probabilities. The seeded decision for a visit is a pure function
+/// of (seed, op, visit) — independent of thread identity and timing — so a
+/// fixed seed replays the identical fault sequence across runs.
+struct DiskFaultPlan {
+  uint64_t seed = 0;
+  double p_append_eio = 0;    ///< kEio probability per append
+  double p_short_write = 0;   ///< kShortWrite probability per append
+  double p_sync_fail = 0;     ///< kSyncFail probability per sync
+  double p_reset_fail = 0;    ///< kEio probability per reset (checkpoint)
+  std::vector<ScriptedDiskFault> script;
+
+  bool empty() const {
+    return script.empty() && p_append_eio <= 0 && p_short_write <= 0 &&
+           p_sync_fail <= 0 && p_reset_fail <= 0;
+  }
+
+  /// The default seeded plan `--disk-faults=seed:N` uses: mostly fsync
+  /// failures (the policy-relevant site), light append noise.
+  static DiskFaultPlan Seeded(uint64_t seed, double p_append = 0.01,
+                              double p_short = 0.005, double p_sync = 0.02);
+};
+
+/// Parses "seed:N" / "seed:N:pappend:pshort:psync" / "none" into a plan.
+bool ParseDiskFaultPlan(const std::string& spec, DiskFaultPlan* out);
+
+struct DiskFaultStats {
+  long injected = 0;  ///< total non-kNone decisions
+  long append_eio = 0;
+  long short_writes = 0;
+  long sync_failures = 0;
+  long reset_failures = 0;
+};
+
+/// Deterministic fault-injecting decorator over any LogDevice — the disk
+/// analogue of FaultInjector. Decisions are pure in (seed, op, visit); the
+/// visit counters are the only mutable state, under a mutex, so concurrent
+/// syncs/appends cannot perturb the fault sequence of a fixed schedule.
+///
+/// An injected failure reports Status::Internal carrying an "EIO"-style
+/// message; a short write really does append a prefix to the inner device
+/// (so recovery sees a genuinely torn tail, not a simulation flag).
+class FaultyDevice : public LogDevice {
+ public:
+  FaultyDevice(std::unique_ptr<LogDevice> inner, DiskFaultPlan plan);
+
+  Status Append(std::string_view bytes) override;
+  Status Sync() override;
+  Result<std::string> ReadAll() override;  ///< never faulted (see DiskOp)
+  Status Reset(std::string_view bytes) override;
+  uint64_t Size() const override;
+
+  DiskFaultStats stats() const;
+  LogDevice* inner() { return inner_.get(); }
+
+ private:
+  DiskFaultKind Decide(DiskOp op, uint64_t visit) const;
+  /// Counts the visit and returns the decision for it.
+  DiskFaultKind At(DiskOp op);
+
+  std::unique_ptr<LogDevice> inner_;
+  DiskFaultPlan plan_;
+  mutable std::mutex mu_;
+  uint64_t visits_[4] = {0, 0, 0, 0};  ///< indexed by DiskOp
+  DiskFaultStats stats_;
+};
+
+}  // namespace semcor::wal
+
+#endif  // SEMCOR_WAL_FAULTY_DEVICE_H_

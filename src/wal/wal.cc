@@ -33,6 +33,28 @@ bool ParseFsyncPolicy(const std::string& name, FsyncPolicy* out) {
   return true;
 }
 
+const char* FsyncFailurePolicyName(FsyncFailurePolicy policy) {
+  switch (policy) {
+    case FsyncFailurePolicy::kPanic:
+      return "panic";
+    case FsyncFailurePolicy::kDegradeToUnsafe:
+      return "degrade";
+  }
+  return "?";
+}
+
+bool ParseFsyncFailurePolicy(const std::string& name,
+                             FsyncFailurePolicy* out) {
+  if (name == "panic") {
+    *out = FsyncFailurePolicy::kPanic;
+  } else if (name == "degrade" || name == "degrade-to-unsafe") {
+    *out = FsyncFailurePolicy::kDegradeToUnsafe;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Recovery
 // ---------------------------------------------------------------------------
@@ -119,10 +141,17 @@ RecoveryResult RecoverFromBytes(std::string_view log, Store* store) {
             });
   for (const CommitBody* commit : commits) {
     Status s = store->RecoveryApply(commit->effects, commit->commit_ts);
-    if (s.ok()) {
-      ++out.replayed_txns;
-      ++out.recovered_commits;
+    if (!s.ok()) {
+      // A committed record the store refuses is a corrupt or inconsistent
+      // log: the store now holds a partial replay and must not be served.
+      // Surface the failure instead of silently skipping the txn.
+      out.status = Status::Internal(
+          StrCat("replay of committed txn ", commit->txn, " (ts ",
+                 commit->commit_ts, ") failed: ", s.message()));
+      return out;
     }
+    ++out.replayed_txns;
+    ++out.recovered_commits;
   }
 
   // Undo: losers (started, never finished) are discarded with accounting —
@@ -154,7 +183,8 @@ WriteAheadLog::WriteAheadLog(std::unique_ptr<LogDevice> device, Store* store,
       options_(options),
       next_lsn_(options.first_lsn),
       last_lsn_(options.first_lsn - 1),
-      durable_lsn_(options.first_lsn - 1) {}
+      durable_lsn_(options.first_lsn - 1),
+      faulty_(dynamic_cast<FaultyDevice*>(device_.get())) {}
 
 WriteAheadLog::~WriteAheadLog() { Stop(); }
 
@@ -163,13 +193,20 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::OpenDir(
     RecoveryResult* recovery) {
   Result<std::unique_ptr<FileDevice>> device = FileDevice::Open(dir);
   if (!device.ok()) return device.status();
-  Result<std::string> image = device.value()->ReadAll();
+  std::unique_ptr<LogDevice> dev(device.take());
+  if (!options.disk_faults.empty()) {
+    // Recovery reads stay un-faulted (FaultyDevice never injects on reads):
+    // whatever the injected writes left on disk must always be examinable.
+    dev = std::make_unique<FaultyDevice>(std::move(dev), options.disk_faults);
+  }
+  Result<std::string> image = dev->ReadAll();
   if (!image.ok()) return image.status();
   RecoveryResult rec = RecoverFromBytes(image.value(), store);
   if (recovery != nullptr) *recovery = rec;
+  if (!rec.status.ok()) return rec.status;
   if (rec.next_lsn > options.first_lsn) options.first_lsn = rec.next_lsn;
-  auto wal = std::make_unique<WriteAheadLog>(
-      std::unique_ptr<LogDevice>(device.take()), store, options);
+  auto wal =
+      std::make_unique<WriteAheadLog>(std::move(dev), store, options);
   wal->committed_base_ = rec.recovered_commits;
   // A fresh checkpoint bounds the next recovery and truncates the replayed
   // history (first boot: captures the workload's setup state).
@@ -232,7 +269,19 @@ Lsn WriteAheadLog::AppendLocked(Record* rec, TxnId txn) {
     device_->Append(std::string_view(bytes).substr(0, bytes.size() / 2));
     return 0;
   }
-  device_->Append(bytes);
+  Status appended = device_->Append(bytes);
+  if (!appended.ok()) {
+    // Any append failure freezes the log regardless of fsync-failure policy:
+    // the device may now hold a torn frame mid-log, recovery stops at the
+    // first bad CRC, and appending past the hole would silently orphan
+    // everything written after it.
+    ++stats_.device_errors;
+    if (device_error_.ok()) device_error_ = appended;
+    crashed_ = true;
+    durable_cv_.notify_all();
+    flusher_cv_.notify_all();
+    return 0;
+  }
   last_lsn_ = rec->lsn;
   ++stats_.appends;
   stats_.bytes_appended += bytes.size();
@@ -361,15 +410,39 @@ WriteAheadLog::CommitHandle WriteAheadLog::LogCommit(
 void WriteAheadLog::SyncUpTo(Lsn target, uint64_t target_commits) {
   std::lock_guard<std::mutex> sync_lock(sync_mu_);
   const TxnId site_txn = 0;
+  bool skip_sync = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (crashed_ || LsnLe(target, durable_lsn_)) return;
     if (HookSaysCrash(FaultSite::kWalPreSync, site_txn)) return;
+    skip_sync = degraded_;
   }
-  const Status synced = device_->Sync();
+  Status synced = Status::Ok();
+  if (!skip_sync) synced = device_->Sync();
   std::lock_guard<std::mutex> lock(mu_);
-  if (!synced.ok() || crashed_) return;
-  ++stats_.fsyncs;
+  if (crashed_) return;
+  if (!synced.ok()) {
+    ++stats_.device_errors;
+    if (device_error_.ok()) device_error_ = synced;
+    if (options_.fsync_failure == FsyncFailurePolicy::kPanic) {
+      // Freeze: nothing past durable_lsn_ may ever be acknowledged. A retry
+      // would prove nothing even if it "succeeded" — the kernel may have
+      // dropped the dirty pages when the first fsync failed.
+      crashed_ = true;
+      durable_cv_.notify_all();
+      flusher_cv_.notify_all();
+      return;
+    }
+    // Degrade to unsafe: keep serving, stop claiming durability. From here
+    // on the watermark advances without fsyncs and stats say so.
+    degraded_ = true;
+    skip_sync = true;
+  }
+  if (skip_sync) {
+    ++stats_.fsyncs_skipped;
+  } else {
+    ++stats_.fsyncs;
+  }
   // A checkpoint may have truncated past `target` while the fsync ran; only
   // advance the watermark, never rewind it.
   if (LsnLt(durable_lsn_, target)) {
@@ -379,6 +452,7 @@ void WriteAheadLog::SyncUpTo(Lsn target, uint64_t target_commits) {
       ++stats_.group_commit_batches;
       stats_.batch_commits += batch;
     }
+    if (degraded_ && batch > 0) stats_.unsafe_acks += batch;
     if (acked_commits_ < target_commits) acked_commits_ = target_commits;
     durable_cv_.notify_all();
   }
@@ -435,7 +509,22 @@ Status WriteAheadLog::CheckpointLocked() {
   std::string bytes = EncodeRecord(rec);
   const uint64_t old_size = device_->Size();
   Status s = device_->Reset(bytes);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    // The atomic replace failed, so the old log (and durable_lsn_) still
+    // stands — but the device is now suspect, so apply the failure policy:
+    // panic freezes the log; degrade keeps appending to the untruncated log
+    // without durability claims.
+    ++stats_.device_errors;
+    if (device_error_.ok()) device_error_ = s;
+    if (options_.fsync_failure == FsyncFailurePolicy::kPanic) {
+      crashed_ = true;
+      durable_cv_.notify_all();
+      flusher_cv_.notify_all();
+    } else {
+      degraded_ = true;
+    }
+    return s;
+  }
   last_lsn_ = rec.lsn;
   durable_lsn_ = rec.lsn;
   ++stats_.appends;
@@ -478,6 +567,27 @@ void WriteAheadLog::Freeze() {
 bool WriteAheadLog::crashed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return crashed_;
+}
+
+bool WriteAheadLog::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+bool WriteAheadLog::panicked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_ && !device_error_.ok();
+}
+
+Status WriteAheadLog::device_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return device_error_;
+}
+
+DiskFaultStats WriteAheadLog::disk_fault_stats() const {
+  // faulty_ is set at construction and FaultyDevice::stats() locks its own
+  // mutex, so no mu_ needed here.
+  return faulty_ != nullptr ? faulty_->stats() : DiskFaultStats{};
 }
 
 WalStats WriteAheadLog::stats() const {

@@ -15,6 +15,7 @@
 #include "storage/store.h"
 #include "txn/isolation.h"
 #include "wal/device.h"
+#include "wal/faulty_device.h"
 #include "wal/record.h"
 
 namespace semcor::wal {
@@ -29,6 +30,25 @@ enum class FsyncPolicy {
 const char* FsyncPolicyName(FsyncPolicy policy);
 bool ParseFsyncPolicy(const std::string& name, FsyncPolicy* out);
 
+/// What to do when the device reports an fsync failure. The one thing this
+/// log never does is retry the fsync and pretend it worked: after a failed
+/// fsync the kernel may have dropped the dirty pages, so a later successful
+/// fsync vouches for nothing about the earlier bytes (the Postgres
+/// "fsyncgate" lesson).
+enum class FsyncFailurePolicy {
+  /// Freeze the log: no further appends, WaitDurable answers false for
+  /// everything not already durable, and the server refuses commit acks and
+  /// shuts down. Recovery from the on-disk prefix is the only way forward.
+  kPanic = 0,
+  /// Keep serving without durability: acknowledgements keep flowing but the
+  /// log marks itself degraded (stats expose it) and stops issuing fsyncs.
+  /// Explicitly "unsafe, and says so" — never "unsafe, silently".
+  kDegradeToUnsafe = 1,
+};
+
+const char* FsyncFailurePolicyName(FsyncFailurePolicy policy);
+bool ParseFsyncFailurePolicy(const std::string& name, FsyncFailurePolicy* out);
+
 struct WalOptions {
   FsyncPolicy fsync = FsyncPolicy::kGroupCommit;
   /// Group-commit epoch length: the flusher syncs at most once per epoch.
@@ -38,6 +58,12 @@ struct WalOptions {
   uint64_t checkpoint_every_bytes = 4u << 20;
   /// First LSN to assign (tests set this near the wrap point).
   Lsn first_lsn = 1;
+  /// Reaction to a failed fsync (append failures always freeze the log: a
+  /// hole mid-log would silently truncate recovery at the hole).
+  FsyncFailurePolicy fsync_failure = FsyncFailurePolicy::kPanic;
+  /// Deterministic disk-fault plan; non-empty makes OpenDir wrap the file
+  /// device in a FaultyDevice (recovery reads are never faulted).
+  DiskFaultPlan disk_faults;
 };
 
 /// Cumulative durability counters (monotonic across checkpoints).
@@ -52,6 +78,9 @@ struct WalStats {
   uint64_t bytes_appended = 0;   ///< lifetime bytes written
   uint64_t log_bytes = 0;        ///< current log size (post-truncation)
   uint64_t bytes_reclaimed = 0;  ///< bytes dropped by truncation
+  uint64_t device_errors = 0;    ///< append/sync/reset calls the device failed
+  uint64_t fsyncs_skipped = 0;   ///< syncs not issued because degraded
+  uint64_t unsafe_acks = 0;      ///< commits acked without durability (degraded)
 
   double MeanBatchSize() const {
     return group_commit_batches == 0
@@ -76,6 +105,10 @@ struct RecoveryResult {
   Timestamp clock = 0;     ///< store clock after replay
   Lsn next_lsn = 1;        ///< resume LSN allocation here
   uint64_t clean_bytes = 0;
+  /// Non-OK when replay itself failed (a checkpoint or committed record the
+  /// store refused to apply). The store is then in an undefined partial
+  /// state and must not be served from.
+  Status status = Status::Ok();
 };
 
 /// Analysis + redo against `store`: restores the last complete checkpoint
@@ -162,7 +195,20 @@ class WriteAheadLog {
   void Freeze();
   bool crashed() const;
 
+  /// True once an fsync failure was absorbed under kDegradeToUnsafe: the log
+  /// keeps accepting appends and acking commits but claims no durability and
+  /// issues no further fsyncs.
+  bool degraded() const;
+  /// True once a device error froze the log under kPanic (or any append
+  /// error under either policy). Distinct from a simulated crash only by
+  /// device_error() being non-OK.
+  bool panicked() const;
+  /// First device error the log absorbed (Ok when none).
+  Status device_error() const;
+
   WalStats stats() const;
+  /// Injection counters when OpenDir wrapped the device (zeroes otherwise).
+  DiskFaultStats disk_fault_stats() const;
   /// Commits folded into the log's history (checkpoint base + logged).
   uint64_t committed_total() const;
   Lsn durable_lsn() const;
@@ -198,6 +244,9 @@ class WriteAheadLog {
   Lsn last_lsn_ = 0;     ///< newest appended record
   Lsn durable_lsn_ = 0;  ///< newest record covered by a sync
   bool crashed_ = false;
+  bool degraded_ = false;       ///< fsync failed under kDegradeToUnsafe
+  Status device_error_ = Status::Ok();  ///< first device failure absorbed
+  FaultyDevice* faulty_ = nullptr;      ///< set when OpenDir wrapped the device
   bool stop_ = false;
   bool flusher_running_ = false;
   std::thread flusher_;

@@ -1,0 +1,428 @@
+// Network-boundary chaos tests: the DeadlineQueue timer primitive, the
+// client's deterministic backoff schedule, server-side deadlines (txn and
+// idle timeouts over the wire), graceful drain, mid-transaction disconnect
+// cleanup (locks released, inflight drains to zero), and the ChaosProxy —
+// seeded frame drops/truncation/duplication/splitting between a real client
+// and a real server. The acceptance property throughout: the server never
+// hangs or crashes, every torn-down transaction rolls back fully, and the
+// workload invariant holds once the dust settles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/chaos.h"
+#include "net/client.h"
+#include "net/deadline.h"
+#include "net/server.h"
+#include "net/wire.h"
+
+namespace semcor::net {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------------------
+// DeadlineQueue.
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineQueueTest, FiresInDeadlineOrderWithFifoTies) {
+  DeadlineQueue q;
+  const MonoTime t0 = MonoClock::now();
+  std::vector<int> fired;
+  q.ScheduleAt(t0 + milliseconds(30), [&] { fired.push_back(3); });
+  q.ScheduleAt(t0 + milliseconds(10), [&] { fired.push_back(1); });
+  q.ScheduleAt(t0 + milliseconds(10), [&] { fired.push_back(2); });  // tie
+
+  ASSERT_TRUE(q.NextDeadline().has_value());
+  EXPECT_EQ(*q.NextDeadline(), t0 + milliseconds(10));
+
+  q.FireDue(t0 + milliseconds(5));
+  EXPECT_TRUE(fired.empty());
+  q.FireDue(t0 + milliseconds(10));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));  // ties fire in schedule order
+  q.FireDue(t0 + milliseconds(60));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(q.NextDeadline().has_value());
+  EXPECT_EQ(q.live(), 0u);
+}
+
+TEST(DeadlineQueueTest, CancelAndReentrantScheduling) {
+  DeadlineQueue q;
+  const MonoTime t0 = MonoClock::now();
+  std::vector<int> fired;
+  const DeadlineQueue::TimerId a = q.ScheduleAt(t0 + milliseconds(1), [&] {
+    fired.push_back(1);
+    // Re-entrant schedule from inside a callback must be safe — and a timer
+    // due at the current pass still fires in this pass.
+    q.ScheduleAt(t0 + milliseconds(1), [&] { fired.push_back(2); });
+  });
+  const DeadlineQueue::TimerId b =
+      q.ScheduleAt(t0 + milliseconds(2), [&] { fired.push_back(99); });
+  EXPECT_TRUE(q.Cancel(b));
+  EXPECT_FALSE(q.Cancel(b));  // already gone
+  (void)a;
+
+  q.FireDue(t0 + milliseconds(5));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  // Cancelled entries lazily drain: the queue reports no live timers.
+  EXPECT_EQ(q.live(), 0u);
+  EXPECT_FALSE(q.NextDeadline().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Client backoff schedule.
+// ---------------------------------------------------------------------------
+
+TEST(BackoffTest, DeterministicExponentialWithJitter) {
+  ClientOptions opts;
+  opts.backoff_base_ms = 2;
+  opts.backoff_max_ms = 64;
+  opts.backoff_seed = 7;
+  Client a(opts), b(opts);
+
+  std::vector<uint32_t> sa, sb;
+  for (int i = 0; i < 12; ++i) {
+    sa.push_back(a.NextBackoffMs(i, 0));
+    sb.push_back(b.NextBackoffMs(i, 0));
+  }
+  EXPECT_EQ(sa, sb);  // same seed, same schedule — replayable retries
+  for (int i = 0; i < 12; ++i) {
+    const uint32_t ceiling =
+        std::min<uint32_t>(opts.backoff_max_ms, 2u << std::min(i, 16));
+    EXPECT_GE(sa[i], ceiling / 2) << i;   // equal-jitter floor
+    EXPECT_LE(sa[i], ceiling) << i;       // capped
+  }
+  // Late attempts sit at the cap's jitter band, early ones far below it.
+  EXPECT_LT(sa[0], 3u);
+  EXPECT_GE(sa[11], 32u);
+
+  // The server's retry-after hint is a floor, never ignored.
+  EXPECT_GE(a.NextBackoffMs(0, 50), 50u);
+
+  ClientOptions other = opts;
+  other.backoff_seed = 8;
+  Client c(other);
+  std::vector<uint32_t> sc;
+  for (int i = 0; i < 12; ++i) sc.push_back(c.NextBackoffMs(i, 0));
+  EXPECT_NE(sc, sa);  // different seeds decorrelate
+}
+
+// ---------------------------------------------------------------------------
+// Server deadlines over the wire.
+// ---------------------------------------------------------------------------
+
+ServerOptions BankingOptions() {
+  ServerOptions options;
+  options.workload = "banking";
+  options.workers = 2;
+  return options;
+}
+
+Client MakeClient(uint16_t port) {
+  ClientOptions copts;
+  copts.port = port;
+  copts.recv_timeout_ms = 20000;  // a wedged server fails the test, fast
+  return Client(copts);
+}
+
+/// Polls the server until no transaction is in flight (all cleanup ran).
+bool DrainsInflight(Server& server, int timeout_ms = 5000) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (server.Metrics().inflight == 0) return true;
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  return false;
+}
+
+TEST(DeadlineTest, TxnTimeoutAbortsParkedTransaction) {
+  ServerOptions options = BankingOptions();
+  options.txn_timeout_us = 50'000;  // 50ms
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MakeClient(server.port());
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.Hello().ok());
+
+  // BEGIN, then park holding the slot well past the deadline. The sweep
+  // force-aborts server-side; the next request is answered with the timeout
+  // abort instead of hanging or kBadState.
+  Result<BeginResult> begin =
+      client.Begin("Withdraw_sav", kNegotiateLevel, {{"i", 0}, {"w", 1}});
+  ASSERT_TRUE(begin.ok()) << begin.status().ToString();
+  ASSERT_TRUE(begin.value().admitted);
+  std::this_thread::sleep_for(milliseconds(300));
+
+  Result<StepResp> step = client.Stmt();
+  ASSERT_TRUE(step.ok()) << step.status().ToString();
+  EXPECT_EQ(static_cast<StepWire>(step.value().outcome), StepWire::kAborted);
+  EXPECT_NE(step.value().detail.find("transaction exceeded"),
+            std::string::npos)
+      << step.value().detail;
+
+  EXPECT_TRUE(DrainsInflight(server));
+  const ServerMetricsSnapshot m = server.Metrics();
+  EXPECT_GE(m.txn_timeouts, 1L);
+  EXPECT_EQ(m.Committed(), 0);
+  EXPECT_TRUE(server.InvariantHolds());
+
+  // The session itself survives: a fresh transaction commits.
+  Result<TxnResult> run =
+      client.RunTxn("Withdraw_sav", kNegotiateLevel, {{"i", 0}, {"w", 1}});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run.value().committed) << run.value().detail;
+  server.Stop();
+}
+
+TEST(DeadlineTest, IdleSessionIsReapedWithTimeoutFrame) {
+  ServerOptions options = BankingOptions();
+  options.idle_timeout_us = 50'000;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = MakeClient(server.port());
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.Hello().ok());
+
+  // Stop sending; the server owes us a TIMEOUT(idle) frame and a close —
+  // never a silent hang.
+  Frame frame;
+  Status s = client.RecvFrame(&frame);
+  if (s.ok()) {
+    EXPECT_EQ(frame.type, MsgType::kTimeout);
+    Result<TimeoutResp> to = TimeoutResp::Decode(frame.payload);
+    ASSERT_TRUE(to.ok());
+    EXPECT_EQ(to.value().what, static_cast<uint8_t>(TimeoutKind::kIdle));
+    // After the frame, EOF.
+    EXPECT_FALSE(client.RecvFrame(&frame).ok());
+  } else {
+    // The reap may close before our read lands; either way no hang.
+    EXPECT_EQ(s.code(), Code::kAborted);
+  }
+  EXPECT_TRUE(DrainsInflight(server));
+  EXPECT_GE(server.Metrics().idle_timeouts, 1L);
+  server.Stop();
+}
+
+TEST(DeadlineTest, DrainFinishesInflightAndRefusesNewWork) {
+  ServerOptions options = BankingOptions();
+  options.drain_timeout_us = 3'000'000;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  // Two sessions established before the SIGTERM-equivalent arrives: one
+  // holding an in-flight transaction, one idle. (New *connections* are
+  // refused outright once draining — the listener closes — so the
+  // kShuttingDown path is about already-connected sessions.)
+  Client inflight_client = MakeClient(server.port());
+  ASSERT_TRUE(inflight_client.Connect().ok());
+  ASSERT_TRUE(inflight_client.Hello().ok());
+  Client idle_client = MakeClient(server.port());
+  ASSERT_TRUE(idle_client.Connect().ok());
+  ASSERT_TRUE(idle_client.Hello().ok());
+
+  Result<BeginResult> begin = inflight_client.Begin(
+      "Withdraw_sav", kNegotiateLevel, {{"i", 0}, {"w", 1}});
+  ASSERT_TRUE(begin.ok());
+  ASSERT_TRUE(begin.value().admitted);
+  server.RequestDrain();
+  std::this_thread::sleep_for(milliseconds(50));
+
+  // New transactions are refused with kShuttingDown while draining (the
+  // in-flight one keeps the drain from completing under us).
+  Result<BeginResult> refused =
+      idle_client.Begin("Withdraw_sav", kNegotiateLevel, {{"i", 1}, {"w", 1}});
+  if (refused.ok()) {
+    FAIL() << "BEGIN admitted during drain";
+  } else {
+    EXPECT_NE(refused.status().ToString().find("draining"),
+              std::string::npos)
+        << refused.status().ToString();
+  }
+
+  // The in-flight transaction still gets to finish cleanly.
+  Result<StepResp> step = inflight_client.Stmt();
+  ASSERT_TRUE(step.ok()) << step.status().ToString();
+  while (static_cast<StepWire>(step.value().outcome) != StepWire::kBodyDone) {
+    ASSERT_EQ(static_cast<StepWire>(step.value().outcome), StepWire::kRunning);
+    step = inflight_client.Stmt();
+    ASSERT_TRUE(step.ok());
+  }
+  step = inflight_client.Commit();
+  ASSERT_TRUE(step.ok()) << step.status().ToString();
+  EXPECT_EQ(static_cast<StepWire>(step.value().outcome), StepWire::kCommitted);
+
+  // With nothing left in flight the loop stops on its own.
+  server.WaitUntilStopped();
+  server.Stop();
+  const ServerMetricsSnapshot m = server.Metrics();
+  EXPECT_EQ(m.Committed(), 1);
+  EXPECT_GE(m.drain_rejects, 1L);
+  EXPECT_TRUE(server.InvariantHolds());
+}
+
+// ---------------------------------------------------------------------------
+// Mid-transaction disconnect (the leak regression).
+// ---------------------------------------------------------------------------
+
+TEST(DisconnectTest, MidTxnDisconnectRollsBackAndReleasesLocks) {
+  ServerOptions options = BankingOptions();
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    Client client = MakeClient(server.port());
+    ASSERT_TRUE(client.Connect().ok());
+    ASSERT_TRUE(client.Hello().ok());
+    Result<BeginResult> begin =
+        client.Begin("Withdraw_sav", kNegotiateLevel, {{"i", 0}, {"w", 1}});
+    ASSERT_TRUE(begin.ok());
+    ASSERT_TRUE(begin.value().admitted);
+    // Step partway so the transaction holds real locks, then vanish.
+    Result<StepResp> step = client.Stmt(1);
+    ASSERT_TRUE(step.ok());
+    client.Close();
+  }
+
+  // The server must notice the EOF, roll the transaction back, and release
+  // its locks: inflight drains to zero...
+  EXPECT_TRUE(DrainsInflight(server));
+
+  // ...and a second client can immediately run the same accounts to commit
+  // (stuck locks would park this in kBlocked retries forever).
+  Client fresh = MakeClient(server.port());
+  ASSERT_TRUE(fresh.Connect().ok());
+  ASSERT_TRUE(fresh.Hello().ok());
+  Result<TxnResult> run =
+      fresh.RunTxn("Withdraw_sav", kNegotiateLevel, {{"i", 0}, {"w", 1}});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run.value().committed) << run.value().detail;
+
+  const ServerMetricsSnapshot m = server.Metrics();
+  EXPECT_EQ(m.Committed(), 1);  // the abandoned txn never committed
+  EXPECT_TRUE(server.InvariantHolds());
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// ChaosProxy: frame mangling between a live client and server.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosProxyTest, SplitFramesReassembleByteByByte) {
+  Server server(BankingOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ChaosOptions copts;
+  copts.upstream_port = server.port();
+  copts.split_bytes = 3;  // every frame arrives in 3-byte shards
+  ChaosProxy proxy(copts);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  Client client = MakeClient(proxy.port());
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.Hello().ok());
+  for (int i = 0; i < 5; ++i) {
+    Result<TxnResult> run = client.RunTxn("Withdraw_sav", kNegotiateLevel,
+                                          {{"i", i % 4}, {"w", 1}});
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(run.value().committed) << run.value().detail;
+  }
+  EXPECT_GT(proxy.Stats().chunks, 0L);
+  proxy.Stop();
+  EXPECT_TRUE(DrainsInflight(server));
+  EXPECT_TRUE(server.InvariantHolds());
+  server.Stop();
+}
+
+TEST(ChaosProxyTest, TruncatedFrameTearsDownSessionCleanly) {
+  // Satellite: FrameParser + session teardown under a torn frame. The
+  // truncate fault forwards half a chunk and drops the connection, so the
+  // server's parser is left holding a partial frame at EOF — it must tear
+  // the session down (rolling back any transaction) without wedging.
+  Server server(BankingOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ChaosOptions copts;
+  copts.upstream_port = server.port();
+  copts.seed = 5;
+  copts.p_truncate = 1.0;  // second chunk onward: guaranteed torn
+  ChaosProxy proxy(copts);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  Client client = MakeClient(proxy.port());
+  ASSERT_TRUE(client.Connect().ok());
+  // Some call fails when its frame is torn mid-flight; which one depends on
+  // the seed's first-chunk decision. Either way: no hang, clean teardown.
+  Result<HelloResp> hello = client.Hello();
+  if (hello.ok()) {
+    (void)client.RunTxn("Withdraw_sav", kNegotiateLevel, {{"i", 0}, {"w", 1}});
+  }
+  client.Close();
+  proxy.Stop();
+
+  EXPECT_TRUE(DrainsInflight(server));
+  const ServerMetricsSnapshot m = server.Metrics();
+  EXPECT_EQ(m.sessions_closed, m.sessions_accepted);
+  EXPECT_TRUE(server.InvariantHolds());
+  server.Stop();
+}
+
+TEST(ChaosProxyTest, SeededFaultSoakNeverWedgesTheServer) {
+  // The acceptance soak in miniature: many clients, every chaos knob on.
+  // Individual transactions may fail arbitrarily; the server must survive
+  // all of it — every torn-down transaction rolled back, inflight zero,
+  // invariant intact — and still serve a clean client afterwards.
+  Server server(BankingOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ChaosOptions copts;
+  copts.upstream_port = server.port();
+  copts.seed = 1234;
+  copts.p_close = 0.04;
+  copts.p_truncate = 0.02;
+  copts.p_duplicate = 0.02;
+  copts.p_delay = 0.05;
+  copts.delay_ms = 2;
+  copts.split_bytes = 7;
+  ChaosProxy proxy(copts);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 12; ++i) {
+        ClientOptions cl;
+        cl.port = proxy.port();
+        cl.recv_timeout_ms = 10000;
+        cl.backoff_seed = static_cast<uint64_t>(t) * 100 + i;
+        Client client(cl);
+        if (!client.Connect().ok()) continue;
+        if (!client.Hello().ok()) continue;
+        // Outcomes are whatever chaos makes them; only liveness matters.
+        (void)client.RunTxn("Withdraw_sav", kNegotiateLevel,
+                            {{"i", (t * 12 + i) % 4}, {"w", 1}});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  proxy.Stop();
+
+  EXPECT_TRUE(DrainsInflight(server));
+  const ChaosStats cs = proxy.Stats();
+  EXPECT_GT(cs.connections, 0L);
+  EXPECT_GT(cs.closes + cs.truncates + cs.duplicates, 0L);
+
+  // A clean (direct) client still gets normal service.
+  Client fresh = MakeClient(server.port());
+  ASSERT_TRUE(fresh.Connect().ok());
+  ASSERT_TRUE(fresh.Hello().ok());
+  Result<TxnResult> run =
+      fresh.RunTxn("Withdraw_sav", kNegotiateLevel, {{"i", 0}, {"w", 1}});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run.value().committed) << run.value().detail;
+  EXPECT_TRUE(server.InvariantHolds());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace semcor::net

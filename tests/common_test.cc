@@ -200,6 +200,55 @@ TEST(CliTest, ParsesEveryKind) {
   EXPECT_FALSE(negated);
 }
 
+TEST(CliTest, DurationSuffixes) {
+  // The grammar itself: suffixed values scale to microseconds, bare numbers
+  // are milliseconds (the common case for timeout flags).
+  uint64_t us = 0;
+  EXPECT_TRUE(cli::ParseDurationUs("250ms", &us));
+  EXPECT_EQ(us, 250'000u);
+  EXPECT_TRUE(cli::ParseDurationUs("2s", &us));
+  EXPECT_EQ(us, 2'000'000u);
+  EXPECT_TRUE(cli::ParseDurationUs("1500us", &us));
+  EXPECT_EQ(us, 1500u);
+  EXPECT_TRUE(cli::ParseDurationUs("40", &us));  // bare = ms
+  EXPECT_EQ(us, 40'000u);
+  EXPECT_TRUE(cli::ParseDurationUs("0", &us));
+  EXPECT_EQ(us, 0u);
+
+  EXPECT_FALSE(cli::ParseDurationUs("", &us));
+  EXPECT_FALSE(cli::ParseDurationUs("-5ms", &us));
+  EXPECT_FALSE(cli::ParseDurationUs("5m", &us));    // minutes unsupported
+  EXPECT_FALSE(cli::ParseDurationUs("ms", &us));    // no digits
+  EXPECT_FALSE(cli::ParseDurationUs("5 ms", &us));  // embedded space
+  EXPECT_FALSE(cli::ParseDurationUs("5msx", &us));  // trailing junk
+  // 2^64 us overflows when scaled from seconds.
+  EXPECT_FALSE(cli::ParseDurationUs("18446744073709551615s", &us));
+
+  // Round-trip formatting picks the largest exact unit.
+  EXPECT_EQ(cli::FormatDurationUs(2'000'000), "2s");
+  EXPECT_EQ(cli::FormatDurationUs(250'000), "250ms");
+  EXPECT_EQ(cli::FormatDurationUs(1500), "1500us");
+  EXPECT_EQ(cli::FormatDurationUs(0), "0ms");
+
+  // And through the Flags parser, as the timeout flags use it.
+  uint64_t stmt = 0, txn = 5'000'000, idle = 0;
+  cli::Flags flags("prog", "test");
+  flags.DurationUs("stmt-timeout", &stmt, "");
+  flags.DurationUs("txn-timeout", &txn, "");
+  flags.DurationUs("idle-timeout", &idle, "");
+  const char* argv[] = {"prog", "--stmt-timeout=50ms", "--txn-timeout=2s",
+                        "--idle-timeout=30"};
+  ASSERT_TRUE(flags.Parse(4, const_cast<char**>(argv)));
+  EXPECT_EQ(stmt, 50'000u);
+  EXPECT_EQ(txn, 2'000'000u);
+  EXPECT_EQ(idle, 30'000u);
+
+  cli::Flags bad("prog", "test");
+  bad.DurationUs("stmt-timeout", &stmt, "");
+  const char* bad_argv[] = {"prog", "--stmt-timeout=fast"};
+  EXPECT_FALSE(bad.Parse(2, const_cast<char**>(bad_argv)));
+}
+
 TEST(CliTest, RejectsBadInput) {
   int i = 0;
   bool b = false;
