@@ -9,9 +9,38 @@ set -eu
 
 cd "$(dirname "$0")"
 
-cmake -B build -S .
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+# Static-analysis stage 1: clang-tidy over the analysis core, driven by the
+# exported compile commands. Skipped (loudly) where clang-tidy is not
+# installed — the checks still gate on developer machines and full CI
+# images. --warnings-as-errors promotes every enabled check to a failure.
+if command -v clang-tidy >/dev/null 2>&1; then
+  clang-tidy -p build --quiet --warnings-as-errors='*' \
+      src/sem/lint/parse_program.cc src/sem/lint/lint.cc \
+      src/sem/check/incremental.cc src/sem/check/suitegen.cc \
+      src/sem/logic/memo.cc src/sem/expr/hash.cc
+else
+  echo "ci.sh: clang-tidy not installed; skipping lint-the-linter stage"
+fi
+
+# Static-analysis stage 2: semcor_lint gates the example programs. The
+# correctly-annotated application must lint clean; the deliberately
+# under-leveled one must fail (exit 1) and its diagnostics must name the
+# rejecting theorem — this is the contract editors and CI annotate on.
+./build/examples/semcor_lint --program=examples/programs/banking.sem
+if ./build/examples/semcor_lint --program=examples/programs/underleveled.sem \
+    >lint_under.out 2>&1; then
+  echo "ci.sh: FAIL — under-leveled example was not flagged"
+  cat lint_under.out
+  exit 1
+fi
+cat lint_under.out
+grep -q 'Thm 1' lint_under.out
+grep -q 'error' lint_under.out
+rm -f lint_under.out
 
 # ~5 seconds of exploration: the 252-schedule write-skew space is enumerated
 # exhaustively and the rest of the budget is fuzzed.
@@ -172,9 +201,28 @@ if command -v python3 >/dev/null 2>&1; then
   python3 -c 'import json; assert json.load(open("BENCH_E11.json"))["all_ok"] == 1'
 fi
 
+# E13: incremental static analysis at scale. The bench itself exits
+# non-zero unless the warm re-check after a one-type edit is >= 10x faster
+# than the cold O(K^2) sweep at K types.
+./build/bench/bench_e13_advisor --types=200 --seed=7
+test -s BENCH_E13.json
+
 # Archive every machine-readable artifact this run produced, so a CI
-# wrapper only has to preserve one directory.
+# wrapper only has to preserve one directory — and fail if any expected
+# artifact is missing or unparsable (a bench that silently stopped writing
+# its JSON should break the build, not the dashboard).
 mkdir -p ci_artifacts
+for f in BENCH_E10.json BENCH_E10R.json BENCH_E12.json BENCH_E6.json \
+         BENCH_E9.json BENCH_E11.json BENCH_E13.json; do
+  if [ ! -s "$f" ]; then
+    echo "ci.sh: FAIL — expected bench artifact $f is missing or empty"
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json, sys; json.load(open('$f'))" || {
+      echo "ci.sh: FAIL — $f is not valid JSON"; exit 1; }
+  fi
+done
 for f in BENCH_E*.json; do
   if [ -s "$f" ]; then cp "$f" ci_artifacts/; fi
 done

@@ -1,0 +1,135 @@
+#ifndef SEMCOR_COMMON_STEAL_POOL_H_
+#define SEMCOR_COMMON_STEAL_POOL_H_
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace semcor {
+
+/// Work-stealing task pool shared by the schedule explorer's systematic
+/// phase and the incremental advisor's parallel pair checker.
+///
+/// Each worker owns a deque of tasks: the owner treats it as a LIFO stack
+/// (depth first, small frontier), thieves take from the opposite end
+/// (shallow entries, i.e. the biggest subtrees — classic work stealing).
+/// Workers may spawn new tasks while processing one; the pool terminates
+/// when every task has been retired, or as soon as `RequestStop` is called.
+///
+/// The task type only needs to be movable. Task processing order is
+/// unspecified (callers needing deterministic results must make the result
+/// a commutative merge, as both existing users do).
+template <typename Task>
+class StealPool {
+ public:
+  explicit StealPool(int workers)
+      : deques_(static_cast<size_t>(workers < 1 ? 1 : workers)) {
+    for (auto& d : deques_) d = std::make_unique<WorkerDeque>();
+  }
+
+  int workers() const { return static_cast<int>(deques_.size()); }
+
+  /// Seeds a task before Run (no accounting races: Run not started yet).
+  void Seed(int wid, Task task) {
+    deques_[static_cast<size_t>(wid)]->q.push_back(std::move(task));
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Cooperative cancellation: workers drain nothing further once set.
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Context handed to the worker body; `Spawn` parks children on the
+  /// calling worker's own deque so the depth-first frontier stays small.
+  class Ctx {
+   public:
+    Ctx(StealPool* pool, int wid) : pool_(pool), wid_(wid) {}
+    int worker_id() const { return wid_; }
+    void Spawn(Task task) { pending_.push_back(std::move(task)); }
+
+   private:
+    friend class StealPool;
+    StealPool* pool_;
+    int wid_;
+    std::vector<Task> pending_;
+  };
+
+  /// Runs `body(ctx, task)` over every task on `workers()` threads until the
+  /// pool drains or stop is requested. May be called again after it returns
+  /// (e.g. to run a second seeded batch).
+  template <typename Body>
+  void Run(const Body& body) {
+    std::vector<std::thread> threads;
+    threads.reserve(deques_.size());
+    for (int wid = 0; wid < workers(); ++wid) {
+      threads.emplace_back([this, wid, &body] { Worker(wid, body); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+ private:
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<Task> q;
+  };
+
+  bool PopOwn(int wid, Task* out) {
+    WorkerDeque* dq = deques_[static_cast<size_t>(wid)].get();
+    std::lock_guard<std::mutex> lock(dq->mu);
+    if (dq->q.empty()) return false;
+    *out = std::move(dq->q.back());
+    dq->q.pop_back();
+    return true;
+  }
+
+  bool Steal(int self, Task* out) {
+    const int n = workers();
+    for (int k = 1; k < n; ++k) {
+      WorkerDeque* dq = deques_[static_cast<size_t>((self + k) % n)].get();
+      std::lock_guard<std::mutex> lock(dq->mu);
+      if (dq->q.empty()) continue;
+      *out = std::move(dq->q.front());
+      dq->q.pop_front();
+      return true;
+    }
+    return false;
+  }
+
+  template <typename Body>
+  void Worker(int wid, const Body& body) {
+    Ctx ctx(this, wid);
+    Task task;
+    while (!stop_requested()) {
+      if (!PopOwn(wid, &task) && !Steal(wid, &task)) {
+        if (outstanding_.load() == 0) break;
+        std::this_thread::yield();
+        continue;
+      }
+      ctx.pending_.clear();
+      body(ctx, task);
+      // Count the children before parking them, then retire the popped
+      // task: `outstanding` must never dip to zero while work still
+      // exists, or idle workers would quit early.
+      outstanding_.fetch_add(static_cast<int64_t>(ctx.pending_.size()));
+      {
+        WorkerDeque* dq = deques_[static_cast<size_t>(wid)].get();
+        std::lock_guard<std::mutex> lock(dq->mu);
+        for (Task& child : ctx.pending_) dq->q.push_back(std::move(child));
+      }
+      outstanding_.fetch_sub(1);
+    }
+  }
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::atomic<int64_t> outstanding_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_COMMON_STEAL_POOL_H_

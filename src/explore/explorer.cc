@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <deque>
 #include <map>
 #include <mutex>
 #include <thread>
 
+#include "common/steal_pool.h"
 #include "common/str_util.h"
 #include "explore/fuzz.h"
 #include "explore/shrink.h"
@@ -42,19 +42,8 @@ std::string ExploreReport::Summary() const {
 
 namespace {
 
-/// Per-worker deque of DFS prefixes: the owner treats it as a LIFO stack
-/// (depth first, small frontier); thieves take from the opposite end
-/// (shallow prefixes, i.e. the biggest subtrees — classic work stealing).
-struct WorkerDeque {
-  std::mutex mu;
-  std::deque<Schedule> q;
-};
-
 struct SharedState {
-  std::vector<std::unique_ptr<WorkerDeque>> deques;
-  std::atomic<int64_t> outstanding{0};  ///< queued + in-expansion nodes
   std::atomic<int64_t> leaves{0};
-  std::atomic<bool> stop{false};
 
   std::mutex witness_mu;
   /// Smallest (length, then lexicographic) schedule found per anomaly, so
@@ -78,68 +67,6 @@ void RecordWitness(SharedState* shared, int max_witnesses, const Schedule& s,
   }
   if (static_cast<int>(shared->witness_by_sig.size()) >= max_witnesses) return;
   shared->witness_by_sig.emplace(r.Signature(), s);
-}
-
-bool PopOwn(WorkerDeque* dq, Schedule* out) {
-  std::lock_guard<std::mutex> lock(dq->mu);
-  if (dq->q.empty()) return false;
-  *out = std::move(dq->q.back());
-  dq->q.pop_back();
-  return true;
-}
-
-bool Steal(SharedState* shared, int self, Schedule* out) {
-  const int n = static_cast<int>(shared->deques.size());
-  for (int k = 1; k < n; ++k) {
-    WorkerDeque* dq = shared->deques[(self + k) % n].get();
-    std::lock_guard<std::mutex> lock(dq->mu);
-    if (dq->q.empty()) continue;
-    *out = std::move(dq->q.front());
-    dq->q.pop_front();
-    return true;
-  }
-  return false;
-}
-
-void EnumerateWorker(int wid, ExploreSession* session,
-                     const ExploreOptions& options, SharedState* shared) {
-  EnumerateOptions eopts;
-  eopts.preemption_bound = options.preemption_bound;
-  eopts.max_choices = options.max_choices;
-  eopts.budget = -1;  // the shared leaf counter enforces the budget
-  ScheduleSpace space(session, eopts);
-  EnumerateStats local;
-  auto on_leaf = [&](const Schedule& s, const RunResult& r) {
-    const int64_t done = shared->leaves.fetch_add(1) + 1;
-    if (options.budget >= 0 && done >= options.budget) {
-      shared->stop.store(true, std::memory_order_relaxed);
-    }
-    if (r.anomalous) RecordWitness(shared, options.max_witnesses, s, r);
-  };
-  std::vector<Schedule> children;
-  Schedule node;
-  while (!shared->stop.load(std::memory_order_relaxed)) {
-    if (!PopOwn(shared->deques[wid].get(), &node) &&
-        !Steal(shared, wid, &node)) {
-      if (shared->outstanding.load() == 0) break;
-      std::this_thread::yield();
-      continue;
-    }
-    children.clear();
-    space.Expand(node, on_leaf, &children, &local);
-    // Count the children before parking them, then retire the popped node:
-    // `outstanding` must never dip to zero while work still exists, or
-    // idle workers would quit early.
-    shared->outstanding.fetch_add(static_cast<int64_t>(children.size()));
-    {
-      WorkerDeque* dq = shared->deques[wid].get();
-      std::lock_guard<std::mutex> lock(dq->mu);
-      for (Schedule& child : children) dq->q.push_back(std::move(child));
-    }
-    shared->outstanding.fetch_sub(1);
-  }
-  std::lock_guard<std::mutex> lock(shared->stats_mu);
-  shared->stats.Add(local);
 }
 
 void FuzzWorker(ExploreSession* session, const ExploreOptions& options,
@@ -193,22 +120,41 @@ Result<ExploreReport> Explorer::Run() {
   report.txns = sessions[0]->txn_count();
 
   SharedState shared;
-  for (int i = 0; i < threads; ++i) {
-    shared.deques.push_back(std::make_unique<WorkerDeque>());
-  }
 
   const auto start = std::chrono::steady_clock::now();
 
   if (options_.enumerate) {
-    shared.deques[0]->q.push_back(Schedule{});
-    shared.outstanding.store(1);
-    std::vector<std::thread> pool;
+    // DFS over the schedule-prefix tree on the shared work-stealing pool:
+    // every prefix is a task, expansion spawns the children back onto the
+    // expanding worker's own deque.
+    EnumerateOptions eopts;
+    eopts.preemption_bound = options_.preemption_bound;
+    eopts.max_choices = options_.max_choices;
+    eopts.budget = -1;  // the shared leaf counter enforces the budget
+    StealPool<Schedule> pool(threads);
+    std::vector<ScheduleSpace> spaces;
+    std::vector<EnumerateStats> locals(static_cast<size_t>(threads));
+    spaces.reserve(static_cast<size_t>(threads));
     for (int wid = 0; wid < threads; ++wid) {
-      pool.emplace_back(EnumerateWorker, wid, sessions[wid].get(),
-                        std::cref(options_), &shared);
+      spaces.emplace_back(sessions[wid].get(), eopts);
     }
-    for (std::thread& t : pool) t.join();
-    report.space_exhausted = !shared.stop.load();
+    auto on_leaf = [&](const Schedule& s, const RunResult& r) {
+      const int64_t done = shared.leaves.fetch_add(1) + 1;
+      if (options_.budget >= 0 && done >= options_.budget) {
+        pool.RequestStop();
+      }
+      if (r.anomalous) RecordWitness(&shared, options_.max_witnesses, s, r);
+    };
+    pool.Seed(0, Schedule{});
+    std::vector<std::vector<Schedule>> scratch(static_cast<size_t>(threads));
+    pool.Run([&](StealPool<Schedule>::Ctx& ctx, Schedule& node) {
+      const size_t wid = static_cast<size_t>(ctx.worker_id());
+      scratch[wid].clear();
+      spaces[wid].Expand(node, on_leaf, &scratch[wid], &locals[wid]);
+      for (Schedule& child : scratch[wid]) ctx.Spawn(std::move(child));
+    });
+    for (const EnumerateStats& local : locals) shared.stats.Add(local);
+    report.space_exhausted = !pool.stop_requested();
     report.enumerated = shared.stats.schedules;
   }
 

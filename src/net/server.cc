@@ -185,9 +185,12 @@ Status Server::Start() {
   }
 
   // The §5 analysis runs once at startup; BEGIN negotiation is then a map
-  // lookup, so static checking never sits on the request path.
-  LevelAdvisor advisor(workload_.app, AdvisorOptions{});
-  for (LevelAdvice& advice : advisor.AdviseAll()) {
+  // lookup, so static checking never sits on the request path. The advisor
+  // stays resident: its obligation cache makes re-advising after a workload
+  // edit O(K) pair checks instead of a fresh O(K²) sweep.
+  advisor_ = std::make_unique<IncrementalAdvisor>(workload_.app,
+                                                  IncrementalOptions{});
+  for (LevelAdvice& advice : advisor_->AdviseAll()) {
     advice_[advice.txn_type] = std::move(advice);
   }
 

@@ -17,6 +17,7 @@
 #include "net/event_loop.h"
 #include "net/wire.h"
 #include "sem/check/advisor.h"
+#include "sem/check/incremental.h"
 #include "txn/txn.h"
 #include "txn/interpreter.h"
 #include "wal/wal.h"
@@ -117,8 +118,9 @@ struct ServerMetricsSnapshot {
 /// retry-after hint, and persistent blocking becomes a bounded-wait victim
 /// abort. BEGIN negotiates the isolation level per session: an explicit
 /// level is honoured (and flagged when the static analysis rejects it), and
-/// kNegotiateLevel runs the paper's §5 procedure from a LevelAdvisor cache
-/// computed at startup.
+/// kNegotiateLevel runs the paper's §5 procedure from an IncrementalAdvisor
+/// whose memoized pair cache is computed at startup (and stays warm for any
+/// future workload edits).
 class Server {
  public:
   explicit Server(ServerOptions options);
@@ -228,6 +230,10 @@ class Server {
   CommitLog log_;
   std::unique_ptr<wal::WriteAheadLog> wal_;
   wal::RecoveryResult recovery_;
+  /// Incremental §5 checker: hash-consed decision memo + per-(pair, level)
+  /// obligation cache, built once at Start(). Kept alive (not a startup
+  /// temporary) so a re-registered type re-checks O(K) pairs, not O(K²).
+  std::unique_ptr<IncrementalAdvisor> advisor_;
   /// Startup advisor cache: type name → advice (negotiation + verdicts).
   std::map<std::string, LevelAdvice> advice_;
 

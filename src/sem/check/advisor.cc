@@ -53,27 +53,59 @@ bool LevelAdvice::CorrectAt(IsoLevel level) const {
 }
 
 std::string SummarizeAdvice(const LevelAdvice& advice) {
-  int rejected = 0;
+  // Name the theorem whose obligation failed at every rung below the
+  // recommendation — "3 levels rejected" tells an operator nothing about
+  // which semantic condition to look at.
+  std::string rejected;
   for (const LevelCheckReport& r : advice.reports) {
-    if (!r.correct) ++rejected;
+    if (r.correct) continue;
+    if (!rejected.empty()) rejected += ", ";
+    rejected +=
+        StrCat(IsoLevelName(r.level), " rejected by ", TheoremTag(r.level));
   }
-  return StrCat(advice.txn_type, ": lowest correct level = ",
-                IsoLevelName(advice.recommended), "; SNAPSHOT ",
-                advice.snapshot_correct ? "ok" : "unsafe", "; ", rejected,
-                rejected == 1 ? " level" : " levels", " rejected below it");
+  std::string out = StrCat(advice.txn_type, ": lowest correct level = ",
+                           IsoLevelName(advice.recommended), "; SNAPSHOT ",
+                           advice.snapshot_correct ? "ok" : "unsafe");
+  if (!rejected.empty()) out = StrCat(out, "; ", rejected);
+  return out;
 }
 
 std::string RenderAdviceTable(const std::vector<LevelAdvice>& advice) {
-  std::string out;
-  out += StrCat("| ", "transaction type", " | lowest correct level | SNAPSHOT ok? | triples checked |\n");
-  out += "|---|---|---|---|\n";
+  const std::vector<std::string> headers = {
+      "transaction type", "lowest correct level", "SNAPSHOT ok?",
+      "triples checked"};
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(advice.size());
   for (const LevelAdvice& a : advice) {
     int triples = 0;
     for (const LevelCheckReport& r : a.reports) triples += r.triples_checked;
     triples += a.snapshot_report.triples_checked;
-    out += StrCat("| ", a.txn_type, " | ", IsoLevelName(a.recommended), " | ",
-                  a.snapshot_correct ? "yes" : "no", " | ", triples, " |\n");
+    rows.push_back({a.txn_type, IsoLevelName(a.recommended),
+                    a.snapshot_correct ? "yes" : "no",
+                    std::to_string(triples)});
   }
+  // Pad every column to its widest cell so long type names don't shear the
+  // table out of alignment.
+  std::vector<size_t> widths(headers.size());
+  for (size_t i = 0; i < headers.size(); ++i) widths[i] = headers[i].size();
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      line += StrCat(" ", cells[i],
+                     std::string(widths[i] - cells[i].size(), ' '), " |");
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers);
+  out += "|";
+  for (size_t w : widths) out += StrCat(std::string(w + 2, '-'), "|");
+  out += "\n";
+  for (const auto& row : rows) out += render_row(row);
   return out;
 }
 

@@ -56,9 +56,11 @@ class LevelAdvisor {
 std::string RenderAdviceTable(const std::vector<LevelAdvice>& advice);
 
 /// One-line human-readable verdict for a type ("Withdraw_sav: lowest correct
-/// level = REPEATABLE-READ; SNAPSHOT ok; 3 levels rejected below it") — the
-/// transaction server returns this in the BEGIN response so clients can log
-/// why a level was negotiated.
+/// level = REPEATABLE-READ; SNAPSHOT ok; READ-UNCOMMITTED rejected by Thm 1,
+/// READ-COMMITTED rejected by Thm 2") — every rung below the recommendation
+/// is named with the theorem whose obligation failed there. The transaction
+/// server returns this in the BEGIN response so clients can log why a level
+/// was negotiated.
 std::string SummarizeAdvice(const LevelAdvice& advice);
 
 }  // namespace semcor

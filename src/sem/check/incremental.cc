@@ -1,0 +1,181 @@
+#include "sem/check/incremental.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/steal_pool.h"
+
+namespace semcor {
+
+IncrementalOptions IncrementalAdvisor::WithMemo(IncrementalOptions options) {
+  if (options.advisor.check.decide.memo == nullptr && options.share_memo) {
+    options.advisor.check.decide.memo = std::make_shared<DecisionMemo>();
+  }
+  return options;
+}
+
+IncrementalAdvisor::IncrementalAdvisor(const Application& app,
+                                       IncrementalOptions options)
+    : options_(WithMemo(std::move(options))),
+      memo_(options_.advisor.check.decide.memo),
+      engine_(app, options_.advisor.check) {}
+
+void IncrementalAdvisor::RegisterType(const TransactionType& type) {
+  const uint64_t before = engine_.TypeFingerprint(type.name);
+  engine_.RegisterType(type);
+  if (before != 0 && engine_.TypeFingerprint(type.name) == before) {
+    return;  // identical re-registration: every cached pair stays valid
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateTypeLocked(type.name);
+}
+
+bool IncrementalAdvisor::RemoveType(const std::string& name) {
+  if (!engine_.RemoveType(name)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateTypeLocked(name);
+  return true;
+}
+
+void IncrementalAdvisor::InvalidateTypeLocked(const std::string& name) {
+  auto it = involving_.find(name);
+  if (it == involving_.end()) return;
+  for (const CacheKey& key : it->second) {
+    stats_.invalidated += static_cast<int64_t>(cache_.erase(key));
+  }
+  involving_.erase(it);
+}
+
+void IncrementalAdvisor::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidated += static_cast<int64_t>(cache_.size());
+  cache_.clear();
+  involving_.clear();
+}
+
+IncrementalStats IncrementalAdvisor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+LevelCheckReport IncrementalAdvisor::CheckLevel(const std::string& type_name,
+                                                IsoLevel level,
+                                                bool parallel_pairs) {
+  // Copy: TypeNames() may be re-read concurrently by sibling Advise calls
+  // (registration is excluded while checks run, but iterator stability of
+  // the local list keeps the indexing below simple).
+  const std::vector<std::string> types = engine_.TypeNames();
+  const uint64_t target_fp = engine_.TypeFingerprint(type_name);
+
+  std::vector<std::shared_ptr<const LevelCheckReport>> parts(types.size());
+  std::vector<size_t> missing;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < types.size(); ++i) {
+      const CacheKey key{type_name, level, types[i]};
+      auto it = cache_.find(key);
+      if (it != cache_.end() && it->second.target_fp == target_fp &&
+          it->second.other_fp == engine_.TypeFingerprint(types[i])) {
+        parts[i] = it->second.report;
+        ++stats_.pair_hits;
+      } else {
+        missing.push_back(i);
+      }
+    }
+  }
+
+  auto compute = [&](size_t i) {
+    auto report = std::make_shared<const LevelCheckReport>(
+        engine_.CheckPairAtLevel(type_name, level, types[i]));
+    const CacheKey key{type_name, level, types[i]};
+    CacheEntry entry;
+    entry.target_fp = target_fp;
+    entry.other_fp = engine_.TypeFingerprint(types[i]);
+    entry.report = report;
+    parts[i] = report;
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_[key] = std::move(entry);
+    involving_[key.target].insert(key);
+    involving_[key.other].insert(key);
+    ++stats_.pair_checks;
+  };
+
+  if (parallel_pairs && options_.threads > 1 && missing.size() > 1) {
+    const int workers =
+        std::min<int>(options_.threads, static_cast<int>(missing.size()));
+    StealPool<size_t> pool(workers);
+    for (size_t j = 0; j < missing.size(); ++j) {
+      pool.Seed(static_cast<int>(j) % workers, missing[j]);
+    }
+    pool.Run([&](StealPool<size_t>::Ctx&, size_t& i) { compute(i); });
+  } else {
+    for (size_t i : missing) compute(i);
+  }
+
+  // Deterministic merge: registration order, independent of which worker
+  // finished first and of cache hit/miss mix.
+  return TheoremEngine::Merge(parts, type_name, level);
+}
+
+LevelAdvice IncrementalAdvisor::AdviseImpl(const std::string& type_name,
+                                           bool parallel_pairs) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.advise_calls;
+  }
+  LevelAdvice advice;
+  advice.txn_type = type_name;
+
+  std::vector<IsoLevel> ladder = {IsoLevel::kReadUncommitted,
+                                  IsoLevel::kReadCommitted};
+  if (options_.advisor.consider_fcw) {
+    ladder.push_back(IsoLevel::kReadCommittedFcw);
+  }
+  ladder.push_back(IsoLevel::kRepeatableRead);
+  ladder.push_back(IsoLevel::kSerializable);
+
+  for (IsoLevel level : ladder) {
+    LevelCheckReport report = CheckLevel(type_name, level, parallel_pairs);
+    const bool correct = report.correct;
+    advice.reports.push_back(std::move(report));
+    if (correct) {
+      advice.recommended = level;
+      break;  // §5: return the first level that is semantically correct
+    }
+  }
+  if (options_.advisor.evaluate_snapshot) {
+    advice.snapshot_report =
+        CheckLevel(type_name, IsoLevel::kSnapshot, parallel_pairs);
+    advice.snapshot_correct = advice.snapshot_report.correct;
+  }
+  return advice;
+}
+
+LevelAdvice IncrementalAdvisor::Advise(const std::string& type_name) {
+  return AdviseImpl(type_name, /*parallel_pairs=*/true);
+}
+
+std::vector<LevelAdvice> IncrementalAdvisor::AdviseAll() {
+  const std::vector<std::string> names = engine_.TypeNames();
+  std::vector<LevelAdvice> out(names.size());
+  if (options_.threads > 1 && names.size() > 1) {
+    // One task per target type; each task checks its pairs serially (the
+    // pair keys of distinct targets are disjoint, so no work is duplicated).
+    const int workers =
+        std::min<int>(options_.threads, static_cast<int>(names.size()));
+    StealPool<size_t> pool(workers);
+    for (size_t i = 0; i < names.size(); ++i) {
+      pool.Seed(static_cast<int>(i) % workers, i);
+    }
+    pool.Run([&](StealPool<size_t>::Ctx&, size_t& i) {
+      out[i] = AdviseImpl(names[i], /*parallel_pairs=*/false);
+    });
+  } else {
+    for (size_t i = 0; i < names.size(); ++i) {
+      out[i] = AdviseImpl(names[i], /*parallel_pairs=*/true);
+    }
+  }
+  return out;
+}
+
+}  // namespace semcor

@@ -1,0 +1,131 @@
+#ifndef SEMCOR_SEM_CHECK_INCREMENTAL_H_
+#define SEMCOR_SEM_CHECK_INCREMENTAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sem/check/advisor.h"
+#include "sem/check/theorems.h"
+#include "sem/logic/memo.h"
+
+namespace semcor {
+
+/// Counters for the incremental checker (all monotonically increasing).
+struct IncrementalStats {
+  int64_t pair_checks = 0;   ///< pair reports computed fresh
+  int64_t pair_hits = 0;     ///< pair reports served from the cache
+  int64_t invalidated = 0;   ///< cache entries dropped by type edits
+  int64_t advise_calls = 0;  ///< Advise() invocations
+};
+
+struct IncrementalOptions {
+  AdvisorOptions advisor;
+  /// Width of the parallel pair-checking driver (1 = serial). Parallelism
+  /// changes only wall-clock time, never results: pair reports are merged
+  /// in registration order regardless of completion order.
+  int threads = 1;
+  /// Install a shared DecisionMemo into the check options when the caller
+  /// did not supply one, so Fourier-Motzkin decisions dedupe across pairs,
+  /// levels, and re-advises.
+  bool share_memo = true;
+};
+
+/// Incremental §5 advisor.
+///
+/// The paper's level conditions are conjunctions of obligations between a
+/// *target* type T_i and one interfering type T_j at a time (Theorems 1-6
+/// quantify over individual T_j; Theorem 5's conditions are explicitly
+/// pairwise). This advisor therefore caches the obligation check at the
+/// granularity of (target type, level, other type). Editing one of K types
+/// invalidates only the O(K) cached pairs that mention it — every untouched
+/// pair is reused verbatim, so a re-check after a single-type edit costs
+/// O(K) pair checks instead of the cold sweep's O(K^2).
+///
+/// Cache entries additionally record both types' content fingerprints
+/// (TheoremEngine::TypeFingerprint) and are revalidated on lookup, so a
+/// RegisterType that re-registers an identical type invalidates nothing.
+class IncrementalAdvisor {
+ public:
+  IncrementalAdvisor(const Application& app, IncrementalOptions options);
+
+  /// Adds or replaces a type, invalidating exactly the cached pairs that
+  /// mention it (no-op invalidation if the new definition's fingerprint
+  /// matches the old one).
+  void RegisterType(const TransactionType& type);
+
+  /// Removes a type and the cached pairs that mention it.
+  bool RemoveType(const std::string& name);
+
+  /// §5 ladder walk for one type, reusing cached pair reports. Identical
+  /// recommendation to LevelAdvisor::Advise on the same application.
+  LevelAdvice Advise(const std::string& type_name);
+
+  /// Advice for every registered type, in registration order. With
+  /// `threads > 1` the types are checked concurrently on a work-stealing
+  /// pool; results are deterministic.
+  std::vector<LevelAdvice> AdviseAll();
+
+  /// Drops the whole pair cache (memo and fingerprints are kept).
+  void InvalidateAll();
+
+  const std::vector<std::string>& TypeNames() const {
+    return engine_.TypeNames();
+  }
+  IncrementalStats stats() const;
+  std::shared_ptr<DecisionMemo> memo() const { return memo_; }
+  TheoremEngine& engine() { return engine_; }
+
+ private:
+  struct CacheKey {
+    std::string target;
+    IsoLevel level;
+    std::string other;
+
+    bool operator<(const CacheKey& k) const {
+      if (target != k.target) return target < k.target;
+      if (level != k.level) return level < k.level;
+      return other < k.other;
+    }
+  };
+  struct CacheEntry {
+    uint64_t target_fp = 0;
+    uint64_t other_fp = 0;
+    std::shared_ptr<const LevelCheckReport> report;
+  };
+
+  /// Installs a freshly allocated shared DecisionMemo when the caller did
+  /// not provide one (and share_memo is set). Must not touch members: it
+  /// runs in the init list before they are constructed.
+  static IncrementalOptions WithMemo(IncrementalOptions options);
+
+  /// Drops every cache entry that mentions `name`; counts invalidations.
+  void InvalidateTypeLocked(const std::string& name);
+
+  /// Merged level report for `type_name`, computing missing pairs (in
+  /// parallel when `parallel_pairs`) and caching them.
+  LevelCheckReport CheckLevel(const std::string& type_name, IsoLevel level,
+                              bool parallel_pairs);
+
+  LevelAdvice AdviseImpl(const std::string& type_name, bool parallel_pairs);
+
+  IncrementalOptions options_;
+  std::shared_ptr<DecisionMemo> memo_;
+  TheoremEngine engine_;
+
+  mutable std::mutex mu_;  ///< guards cache_, involving_, stats_
+  std::map<CacheKey, CacheEntry> cache_;
+  /// Which cache keys mention each type (targets O(K) invalidation).
+  /// May retain keys already erased via the opposite type; erase is
+  /// idempotent so stale keys are harmless.
+  std::map<std::string, std::set<CacheKey>> involving_;
+  IncrementalStats stats_;
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_CHECK_INCREMENTAL_H_

@@ -4,37 +4,13 @@
 
 namespace semcor {
 
-namespace {
-
-const char* TheoremFor(IsoLevel level) {
-  switch (level) {
-    case IsoLevel::kReadUncommitted:
-      return "Theorem 1 (per-write interference, incl. rollback undo)";
-    case IsoLevel::kReadCommitted:
-      return "Theorem 2 (whole transactions vs read posts and Q_i)";
-    case IsoLevel::kReadCommittedFcw:
-      return "Theorem 3 (unprotected read posts and Q_i)";
-    case IsoLevel::kRepeatableRead:
-      return "Theorems 4/6 (conventional: free; relational: SELECT posts "
-             "with predicate-intersection excuse)";
-    case IsoLevel::kSerializable:
-      return "serializability (no obligations)";
-    case IsoLevel::kSnapshot:
-      return "Theorem 5 (pairwise: write-set intersection or read-step "
-             "post + Q_i)";
-  }
-  return "?";
-}
-
-}  // namespace
-
 std::string RenderLevelReport(const LevelCheckReport& report,
                               const ReportOptions& options) {
   std::string out = StrCat(options.markdown ? "### " : "", report.txn_type,
                            " @ ", IsoLevelName(report.level), " — ",
                            report.correct ? "CORRECT" : "not correct", " (",
                            report.triples_checked, " triples, ",
-                           TheoremFor(report.level), ")\n");
+                           TheoremName(report.level), ")\n");
   for (const Obligation& o : report.obligations) {
     if (o.Passed() && !options.include_passing && !o.excused) continue;
     out += StrCat(options.markdown ? "- " : "  * ", "[", o.assertion,

@@ -1,0 +1,152 @@
+#include "sem/check/suitegen.h"
+
+#include <map>
+#include <vector>
+
+#include "common/str_util.h"
+#include "sem/prog/builder.h"
+
+namespace semcor {
+
+namespace {
+
+/// splitmix64 — deterministic shape draws; no global RNG state so the same
+/// options always generate the same suite.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int ItemCount(const SuiteOptions& options) {
+  int m = options.num_items > 0 ? options.num_items : options.num_types;
+  return m < 2 ? 2 : m;
+}
+
+std::string Item(int i) { return StrCat("gen_item_", i); }
+
+/// I for type t's window: the two items it touches sum to >= 0 (the
+/// generated analogue of Example 3's I_bal).
+Expr WindowInvariant(const std::string& a, const std::string& b) {
+  return Ge(Add(DbVar(a), DbVar(b)), Lit(int64_t{0}));
+}
+
+/// Figure-1-shaped guarded withdrawal over window (a, b): read both items,
+/// withdraw from `a` only if the seen sum covers it. The stable facts
+/// asserted between reads are what generate the interesting Theorem 2/4
+/// obligations against neighbouring types.
+TransactionType MakeGenWithdraw(int index, const std::string& a,
+                                const std::string& b, int64_t amount,
+                                bool edited) {
+  TransactionType type;
+  type.name = StrCat("GenW_", index);
+  type.make = [a, b, edited,
+               name = type.name](const std::map<std::string, Value>& params) {
+    const Expr ii = WindowInvariant(a, b);
+    // The edited variant strengthens the bound assumption — a one-line
+    // "developer edit" that changes the program's fingerprint.
+    const Expr bp = edited ? Ge(Local("w"), Lit(int64_t{1}))
+                           : Ge(Local("w"), Lit(int64_t{0}));
+
+    ProgramBuilder builder(name);
+    builder.IPart(ii).BPart(bp);
+    builder.Logical("A0", a);
+    builder.Pre(And(ii, bp)).Read("X", a);
+    const Expr after_first = And(
+        {ii, bp, Ge(DbVar(a), Local("X")), Eq(Local("X"), Logical("A0"))});
+    builder.Pre(after_first).Read("Y", b);
+    const Expr seen_sum = Add(Local("X"), Local("Y"));
+    const Expr read_post =
+        And({ii, bp, Ge(Add(DbVar(a), DbVar(b)), seen_sum),
+             Ge(DbVar(b), Local("Y")), Eq(Local("X"), Logical("A0"))});
+    builder.Pre(read_post).If(
+        Ge(seen_sum, Local("w")), [&](ProgramBuilder& then_block) {
+          then_block.Pre(And(read_post, Ge(seen_sum, Local("w"))))
+              .Write(a, Sub(Local("X"), Local("w")));
+        });
+    builder.Result(Implies(Ge(seen_sum, Local("w")),
+                           Eq(DbVar(a), Sub(Logical("A0"), Local("w")))));
+    return builder.Build(params);
+  };
+  type.analysis_scenarios = {{{"w", Value::Int(amount)}}};
+  return type;
+}
+
+/// Example-3-shaped deposit into `a`, relying on window (a, b)'s invariant.
+TransactionType MakeGenDeposit(int index, const std::string& a,
+                               const std::string& b, int64_t amount,
+                               bool edited) {
+  TransactionType type;
+  type.name = StrCat("GenD_", index);
+  type.make = [a, b, edited,
+               name = type.name](const std::map<std::string, Value>& params) {
+    const Expr ii = WindowInvariant(a, b);
+    const Expr bp = edited ? Ge(Local("d"), Lit(int64_t{1}))
+                           : Ge(Local("d"), Lit(int64_t{0}));
+
+    ProgramBuilder builder(name);
+    builder.IPart(ii).BPart(bp);
+    builder.Logical("B0", a);
+    builder.Pre(And(ii, bp)).Read("X", a);
+    builder
+        .Pre(And({ii, bp, Ge(DbVar(a), Local("X")),
+                  Eq(Local("X"), Logical("B0"))}))
+        .Write(a, Add(Local("X"), Local("d")));
+    builder.Result(Eq(DbVar(a), Add(Logical("B0"), Local("d"))));
+    return builder.Build(params);
+  };
+  type.analysis_scenarios = {{{"d", Value::Int(amount)}}};
+  return type;
+}
+
+TransactionType MakeType(const SuiteOptions& options, int index, bool edited) {
+  const int m = ItemCount(options);
+  const uint64_t draw = Mix(options.seed * 0x51ed2701ULL + index);
+  const std::string a = Item(index % m);
+  const std::string b = Item((index + 1) % m);
+  // Amounts vary per type so instantiated programs differ even when two
+  // types share a shape over the same window.
+  const int64_t amount = 1 + static_cast<int64_t>((draw >> 8) % 7) +
+                         (edited ? 5 : 0);
+  if ((draw & 1) == 0) return MakeGenWithdraw(index, a, b, amount, edited);
+  return MakeGenDeposit(index, a, b, amount, edited);
+}
+
+}  // namespace
+
+Application MakeGeneratedSuite(const SuiteOptions& options) {
+  Application app;
+  app.name = StrCat("generated_suite_k", options.num_types, "_s",
+                    static_cast<int64_t>(options.seed));
+  const int m = ItemCount(options);
+  std::vector<Expr> invariant;
+  invariant.reserve(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    invariant.push_back(WindowInvariant(Item(i), Item((i + 1) % m)));
+  }
+  app.invariant = And(std::move(invariant));
+  app.types.reserve(static_cast<size_t>(options.num_types));
+  for (int t = 0; t < options.num_types; ++t) {
+    app.types.push_back(MakeType(options, t, /*edited=*/false));
+  }
+  return app;
+}
+
+Application MakeGeneratedSuite(int num_types, uint64_t seed) {
+  SuiteOptions options;
+  options.num_types = num_types;
+  options.seed = seed;
+  return MakeGeneratedSuite(options);
+}
+
+TransactionType MakeEditedType(const SuiteOptions& options, int index) {
+  return MakeType(options, index, /*edited=*/true);
+}
+
+std::string GeneratedTypeName(const SuiteOptions& options, int index) {
+  const uint64_t draw = Mix(options.seed * 0x51ed2701ULL + index);
+  return StrCat((draw & 1) == 0 ? "GenW_" : "GenD_", index);
+}
+
+}  // namespace semcor

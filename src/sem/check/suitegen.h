@@ -1,0 +1,47 @@
+#ifndef SEMCOR_SEM_CHECK_SUITEGEN_H_
+#define SEMCOR_SEM_CHECK_SUITEGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sem/check/theorems.h"
+
+namespace semcor {
+
+/// Knobs for the generated advisor suites used by BENCH_E13 and the
+/// incremental-checker tests.
+struct SuiteOptions {
+  int num_types = 16;   ///< K — transaction types in the application
+  uint64_t seed = 1;    ///< shape draws (withdraw/deposit mix, item offsets)
+  /// Items in the database; 0 = num_types. Type t touches items
+  /// {t mod M, (t+1) mod M}, so adjacent types genuinely interfere while
+  /// distant ones are independent — the sparse-overlap shape real schemas
+  /// have, and the one that makes O(K) vs O(K^2) re-checking visible.
+  int num_items = 0;
+};
+
+/// Deterministically generates an Application with `options.num_types`
+/// banking-shaped transaction types (guarded withdrawals and unguarded
+/// deposits over a sliding two-item window, each with its own per-window sum
+/// invariant). Same options => structurally identical application, so suites
+/// are reproducible across processes and usable for bit-for-bit equality
+/// tests between cold and incremental advisor sweeps.
+Application MakeGeneratedSuite(const SuiteOptions& options);
+
+/// Convenience overload: K types with default shape draws from `seed`.
+Application MakeGeneratedSuite(int num_types, uint64_t seed);
+
+/// A structurally *edited* variant of type `index` of the same suite: the
+/// withdrawal guard (or deposit amount) changes, so the type's fingerprint
+/// differs while every other type is untouched. RegisterType-ing this into
+/// an IncrementalAdvisor models the "developer edits one of K txn types"
+/// workflow that incremental checking exists for.
+TransactionType MakeEditedType(const SuiteOptions& options, int index);
+
+/// Name of generated type `index` ("GenW_<i>" or "GenD_<i>" depending on
+/// the seed's shape draw).
+std::string GeneratedTypeName(const SuiteOptions& options, int index);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_CHECK_SUITEGEN_H_

@@ -1,11 +1,52 @@
 #include "sem/check/theorems.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 #include "sem/check/wp.h"
+#include "sem/expr/hash.h"
 #include "sem/expr/simplify.h"
 #include "sem/expr/subst.h"
 
 namespace semcor {
+
+const char* TheoremName(IsoLevel level) {
+  switch (level) {
+    case IsoLevel::kReadUncommitted:
+      return "Theorem 1 (per-write interference, incl. rollback undo)";
+    case IsoLevel::kReadCommitted:
+      return "Theorem 2 (whole transactions vs read posts and Q_i)";
+    case IsoLevel::kReadCommittedFcw:
+      return "Theorem 3 (unprotected read posts and Q_i)";
+    case IsoLevel::kRepeatableRead:
+      return "Theorems 4/6 (conventional: free; relational: SELECT posts "
+             "with predicate-intersection excuse)";
+    case IsoLevel::kSerializable:
+      return "serializability (no obligations)";
+    case IsoLevel::kSnapshot:
+      return "Theorem 5 (pairwise: write-set intersection or read-step "
+             "post + Q_i)";
+  }
+  return "?";
+}
+
+const char* TheoremTag(IsoLevel level) {
+  switch (level) {
+    case IsoLevel::kReadUncommitted:
+      return "Thm 1";
+    case IsoLevel::kReadCommitted:
+      return "Thm 2";
+    case IsoLevel::kReadCommittedFcw:
+      return "Thm 3";
+    case IsoLevel::kRepeatableRead:
+      return "Thm 4/6";
+    case IsoLevel::kSerializable:
+      return "ser";
+    case IsoLevel::kSnapshot:
+      return "Thm 5";
+  }
+  return "?";
+}
 
 const Obligation* LevelCheckReport::FirstFailure() const {
   for (const Obligation& o : obligations) {
@@ -177,22 +218,99 @@ std::vector<std::pair<std::string, Expr>> SelectPredicates(const Stmt& s) {
 TheoremEngine::TheoremEngine(const Application& app, CheckOptions options)
     : app_(app), checker_(app.shapes, std::move(options)) {
   for (const TransactionType& type : app_.types) {
-    int scenario_index = 0;
-    for (const auto& scenario : type.analysis_scenarios) {
-      PreparedInstance inst;
-      inst.program = PrepareForAnalysis(type.make(scenario), "o::");
-      inst.label = StrCat(inst.program.instance_label, "#s", scenario_index++);
-      inst.writes = CollectDbWrites(inst.program);
-      std::vector<StmtPtr> undos =
-          SynthesizeUndoWrites(inst.program, app_.invariant, app_.shapes);
-      inst.writes.insert(inst.writes.end(), undos.begin(), undos.end());
-      others_.push_back(std::move(inst));
-    }
+    type_order_.push_back(type.name);
+    types_[type.name] = PrepareType(type);
   }
 }
 
-std::vector<TxnProgram> TheoremEngine::TargetInstances(
+TheoremEngine::TypeEntry TheoremEngine::PrepareType(
+    const TransactionType& type) const {
+  TypeEntry entry;
+  entry.fingerprint = HashCombine(0x74797065ULL, HashString(type.name));
+  int scenario_index = 0;
+  for (const auto& scenario : type.analysis_scenarios) {
+    PreparedInstance inst;
+    inst.program = PrepareForAnalysis(type.make(scenario), "o::");
+    inst.label = StrCat(inst.program.instance_label, "#s", scenario_index++);
+    inst.writes = CollectDbWrites(inst.program);
+    std::vector<StmtPtr> undos =
+        SynthesizeUndoWrites(inst.program, app_.invariant, app_.shapes);
+    inst.writes.insert(inst.writes.end(), undos.begin(), undos.end());
+    entry.fingerprint =
+        HashCombine(entry.fingerprint, HashProgram(inst.program));
+    entry.others.push_back(std::move(inst));
+  }
+  return entry;
+}
+
+void TheoremEngine::RegisterType(const TransactionType& type) {
+  const bool replacing = types_.count(type.name) > 0;
+  types_[type.name] = PrepareType(type);
+  {
+    std::lock_guard<std::mutex> lock(target_mu_);
+    target_cache_.erase(type.name);
+  }
+  bool found = false;
+  for (TransactionType& existing : app_.types) {
+    if (existing.name == type.name) {
+      existing = type;
+      found = true;
+      break;
+    }
+  }
+  if (!found) app_.types.push_back(type);
+  if (!replacing) type_order_.push_back(type.name);
+}
+
+bool TheoremEngine::RemoveType(const std::string& name) {
+  if (types_.erase(name) == 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(target_mu_);
+    target_cache_.erase(name);
+  }
+  type_order_.erase(
+      std::remove(type_order_.begin(), type_order_.end(), name),
+      type_order_.end());
+  app_.types.erase(
+      std::remove_if(app_.types.begin(), app_.types.end(),
+                     [&](const TransactionType& t) { return t.name == name; }),
+      app_.types.end());
+  return true;
+}
+
+uint64_t TheoremEngine::TypeFingerprint(const std::string& name) const {
+  auto it = types_.find(name);
+  return it == types_.end() ? 0 : it->second.fingerprint;
+}
+
+std::vector<const TheoremEngine::PreparedInstance*> TheoremEngine::AllOthers()
+    const {
+  std::vector<const PreparedInstance*> out;
+  for (const std::string& name : type_order_) {
+    for (const PreparedInstance& inst : types_.at(name).others) {
+      out.push_back(&inst);
+    }
+  }
+  return out;
+}
+
+std::vector<const TheoremEngine::PreparedInstance*> TheoremEngine::OthersOf(
     const std::string& type_name) const {
+  std::vector<const PreparedInstance*> out;
+  auto it = types_.find(type_name);
+  if (it != types_.end()) {
+    for (const PreparedInstance& inst : it->second.others) {
+      out.push_back(&inst);
+    }
+  }
+  return out;
+}
+
+const std::vector<TxnProgram>& TheoremEngine::TargetInstances(
+    const std::string& type_name) {
+  std::lock_guard<std::mutex> lock(target_mu_);
+  auto it = target_cache_.find(type_name);
+  if (it != target_cache_.end()) return it->second;
   std::vector<TxnProgram> out;
   for (const TransactionType& type : app_.types) {
     if (type.name != type_name) continue;
@@ -200,7 +318,7 @@ std::vector<TxnProgram> TheoremEngine::TargetInstances(
       out.push_back(PrepareForAnalysis(type.make(scenario), ""));
     }
   }
-  return out;
+  return target_cache_.emplace(type_name, std::move(out)).first->second;
 }
 
 LevelCheckReport TheoremEngine::Merge(std::vector<LevelCheckReport> parts,
@@ -220,42 +338,77 @@ LevelCheckReport TheoremEngine::Merge(std::vector<LevelCheckReport> parts,
   return merged;
 }
 
+LevelCheckReport TheoremEngine::Merge(
+    const std::vector<std::shared_ptr<const LevelCheckReport>>& parts,
+    const std::string& type_name, IsoLevel level) {
+  LevelCheckReport merged;
+  merged.txn_type = type_name;
+  merged.level = level;
+  merged.correct = !parts.empty();
+  for (const auto& part : parts) {
+    merged.correct = merged.correct && part->correct;
+    merged.triples_checked += part->triples_checked;
+    merged.obligations.insert(merged.obligations.end(),
+                              part->obligations.begin(),
+                              part->obligations.end());
+  }
+  return merged;
+}
+
+LevelCheckReport TheoremEngine::CheckInstance(
+    const TxnProgram& ti, IsoLevel level,
+    const std::vector<const PreparedInstance*>& others) {
+  switch (level) {
+    case IsoLevel::kReadUncommitted:
+      return CheckReadUncommitted(ti, others);
+    case IsoLevel::kReadCommitted:
+      return CheckReadCommitted(ti, /*fcw=*/false, others);
+    case IsoLevel::kReadCommittedFcw:
+      return CheckReadCommitted(ti, /*fcw=*/true, others);
+    case IsoLevel::kRepeatableRead:
+      return CheckRepeatableRead(ti, others);
+    case IsoLevel::kSerializable: {
+      // Strict two-phase locking with predicate locks is serializable;
+      // serializability implies semantic correctness. No obligations.
+      LevelCheckReport r;
+      r.txn_type = ti.type_name;
+      r.level = level;
+      r.correct = true;
+      return r;
+    }
+    case IsoLevel::kSnapshot:
+      return CheckSnapshot(ti, others);
+  }
+  LevelCheckReport r;
+  r.txn_type = ti.type_name;
+  r.level = level;
+  return r;
+}
+
 LevelCheckReport TheoremEngine::CheckAtLevel(const std::string& type_name,
                                              IsoLevel level) {
+  const std::vector<const PreparedInstance*> others = AllOthers();
   std::vector<LevelCheckReport> parts;
   for (const TxnProgram& ti : TargetInstances(type_name)) {
-    switch (level) {
-      case IsoLevel::kReadUncommitted:
-        parts.push_back(CheckReadUncommitted(ti));
-        break;
-      case IsoLevel::kReadCommitted:
-        parts.push_back(CheckReadCommitted(ti, /*fcw=*/false));
-        break;
-      case IsoLevel::kReadCommittedFcw:
-        parts.push_back(CheckReadCommitted(ti, /*fcw=*/true));
-        break;
-      case IsoLevel::kRepeatableRead:
-        parts.push_back(CheckRepeatableRead(ti));
-        break;
-      case IsoLevel::kSerializable: {
-        // Strict two-phase locking with predicate locks is serializable;
-        // serializability implies semantic correctness. No obligations.
-        LevelCheckReport r;
-        r.txn_type = ti.type_name;
-        r.level = level;
-        r.correct = true;
-        parts.push_back(r);
-        break;
-      }
-      case IsoLevel::kSnapshot:
-        parts.push_back(CheckSnapshot(ti));
-        break;
-    }
+    parts.push_back(CheckInstance(ti, level, others));
   }
   return Merge(std::move(parts), type_name, level);
 }
 
-LevelCheckReport TheoremEngine::CheckReadUncommitted(const TxnProgram& ti) {
+LevelCheckReport TheoremEngine::CheckPairAtLevel(const std::string& type_name,
+                                                 IsoLevel level,
+                                                 const std::string& other_type) {
+  const std::vector<const PreparedInstance*> others = OthersOf(other_type);
+  std::vector<LevelCheckReport> parts;
+  for (const TxnProgram& ti : TargetInstances(type_name)) {
+    parts.push_back(CheckInstance(ti, level, others));
+  }
+  return Merge(std::move(parts), type_name, level);
+}
+
+LevelCheckReport TheoremEngine::CheckReadUncommitted(
+    const TxnProgram& ti,
+    const std::vector<const PreparedInstance*>& others) {
   LevelCheckReport report;
   report.txn_type = ti.type_name;
   report.level = IsoLevel::kReadUncommitted;
@@ -272,11 +425,11 @@ LevelCheckReport TheoremEngine::CheckReadUncommitted(const TxnProgram& ti) {
 
   for (const auto& [name, p] : targets) {
     if (IsLocalOnly(p)) continue;  // workspace-only assertions are immune
-    for (const PreparedInstance& other : others_) {
-      for (const StmtPtr& w : other.writes) {
+    for (const PreparedInstance* other : others) {
+      for (const StmtPtr& w : other->writes) {
         Obligation o;
         o.assertion = name;
-        o.source = StrCat(other.label, ": ",
+        o.source = StrCat(other->label, ": ",
                           w->label.empty() ? w->ToString() : w->label);
         o.result = checker_.CheckStmt(p, *w);
         ++report.triples_checked;
@@ -290,8 +443,9 @@ LevelCheckReport TheoremEngine::CheckReadUncommitted(const TxnProgram& ti) {
   return report;
 }
 
-LevelCheckReport TheoremEngine::CheckReadCommitted(const TxnProgram& ti,
-                                                   bool fcw) {
+LevelCheckReport TheoremEngine::CheckReadCommitted(
+    const TxnProgram& ti, bool fcw,
+    const std::vector<const PreparedInstance*>& others) {
   LevelCheckReport report;
   report.txn_type = ti.type_name;
   report.level =
@@ -311,11 +465,11 @@ LevelCheckReport TheoremEngine::CheckReadCommitted(const TxnProgram& ti,
 
   for (const auto& [name, p] : targets) {
     if (IsLocalOnly(p)) continue;
-    for (const PreparedInstance& other : others_) {
+    for (const PreparedInstance* other : others) {
       Obligation o;
       o.assertion = name;
-      o.source = other.label;
-      o.result = checker_.CheckTxn(p, other.program);
+      o.source = other->label;
+      o.result = checker_.CheckTxn(p, other->program);
       ++report.triples_checked;
       report.correct = report.correct && o.Passed();
       const bool failed = !o.Passed();
@@ -326,7 +480,9 @@ LevelCheckReport TheoremEngine::CheckReadCommitted(const TxnProgram& ti,
   return report;
 }
 
-LevelCheckReport TheoremEngine::CheckRepeatableRead(const TxnProgram& ti) {
+LevelCheckReport TheoremEngine::CheckRepeatableRead(
+    const TxnProgram& ti,
+    const std::vector<const PreparedInstance*>& others) {
   LevelCheckReport report;
   report.txn_type = ti.type_name;
   report.level = IsoLevel::kRepeatableRead;
@@ -341,11 +497,11 @@ LevelCheckReport TheoremEngine::CheckRepeatableRead(const TxnProgram& ti) {
   // long-term tuple read locks block them).
   const Expr qi = ti.Postcondition();
   if (!IsLocalOnly(qi)) {
-    for (const PreparedInstance& other : others_) {
+    for (const PreparedInstance* other : others) {
       Obligation o;
       o.assertion = "I_i && Q_i";
-      o.source = other.label;
-      o.result = checker_.CheckTxn(qi, other.program);
+      o.source = other->label;
+      o.result = checker_.CheckTxn(qi, other->program);
       ++report.triples_checked;
       report.correct = report.correct && o.Passed();
       const bool failed = !o.Passed();
@@ -359,17 +515,17 @@ LevelCheckReport TheoremEngine::CheckRepeatableRead(const TxnProgram& ti) {
     const Expr post = Simplify(r.post);
     if (IsLocalOnly(post)) continue;
     const auto select_preds = SelectPredicates(*r.stmt);
-    for (const PreparedInstance& other : others_) {
+    for (const PreparedInstance* other : others) {
       Obligation o;
       o.assertion = StrCat("post(", r.stmt->ToString(), ")");
-      o.source = other.label;
-      o.result = checker_.CheckTxn(post, other.program);
+      o.source = other->label;
+      o.result = checker_.CheckTxn(post, other->program);
       ++report.triples_checked;
       if (o.result.verdict != Interference::kNoInterference) {
         // Condition (2): every interfering write must be a blocked
         // UPDATE/DELETE with an intersecting predicate.
         bool all_blocked = true;
-        for (const StmtPtr& w : other.writes) {
+        for (const StmtPtr& w : other->writes) {
           ++report.triples_checked;
           if (checker_.CheckStmt(post, *w).verdict ==
               Interference::kNoInterference) {
@@ -405,7 +561,9 @@ LevelCheckReport TheoremEngine::CheckRepeatableRead(const TxnProgram& ti) {
   return report;
 }
 
-LevelCheckReport TheoremEngine::CheckSnapshot(const TxnProgram& ti) {
+LevelCheckReport TheoremEngine::CheckSnapshot(
+    const TxnProgram& ti,
+    const std::vector<const PreparedInstance*>& others) {
   LevelCheckReport report;
   report.txn_type = ti.type_name;
   report.level = IsoLevel::kSnapshot;
@@ -415,8 +573,8 @@ LevelCheckReport TheoremEngine::CheckSnapshot(const TxnProgram& ti) {
   const Expr read_post = Simplify(ReadStepPostcondition(ti));
   const Expr qi = ti.Postcondition();
 
-  for (const PreparedInstance& other : others_) {
-    const WriteFootprint fp_j = CollectWriteFootprint(other.program);
+  for (const PreparedInstance* other : others) {
+    const WriteFootprint fp_j = CollectWriteFootprint(other->program);
     // Condition (1): intersecting write sets mean first-committer-wins
     // aborts one of the pair. Only definite (named-item) intersection counts.
     bool intersects = false;
@@ -426,7 +584,7 @@ LevelCheckReport TheoremEngine::CheckSnapshot(const TxnProgram& ti) {
     if (intersects) {
       Obligation o;
       o.assertion = "pair condition";
-      o.source = other.label;
+      o.source = other->label;
       o.excused = true;
       o.excuse = "write sets intersect: first-committer-wins aborts one";
       o.result = {Interference::kUnknown, "not checked"};
@@ -442,8 +600,8 @@ LevelCheckReport TheoremEngine::CheckSnapshot(const TxnProgram& ti) {
       if (IsLocalOnly(p)) continue;
       Obligation o;
       o.assertion = name;
-      o.source = other.label;
-      o.result = checker_.CheckTxn(p, other.program);
+      o.source = other->label;
+      o.result = checker_.CheckTxn(p, other->program);
       ++report.triples_checked;
       report.correct = report.correct && o.Passed();
       const bool failed = !o.Passed();

@@ -1,6 +1,10 @@
 #ifndef SEMCOR_SEM_CHECK_THEOREMS_H_
 #define SEMCOR_SEM_CHECK_THEOREMS_H_
 
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +22,14 @@ struct Application {
   Expr invariant = True();
   SchemaShapes shapes;
 };
+
+/// Long description of the paper theorem(s) whose obligations govern a
+/// level, e.g. "Theorem 2 (whole transactions vs read posts and Q_i)".
+const char* TheoremName(IsoLevel level);
+
+/// Short citation tag for diagnostics: "Thm 1", "Thm 2", "Thm 3",
+/// "Thm 4/6", "Thm 5"; SERIALIZABLE has no obligations and tags as "ser".
+const char* TheoremTag(IsoLevel level);
 
 /// One discharged (or failed) proof obligation.
 struct Obligation {
@@ -47,6 +59,12 @@ struct LevelCheckReport {
 
 /// Discharges the per-level semantic-correctness conditions (Theorems 1-6)
 /// for each transaction type of an application.
+///
+/// The obligations decompose per interfering *pair* of types (the paper's §5
+/// procedure treats every T_j independently), which this engine exposes via
+/// CheckPairAtLevel for incremental / parallel drivers: a type is correct at
+/// a level iff every pair report against every registered type (including
+/// itself) is correct.
 class TheoremEngine {
  public:
   TheoremEngine(const Application& app, CheckOptions options);
@@ -54,7 +72,47 @@ class TheoremEngine {
   /// Checks whether transactions of type `type_name` execute semantically
   /// correctly at `level`, assuming every other transaction runs at least at
   /// READ UNCOMMITTED (the paper's setting: the level of T_j is irrelevant).
+  /// Sweeps all registered types as the interfering side, stopping at the
+  /// first failed obligation.
   LevelCheckReport CheckAtLevel(const std::string& type_name, IsoLevel level);
+
+  /// Pair-granular variant: checks `type_name` at `level` against the
+  /// prepared instances of `other_type` only. Thread-safe against other
+  /// concurrent Check* calls (not against RegisterType/RemoveType).
+  LevelCheckReport CheckPairAtLevel(const std::string& type_name,
+                                    IsoLevel level,
+                                    const std::string& other_type);
+
+  /// Adds or replaces a transaction type, re-preparing its "other"-side
+  /// instances and fingerprint. Replacement keeps the type's position in
+  /// TypeNames(); a new type is appended. Not thread-safe against checks.
+  void RegisterType(const TransactionType& type);
+
+  /// Removes a type everywhere (targets and interfering side). Returns
+  /// false if the name is unknown.
+  bool RemoveType(const std::string& name);
+
+  /// Registered type names in deterministic (registration) order.
+  const std::vector<std::string>& TypeNames() const { return type_order_; }
+
+  /// Content fingerprint of a type: combined hash of its instantiated
+  /// analysis programs. Types with equal fingerprints are analyzed
+  /// identically (given the same invariant and shapes), so cached pair
+  /// reports keyed by fingerprint stay valid across edits that don't touch
+  /// the type. Returns 0 for unknown names.
+  uint64_t TypeFingerprint(const std::string& name) const;
+
+  /// Merges per-pair (or per-instance) reports: correct iff all correct;
+  /// sums triples; concatenates obligations in argument order.
+  static LevelCheckReport Merge(std::vector<LevelCheckReport> parts,
+                                const std::string& type_name, IsoLevel level);
+
+  /// Same merge over shared (cached) reports — avoids deep-copying each
+  /// part first, which dominates warm incremental re-sweeps. Null entries
+  /// are not allowed. Produces bit-identical output to the copying overload.
+  static LevelCheckReport Merge(
+      const std::vector<std::shared_ptr<const LevelCheckReport>>& parts,
+      const std::string& type_name, IsoLevel level);
 
   const Application& app() const { return app_; }
 
@@ -64,23 +122,45 @@ class TheoremEngine {
     TxnProgram program;           ///< renamed "o::" + params substituted
     std::vector<StmtPtr> writes;  ///< db writes including synthesized undos
   };
+  struct TypeEntry {
+    std::vector<PreparedInstance> others;  ///< prepared as "other" side
+    uint64_t fingerprint = 0;
+  };
 
-  /// Target-side instances of a type (own names, params substituted).
-  std::vector<TxnProgram> TargetInstances(const std::string& type_name) const;
+  TypeEntry PrepareType(const TransactionType& type) const;
 
-  LevelCheckReport CheckReadUncommitted(const TxnProgram& ti);
-  LevelCheckReport CheckReadCommitted(const TxnProgram& ti, bool fcw);
-  LevelCheckReport CheckRepeatableRead(const TxnProgram& ti);
-  LevelCheckReport CheckSnapshot(const TxnProgram& ti);
+  /// Flat interfering-instance list over all types, in TypeNames() order.
+  std::vector<const PreparedInstance*> AllOthers() const;
+  std::vector<const PreparedInstance*> OthersOf(
+      const std::string& type_name) const;
 
-  /// Merges per-instance reports: correct iff all correct; sums triples.
-  static LevelCheckReport Merge(std::vector<LevelCheckReport> parts,
-                                const std::string& type_name, IsoLevel level);
+  /// Target-side instances of a type (own names, params substituted),
+  /// lazily cached. The returned reference stays valid until the type is
+  /// re-registered or removed.
+  const std::vector<TxnProgram>& TargetInstances(const std::string& type_name);
+
+  LevelCheckReport CheckInstance(
+      const TxnProgram& ti, IsoLevel level,
+      const std::vector<const PreparedInstance*>& others);
+  LevelCheckReport CheckReadUncommitted(
+      const TxnProgram& ti,
+      const std::vector<const PreparedInstance*>& others);
+  LevelCheckReport CheckReadCommitted(
+      const TxnProgram& ti, bool fcw,
+      const std::vector<const PreparedInstance*>& others);
+  LevelCheckReport CheckRepeatableRead(
+      const TxnProgram& ti,
+      const std::vector<const PreparedInstance*>& others);
+  LevelCheckReport CheckSnapshot(
+      const TxnProgram& ti,
+      const std::vector<const PreparedInstance*>& others);
 
   Application app_;
   InterferenceChecker checker_;
-  /// All transaction instances prepared as "other" side (prefix "o::").
-  std::vector<PreparedInstance> others_;
+  std::vector<std::string> type_order_;
+  std::map<std::string, TypeEntry> types_;
+  mutable std::mutex target_mu_;  ///< guards target_cache_ only
+  std::map<std::string, std::vector<TxnProgram>> target_cache_;
 };
 
 /// Synthesizes the compensating (rollback) write statements for every db

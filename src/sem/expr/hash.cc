@@ -1,0 +1,149 @@
+#include "sem/expr/hash.h"
+
+namespace semcor {
+
+namespace {
+
+constexpr uint64_t kNullExprHash = 0x6e756c6c65787072ULL;  // "nullexpr"
+
+/// Hash of one node given the hashes of its (already processed) children.
+uint64_t ShallowHash(const ExprNode& n, const std::vector<uint64_t>& kids) {
+  uint64_t h = HashCombine(0x5eed, static_cast<uint64_t>(n.op));
+  switch (n.op) {
+    case Op::kConst:
+      h = HashCombine(h, HashValue(n.const_val));
+      break;
+    case Op::kVar:
+      h = HashCombine(h, static_cast<uint64_t>(n.var.kind));
+      h = HashString(n.var.name, h);
+      break;
+    case Op::kAttr:
+      h = HashString(n.attr, h);
+      break;
+    default:
+      break;
+  }
+  if (!n.table.empty()) h = HashString(n.table, h);
+  if (!n.agg_attr.empty()) h = HashString(n.agg_attr, h);
+  h = HashCombine(h, static_cast<uint64_t>(n.dflt));
+  for (uint64_t k : kids) h = HashCombine(h, k);
+  return h;
+}
+
+/// Field-by-field equality assuming both nodes' kids are already canonical
+/// (pointer equality suffices for the subtrees).
+bool ShallowEquals(const ExprNode& a, const ExprNode& b) {
+  if (a.op != b.op || a.kids.size() != b.kids.size()) return false;
+  if (a.op == Op::kConst && !(a.const_val == b.const_val)) return false;
+  if (a.op == Op::kVar && !(a.var == b.var)) return false;
+  if (a.attr != b.attr || a.table != b.table || a.agg_attr != b.agg_attr ||
+      a.dflt != b.dflt) {
+    return false;
+  }
+  for (size_t i = 0; i < a.kids.size(); ++i) {
+    if (a.kids[i].get() != b.kids[i].get()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return HashCombine(h, len);
+}
+
+uint64_t HashString(const std::string& s, uint64_t seed) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+uint64_t HashValue(const Value& v) {
+  uint64_t h = HashCombine(0x76616c, static_cast<uint64_t>(v.type()));
+  switch (v.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kInt:
+      h = HashCombine(h, static_cast<uint64_t>(v.AsInt()));
+      break;
+    case Value::Type::kBool:
+      h = HashCombine(h, v.AsBool() ? 1 : 0);
+      break;
+    case Value::Type::kString:
+      h = HashString(v.AsString(), h);
+      break;
+  }
+  return h;
+}
+
+uint64_t HashExpr(const Expr& e) {
+  if (!e) return kNullExprHash;
+  std::vector<uint64_t> kid_hashes;
+  kid_hashes.reserve(e->kids.size());
+  for (const Expr& k : e->kids) kid_hashes.push_back(HashExpr(k));
+  return ShallowHash(*e, kid_hashes);
+}
+
+Expr ExprInterner::Intern(const Expr& e, uint64_t* hash_out) {
+  if (!e) {
+    if (hash_out != nullptr) *hash_out = kNullExprHash;
+    return e;
+  }
+  // Intern children first so candidate comparison is pointer-shallow.
+  std::vector<Expr> kids;
+  std::vector<uint64_t> kid_hashes;
+  kids.reserve(e->kids.size());
+  kid_hashes.reserve(e->kids.size());
+  bool kids_changed = false;
+  for (const Expr& k : e->kids) {
+    uint64_t kh = 0;
+    Expr ck = Intern(k, &kh);
+    kids_changed = kids_changed || ck.get() != k.get();
+    kids.push_back(std::move(ck));
+    kid_hashes.push_back(kh);
+  }
+  const uint64_t h = ShallowHash(*e, kid_hashes);
+
+  // The node we would canonicalize to, if no equal node exists yet.
+  auto make_canonical = [&]() -> Expr {
+    if (!kids_changed) return e;
+    auto node = std::make_shared<ExprNode>(e->op);
+    node->const_val = e->const_val;
+    node->var = e->var;
+    node->attr = e->attr;
+    node->table = e->table;
+    node->agg_attr = e->agg_attr;
+    node->dflt = e->dflt;
+    node->kids = std::move(kids);
+    return node;
+  };
+
+  Shard& shard = shards_[h % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<Entry>& bucket = shard.buckets[h];
+  Expr probe = make_canonical();
+  for (const Entry& entry : bucket) {
+    if (ShallowEquals(*entry.node, *probe)) {
+      if (hash_out != nullptr) *hash_out = entry.hash;
+      return entry.node;
+    }
+  }
+  bucket.push_back(Entry{probe, h});
+  if (hash_out != nullptr) *hash_out = h;
+  return probe;
+}
+
+size_t ExprInterner::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [hash, bucket] : shard.buckets) n += bucket.size();
+  }
+  return n;
+}
+
+}  // namespace semcor

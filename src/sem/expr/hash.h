@@ -1,0 +1,67 @@
+#ifndef SEMCOR_SEM_EXPR_HASH_H_
+#define SEMCOR_SEM_EXPR_HASH_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sem/expr/expr.h"
+
+namespace semcor {
+
+/// 64-bit mixing step (splitmix-style finalizer over an FNV-ish accumulate).
+/// Deterministic across runs and platforms — fingerprints derived from it
+/// are comparable between a cold sweep and an incremental re-check.
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed);
+uint64_t HashString(const std::string& s, uint64_t seed = 0);
+uint64_t HashValue(const Value& v);
+
+/// Structural hash of an expression tree; equal trees (ExprEquals) hash
+/// equal. A null Expr hashes to a fixed sentinel.
+uint64_t HashExpr(const Expr& e);
+
+/// Hash-consing interner: maps structurally equal expression trees onto one
+/// canonical node, bottom-up, so pointer equality on interned nodes decides
+/// structural equality and each canonical node's hash is computed exactly
+/// once. Thread-safe (sharded buckets); used by the decision memo so that
+/// repeated Fourier–Motzkin queries over the same formula shapes dedupe in
+/// O(nodes) instead of O(nodes · queries).
+class ExprInterner {
+ public:
+  ExprInterner() = default;
+  ExprInterner(const ExprInterner&) = delete;
+  ExprInterner& operator=(const ExprInterner&) = delete;
+
+  /// Returns the canonical node for `e`; `*hash_out` (optional) receives
+  /// its structural hash. Interning null returns null.
+  Expr Intern(const Expr& e, uint64_t* hash_out = nullptr);
+
+  /// Number of distinct canonical nodes interned so far.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    Expr node;
+    uint64_t hash;
+  };
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<Entry>> buckets;
+  };
+
+  Shard shards_[kShards];
+};
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_EXPR_HASH_H_

@@ -1,0 +1,238 @@
+#include "sem/lint/lint.h"
+
+#include <map>
+
+#include "common/str_util.h"
+
+namespace semcor {
+
+namespace {
+
+/// Ladder position for strict "over-isolated" comparison. SNAPSHOT is not
+/// on the ladder; it never participates in over-isolation warnings.
+int LadderIndex(IsoLevel level) {
+  switch (level) {
+    case IsoLevel::kReadUncommitted:
+      return 0;
+    case IsoLevel::kReadCommitted:
+      return 1;
+    case IsoLevel::kReadCommittedFcw:
+      return 2;
+    case IsoLevel::kRepeatableRead:
+      return 3;
+    case IsoLevel::kSerializable:
+      return 4;
+    case IsoLevel::kSnapshot:
+      return -1;
+  }
+  return -1;
+}
+
+/// Map from a statement's rendered form to its source line, across every
+/// analysis scenario of the type. Obligation assertions embed the rendered
+/// statement ("post(read Sav := acct_sav)"), which this inverts.
+std::map<std::string, int> StmtLines(const TransactionType& type) {
+  std::map<std::string, int> lines;
+  for (const auto& scenario : type.analysis_scenarios) {
+    const TxnProgram prepared = PrepareForAnalysis(type.make(scenario), "");
+    VisitStmts(prepared.body, [&](const StmtPtr& s) {
+      if (s->line > 0) lines.emplace(s->ToString(), s->line);
+    });
+  }
+  return lines;
+}
+
+/// Best source line for a failing obligation: the statement named in a
+/// "post(<stmt>)" assertion if resolvable, else the fallback.
+int ObligationLine(const Obligation& o,
+                   const std::map<std::string, int>& stmt_lines,
+                   int fallback) {
+  const std::string& a = o.assertion;
+  if (StartsWith(a, "post(") && a.size() > 6 && a.back() == ')') {
+    auto it = stmt_lines.find(a.substr(5, a.size() - 6));
+    if (it != stmt_lines.end()) return it->second;
+  }
+  return fallback;
+}
+
+/// The report explaining why `level` fails for this advice (ladder levels
+/// from the walk; SNAPSHOT from its own report). Null if not evaluated.
+const LevelCheckReport* ReportFor(const LevelAdvice& advice, IsoLevel level) {
+  if (level == IsoLevel::kSnapshot) return &advice.snapshot_report;
+  for (const LevelCheckReport& r : advice.reports) {
+    if (r.level == level) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* LintDiagnostic::SeverityName() const {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+LintReport LintApplication(const ParsedApplication& parsed,
+                           const LintOptions& options) {
+  IncrementalAdvisor advisor(parsed.app, options.advisor);
+  LintReport report;
+
+  for (size_t i = 0; i < parsed.txns.size(); ++i) {
+    const ParsedTxn& txn = parsed.txns[i];
+    const TransactionType& type = parsed.app.types[i];
+    LevelAdvice advice = advisor.Advise(txn.name);
+
+    LintDiagnostic d;
+    d.txn = txn.name;
+    d.file = parsed.path;
+    d.required = advice.recommended;
+
+    if (!txn.has_level) {
+      if (options.advise_unannotated) {
+        d.severity = LintDiagnostic::Severity::kNote;
+        d.rule = "advice";
+        d.line = txn.line;
+        d.message = StrCat(
+            txn.name, " @ ", parsed.path, ":", d.line,
+            ": no level annotation; derived lowest correct level = ",
+            IsoLevelName(advice.recommended), "; SNAPSHOT ",
+            advice.snapshot_correct ? "ok" : "unsafe");
+        ++report.notes;
+        report.diagnostics.push_back(std::move(d));
+      }
+      report.advice.push_back(std::move(advice));
+      continue;
+    }
+
+    d.annotated = txn.annotated;
+    d.line = txn.level_line;
+    if (!advice.CorrectAt(txn.annotated)) {
+      d.severity = LintDiagnostic::Severity::kError;
+      d.rule = "under-leveled";
+      d.theorem = TheoremTag(txn.annotated);
+      const LevelCheckReport* rejected = ReportFor(advice, txn.annotated);
+      const Obligation* failure =
+          rejected != nullptr ? rejected->FirstFailure() : nullptr;
+      if (failure != nullptr) {
+        d.assertion = failure->assertion;
+        d.source = failure->source;
+        d.witness = failure->result.detail;
+        d.line = ObligationLine(*failure, StmtLines(type), d.line);
+      }
+      d.message = StrCat(
+          txn.name, " @ ", parsed.path, ":", d.line, ": ",
+          IsoLevelName(txn.annotated), " rejected — ", d.theorem,
+          " obligation",
+          d.assertion.empty()
+              ? std::string(" fails")
+              : StrCat(" [", d.assertion, "] vs [", d.source, "] fails"),
+          "; requires ", IsoLevelName(advice.recommended),
+          d.witness.empty() ? "" : StrCat("; witness: ", d.witness));
+      ++report.errors;
+      report.diagnostics.push_back(std::move(d));
+    } else if (options.warn_over_isolated &&
+               LadderIndex(txn.annotated) > LadderIndex(advice.recommended)) {
+      d.severity = LintDiagnostic::Severity::kWarning;
+      d.rule = "over-isolated";
+      d.message = StrCat(
+          txn.name, " @ ", parsed.path, ":", d.line, ": annotated ",
+          IsoLevelName(txn.annotated), " but ",
+          IsoLevelName(advice.recommended),
+          " already satisfies every obligation (", TheoremName(advice.recommended),
+          ") — over-isolated");
+      ++report.warnings;
+      report.diagnostics.push_back(std::move(d));
+    }
+    report.advice.push_back(std::move(advice));
+  }
+
+  report.stats = advisor.stats();
+  return report;
+}
+
+std::string RenderLintText(const LintReport& report) {
+  std::string out;
+  for (const LintDiagnostic& d : report.diagnostics) {
+    out += StrCat(d.file, ":", d.line, ": ", d.SeverityName(), ": ",
+                  d.message, "\n");
+  }
+  out += StrCat(report.errors, report.errors == 1 ? " error, " : " errors, ",
+                report.warnings,
+                report.warnings == 1 ? " warning, " : " warnings, ",
+                report.notes, report.notes == 1 ? " note" : " notes", " (",
+                report.stats.pair_checks, " pair checks, ",
+                report.stats.pair_hits, " cached)\n");
+  return out;
+}
+
+namespace {
+
+std::string DiagnosticJson(const LintDiagnostic& d) {
+  return StrCat(
+      "{\"severity\":", JsonQuote(d.SeverityName()),
+      ",\"rule\":", JsonQuote(d.rule), ",\"txn\":", JsonQuote(d.txn),
+      ",\"file\":", JsonQuote(d.file), ",\"line\":", d.line,
+      ",\"required\":", JsonQuote(IsoLevelName(d.required)),
+      ",\"annotated\":",
+      d.rule == "advice" ? "null" : JsonQuote(IsoLevelName(d.annotated)),
+      ",\"theorem\":", JsonQuote(d.theorem),
+      ",\"assertion\":", JsonQuote(d.assertion),
+      ",\"source\":", JsonQuote(d.source),
+      ",\"witness\":", JsonQuote(d.witness),
+      ",\"message\":", JsonQuote(d.message), "}");
+}
+
+}  // namespace
+
+std::string RenderLintJson(const LintReport& report) {
+  std::vector<std::string> diags;
+  for (const LintDiagnostic& d : report.diagnostics) {
+    diags.push_back(DiagnosticJson(d));
+  }
+  std::vector<std::string> advice;
+  for (const LevelAdvice& a : report.advice) {
+    advice.push_back(StrCat(
+        "{\"txn\":", JsonQuote(a.txn_type),
+        ",\"recommended\":", JsonQuote(IsoLevelName(a.recommended)),
+        ",\"snapshot_ok\":", a.snapshot_correct ? "true" : "false", "}"));
+  }
+  return StrCat(
+      "{\"diagnostics\":[", Join(diags, ","), "],\"advice\":[",
+      Join(advice, ","), "],\"summary\":{\"errors\":", report.errors,
+      ",\"warnings\":", report.warnings, ",\"notes\":", report.notes,
+      ",\"pair_checks\":", report.stats.pair_checks,
+      ",\"pair_hits\":", report.stats.pair_hits, "}}\n");
+}
+
+std::string RenderLintSarif(const LintReport& report) {
+  std::vector<std::string> results;
+  for (const LintDiagnostic& d : report.diagnostics) {
+    const char* level =
+        d.severity == LintDiagnostic::Severity::kError
+            ? "error"
+            : d.severity == LintDiagnostic::Severity::kWarning ? "warning"
+                                                               : "note";
+    results.push_back(StrCat(
+        "{\"ruleId\":", JsonQuote(StrCat("semcor-", d.rule)),
+        ",\"level\":", JsonQuote(level),
+        ",\"message\":{\"text\":", JsonQuote(d.message),
+        "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{"
+        "\"uri\":",
+        JsonQuote(d.file), "},\"region\":{\"startLine\":",
+        d.line > 0 ? d.line : 1, "}}}]}"));
+  }
+  return StrCat(
+      "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":"
+      "\"semcor_lint\",\"informationUri\":\"\",\"rules\":[]}},\"results\":[",
+      Join(results, ","), "]}]}\n");
+}
+
+}  // namespace semcor

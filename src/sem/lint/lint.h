@@ -1,0 +1,72 @@
+#ifndef SEMCOR_SEM_LINT_LINT_H_
+#define SEMCOR_SEM_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "sem/check/incremental.h"
+#include "sem/lint/parse_program.h"
+
+namespace semcor {
+
+/// One compiler-style finding about a transaction's isolation annotation.
+struct LintDiagnostic {
+  enum class Severity { kError, kWarning, kNote };
+
+  Severity severity = Severity::kNote;
+  std::string rule;      ///< "under-leveled" / "over-isolated" / "advice"
+  std::string txn;
+  std::string file;
+  int line = 0;          ///< best statement/annotation line (1-based)
+  IsoLevel annotated = IsoLevel::kSerializable;  ///< meaningful if has_level
+  IsoLevel required = IsoLevel::kSerializable;   ///< derived lowest level
+  std::string theorem;   ///< TheoremTag of the rejecting level ("" if none)
+  std::string assertion; ///< failing obligation's target assertion
+  std::string source;    ///< failing obligation's interfering unit
+  std::string witness;   ///< counterexample / detail text ("" if none)
+  std::string message;   ///< fully rendered one-line message
+
+  const char* SeverityName() const;
+};
+
+struct LintReport {
+  std::vector<LintDiagnostic> diagnostics;
+  std::vector<LevelAdvice> advice;  ///< per type, declaration order
+  IncrementalStats stats;
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+
+  bool ok() const { return errors == 0; }
+};
+
+struct LintOptions {
+  IncrementalOptions advisor;
+  /// Emit a "note" with the derived level for txns with no annotation.
+  bool advise_unannotated = true;
+  /// Emit a warning when the annotation is strictly above the derived
+  /// requirement (correct but over-locked).
+  bool warn_over_isolated = true;
+};
+
+/// Runs the §5 advisor over the parsed application and compares each
+/// transaction's annotated level with the derived lowest correct level.
+/// An annotation *below* the requirement is an error naming the paper
+/// theorem whose obligation failed, the obligation, and the interference
+/// witness. SNAPSHOT annotations are judged by Theorem 5's separate check.
+LintReport LintApplication(const ParsedApplication& parsed,
+                           const LintOptions& options = LintOptions());
+
+/// Human-readable rendering: one "file:line: severity: message" block per
+/// diagnostic plus a summary line.
+std::string RenderLintText(const LintReport& report);
+
+/// Machine-readable JSON: {"diagnostics": [...], "summary": {...}}.
+std::string RenderLintJson(const LintReport& report);
+
+/// SARIF 2.1.0 (static-analysis interchange) for CI annotation surfaces.
+std::string RenderLintSarif(const LintReport& report);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_LINT_LINT_H_

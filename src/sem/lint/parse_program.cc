@@ -1,0 +1,573 @@
+#include "sem/lint/parse_program.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "sem/expr/parse.h"
+#include "sem/expr/simplify.h"
+
+namespace semcor {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Strips a // comment. `.sem` uses // (not #) because # sigils logical
+/// variables in expressions; // never appears in the expression grammar.
+std::string StripComment(const std::string& line) {
+  bool in_string = false;
+  for (size_t i = 0; i + 1 < line.size(); ++i) {
+    if (line[i] == '"') in_string = !in_string;
+    if (!in_string && line[i] == '/' && line[i + 1] == '/') {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+/// Splits on `sep` at paren/quote depth zero, so `set a := f(x, y), b := 1`
+/// yields two assignments.
+std::vector<std::string> SplitTopLevel(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  int depth = 0;
+  bool in_string = false;
+  std::string cur;
+  for (char c : s) {
+    if (c == '"') in_string = !in_string;
+    if (!in_string) {
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == sep && depth == 0) {
+        out.push_back(cur);
+        cur.clear();
+        continue;
+      }
+    }
+    cur += c;
+  }
+  if (!Trim(cur).empty() || !out.empty()) out.push_back(cur);
+  return out;
+}
+
+/// First whitespace-delimited word and the trimmed remainder.
+std::pair<std::string, std::string> SplitKeyword(const std::string& line) {
+  size_t i = 0;
+  while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  return {line.substr(0, i), Trim(line.substr(i))};
+}
+
+bool ParseScenarioValue(const std::string& text, Value* out) {
+  const std::string t = Trim(text);
+  if (t.empty()) return false;
+  if (t == "true" || t == "false") {
+    *out = Value::Bool(t == "true");
+    return true;
+  }
+  if (t.size() >= 2 && t.front() == '"' && t.back() == '"') {
+    *out = Value::Str(t.substr(1, t.size() - 2));
+    return true;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(t.c_str(), &end, 10);
+  if (errno != 0 || end != t.c_str() + t.size()) return false;
+  *out = Value::Int(v);
+  return true;
+}
+
+/// Normalizes "READ COMMITTED", "read-committed", "rc" for ParseIsoLevel.
+bool ParseLevelText(const std::string& text, IsoLevel* out) {
+  std::string norm;
+  for (char c : text) {
+    if (c == ' ' || c == '-') {
+      norm += '_';
+    } else {
+      norm += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return ParseIsoLevel(norm, out);
+}
+
+struct ParserState {
+  ParsedApplication result;
+  std::string path;
+
+  // Per-txn accumulation while inside a `txn { ... }` block.
+  bool in_txn = false;
+  std::shared_ptr<TxnProgram> proto;
+  ParsedTxn meta;
+  std::vector<std::map<std::string, Value>> scenarios;
+  std::vector<Expr> requires_parts;
+  std::vector<Expr> ensures_parts;
+  Expr pending_pre;
+  int pending_line = 0;
+  /// Open block stack: list under construction; for an If, `open_if` allows
+  /// `} else {` to switch to the else body.
+  struct Scope {
+    StmtList* list = nullptr;
+    Stmt* open_if = nullptr;  ///< set on the *parent* entry while its If is open
+  };
+  std::vector<Scope> stack;
+
+  std::vector<Expr> invariant_parts;
+};
+
+Status Err(const ParserState& st, int line, const std::string& message) {
+  return Status::InvalidArgument(
+      StrCat(st.path, ":", line, ": ", message));
+}
+
+Result<Expr> ParseExprAt(const ParserState& st, int line,
+                         const std::string& text, const char* what) {
+  if (Trim(text).empty()) {
+    return Err(st, line, StrCat(what, ": missing expression"));
+  }
+  Result<Expr> e = ParseExpr(text);
+  if (!e.ok()) {
+    return Err(st, line,
+               StrCat(what, ": ", e.status().message()));
+  }
+  return e;
+}
+
+/// Appends a statement to the innermost open list, consuming the pending
+/// `pre` annotation and line number.
+Stmt* Append(ParserState* st, StmtKind kind, int line) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = kind;
+  s->pre = st->pending_pre ? st->pending_pre : True();
+  s->line = st->pending_line != 0 ? st->pending_line : line;
+  st->pending_pre = nullptr;
+  st->pending_line = 0;
+  StmtList* list = st->stack.back().list;
+  list->push_back(s);
+  return const_cast<Stmt*>(list->back().get());
+}
+
+/// `NAME := rest` split; returns false if `:=` is absent.
+bool SplitAssign(const std::string& s, std::string* name, std::string* rest) {
+  const size_t pos = s.find(":=");
+  if (pos == std::string::npos) return false;
+  *name = Trim(s.substr(0, pos));
+  *rest = Trim(s.substr(pos + 2));
+  return !name->empty();
+}
+
+Status FinishTxn(ParserState* st, int line) {
+  if (st->stack.size() != 1) {
+    return Err(*st, line, "unclosed block at end of txn");
+  }
+  if (st->pending_pre) {
+    return Err(*st, line, "dangling `pre` with no following statement");
+  }
+  TxnProgram& proto = *st->proto;
+  proto.b_part = st->requires_parts.empty()
+                     ? True()
+                     : Simplify(And(st->requires_parts));
+  proto.result = st->ensures_parts.empty()
+                     ? True()
+                     : Simplify(And(st->ensures_parts));
+
+  TransactionType type;
+  type.name = proto.type_name;
+  if (st->scenarios.empty()) st->scenarios.push_back({});
+  type.analysis_scenarios = st->scenarios;
+  type.make = [proto_ptr = std::shared_ptr<const TxnProgram>(st->proto)](
+                  const std::map<std::string, Value>& params) {
+    TxnProgram out = *proto_ptr;
+    out.params = params;
+    if (!params.empty()) {
+      std::vector<std::string> parts;
+      for (const auto& [k, v] : params) {
+        parts.push_back(StrCat(k, "=", v.ToString()));
+      }
+      out.instance_label = StrCat(out.type_name, "(", Join(parts, ","), ")");
+    }
+    return out;
+  };
+  st->result.app.types.push_back(std::move(type));
+  st->result.txns.push_back(st->meta);
+  st->in_txn = false;
+  st->proto = nullptr;
+  st->stack.clear();
+  return Status::Ok();
+}
+
+Status HandleTxnLine(ParserState* st, int lineno, const std::string& line) {
+  auto [kw, rest] = SplitKeyword(line);
+
+  if (kw == "}") {
+    const std::string tail = Trim(rest);
+    if (tail == "else {") {
+      if (st->stack.size() < 2 ||
+          st->stack[st->stack.size() - 2].open_if == nullptr) {
+        return Err(*st, lineno, "`} else {` without a matching if");
+      }
+      Stmt* open_if = st->stack[st->stack.size() - 2].open_if;
+      st->stack.pop_back();
+      st->stack.back().open_if = nullptr;  // no second `else` for this if
+      st->stack.push_back({&open_if->else_body, nullptr});
+      return Status::Ok();
+    }
+    if (!tail.empty()) {
+      return Err(*st, lineno, StrCat("unexpected text after `}`: ", tail));
+    }
+    if (st->stack.size() > 1) {
+      st->stack.pop_back();
+      st->stack.back().open_if = nullptr;
+      return Status::Ok();
+    }
+    return FinishTxn(st, lineno);
+  }
+
+  if (kw == "level") {
+    if (!ParseLevelText(rest, &st->meta.annotated)) {
+      return Err(*st, lineno, StrCat("unknown isolation level: ", rest));
+    }
+    st->meta.has_level = true;
+    st->meta.level_line = lineno;
+    return Status::Ok();
+  }
+  if (kw == "scenario") {
+    std::map<std::string, Value> params;
+    for (const std::string& piece : SplitTopLevel(rest, ',')) {
+      const std::string p = Trim(piece);
+      if (p.empty()) continue;
+      const size_t eq = p.find('=');
+      if (eq == std::string::npos) {
+        return Err(*st, lineno, StrCat("scenario binding needs k = v: ", p));
+      }
+      const std::string key = Trim(p.substr(0, eq));
+      Value v;
+      if (key.empty() || !ParseScenarioValue(p.substr(eq + 1), &v)) {
+        return Err(*st, lineno, StrCat("bad scenario binding: ", p));
+      }
+      params[key] = v;
+    }
+    st->scenarios.push_back(std::move(params));
+    return Status::Ok();
+  }
+  if (kw == "requires" || kw == "ensures") {
+    Result<Expr> e = ParseExprAt(*st, lineno, rest, kw.c_str());
+    if (!e.ok()) return e.status();
+    (kw == "requires" ? st->requires_parts : st->ensures_parts)
+        .push_back(e.value());
+    return Status::Ok();
+  }
+  if (kw == "logical") {
+    const size_t eq = rest.find('=');
+    if (eq == std::string::npos) {
+      return Err(*st, lineno, "logical needs NAME = db_item");
+    }
+    const std::string name = Trim(rest.substr(0, eq));
+    const std::string item = Trim(rest.substr(eq + 1));
+    if (name.empty() || item.empty()) {
+      return Err(*st, lineno, "logical needs NAME = db_item");
+    }
+    st->proto->logical_bindings[name] = item;
+    return Status::Ok();
+  }
+  if (kw == "pre") {
+    Result<Expr> e = ParseExprAt(*st, lineno, rest, "pre");
+    if (!e.ok()) return e.status();
+    st->pending_pre = e.value();
+    st->pending_line = lineno;
+    return Status::Ok();
+  }
+  if (kw == "read") {
+    std::string local, item;
+    if (!SplitAssign(rest, &local, &item) || item.empty()) {
+      return Err(*st, lineno, "read needs LOCAL := db_item");
+    }
+    Stmt* s = Append(st, StmtKind::kRead, lineno);
+    s->local = local;
+    s->item = item;
+    return Status::Ok();
+  }
+  if (kw == "write") {
+    std::string item, expr_text;
+    if (!SplitAssign(rest, &item, &expr_text)) {
+      return Err(*st, lineno, "write needs db_item := expr");
+    }
+    Result<Expr> e = ParseExprAt(*st, lineno, expr_text, "write");
+    if (!e.ok()) return e.status();
+    Stmt* s = Append(st, StmtKind::kWrite, lineno);
+    s->item = item;
+    s->expr = e.value();
+    return Status::Ok();
+  }
+  if (kw == "let") {
+    std::string local, expr_text;
+    if (!SplitAssign(rest, &local, &expr_text)) {
+      return Err(*st, lineno, "let needs LOCAL := expr");
+    }
+    Result<Expr> e = ParseExprAt(*st, lineno, expr_text, "let");
+    if (!e.ok()) return e.status();
+    Stmt* s = Append(st, StmtKind::kLocalAssign, lineno);
+    s->local = local;
+    s->expr = e.value();
+    return Status::Ok();
+  }
+  if (kw == "select") {
+    std::string local, expr_text;
+    if (!SplitAssign(rest, &local, &expr_text)) {
+      return Err(*st, lineno, "select needs LOCAL := relational_expr");
+    }
+    Result<Expr> e = ParseExprAt(*st, lineno, expr_text, "select");
+    if (!e.ok()) return e.status();
+    Stmt* s = Append(st, StmtKind::kSelectAgg, lineno);
+    s->local = local;
+    s->expr = e.value();
+    return Status::Ok();
+  }
+  if (kw == "rows") {
+    std::string buffer, spec;
+    if (!SplitAssign(rest, &buffer, &spec)) {
+      return Err(*st, lineno, "rows needs BUF := TABLE where pred");
+    }
+    auto [table, pred_text] = SplitKeyword(spec);
+    auto [where_kw, pred_body] = SplitKeyword(pred_text);
+    if (table.empty() || where_kw != "where") {
+      return Err(*st, lineno, "rows needs BUF := TABLE where pred");
+    }
+    Result<Expr> pred = ParseExprAt(*st, lineno, pred_body, "rows");
+    if (!pred.ok()) return pred.status();
+    Stmt* s = Append(st, StmtKind::kSelectRows, lineno);
+    s->local = buffer;
+    s->table = table;
+    s->pred = pred.value();
+    return Status::Ok();
+  }
+  if (kw == "update") {
+    auto [table, spec] = SplitKeyword(rest);
+    auto [where_kw, tail] = SplitKeyword(spec);
+    const size_t set_pos = tail.find(" set ");
+    if (table.empty() || where_kw != "where" || set_pos == std::string::npos) {
+      return Err(*st, lineno,
+                 "update needs TABLE where pred set attr := expr, ...");
+    }
+    Result<Expr> pred =
+        ParseExprAt(*st, lineno, tail.substr(0, set_pos), "update where");
+    if (!pred.ok()) return pred.status();
+    std::map<std::string, Expr> sets;
+    for (const std::string& piece :
+         SplitTopLevel(tail.substr(set_pos + 5), ',')) {
+      std::string attr, expr_text;
+      if (!SplitAssign(Trim(piece), &attr, &expr_text)) {
+        return Err(*st, lineno, StrCat("bad set clause: ", piece));
+      }
+      Result<Expr> e = ParseExprAt(*st, lineno, expr_text, "update set");
+      if (!e.ok()) return e.status();
+      sets[attr] = e.value();
+    }
+    if (sets.empty()) return Err(*st, lineno, "update needs set clauses");
+    Stmt* s = Append(st, StmtKind::kUpdate, lineno);
+    s->table = table;
+    s->pred = pred.value();
+    s->sets = std::move(sets);
+    return Status::Ok();
+  }
+  if (kw == "insert") {
+    auto [table, spec] = SplitKeyword(rest);
+    const std::string t = Trim(spec);
+    if (table.empty() || t.size() < 2 || t.front() != '(' || t.back() != ')') {
+      return Err(*st, lineno, "insert needs TABLE (attr := expr, ...)");
+    }
+    std::map<std::string, Expr> values;
+    for (const std::string& piece :
+         SplitTopLevel(t.substr(1, t.size() - 2), ',')) {
+      std::string attr, expr_text;
+      if (!SplitAssign(Trim(piece), &attr, &expr_text)) {
+        return Err(*st, lineno, StrCat("bad insert value: ", piece));
+      }
+      Result<Expr> e = ParseExprAt(*st, lineno, expr_text, "insert");
+      if (!e.ok()) return e.status();
+      values[attr] = e.value();
+    }
+    if (values.empty()) return Err(*st, lineno, "insert needs values");
+    Stmt* s = Append(st, StmtKind::kInsert, lineno);
+    s->table = table;
+    s->values = std::move(values);
+    return Status::Ok();
+  }
+  if (kw == "delete") {
+    auto [table, spec] = SplitKeyword(rest);
+    auto [where_kw, pred_text] = SplitKeyword(spec);
+    if (table.empty() || where_kw != "where") {
+      return Err(*st, lineno, "delete needs TABLE where pred");
+    }
+    Result<Expr> pred = ParseExprAt(*st, lineno, pred_text, "delete");
+    if (!pred.ok()) return pred.status();
+    Stmt* s = Append(st, StmtKind::kDelete, lineno);
+    s->table = table;
+    s->pred = pred.value();
+    return Status::Ok();
+  }
+  if (kw == "abort") {
+    if (!rest.empty()) return Err(*st, lineno, "abort takes no operands");
+    Append(st, StmtKind::kAbort, lineno);
+    return Status::Ok();
+  }
+  if (kw == "if" || kw == "while") {
+    if (rest.empty() || rest.back() != '{') {
+      return Err(*st, lineno, StrCat(kw, " needs `", kw, " expr {`"));
+    }
+    Result<Expr> guard = ParseExprAt(
+        *st, lineno, rest.substr(0, rest.size() - 1), kw.c_str());
+    if (!guard.ok()) return guard.status();
+    Stmt* s = Append(st, kw == "if" ? StmtKind::kIf : StmtKind::kWhile,
+                     lineno);
+    s->expr = guard.value();
+    st->stack.back().open_if = kw == "if" ? s : nullptr;
+    st->stack.push_back({&s->then_body, nullptr});
+    return Status::Ok();
+  }
+  return Err(*st, lineno, StrCat("unknown directive in txn body: ", kw));
+}
+
+Status HandleTopLine(ParserState* st, int lineno, const std::string& line) {
+  auto [kw, rest] = SplitKeyword(line);
+  if (kw == "application") {
+    if (rest.empty()) return Err(*st, lineno, "application needs a name");
+    st->result.app.name = rest;
+    return Status::Ok();
+  }
+  if (kw == "invariant") {
+    Result<Expr> e = ParseExprAt(*st, lineno, rest, "invariant");
+    if (!e.ok()) return e.status();
+    st->invariant_parts.push_back(e.value());
+    return Status::Ok();
+  }
+  if (kw == "table") {
+    const size_t open = rest.find('(');
+    if (open == std::string::npos || rest.back() != ')') {
+      return Err(*st, lineno, "table needs NAME(attr: type, ...)");
+    }
+    const std::string name = Trim(rest.substr(0, open));
+    if (name.empty()) return Err(*st, lineno, "table needs a name");
+    TableShape shape;
+    for (const std::string& piece : SplitTopLevel(
+             rest.substr(open + 1, rest.size() - open - 2), ',')) {
+      const std::string p = Trim(piece);
+      if (p.empty()) continue;
+      const size_t colon = p.find(':');
+      const std::string attr =
+          Trim(colon == std::string::npos ? p : p.substr(0, colon));
+      const std::string type_text =
+          colon == std::string::npos ? "int" : Trim(p.substr(colon + 1));
+      Value::Type type;
+      if (type_text == "int") {
+        type = Value::Type::kInt;
+      } else if (type_text == "string") {
+        type = Value::Type::kString;
+      } else if (type_text == "bool") {
+        type = Value::Type::kBool;
+      } else {
+        return Err(*st, lineno, StrCat("unknown attribute type: ", type_text));
+      }
+      if (attr.empty()) return Err(*st, lineno, StrCat("bad attribute: ", p));
+      shape.attrs.emplace_back(attr, type);
+    }
+    st->result.app.shapes[name] = std::move(shape);
+    return Status::Ok();
+  }
+  if (kw == "txn") {
+    if (rest.empty() || rest.back() != '{') {
+      return Err(*st, lineno, "txn needs `txn NAME {`");
+    }
+    const std::string name = Trim(rest.substr(0, rest.size() - 1));
+    if (name.empty()) return Err(*st, lineno, "txn needs a name");
+    for (const ParsedTxn& t : st->result.txns) {
+      if (t.name == name) {
+        return Err(*st, lineno, StrCat("duplicate txn name: ", name));
+      }
+    }
+    st->in_txn = true;
+    st->proto = std::make_shared<TxnProgram>();
+    st->proto->type_name = name;
+    st->proto->instance_label = name;
+    st->proto->i_part = True();
+    st->proto->b_part = True();
+    st->proto->result = True();
+    st->meta = ParsedTxn{};
+    st->meta.name = name;
+    st->meta.line = lineno;
+    st->scenarios.clear();
+    st->requires_parts.clear();
+    st->ensures_parts.clear();
+    st->pending_pre = nullptr;
+    st->pending_line = 0;
+    st->stack.clear();
+    st->stack.push_back({&st->proto->body, nullptr});
+    return Status::Ok();
+  }
+  return Err(*st, lineno, StrCat("unknown top-level directive: ", kw));
+}
+
+}  // namespace
+
+Result<ParsedApplication> ParseApplication(const std::string& text,
+                                           const std::string& path) {
+  ParserState st;
+  st.path = path;
+  st.result.path = path;
+
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = Trim(StripComment(raw));
+    if (line.empty()) continue;
+    Status status = st.in_txn ? HandleTxnLine(&st, lineno, line)
+                              : HandleTopLine(&st, lineno, line);
+    if (!status.ok()) return status;
+  }
+  if (st.in_txn) {
+    return Err(st, lineno, StrCat("unterminated txn ", st.meta.name));
+  }
+  if (st.result.app.types.empty()) {
+    return Err(st, lineno == 0 ? 1 : lineno, "no transaction types declared");
+  }
+  if (st.result.app.name.empty()) st.result.app.name = "application";
+
+  // Every transaction relies on (and must re-establish) the file's global
+  // invariant: conjoin it as each type's I_i.
+  const Expr invariant = st.invariant_parts.empty()
+                             ? True()
+                             : Simplify(And(st.invariant_parts));
+  st.result.app.invariant = invariant;
+  for (TransactionType& type : st.result.app.types) {
+    auto inner = type.make;
+    type.make = [inner, invariant](const std::map<std::string, Value>& params) {
+      TxnProgram out = inner(params);
+      out.i_part = invariant;
+      return out;
+    };
+  }
+  return st.result;
+}
+
+Result<ParsedApplication> ParseApplicationFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open program file: ", path));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseApplication(buf.str(), path);
+}
+
+}  // namespace semcor

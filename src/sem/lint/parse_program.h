@@ -1,0 +1,71 @@
+#ifndef SEMCOR_SEM_LINT_PARSE_PROGRAM_H_
+#define SEMCOR_SEM_LINT_PARSE_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sem/check/theorems.h"
+#include "txn/isolation.h"
+
+namespace semcor {
+
+/// Source facts about one parsed transaction that the Application struct
+/// does not carry: where it was declared and the isolation level the
+/// program text annotates it with (if any).
+struct ParsedTxn {
+  std::string name;
+  int line = 0;        ///< `txn NAME {` header line (1-based)
+  bool has_level = false;
+  IsoLevel annotated = IsoLevel::kSerializable;
+  int level_line = 0;  ///< `level ...` directive line
+};
+
+/// An Application parsed from `.sem` text plus per-type source metadata.
+struct ParsedApplication {
+  Application app;
+  std::vector<ParsedTxn> txns;  ///< declaration order, aligned with app.types
+  std::string path;             ///< for diagnostics ("prog.sem:14")
+};
+
+/// Parses the linter's line-oriented `.sem` application format:
+///
+///   // comment (to end of line)
+///   application banking
+///   invariant acct_sav + acct_ch >= 0        // repeatable, conjoined
+///   table EMP(id: int, sal: int, num_hrs: int)
+///
+///   txn Withdraw_sav {
+///     level READ COMMITTED          // optional annotation to lint against
+///     scenario w = 2                // params; one line per scenario
+///     requires $w >= 0              // B_i   (repeatable, conjoined)
+///     logical SAV0 = acct_sav       // x_i = X_i binding
+///     ensures acct_sav == #SAV0 - $w  // Q_i (repeatable, conjoined)
+///     pre acct_sav + acct_ch >= 0   // annotation for the next statement
+///     read Sav := acct_sav
+///     let Need := $w
+///     if $Sav >= $Need {
+///       write acct_sav := $Sav - $Need
+///     } else {
+///       abort
+///     }
+///     while $n >= 1 { ... }
+///     select Cnt := count(EMP | .sal >= 1)
+///     rows Buf := EMP where .sal >= 1
+///     update EMP where .id == $e set sal := .sal + 1
+///     insert EMP (id := $e, sal := 10, num_hrs := 1)
+///     delete EMP where .id == $e
+///   }
+///
+/// Expressions use the sem/expr/parse.h grammar ($local, #logical, bare
+/// db-item names, table aggregates). Every transaction's I_i is the
+/// conjunction of the file's `invariant` lines. Errors carry `path:line:`.
+Result<ParsedApplication> ParseApplication(const std::string& text,
+                                           const std::string& path);
+
+/// Reads `path` and parses it. Missing/unreadable files are errors.
+Result<ParsedApplication> ParseApplicationFile(const std::string& path);
+
+}  // namespace semcor
+
+#endif  // SEMCOR_SEM_LINT_PARSE_PROGRAM_H_

@@ -7,6 +7,7 @@
 #include "sem/logic/dnf.h"
 #include "sem/logic/fourier_motzkin.h"
 #include "sem/logic/linear.h"
+#include "sem/logic/memo.h"
 
 namespace semcor {
 
@@ -172,10 +173,8 @@ CubeAnalysis AnalyzeCube(const Cube& cube, const DecideOptions& options,
   return out;
 }
 
-}  // namespace
-
-DecideResult DecideValidity(const Expr& assertion,
-                            const DecideOptions& options) {
+DecideResult DecideValidityUncached(const Expr& assertion,
+                                    const DecideOptions& options) {
   DecideResult result;
   Result<Dnf> dnf = ToDnf(Not(assertion), options.max_cubes);
   if (!dnf.ok()) {
@@ -215,7 +214,7 @@ DecideResult DecideValidity(const Expr& assertion,
   return result;
 }
 
-bool ProvablyUnsat(const Expr& e, const DecideOptions& options) {
+bool ProvablyUnsatUncached(const Expr& e, const DecideOptions& options) {
   Result<Dnf> dnf = ToDnf(e, options.max_cubes);
   if (!dnf.ok()) return false;
   for (const Cube& cube : dnf.value().cubes) {
@@ -225,8 +224,8 @@ bool ProvablyUnsat(const Expr& e, const DecideOptions& options) {
   return true;
 }
 
-bool ProvablySat(const Expr& e, std::map<VarRef, int64_t>* witness,
-                 const DecideOptions& options) {
+bool ProvablySatUncached(const Expr& e, std::map<VarRef, int64_t>* witness,
+                         const DecideOptions& options) {
   Result<Dnf> dnf = ToDnf(e, options.max_cubes);
   if (!dnf.ok()) return false;
   int witness_attempts = 0;
@@ -241,6 +240,64 @@ bool ProvablySat(const Expr& e, std::map<VarRef, int64_t>* witness,
     }
   }
   return false;
+}
+
+}  // namespace
+
+DecideResult DecideValidity(const Expr& assertion,
+                            const DecideOptions& options) {
+  if (!options.memo) return DecideValidityUncached(assertion, options);
+  uint64_t hash = 0;
+  const Expr canonical = options.memo->Canonicalize(assertion, &hash);
+  const uint64_t sig = DecideOptionsSig(options);
+  DecisionMemo::CachedDecision cached;
+  if (options.memo->Lookup(DecisionMemo::Query::kValidity, canonical, hash,
+                           sig, &cached)) {
+    return cached.result;
+  }
+  cached.result = DecideValidityUncached(canonical, options);
+  options.memo->Insert(DecisionMemo::Query::kValidity, canonical, hash, sig,
+                       cached);
+  return cached.result;
+}
+
+bool ProvablyUnsat(const Expr& e, const DecideOptions& options) {
+  if (!options.memo) return ProvablyUnsatUncached(e, options);
+  uint64_t hash = 0;
+  const Expr canonical = options.memo->Canonicalize(e, &hash);
+  const uint64_t sig = DecideOptionsSig(options);
+  DecisionMemo::CachedDecision cached;
+  if (options.memo->Lookup(DecisionMemo::Query::kUnsat, canonical, hash, sig,
+                           &cached)) {
+    return cached.boolean;
+  }
+  cached.boolean = ProvablyUnsatUncached(canonical, options);
+  options.memo->Insert(DecisionMemo::Query::kUnsat, canonical, hash, sig,
+                       cached);
+  return cached.boolean;
+}
+
+bool ProvablySat(const Expr& e, std::map<VarRef, int64_t>* witness,
+                 const DecideOptions& options) {
+  if (!options.memo) return ProvablySatUncached(e, witness, options);
+  uint64_t hash = 0;
+  const Expr canonical = options.memo->Canonicalize(e, &hash);
+  const uint64_t sig = DecideOptionsSig(options);
+  DecisionMemo::CachedDecision cached;
+  if (options.memo->Lookup(DecisionMemo::Query::kSat, canonical, hash, sig,
+                           &cached)) {
+    if (cached.boolean && witness != nullptr && cached.witness) {
+      *witness = *cached.witness;
+    }
+    return cached.boolean;
+  }
+  std::map<VarRef, int64_t> found;
+  cached.boolean = ProvablySatUncached(canonical, &found, options);
+  if (cached.boolean) cached.witness = found;
+  options.memo->Insert(DecisionMemo::Query::kSat, canonical, hash, sig,
+                       cached);
+  if (cached.boolean && witness != nullptr) *witness = found;
+  return cached.boolean;
 }
 
 }  // namespace semcor

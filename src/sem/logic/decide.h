@@ -2,12 +2,15 @@
 #define SEMCOR_SEM_LOGIC_DECIDE_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "sem/expr/expr.h"
 
 namespace semcor {
+
+class DecisionMemo;
 
 /// Outcome of a validity query. The theorem engines map kUnknown to
 /// "assume interference" (sound: may force a higher isolation level, never
@@ -32,6 +35,11 @@ struct DecideOptions {
   /// Internal: disables the quantifier-subsumption rules to bound recursion
   /// (they call back into DecideValidity on quantifier-free formulas).
   bool disable_subsumption = false;
+  /// Optional shared decision memo (sem/logic/memo.h): queries are
+  /// hash-consed and their results cached across calls and threads. Null
+  /// reproduces uncached behaviour bit-for-bit; caching is exact (the
+  /// decision procedures are deterministic in (formula, options)).
+  std::shared_ptr<DecisionMemo> memo;
 };
 
 struct DecideResult {

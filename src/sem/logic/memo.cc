@@ -1,0 +1,58 @@
+#include "sem/logic/memo.h"
+
+namespace semcor {
+
+bool DecisionMemo::Lookup(Query query, const Expr& canonical, uint64_t hash,
+                          uint64_t options_sig, CachedDecision* out) {
+  const uint64_t key = HashCombine(hash, static_cast<uint64_t>(query));
+  Shard& shard = shards_[key % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.buckets.find(key);
+  if (it != shard.buckets.end()) {
+    for (const Entry& entry : it->second) {
+      if (entry.query == query && entry.options_sig == options_sig &&
+          entry.formula.get() == canonical.get()) {
+        *out = entry.value;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void DecisionMemo::Insert(Query query, const Expr& canonical, uint64_t hash,
+                          uint64_t options_sig, CachedDecision value) {
+  const uint64_t key = HashCombine(hash, static_cast<uint64_t>(query));
+  Shard& shard = shards_[key % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<Entry>& bucket = shard.buckets[key];
+  for (const Entry& entry : bucket) {
+    if (entry.query == query && entry.options_sig == options_sig &&
+        entry.formula.get() == canonical.get()) {
+      return;  // a racing thread computed the same answer first
+    }
+  }
+  bucket.push_back(Entry{canonical, options_sig, query, std::move(value)});
+  entries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+MemoStats DecisionMemo::Stats() const {
+  MemoStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.interned_nodes = static_cast<int64_t>(interner_.size());
+  return s;
+}
+
+uint64_t DecideOptionsSig(const DecideOptions& options) {
+  uint64_t h = HashCombine(0x0517, static_cast<uint64_t>(options.max_cubes));
+  h = HashCombine(h, static_cast<uint64_t>(options.witness_bound));
+  h = HashCombine(h, static_cast<uint64_t>(options.witness_max_nodes));
+  h = HashCombine(h, options.disable_subsumption ? 1 : 0);
+  return h;
+}
+
+}  // namespace semcor

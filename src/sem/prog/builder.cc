@@ -39,11 +39,18 @@ ProgramBuilder& ProgramBuilder::Pre(Expr assertion) {
   return *this;
 }
 
+ProgramBuilder& ProgramBuilder::Line(int line) {
+  pending_line_ = line;
+  return *this;
+}
+
 Stmt* ProgramBuilder::Append(StmtKind kind) {
   auto s = std::make_shared<Stmt>();
   s->kind = kind;
   s->pre = pending_pre_ ? pending_pre_ : True();
+  s->line = pending_line_;
   pending_pre_ = nullptr;
+  pending_line_ = 0;
   current_->push_back(s);
   // The list owns the only reference; mutating through the raw pointer while
   // building is safe because nothing else can observe the program yet.

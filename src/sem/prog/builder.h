@@ -44,6 +44,10 @@ class ProgramBuilder {
   /// Sets the annotation for the next statement.
   ProgramBuilder& Pre(Expr assertion);
 
+  /// Sets the source line recorded on the next statement appended (used by
+  /// the linter's compiler-style diagnostics; 0 = unknown).
+  ProgramBuilder& Line(int line);
+
   ProgramBuilder& Read(const std::string& local, const std::string& item);
   ProgramBuilder& Write(const std::string& item, Expr value);
   ProgramBuilder& Let(const std::string& local, Expr value);
@@ -72,6 +76,7 @@ class ProgramBuilder {
   TxnProgram proto_;
   StmtList* current_;  ///< list under construction (nesting via If/While)
   Expr pending_pre_;
+  int pending_line_ = 0;
 };
 
 }  // namespace semcor

@@ -1,6 +1,7 @@
 #include "sem/prog/program.h"
 
 #include "common/str_util.h"
+#include "sem/expr/hash.h"
 #include "sem/expr/simplify.h"
 
 namespace semcor {
@@ -187,6 +188,22 @@ WriteFootprint CollectWriteFootprint(const TxnProgram& program) {
     }
   });
   return fp;
+}
+
+uint64_t HashProgram(const TxnProgram& program) {
+  uint64_t h = HashCombine(0x70726f67ULL, HashString(program.type_name));
+  h = HashCombine(h, HashString(program.instance_label));
+  h = HashCombine(h, HashExpr(program.i_part));
+  h = HashCombine(h, HashExpr(program.b_part));
+  h = HashCombine(h, HashExpr(program.result));
+  for (const StmtPtr& s : program.body) h = HashCombine(h, HashStmt(*s));
+  for (const auto& [name, value] : program.params) {
+    h = HashCombine(HashCombine(h, HashString(name)), HashValue(value));
+  }
+  for (const auto& [logical, item] : program.logical_bindings) {
+    h = HashCombine(HashCombine(h, HashString(logical)), HashString(item));
+  }
+  return h;
 }
 
 }  // namespace semcor

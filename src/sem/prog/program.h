@@ -1,6 +1,7 @@
 #ifndef SEMCOR_SEM_PROG_PROGRAM_H_
 #define SEMCOR_SEM_PROG_PROGRAM_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
@@ -94,6 +95,12 @@ struct WriteFootprint {
   bool Intersects(const WriteFootprint& other) const;
 };
 WriteFootprint CollectWriteFootprint(const TxnProgram& program);
+
+/// Structural content hash of an instantiated program (proof outline,
+/// body, params, logical bindings). Two programs with equal hashes are
+/// analyzed identically, which is what lets incremental checking fingerprint
+/// transaction *types* by hashing their instantiated analysis scenarios.
+uint64_t HashProgram(const TxnProgram& program);
 
 }  // namespace semcor
 

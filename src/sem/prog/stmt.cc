@@ -1,6 +1,7 @@
 #include "sem/prog/stmt.h"
 
 #include "common/str_util.h"
+#include "sem/expr/hash.h"
 
 namespace semcor {
 
@@ -110,6 +111,26 @@ int CountAtomicStmts(const StmtList& body) {
     if (s->kind != StmtKind::kIf && s->kind != StmtKind::kWhile) ++count;
   });
   return count;
+}
+
+uint64_t HashStmt(const Stmt& stmt) {
+  uint64_t h = HashCombine(0x73746d74ULL, static_cast<uint64_t>(stmt.kind));
+  h = HashCombine(h, HashExpr(stmt.pre));
+  h = HashCombine(h, HashString(stmt.local));
+  h = HashCombine(h, HashString(stmt.item));
+  h = HashCombine(h, HashExpr(stmt.expr));
+  h = HashCombine(h, HashString(stmt.table));
+  h = HashCombine(h, HashExpr(stmt.pred));
+  for (const auto& [attr, e] : stmt.sets) {
+    h = HashCombine(HashCombine(h, HashString(attr)), HashExpr(e));
+  }
+  for (const auto& [attr, e] : stmt.values) {
+    h = HashCombine(HashCombine(h, HashString(attr)), HashExpr(e));
+  }
+  for (const StmtPtr& s : stmt.then_body) h = HashCombine(h, HashStmt(*s));
+  h = HashCombine(h, 0x656c7365ULL);  // then/else separator
+  for (const StmtPtr& s : stmt.else_body) h = HashCombine(h, HashStmt(*s));
+  return h;
 }
 
 }  // namespace semcor

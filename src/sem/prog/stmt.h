@@ -1,6 +1,7 @@
 #ifndef SEMCOR_SEM_PROG_STMT_H_
 #define SEMCOR_SEM_PROG_STMT_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -61,10 +62,16 @@ struct Stmt {
   StmtList else_body;  ///< kIf else-branch
 
   std::string label;  ///< optional, for diagnostics
+  int line = 0;       ///< source line in the program text (0 = unknown)
 
   /// One-line rendering for diagnostics ("write maximum_date := ...").
   std::string ToString() const;
 };
+
+/// Structural content hash of a statement: kind, annotation, operands and
+/// bodies. Diagnostic-only fields (label, line) are excluded, so reformatting
+/// a program does not perturb fingerprints.
+uint64_t HashStmt(const Stmt& stmt);
 
 /// True for statements that modify the database (kWrite/kUpdate/kInsert/
 /// kDelete). kAbort is not itself a write, but induces undo writes that the

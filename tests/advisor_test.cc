@@ -115,5 +115,111 @@ TEST(AdvisorTest, FcwCanBeDisabled) {
   EXPECT_NE(advice.recommended, IsoLevel::kReadCommitted);
 }
 
+// CorrectAt edge cases: the ladder walk stops at the first correct rung, so
+// everything below it must come from the recorded reports, everything at or
+// above it from monotonicity, and SNAPSHOT from its own Theorem 5 report —
+// never from the ladder's ordering.
+TEST(AdvisorTest, CorrectAtUsesReportsBelowTheRecommendation) {
+  Workload w = MakeBankingWorkload(2);
+  LevelAdvisor advisor(w.app, AdvisorOptions());
+  LevelAdvice advice = advisor.Advise("Withdraw_sav");
+  ASSERT_EQ(advice.recommended, IsoLevel::kRepeatableRead);
+  // Every rung below the recommendation was evaluated and rejected.
+  EXPECT_FALSE(advice.CorrectAt(IsoLevel::kReadUncommitted));
+  EXPECT_FALSE(advice.CorrectAt(IsoLevel::kReadCommitted));
+  EXPECT_FALSE(advice.CorrectAt(IsoLevel::kReadCommittedFcw));
+  // The recommendation itself has a report saying correct.
+  EXPECT_TRUE(advice.CorrectAt(IsoLevel::kRepeatableRead));
+  // SERIALIZABLE was never checked (the walk stopped at RR); monotonicity
+  // answers it.
+  bool has_ser_report = false;
+  for (const LevelCheckReport& r : advice.reports) {
+    if (r.level == IsoLevel::kSerializable) has_ser_report = true;
+  }
+  EXPECT_FALSE(has_ser_report);
+  EXPECT_TRUE(advice.CorrectAt(IsoLevel::kSerializable));
+}
+
+TEST(AdvisorTest, CorrectAtSnapshotIsIndependentOfTheLadder) {
+  // Banking's Withdraw pair exhibits write skew: RR is recommended, yet
+  // SNAPSHOT is *not* correct even though it enumerates above RR. A naive
+  // "level >= recommended" fallback would get this wrong.
+  Workload w = MakeBankingWorkload(2);
+  LevelAdvisor advisor(w.app, AdvisorOptions());
+  LevelAdvice advice = advisor.Advise("Withdraw_sav");
+  ASSERT_EQ(advice.recommended, IsoLevel::kRepeatableRead);
+  EXPECT_FALSE(advice.snapshot_correct);
+  EXPECT_FALSE(advice.CorrectAt(IsoLevel::kSnapshot));
+  EXPECT_TRUE(advice.CorrectAt(IsoLevel::kSerializable));
+
+  // And a synthetic advice decouples them completely: SNAPSHOT correct
+  // while even SERIALIZABLE's report is absent.
+  LevelAdvice synthetic;
+  synthetic.txn_type = "synthetic";
+  synthetic.recommended = IsoLevel::kSerializable;
+  synthetic.snapshot_correct = true;
+  EXPECT_TRUE(synthetic.CorrectAt(IsoLevel::kSnapshot));
+  // Unevaluated rungs below the recommendation must not read as ok.
+  EXPECT_FALSE(synthetic.CorrectAt(IsoLevel::kReadUncommitted));
+}
+
+TEST(AdvisorTest, CorrectAtSkippedFcwRungFallsBackToMonotonicity) {
+  // With consider_fcw=false the RC-FCW rung has no report; CorrectAt must
+  // answer it from the recommendation's position, not claim correctness
+  // below it.
+  Workload w = MakeBankingWorkload(2);
+  AdvisorOptions options;
+  options.consider_fcw = false;
+  LevelAdvisor advisor(w.app, options);
+  LevelAdvice advice = advisor.Advise("Withdraw_sav");
+  ASSERT_EQ(advice.recommended, IsoLevel::kRepeatableRead);
+  EXPECT_FALSE(advice.CorrectAt(IsoLevel::kReadCommittedFcw));
+}
+
+TEST(AdvisorTest, SummarizeAdviceNamesRejectingTheorems) {
+  Workload w = MakeBankingWorkload(2);
+  LevelAdvisor advisor(w.app, AdvisorOptions());
+  LevelAdvice advice = advisor.Advise("Withdraw_sav");
+  const std::string summary = SummarizeAdvice(advice);
+  EXPECT_NE(summary.find("lowest correct level = REPEATABLE-READ"),
+            std::string::npos);
+  // Every rejected rung is named with the governing theorem.
+  EXPECT_NE(summary.find("READ-UNCOMMITTED rejected by Thm 1"),
+            std::string::npos);
+  EXPECT_NE(summary.find("READ-COMMITTED rejected by Thm 2"),
+            std::string::npos);
+  EXPECT_NE(summary.find("SNAPSHOT unsafe"), std::string::npos);
+}
+
+TEST(AdvisorTest, RenderAdviceTableAlignsLongTypeNames) {
+  // Two advices whose names differ wildly in length: every row of the
+  // rendered table must have identical width and aligned column bars.
+  LevelAdvice a;
+  a.txn_type = "T";
+  a.recommended = IsoLevel::kReadCommitted;
+  LevelAdvice b;
+  b.txn_type = "An_Extremely_Long_Transaction_Type_Name";
+  b.recommended = IsoLevel::kSerializable;
+  b.snapshot_correct = true;
+  const std::string table = RenderAdviceTable({a, b});
+
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < table.size()) {
+    const size_t end = table.find('\n', start);
+    lines.push_back(table.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);  // header, separator, two rows
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.size(), lines[0].size()) << line;
+  }
+  // Column bars line up across header and rows.
+  for (size_t pos = 0; pos < lines[0].size(); ++pos) {
+    if (lines[0][pos] != '|') continue;
+    for (const std::string& line : lines) EXPECT_EQ(line[pos], '|') << pos;
+  }
+}
+
 }  // namespace
 }  // namespace semcor

@@ -1,0 +1,199 @@
+// Tests for the incremental pair-obligation advisor (ISSUE 8): cache
+// correctness (incremental re-check == cold sweep, bit for bit), O(K)
+// invalidation on a one-type edit, deterministic parallel checking, and
+// agreement with the monolithic LevelAdvisor on the paper workloads.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/str_util.h"
+#include "sem/check/advisor.h"
+#include "sem/check/incremental.h"
+#include "sem/check/suitegen.h"
+#include "workload/workload.h"
+
+namespace semcor {
+namespace {
+
+/// Serializes every field of an advice (including each obligation of each
+/// report) so "equal dumps" means bit-for-bit equal analysis results, not
+/// just equal recommendations.
+std::string DumpReport(const LevelCheckReport& r) {
+  std::string out = StrCat(r.txn_type, "@", IsoLevelName(r.level), " correct=",
+                           r.correct ? 1 : 0, " triples=", r.triples_checked);
+  for (const Obligation& o : r.obligations) {
+    out += StrCat("\n  [", o.assertion, "] vs [", o.source, "] ",
+                  InterferenceName(o.result.verdict), " excused=",
+                  o.excused ? 1 : 0, " excuse=", o.excuse, " detail=",
+                  o.result.detail);
+  }
+  return out + "\n";
+}
+
+std::string DumpAdvice(const LevelAdvice& a) {
+  std::string out = StrCat(a.txn_type, " -> ", IsoLevelName(a.recommended),
+                           " snapshot=", a.snapshot_correct ? 1 : 0, "\n");
+  for (const LevelCheckReport& r : a.reports) out += DumpReport(r);
+  out += DumpReport(a.snapshot_report);
+  return out;
+}
+
+std::string DumpAll(const std::vector<LevelAdvice>& all) {
+  std::string out;
+  for (const LevelAdvice& a : all) out += DumpAdvice(a) + "\n";
+  return out;
+}
+
+TEST(IncrementalTest, MatchesLevelAdvisorOnPaperWorkloads) {
+  std::vector<Workload> workloads;
+  workloads.push_back(MakeBankingWorkload(2));
+  workloads.push_back(MakePayrollWorkload());
+  for (const Workload& w : workloads) {
+    LevelAdvisor mono(w.app, AdvisorOptions{});
+    IncrementalAdvisor inc(w.app, IncrementalOptions{});
+    std::vector<LevelAdvice> expect = mono.AdviseAll();
+    std::vector<LevelAdvice> got = inc.AdviseAll();
+    ASSERT_EQ(expect.size(), got.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(expect[i].txn_type, got[i].txn_type);
+      EXPECT_EQ(expect[i].recommended, got[i].recommended)
+          << w.app.name << "/" << expect[i].txn_type;
+      EXPECT_EQ(expect[i].snapshot_correct, got[i].snapshot_correct)
+          << w.app.name << "/" << expect[i].txn_type;
+      // Verdict-level agreement at every evaluated rung; the pair-merged
+      // reports may list obligations in a different (per-pair) order, so
+      // the bit-for-bit comparisons below are incremental-vs-incremental.
+      for (const LevelCheckReport& r : expect[i].reports) {
+        EXPECT_EQ(r.correct, got[i].CorrectAt(r.level))
+            << w.app.name << "/" << expect[i].txn_type << "@"
+            << IsoLevelName(r.level);
+      }
+    }
+  }
+}
+
+TEST(IncrementalTest, EditedRecheckEqualsColdSweepBitForBit) {
+  for (uint64_t seed : {1ULL, 7ULL, 23ULL}) {
+    SuiteOptions suite;
+    suite.num_types = 8;
+    suite.seed = seed;
+    const int edited = 3;
+
+    // Warm advisor: cold sweep, then one-type edit, then re-sweep.
+    IncrementalAdvisor warm(MakeGeneratedSuite(suite), IncrementalOptions{});
+    warm.AdviseAll();
+    warm.RegisterType(MakeEditedType(suite, edited));
+    const std::string incremental = DumpAll(warm.AdviseAll());
+
+    // Cold advisor over the already-edited application.
+    Application after = MakeGeneratedSuite(suite);
+    after.types[edited] = MakeEditedType(suite, edited);
+    IncrementalAdvisor cold(after, IncrementalOptions{});
+    const std::string scratch = DumpAll(cold.AdviseAll());
+
+    EXPECT_EQ(incremental, scratch) << "seed=" << seed;
+    EXPECT_GT(warm.stats().pair_hits, 0) << "seed=" << seed;
+  }
+}
+
+TEST(IncrementalTest, OneTypeEditInvalidatesLinearlyManyPairs) {
+  const int k = 10;
+  SuiteOptions suite;
+  suite.num_types = k;
+  suite.seed = 5;
+  IncrementalAdvisor advisor(MakeGeneratedSuite(suite), IncrementalOptions{});
+  advisor.AdviseAll();
+  const IncrementalStats cold = advisor.stats();
+  EXPECT_EQ(cold.invalidated, 0);
+  EXPECT_GT(cold.pair_checks, 0);
+
+  advisor.RegisterType(MakeEditedType(suite, k / 2));
+  const IncrementalStats after_edit = advisor.stats();
+  // Pairs mentioning the edited type, at <= kIsoLevelCount levels each,
+  // as target (K others) or as other (K-1 targets): strictly O(K), and in
+  // particular far below the O(K^2) cold total.
+  const int64_t linear_bound = int64_t{kIsoLevelCount} * (2 * k - 1);
+  EXPECT_GT(after_edit.invalidated, 0);
+  EXPECT_LE(after_edit.invalidated, linear_bound);
+
+  advisor.AdviseAll();
+  const IncrementalStats recheck = advisor.stats();
+  const int64_t fresh = recheck.pair_checks - cold.pair_checks;
+  EXPECT_GT(fresh, 0);
+  EXPECT_LE(fresh, linear_bound);
+  EXPECT_LT(fresh, cold.pair_checks / 2);  // O(K) vs O(K^2)
+  EXPECT_GT(recheck.pair_hits, 0);
+}
+
+TEST(IncrementalTest, IdenticalReRegistrationInvalidatesNothing) {
+  SuiteOptions suite;
+  suite.num_types = 6;
+  suite.seed = 11;
+  Application app = MakeGeneratedSuite(suite);
+  IncrementalAdvisor advisor(app, IncrementalOptions{});
+  advisor.AdviseAll();
+  const IncrementalStats cold = advisor.stats();
+
+  // Same definition, same fingerprint: every cached pair stays valid.
+  advisor.RegisterType(app.types[2]);
+  advisor.AdviseAll();
+  const IncrementalStats again = advisor.stats();
+  EXPECT_EQ(again.invalidated, 0);
+  EXPECT_EQ(again.pair_checks, cold.pair_checks);
+}
+
+TEST(IncrementalTest, ParallelSweepIsDeterministic) {
+  SuiteOptions suite;
+  suite.num_types = 7;
+  suite.seed = 3;
+  IncrementalOptions serial;
+  serial.threads = 1;
+  IncrementalOptions parallel;
+  parallel.threads = 4;
+  IncrementalAdvisor a(MakeGeneratedSuite(suite), serial);
+  IncrementalAdvisor b(MakeGeneratedSuite(suite), parallel);
+  EXPECT_EQ(DumpAll(a.AdviseAll()), DumpAll(b.AdviseAll()));
+  // And a parallel single-type advise (pair-level fan-out) agrees too.
+  IncrementalAdvisor c(MakeGeneratedSuite(suite), parallel);
+  const std::string name = GeneratedTypeName(suite, 0);
+  EXPECT_EQ(DumpAdvice(a.Advise(name)), DumpAdvice(c.Advise(name)));
+}
+
+TEST(IncrementalTest, RemoveTypeDropsItsAdviceAndPairs) {
+  SuiteOptions suite;
+  suite.num_types = 5;
+  suite.seed = 9;
+  IncrementalAdvisor advisor(MakeGeneratedSuite(suite), IncrementalOptions{});
+  advisor.AdviseAll();
+  const std::string victim = GeneratedTypeName(suite, 2);
+  ASSERT_TRUE(advisor.RemoveType(victim));
+  EXPECT_FALSE(advisor.RemoveType(victim));
+  EXPECT_GT(advisor.stats().invalidated, 0);
+  std::vector<LevelAdvice> all = advisor.AdviseAll();
+  EXPECT_EQ(all.size(), 4u);
+  for (const LevelAdvice& a : all) EXPECT_NE(a.txn_type, victim);
+
+  // The shrunken application must agree with a from-scratch advisor.
+  Application app = MakeGeneratedSuite(suite);
+  app.types.erase(app.types.begin() + 2);
+  IncrementalAdvisor cold(app, IncrementalOptions{});
+  EXPECT_EQ(DumpAll(all), DumpAll(cold.AdviseAll()));
+}
+
+TEST(IncrementalTest, SharedMemoDedupesDecisions) {
+  SuiteOptions suite;
+  suite.num_types = 6;
+  suite.seed = 2;
+  IncrementalAdvisor advisor(MakeGeneratedSuite(suite), IncrementalOptions{});
+  advisor.AdviseAll();
+  const MemoStats memo = advisor.memo()->Stats();
+  // The same formulas recur across levels and pairs; the shared memo must
+  // observe traffic and produce at least some cross-check hits.
+  EXPECT_GT(memo.misses, 0);
+  EXPECT_GT(memo.hits, 0);
+}
+
+}  // namespace
+}  // namespace semcor

@@ -1,0 +1,184 @@
+// Tests for the .sem program parser and the semcor_lint analysis layer
+// (ISSUE 8): parse round-trips, under-leveled errors naming the rejecting
+// theorem, over-isolation warnings, advice notes, and renderer output.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sem/lint/lint.h"
+#include "sem/lint/parse_program.h"
+
+namespace semcor {
+namespace {
+
+// A two-transaction banking application (Figure 1 shape, one account).
+// Withdraw_sav needs REPEATABLE READ, Deposit_sav needs RC-FCW.
+const char kBankingSem[] = R"(// test fixture
+application banking
+
+invariant acct_sav + acct_ch >= 0
+
+txn Withdraw_sav {
+  level %WITHDRAW%
+  scenario w = 2
+  requires $w >= 0
+  logical SAV0 = acct_sav
+
+  pre acct_sav + acct_ch >= 0 && $w >= 0
+  read Sav := acct_sav
+  pre acct_sav + acct_ch >= 0 && $w >= 0 && acct_sav >= $Sav && $Sav == #SAV0
+  read Ch := acct_ch
+  pre acct_sav + acct_ch >= $Sav + $Ch && $w >= 0 && acct_ch >= $Ch && $Sav == #SAV0
+  if $Sav + $Ch >= $w {
+    pre acct_sav + acct_ch >= $Sav + $Ch && $w >= 0 && acct_ch >= $Ch && $Sav == #SAV0 && $Sav + $Ch >= $w
+    write acct_sav := $Sav - $w
+  }
+  ensures $Sav + $Ch >= $w => acct_sav == #SAV0 - $w
+}
+
+txn Deposit_sav {
+  level %DEPOSIT%
+  scenario d = 3
+  requires $d >= 0
+
+  pre acct_sav + acct_ch >= 0 && $d >= 0
+  read Sav := acct_sav
+  pre acct_sav + acct_ch >= 0 && $d >= 0 && acct_sav >= $Sav
+  write acct_sav := $Sav + $d
+}
+)";
+
+std::string Fixture(const std::string& withdraw, const std::string& deposit) {
+  std::string text = kBankingSem;
+  auto replace = [&text](const std::string& from, const std::string& to) {
+    const size_t pos = text.find(from);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, from.size(), to);
+  };
+  replace("%WITHDRAW%", withdraw);
+  replace("%DEPOSIT%", deposit);
+  return text;
+}
+
+ParsedApplication MustParse(const std::string& text) {
+  Result<ParsedApplication> parsed = ParseApplication(text, "test.sem");
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.value();
+}
+
+TEST(LintParseTest, RoundTripsStructure) {
+  ParsedApplication parsed =
+      MustParse(Fixture("REPEATABLE READ", "READ COMMITTED FCW"));
+  EXPECT_EQ(parsed.app.name, "banking");
+  ASSERT_EQ(parsed.app.types.size(), 2u);
+  ASSERT_EQ(parsed.txns.size(), 2u);
+  EXPECT_EQ(parsed.txns[0].name, "Withdraw_sav");
+  EXPECT_TRUE(parsed.txns[0].has_level);
+  EXPECT_EQ(parsed.txns[0].annotated, IsoLevel::kRepeatableRead);
+  EXPECT_EQ(parsed.txns[1].annotated, IsoLevel::kReadCommittedFcw);
+  // Statement lines survive into the instantiated program (diagnostics
+  // anchor on them).
+  const TxnProgram prog = parsed.app.types[0].make(
+      parsed.app.types[0].analysis_scenarios.front());
+  ASSERT_FALSE(prog.body.empty());
+  EXPECT_GT(prog.body.front()->line, 0);
+}
+
+TEST(LintParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseApplication("txn X {", "bad.sem").ok());
+  EXPECT_FALSE(
+      ParseApplication("application a\ntxn X {\n  level BOGUS\n}\n", "bad.sem")
+          .ok());
+  // Statements outside a txn block are errors, and the message carries the
+  // file:line prefix compilers and editors expect.
+  Result<ParsedApplication> r =
+      ParseApplication("application a\nread X := item\n", "bad.sem");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("bad.sem:2"), std::string::npos);
+}
+
+TEST(LintTest, CorrectAnnotationsAreClean) {
+  LintReport report = LintApplication(
+      MustParse(Fixture("REPEATABLE READ", "READ COMMITTED FCW")));
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.errors, 0);
+  for (const LintDiagnostic& d : report.diagnostics) {
+    EXPECT_NE(d.rule, "under-leveled") << d.message;
+  }
+}
+
+TEST(LintTest, UnderLeveledNamesRejectingTheorem) {
+  LintReport report = LintApplication(
+      MustParse(Fixture("READ UNCOMMITTED", "READ COMMITTED FCW")));
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.errors, 1);
+  const LintDiagnostic* found = nullptr;
+  for (const LintDiagnostic& d : report.diagnostics) {
+    if (d.rule == "under-leveled" && d.txn == "Withdraw_sav") found = &d;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->severity, LintDiagnostic::Severity::kError);
+  EXPECT_EQ(found->annotated, IsoLevel::kReadUncommitted);
+  EXPECT_EQ(found->required, IsoLevel::kRepeatableRead);
+  // The rejecting theorem is the one governing the *annotated* level.
+  EXPECT_EQ(found->theorem, "Thm 1");
+  EXPECT_GT(found->line, 0);
+  EXPECT_FALSE(found->assertion.empty());
+  EXPECT_NE(found->message.find("Thm 1"), std::string::npos);
+  EXPECT_NE(found->message.find("rejected"), std::string::npos);
+  EXPECT_NE(found->message.find("requires REPEATABLE-READ"),
+            std::string::npos);
+}
+
+TEST(LintTest, OverIsolationWarns) {
+  LintReport report = LintApplication(
+      MustParse(Fixture("SERIALIZABLE", "READ COMMITTED FCW")));
+  EXPECT_TRUE(report.ok());  // over-isolation is correct, just wasteful
+  ASSERT_GE(report.warnings, 1);
+  bool found = false;
+  for (const LintDiagnostic& d : report.diagnostics) {
+    if (d.rule == "over-isolated" && d.txn == "Withdraw_sav") {
+      found = true;
+      EXPECT_EQ(d.severity, LintDiagnostic::Severity::kWarning);
+      EXPECT_EQ(d.required, IsoLevel::kRepeatableRead);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintTest, UnannotatedTxnGetsAdviceNote) {
+  // Drop Deposit_sav's level line entirely.
+  std::string text = Fixture("REPEATABLE READ", "READ COMMITTED FCW");
+  const size_t pos = text.find("  level READ COMMITTED FCW\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, std::string("  level READ COMMITTED FCW\n").size());
+  LintReport report = LintApplication(MustParse(text));
+  EXPECT_TRUE(report.ok());
+  bool advice_note = false;
+  for (const LintDiagnostic& d : report.diagnostics) {
+    if (d.rule == "advice" && d.txn == "Deposit_sav") advice_note = true;
+  }
+  EXPECT_TRUE(advice_note);
+}
+
+TEST(LintTest, RenderersIncludeDiagnosticsAndSummary) {
+  LintReport report = LintApplication(
+      MustParse(Fixture("READ UNCOMMITTED", "READ COMMITTED FCW")));
+  const std::string text = RenderLintText(report);
+  EXPECT_NE(text.find("test.sem:"), std::string::npos);
+  EXPECT_NE(text.find("error:"), std::string::npos);
+  EXPECT_NE(text.find("pair checks"), std::string::npos);
+
+  const std::string json = RenderLintJson(report);
+  EXPECT_NE(json.find("\"diagnostics\""), std::string::npos);
+  EXPECT_NE(json.find("\"under-leveled\""), std::string::npos);
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+
+  const std::string sarif = RenderLintSarif(report);
+  EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("semcor-under-leveled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semcor
