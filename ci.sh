@@ -207,13 +207,36 @@ fi
 ./build/bench/bench_e13_advisor --types=200 --seed=7
 test -s BENCH_E13.json
 
+# Conformance-spec stage: semcor_spec executes every isolation-tester spec
+# in tests/specs at all seven levels and diffs against the checked-in
+# goldens (exit 1 on any disagreement — the gate is 100% conformance).
+# E14 then re-runs the sweep as a bench, which additionally requires the
+# two-ids fidelity target (16 SSI aborts = 12 false positives + 4 required
+# over its 90 interleavings) and that level SSI leaves zero committed
+# non-serializable executions; it must leave a parseable BENCH_E14.json.
+./build/examples/semcor_spec tests/specs/*.spec
+rm -f BENCH_E14.json
+./build/bench/bench_e14_spec
+test -s BENCH_E14.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+r = json.load(open("BENCH_E14.json"))
+assert r["specs_run"] >= 12, r
+assert r["specs_agreeing"] == r["specs_run"], r
+assert r["two_ids_fidelity"] == 1, r
+assert r["two_ids_ssi_false_positives"] == 12, r
+assert r["ssi_nonser"] == 0, r
+EOF
+fi
+
 # Archive every machine-readable artifact this run produced, so a CI
 # wrapper only has to preserve one directory — and fail if any expected
 # artifact is missing or unparsable (a bench that silently stopped writing
 # its JSON should break the build, not the dashboard).
 mkdir -p ci_artifacts
 for f in BENCH_E10.json BENCH_E10R.json BENCH_E12.json BENCH_E6.json \
-         BENCH_E9.json BENCH_E11.json BENCH_E13.json; do
+         BENCH_E9.json BENCH_E11.json BENCH_E13.json BENCH_E14.json; do
   if [ ! -s "$f" ]; then
     echo "ci.sh: FAIL — expected bench artifact $f is missing or empty"
     exit 1

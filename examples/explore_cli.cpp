@@ -46,12 +46,6 @@ struct CliOptions {
   int crash_matrix = 0;          // >0: crash-recovery mode, schedules per mix
 };
 
-std::vector<IsoLevel> AllLevels() {
-  return {IsoLevel::kReadUncommitted, IsoLevel::kReadCommitted,
-          IsoLevel::kReadCommittedFcw, IsoLevel::kRepeatableRead,
-          IsoLevel::kSnapshot, IsoLevel::kSerializable};
-}
-
 bool MakeWorkload(const std::string& name, Workload* out) {
   if (name == "banking") {
     *out = MakeBankingWorkload();
@@ -86,8 +80,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* help) {
             "workload (banking|payroll|orders|orders_unique)");
   flags.Str("mix", &opts->mix, "explore mix name (empty = every mix)");
   flags.Str("level", &opts->level,
-            "isolation level (ru, rc, rc_fcw, rr, snapshot, serializable) "
-            "or 'all'");
+            "isolation level (ru, rc, rc_fcw, rr, snapshot, serializable, "
+            "ssi) or 'all'");
   flags.Int("threads", &opts->explore.threads, "exploration worker threads");
   flags.I64("budget", &opts->explore.budget, "complete-schedule budget");
   flags.U64("seed", &opts->explore.seed, "fuzz-phase seed");
@@ -260,7 +254,7 @@ int main(int argc, char** argv) {
   }
   std::vector<IsoLevel> levels;
   if (opts.level == "all") {
-    levels = AllLevels();
+    for (IsoLevel level : AllLevels()) levels.push_back(level);
   } else {
     IsoLevel level;
     if (!ParseIsoLevel(opts.level, &level)) {

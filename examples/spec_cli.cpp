@@ -1,0 +1,252 @@
+// semcor_spec: conformance runner for isolation-tester specs.
+//
+// Parses each spec (the postgres src/test/isolation format subset), compiles
+// it onto the statement model, executes every permutation at every isolation
+// level, and diffs the per-level outcome rows against the spec's golden file
+// (tests/specs/golden/<name>.golden by default). Exits non-zero on any
+// parse error or conformance mismatch; --update-golden regenerates goldens.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "spec/compile.h"
+#include "spec/runner.h"
+#include "spec/spec.h"
+
+using namespace semcor;        // NOLINT
+using namespace semcor::spec;  // NOLINT
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: semcor_spec [options] <spec-file>...\n"
+      "  --update-golden     write observed outcomes as the new goldens\n"
+      "  --golden-dir=DIR    golden directory (default: <specdir>/golden)\n"
+      "  --json=PATH         write a machine-readable summary JSON\n"
+      "  --level=NAME        run one level only (no golden diff)\n");
+}
+
+std::string Dirname(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+struct SpecResult {
+  std::string name;
+  bool pass = false;
+  SpecReport report;
+  std::vector<std::string> diffs;
+};
+
+std::string JsonSummary(const std::vector<SpecResult>& results) {
+  std::string out = "{\n  \"specs\": ";
+  out += std::to_string(results.size());
+  long failures = 0;
+  for (const SpecResult& r : results) {
+    if (!r.pass) ++failures;
+  }
+  out += ",\n  \"failures\": " + std::to_string(failures);
+  out += ",\n  \"results\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SpecResult& r = results[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"spec\": " + JsonQuote(r.name) +
+           ", \"pass\": " + (r.pass ? "1" : "0") + ", \"levels\": [";
+    for (size_t l = 0; l < r.report.levels.size(); ++l) {
+      const LevelOutcome& o = r.report.levels[l];
+      out += l == 0 ? "\n" : ",\n";
+      out += StrCat("      {\"level\": ", JsonQuote(IsoLevelName(o.level)),
+                    ", \"perms\": ", std::to_string(o.perms),
+                    ", \"committed\": ", std::to_string(o.committed),
+                    ", \"aborted\": ", std::to_string(o.aborted),
+                    ", \"deadlock\": ", std::to_string(o.deadlock),
+                    ", \"fcw\": ", std::to_string(o.fcw),
+                    ", \"ssi\": ", std::to_string(o.ssi),
+                    ", \"ssi_fp\": ", std::to_string(o.ssi_fp),
+                    ", \"ssi_req\": ", std::to_string(o.ssi_req),
+                    ", \"nonser\": ", std::to_string(o.nonser),
+                    ", \"replay_div\": ", std::to_string(o.replay_div), "}");
+    }
+    out += "\n    ]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool update_golden = false;
+  std::string golden_dir;
+  std::string json_path;
+  std::string only_level;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--update-golden") {
+      update_golden = true;
+    } else if (arg.rfind("--golden-dir=", 0) == 0) {
+      golden_dir = arg.substr(std::strlen("--golden-dir="));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--level=", 0) == 0) {
+      only_level = arg.substr(std::strlen("--level="));
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "semcor_spec: unknown option %s\n", arg.c_str());
+      Usage();
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    Usage();
+    return 2;
+  }
+
+  std::vector<SpecResult> results;
+  bool all_ok = true;
+  for (const std::string& file : files) {
+    Result<IsolationSpec> parsed = ParseSpecFile(file);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "semcor_spec: %s\n",
+                   parsed.status().message().c_str());
+      all_ok = false;
+      continue;
+    }
+    Result<CompiledSpec> compiled = CompileSpec(parsed.value());
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "semcor_spec: %s\n",
+                   compiled.status().message().c_str());
+      all_ok = false;
+      continue;
+    }
+    SpecRunner runner(compiled.value());
+    Status init = runner.Init();
+    if (!init.ok()) {
+      std::fprintf(stderr, "semcor_spec: %s: %s\n", file.c_str(),
+                   init.message().c_str());
+      all_ok = false;
+      continue;
+    }
+
+    SpecResult result;
+    result.name = parsed.value().name;
+
+    if (!only_level.empty()) {
+      IsoLevel level;
+      if (!ParseIsoLevel(only_level, &level)) {
+        std::fprintf(stderr, "semcor_spec: unknown level %s\n",
+                     only_level.c_str());
+        return 2;
+      }
+      Result<LevelOutcome> out = runner.RunLevel(level);
+      if (!out.ok()) {
+        std::fprintf(stderr, "semcor_spec: %s: %s\n", file.c_str(),
+                     out.status().message().c_str());
+        all_ok = false;
+        continue;
+      }
+      std::printf("spec %s\n%s\n", result.name.c_str(),
+                  out.value().Row().c_str());
+      continue;
+    }
+
+    Result<SpecReport> report = runner.RunAllLevels();
+    if (!report.ok()) {
+      std::fprintf(stderr, "semcor_spec: %s: %s\n", file.c_str(),
+                   report.status().message().c_str());
+      all_ok = false;
+      continue;
+    }
+    result.report = report.value();
+
+    const std::string dir =
+        golden_dir.empty() ? Dirname(file) + "/golden" : golden_dir;
+    const std::string golden_path = dir + "/" + result.name + ".golden";
+    if (update_golden) {
+      Status w = WriteTextFile(golden_path, result.report.Golden());
+      if (!w.ok()) {
+        std::fprintf(stderr, "semcor_spec: %s\n", w.message().c_str());
+        all_ok = false;
+        continue;
+      }
+      std::printf("updated %s\n", golden_path.c_str());
+      result.pass = true;
+      results.push_back(std::move(result));
+      continue;
+    }
+
+    Result<std::string> golden_text = ReadTextFile(golden_path);
+    if (!golden_text.ok()) {
+      std::fprintf(stderr,
+                   "semcor_spec: %s (generate it with --update-golden)\n",
+                   golden_text.status().message().c_str());
+      all_ok = false;
+      result.pass = false;
+      results.push_back(std::move(result));
+      continue;
+    }
+    Result<SpecReport> golden = ParseGolden(golden_text.value(), golden_path);
+    if (!golden.ok()) {
+      std::fprintf(stderr, "semcor_spec: %s\n",
+                   golden.status().message().c_str());
+      all_ok = false;
+      result.pass = false;
+      results.push_back(std::move(result));
+      continue;
+    }
+
+    result.pass = true;
+    for (const LevelOutcome& observed : result.report.levels) {
+      const LevelOutcome* expected = nullptr;
+      for (const LevelOutcome& g : golden.value().levels) {
+        if (g.level == observed.level) expected = &g;
+      }
+      if (expected == nullptr) {
+        result.pass = false;
+        result.diffs.push_back(
+            StrCat("missing golden row for level ",
+                   IsoLevelName(observed.level)));
+        continue;
+      }
+      if (*expected != observed) {
+        result.pass = false;
+        result.diffs.push_back(StrCat("expected: ", expected->Row()));
+        result.diffs.push_back(StrCat("observed: ", observed.Row()));
+      }
+    }
+    if (golden.value().levels.size() != result.report.levels.size()) {
+      result.pass = false;
+      result.diffs.push_back("golden and observed level counts differ");
+    }
+
+    std::printf("%s %s\n", result.pass ? "PASS" : "FAIL",
+                result.name.c_str());
+    for (const LevelOutcome& o : result.report.levels) {
+      std::printf("  %s\n", o.Row().c_str());
+    }
+    for (const std::string& d : result.diffs) {
+      std::printf("  !! %s\n", d.c_str());
+    }
+    if (!result.pass) all_ok = false;
+    results.push_back(std::move(result));
+  }
+
+  if (!json_path.empty()) {
+    Status w = WriteTextFile(json_path, JsonSummary(results));
+    if (!w.ok()) {
+      std::fprintf(stderr, "semcor_spec: %s\n", w.message().c_str());
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
+}

@@ -29,6 +29,9 @@ void ScheduleSpace::Expand(const Schedule& prefix, const LeafFn& on_leaf,
       stats->deadlock_aborts += result.deadlock_aborts;
       stats->injected_faults += result.injected_faults;
       if (result.undo_dirty_reads > 0) ++stats->undo_read_runs;
+      stats->ssi_aborts += result.ssi_aborts;
+      stats->ssi_false_positive_aborts += result.ssi_false_positive_aborts;
+      stats->ssi_required_aborts += result.ssi_required_aborts;
       on_leaf(child, result);
     } else if (static_cast<int>(child.size()) < options_.max_choices) {
       children->push_back(std::move(child));

@@ -37,6 +37,11 @@ struct EnumerateStats {
   /// Complete schedules in which some transaction read a value written by a
   /// transaction that was mid-rollback (Theorem 1's undo-write hazard).
   int64_t undo_read_runs = 0;
+  /// SSI serialization-failure aborts over all leaves, split into required
+  /// (a real anomaly was prevented) and false positives.
+  int64_t ssi_aborts = 0;
+  int64_t ssi_false_positive_aborts = 0;
+  int64_t ssi_required_aborts = 0;
 
   void Add(const EnumerateStats& other) {
     schedules += other.schedules;
@@ -47,6 +52,9 @@ struct EnumerateStats {
     deadlock_aborts += other.deadlock_aborts;
     injected_faults += other.injected_faults;
     undo_read_runs += other.undo_read_runs;
+    ssi_aborts += other.ssi_aborts;
+    ssi_false_positive_aborts += other.ssi_false_positive_aborts;
+    ssi_required_aborts += other.ssi_required_aborts;
   }
 };
 

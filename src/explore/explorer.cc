@@ -29,6 +29,12 @@ std::string ExploreReport::Summary() const {
                   std::to_string(injected_faults),
                   " undo_read_runs=", std::to_string(undo_read_runs));
   }
+  if (ssi_aborts > 0) {
+    out += StrCat("\n  ssi: aborts=", std::to_string(ssi_aborts),
+                  " required=", std::to_string(ssi_required_aborts),
+                  " false_positives=",
+                  std::to_string(ssi_false_positive_aborts));
+  }
   for (const ExploreWitness& w : witnesses) {
     out += StrCat("\n  witness ", ScheduleToString(w.schedule), "  trace: ",
                   w.trace,
@@ -83,6 +89,9 @@ void FuzzWorker(ExploreSession* session, const ExploreOptions& options,
     local.deadlock_aborts += r.deadlock_aborts;
     local.injected_faults += r.injected_faults;
     if (r.undo_dirty_reads > 0) ++local.undo_read_runs;
+    local.ssi_aborts += r.ssi_aborts;
+    local.ssi_false_positive_aborts += r.ssi_false_positive_aborts;
+    local.ssi_required_aborts += r.ssi_required_aborts;
     if (r.anomalous) {
       ++local.anomalies;
       if (!r.oracle.invariant_holds) ++local.invariant_anomalies;
@@ -181,6 +190,9 @@ Result<ExploreReport> Explorer::Run() {
   report.deadlock_aborts = shared.stats.deadlock_aborts;
   report.injected_faults = shared.stats.injected_faults;
   report.undo_read_runs = shared.stats.undo_read_runs;
+  report.ssi_aborts = shared.stats.ssi_aborts;
+  report.ssi_false_positive_aborts = shared.stats.ssi_false_positive_aborts;
+  report.ssi_required_aborts = shared.stats.ssi_required_aborts;
   report.schedules_per_sec =
       report.seconds > 0 ? static_cast<double>(report.schedules()) /
                                report.seconds

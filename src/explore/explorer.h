@@ -67,6 +67,13 @@ struct ExploreReport {
   int64_t deadlock_aborts = 0;
   int64_t injected_faults = 0;  ///< fault-injector firings over all schedules
   int64_t undo_read_runs = 0;   ///< schedules that read a mid-rollback value
+  /// SSI serialization-failure aborts over all schedules (kSsi level only),
+  /// split into aborts a real anomaly required vs false positives — the
+  /// fidelity number two-ids.spec documents (12 FPs for the read-only
+  /// anomaly without the read-only optimization).
+  int64_t ssi_aborts = 0;
+  int64_t ssi_false_positive_aborts = 0;
+  int64_t ssi_required_aborts = 0;
   bool space_exhausted = false;  ///< DFS finished before the budget did
   double seconds = 0;
   double schedules_per_sec = 0;

@@ -157,6 +157,11 @@ void ExploreSession::Finish(StepDriver& driver, RunResult* result) {
     result->undo_dirty_reads += driver.run(i).txn().undo_dirty_reads;
   }
   result->injected_faults = faults_.run_injected();
+  // ResetWorld cleared the SSI tracker, so its counters are this run's.
+  const SsiCounters ssi = mgr_.ssi().counters();
+  result->ssi_aborts = ssi.aborts;
+  result->ssi_false_positive_aborts = ssi.false_positive_aborts;
+  result->ssi_required_aborts = ssi.required_aborts;
   result->oracle = oracle_->Check(store_, log_);
   result->anomalous = !result->oracle.ok();
 }

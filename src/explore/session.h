@@ -59,6 +59,13 @@ struct RunResult {
   /// Faults the injector fired during this run.
   long injected_faults = 0;
 
+  /// SSI serialization-failure accounting for this run (kSsi level only):
+  /// total dangerous-structure aborts and their split into aborts a real
+  /// anomaly required vs false positives of the conservative rule.
+  long ssi_aborts = 0;
+  long ssi_false_positive_aborts = 0;
+  long ssi_required_aborts = 0;
+
   /// Stable identity of the anomaly (joined oracle problems, plus a marker
   /// when the run observed a mid-rollback value — those runs witness
   /// Theorem 1's undo-write obligations and are kept as a distinct class)

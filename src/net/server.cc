@@ -1093,6 +1093,12 @@ std::string Server::BuildStats() {
     if (m.commits[i] != 0) c(StrCat("commit.", name), m.commits[i]);
     if (m.aborts[i] != 0) c(StrCat("abort.", name), m.aborts[i]);
   }
+  // SSI activity: dangerous-structure aborts with their required /
+  // false-positive split (nonzero only when kSsi sessions ran).
+  const SsiCounters ssi = mgr_.ssi().counters();
+  c("ssi_aborts", ssi.aborts);
+  c("ssi_false_positive_aborts", ssi.false_positive_aborts);
+  c("ssi_required_aborts", ssi.required_aborts);
   const LockManager::Stats lock = locks_.stats();
   c("lock.grants", lock.grants);
   c("lock.blocks", lock.blocks);

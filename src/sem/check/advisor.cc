@@ -46,10 +46,21 @@ std::vector<LevelAdvice> LevelAdvisor::AdviseAll() {
 
 bool LevelAdvice::CorrectAt(IsoLevel level) const {
   if (level == IsoLevel::kSnapshot) return snapshot_correct;
+  if (level == IsoLevel::kSsi) {
+    // SSI admits only serializable executions (it is SNAPSHOT plus an abort
+    // rule), so whatever is correct at SERIALIZABLE is correct here; no
+    // separate semantic condition is needed.
+    return CorrectAt(IsoLevel::kSerializable);
+  }
   for (const LevelCheckReport& r : reports) {
     if (r.level == level) return r.correct;
   }
-  return static_cast<int>(level) >= static_cast<int>(recommended);
+  // Ladder monotonicity answers rungs the walk never reached. Only locking
+  // ladder levels may fall through to the enum-order comparison; off-ladder
+  // levels (SNAPSHOT, SSI) are answered above, and any future appended level
+  // must add its own case rather than inherit an index accident.
+  return static_cast<int>(level) >= static_cast<int>(recommended) &&
+         static_cast<int>(level) <= static_cast<int>(IsoLevel::kSerializable);
 }
 
 std::string SummarizeAdvice(const LevelAdvice& advice) {
@@ -65,14 +76,15 @@ std::string SummarizeAdvice(const LevelAdvice& advice) {
   }
   std::string out = StrCat(advice.txn_type, ": lowest correct level = ",
                            IsoLevelName(advice.recommended), "; SNAPSHOT ",
-                           advice.snapshot_correct ? "ok" : "unsafe");
+                           advice.snapshot_correct ? "ok" : "unsafe", "; SSI ",
+                           advice.CorrectAt(IsoLevel::kSsi) ? "ok" : "unsafe");
   if (!rejected.empty()) out = StrCat(out, "; ", rejected);
   return out;
 }
 
 std::string RenderAdviceTable(const std::vector<LevelAdvice>& advice) {
   const std::vector<std::string> headers = {
-      "transaction type", "lowest correct level", "SNAPSHOT ok?",
+      "transaction type", "lowest correct level", "SNAPSHOT ok?", "SSI ok?",
       "triples checked"};
   std::vector<std::vector<std::string>> rows;
   rows.reserve(advice.size());
@@ -82,6 +94,7 @@ std::string RenderAdviceTable(const std::vector<LevelAdvice>& advice) {
     triples += a.snapshot_report.triples_checked;
     rows.push_back({a.txn_type, IsoLevelName(a.recommended),
                     a.snapshot_correct ? "yes" : "no",
+                    a.CorrectAt(IsoLevel::kSsi) ? "yes" : "no",
                     std::to_string(triples)});
   }
   // Pad every column to its widest cell so long type names don't shear the

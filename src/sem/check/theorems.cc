@@ -26,6 +26,9 @@ const char* TheoremName(IsoLevel level) {
     case IsoLevel::kSnapshot:
       return "Theorem 5 (pairwise: write-set intersection or read-step "
              "post + Q_i)";
+    case IsoLevel::kSsi:
+      return "serializable snapshot isolation (dangerous-structure aborts; "
+             "no obligations)";
   }
   return "?";
 }
@@ -44,6 +47,8 @@ const char* TheoremTag(IsoLevel level) {
       return "ser";
     case IsoLevel::kSnapshot:
       return "Thm 5";
+    case IsoLevel::kSsi:
+      return "ssi";
   }
   return "?";
 }
@@ -378,6 +383,16 @@ LevelCheckReport TheoremEngine::CheckInstance(
     }
     case IsoLevel::kSnapshot:
       return CheckSnapshot(ti, others);
+    case IsoLevel::kSsi: {
+      // SSI aborts one member of every dangerous structure, so only
+      // serializable executions commit; like SERIALIZABLE, semantic
+      // correctness follows with no per-pair obligations.
+      LevelCheckReport r;
+      r.txn_type = ti.type_name;
+      r.level = level;
+      r.correct = true;
+      return r;
+    }
   }
   LevelCheckReport r;
   r.txn_type = ti.type_name;

@@ -8,8 +8,8 @@ namespace semcor {
 
 namespace {
 
-/// Ladder position for strict "over-isolated" comparison. SNAPSHOT is not
-/// on the ladder; it never participates in over-isolation warnings.
+/// Ladder position for strict "over-isolated" comparison. SNAPSHOT and SSI
+/// are not on the ladder; they never participate in over-isolation warnings.
 int LadderIndex(IsoLevel level) {
   switch (level) {
     case IsoLevel::kReadUncommitted:
@@ -23,6 +23,7 @@ int LadderIndex(IsoLevel level) {
     case IsoLevel::kSerializable:
       return 4;
     case IsoLevel::kSnapshot:
+    case IsoLevel::kSsi:
       return -1;
   }
   return -1;

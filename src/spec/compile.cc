@@ -1,0 +1,1132 @@
+#include "spec/compile.h"
+
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace semcor::spec {
+
+Status SetupOps::Apply(Store* store) const {
+  for (const TableDef& t : tables) {
+    Status s = store->CreateTable(t.name, t.schema);
+    if (!s.ok()) return s;
+  }
+  for (const RowDef& r : rows) {
+    Result<RowId> id = store->LoadRow(r.table, r.tuple);
+    if (!id.ok()) return id.status();
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SQL tokenizer (the step-SQL subset: identifiers, integer and 'string'
+// literals, punctuation). Keywords are matched case-insensitively on the
+// lowercased identifier text.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kInt, kString, kPunct, kEnd };
+  Kind kind = kEnd;
+  std::string text;   ///< identifiers lowercased; punct verbatim
+  int64_t int_val = 0;
+  int line = 0;
+};
+
+Result<std::vector<Token>> Lex(const std::string& sql, int base_line,
+                               const std::string& where) {
+  std::vector<Token> out;
+  int line = base_line;
+  size_t i = 0;
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.line = line;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      t.kind = Token::kIdent;
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_')) {
+        t.text += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(sql[i])));
+        ++i;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      t.kind = Token::kInt;
+      std::string digits;
+      while (i < sql.size() &&
+             std::isdigit(static_cast<unsigned char>(sql[i]))) {
+        digits += sql[i++];
+      }
+      if (digits.size() > 18) {
+        return Status::InvalidArgument(StrCat(
+            where, " line ", std::to_string(line), ": integer literal too long"));
+      }
+      t.int_val = std::stoll(digits);
+      t.text = digits;
+    } else if (c == '\'') {
+      t.kind = Token::kString;
+      ++i;
+      while (i < sql.size() && sql[i] != '\'') {
+        if (sql[i] == '\n') ++line;
+        t.text += sql[i++];
+      }
+      if (i >= sql.size()) {
+        return Status::InvalidArgument(StrCat(
+            where, " line ", std::to_string(t.line),
+            ": unterminated string literal"));
+      }
+      ++i;
+    } else {
+      t.kind = Token::kPunct;
+      // Two-character operators first.
+      if (i + 1 < sql.size()) {
+        const std::string two = sql.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+          t.text = two;
+          i += 2;
+          out.push_back(std::move(t));
+          continue;
+        }
+      }
+      t.text = std::string(1, c);
+      ++i;
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = Token::kEnd;
+  end.line = line;
+  out.push_back(end);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Recursive-descent parser over the token stream.
+// ---------------------------------------------------------------------------
+
+/// What one parsed SQL statement lowered to.
+struct LoweredStmt {
+  enum Kind { kStmts, kCommit, kRollback, kIgnored };
+  Kind kind = kIgnored;
+  StmtList stmts;  ///< kStmts: hoisted subquery reads + the statement itself
+};
+
+class SqlParser {
+ public:
+  SqlParser(std::vector<Token> tokens, std::string where,
+            const std::map<std::string, Schema>* schemas)
+      : tokens_(std::move(tokens)), where_(std::move(where)),
+        schemas_(schemas) {}
+
+  /// Name prefix for hoisted scalar-subquery locals ("__sub<n>"); the
+  /// counter lives in the caller so names stay unique across statements of
+  /// one session program.
+  void SetSubqueryCounter(int* counter) { subquery_counter_ = counter; }
+
+  bool AtEnd() const { return Peek().kind == Token::kEnd; }
+
+  /// Parses one semicolon-terminated statement in step context.
+  Result<LoweredStmt> ParseStepStmt(const std::string& step_name);
+
+  /// Parses one statement in global-setup context, appending to `ops`.
+  Status ParseSetupStmt(SetupOps* ops);
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrCat(where_, " line ", std::to_string(Peek().line), ": ", msg));
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool IsKeyword(const char* kw, int ahead = 0) const {
+    return Peek(ahead).kind == Token::kIdent && Peek(ahead).text == kw;
+  }
+  bool IsPunct(const char* p, int ahead = 0) const {
+    return Peek(ahead).kind == Token::kPunct && Peek(ahead).text == p;
+  }
+  bool Eat(const char* kw) {
+    if (IsKeyword(kw)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool EatPunct(const char* p) {
+    if (IsPunct(p)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const char* kw) {
+    if (!Eat(kw)) return Error(StrCat("expected keyword '", kw, "'"));
+    return Status::Ok();
+  }
+  Status ExpectPunct(const char* p) {
+    if (!EatPunct(p)) return Error(StrCat("expected '", p, "'"));
+    return Status::Ok();
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != Token::kIdent) {
+      return Error(StrCat("expected ", what));
+    }
+    return Next().text;
+  }
+  /// Skips to just past the next top-level ';' (or to end of input).
+  void SkipStatement() {
+    int depth = 0;
+    while (Peek().kind != Token::kEnd) {
+      if (IsPunct("(")) ++depth;
+      if (IsPunct(")")) --depth;
+      const bool done = depth <= 0 && IsPunct(";");
+      Next();
+      if (done) return;
+    }
+  }
+  Status EndStatement() {
+    if (Peek().kind == Token::kEnd) return Status::Ok();
+    return ExpectPunct(";");
+  }
+
+  // Expression parsing. `allow_attrs` controls whether bare identifiers are
+  // legal (they become Attr refs, valid inside a tuple predicate or an
+  // UPDATE set expression). `hoisted` collects kSelectAgg statements for
+  // scalar subqueries encountered along the way.
+  Result<Expr> ParseExpr(bool allow_attrs, StmtList* hoisted);
+  Result<Expr> ParseOr(bool allow_attrs, StmtList* hoisted);
+  Result<Expr> ParseAnd(bool allow_attrs, StmtList* hoisted);
+  Result<Expr> ParseNot(bool allow_attrs, StmtList* hoisted);
+  Result<Expr> ParseCmp(bool allow_attrs, StmtList* hoisted);
+  Result<Expr> ParseAdd(bool allow_attrs, StmtList* hoisted);
+  Result<Expr> ParseMul(bool allow_attrs, StmtList* hoisted);
+  Result<Expr> ParseUnary(bool allow_attrs, StmtList* hoisted);
+  Result<Expr> ParsePrimary(bool allow_attrs, StmtList* hoisted);
+
+  /// `( select ... )` with the '(' and SELECT already consumed: returns the
+  /// scalar expression (relational atoms over the FROM table), to be hoisted
+  /// by the caller into a kSelectAgg.
+  Result<Expr> ParseSubquery();
+
+  /// select-list aggregate / scalar expression inside a subquery or a
+  /// top-level scalar SELECT, with the FROM table and WHERE pred known.
+  Result<Expr> ParseScalarSelectExpr(const std::string& table,
+                                     const Expr& pred);
+
+  Result<LoweredStmt> ParseUpdate(const std::string& step_name);
+  Result<LoweredStmt> ParseDelete(const std::string& step_name);
+  Result<LoweredStmt> ParseInsert(const std::string& step_name);
+  Result<LoweredStmt> ParseSelect(const std::string& step_name);
+
+  Result<Expr> ParseWhereOrTrue(StmtList* hoisted) {
+    if (Eat("where")) return ParseExpr(/*allow_attrs=*/true, hoisted);
+    return True();
+  }
+
+  Status CheckTable(const std::string& table) {
+    if (schemas_ != nullptr && schemas_->count(table) == 0) {
+      return Error(StrCat("unknown table \"", table, "\""));
+    }
+    return Status::Ok();
+  }
+
+  std::shared_ptr<Stmt> MakeStmt(StmtKind kind, int line) {
+    auto s = std::make_shared<Stmt>();
+    s->kind = kind;
+    s->pre = True();
+    s->line = line;
+    return s;
+  }
+
+  std::vector<Token> tokens_;
+  std::string where_;
+  const std::map<std::string, Schema>* schemas_;
+  int* subquery_counter_ = nullptr;
+  size_t pos_ = 0;
+};
+
+Result<Expr> SqlParser::ParseExpr(bool allow_attrs, StmtList* hoisted) {
+  return ParseOr(allow_attrs, hoisted);
+}
+
+Result<Expr> SqlParser::ParseOr(bool allow_attrs, StmtList* hoisted) {
+  Result<Expr> lhs = ParseAnd(allow_attrs, hoisted);
+  if (!lhs.ok()) return lhs;
+  Expr e = lhs.value();
+  while (Eat("or")) {
+    Result<Expr> rhs = ParseAnd(allow_attrs, hoisted);
+    if (!rhs.ok()) return rhs;
+    e = Or(e, rhs.value());
+  }
+  return e;
+}
+
+Result<Expr> SqlParser::ParseAnd(bool allow_attrs, StmtList* hoisted) {
+  Result<Expr> lhs = ParseNot(allow_attrs, hoisted);
+  if (!lhs.ok()) return lhs;
+  Expr e = lhs.value();
+  while (Eat("and")) {
+    Result<Expr> rhs = ParseNot(allow_attrs, hoisted);
+    if (!rhs.ok()) return rhs;
+    e = And(e, rhs.value());
+  }
+  return e;
+}
+
+Result<Expr> SqlParser::ParseNot(bool allow_attrs, StmtList* hoisted) {
+  if (Eat("not")) {
+    Result<Expr> inner = ParseNot(allow_attrs, hoisted);
+    if (!inner.ok()) return inner;
+    return Not(inner.value());
+  }
+  return ParseCmp(allow_attrs, hoisted);
+}
+
+Result<Expr> SqlParser::ParseCmp(bool allow_attrs, StmtList* hoisted) {
+  Result<Expr> lhs = ParseAdd(allow_attrs, hoisted);
+  if (!lhs.ok()) return lhs;
+  Expr e = lhs.value();
+  static const struct {
+    const char* tok;
+    Expr (*make)(Expr, Expr);
+  } kOps[] = {{"=", Eq}, {"<>", Ne}, {"!=", Ne}, {"<=", Le},
+              {">=", Ge}, {"<", Lt}, {">", Gt}};
+  for (const auto& op : kOps) {
+    if (IsPunct(op.tok)) {
+      Next();
+      Result<Expr> rhs = ParseAdd(allow_attrs, hoisted);
+      if (!rhs.ok()) return rhs;
+      return op.make(e, rhs.value());
+    }
+  }
+  return e;
+}
+
+Result<Expr> SqlParser::ParseAdd(bool allow_attrs, StmtList* hoisted) {
+  Result<Expr> lhs = ParseMul(allow_attrs, hoisted);
+  if (!lhs.ok()) return lhs;
+  Expr e = lhs.value();
+  while (IsPunct("+") || IsPunct("-")) {
+    const bool add = IsPunct("+");
+    Next();
+    Result<Expr> rhs = ParseMul(allow_attrs, hoisted);
+    if (!rhs.ok()) return rhs;
+    e = add ? Add(e, rhs.value()) : Sub(e, rhs.value());
+  }
+  return e;
+}
+
+Result<Expr> SqlParser::ParseMul(bool allow_attrs, StmtList* hoisted) {
+  Result<Expr> lhs = ParseUnary(allow_attrs, hoisted);
+  if (!lhs.ok()) return lhs;
+  Expr e = lhs.value();
+  while (IsPunct("*") || IsPunct("/")) {
+    const bool mul = IsPunct("*");
+    Next();
+    Result<Expr> rhs = ParseUnary(allow_attrs, hoisted);
+    if (!rhs.ok()) return rhs;
+    e = mul ? Mul(e, rhs.value()) : Div(e, rhs.value());
+  }
+  return e;
+}
+
+Result<Expr> SqlParser::ParseUnary(bool allow_attrs, StmtList* hoisted) {
+  if (IsPunct("-")) {
+    Next();
+    Result<Expr> inner = ParseUnary(allow_attrs, hoisted);
+    if (!inner.ok()) return inner;
+    return Neg(inner.value());
+  }
+  return ParsePrimary(allow_attrs, hoisted);
+}
+
+Result<Expr> SqlParser::ParsePrimary(bool allow_attrs, StmtList* hoisted) {
+  const Token& t = Peek();
+  if (t.kind == Token::kInt) {
+    Next();
+    return Lit(t.int_val);
+  }
+  if (t.kind == Token::kString) {
+    Next();
+    return Lit(t.text);
+  }
+  if (t.kind == Token::kIdent) {
+    if (t.text == "true") {
+      Next();
+      return Lit(true);
+    }
+    if (t.text == "false") {
+      Next();
+      return Lit(false);
+    }
+    if (t.text == "select") {
+      return Error("SELECT subquery must be parenthesized");
+    }
+    if (!allow_attrs) {
+      return Error(StrCat("column reference \"", t.text,
+                          "\" is not valid here"));
+    }
+    Next();
+    return Attr(t.text);
+  }
+  if (IsPunct("(")) {
+    const int line = t.line;
+    Next();
+    if (Eat("select")) {
+      // Scalar subquery: hoist into a kSelectAgg reading through the
+      // transaction manager (so the read participates in the level's
+      // discipline — under SSI it registers the rw-antidependency).
+      Result<Expr> scalar = ParseSubquery();
+      if (!scalar.ok()) return scalar;
+      Status close = ExpectPunct(")");
+      if (!close.ok()) return close;
+      if (hoisted == nullptr || subquery_counter_ == nullptr) {
+        return Error("scalar subquery is not valid in this context");
+      }
+      const std::string local =
+          StrCat("__sub", std::to_string(++*subquery_counter_));
+      auto agg = std::make_shared<Stmt>();
+      agg->kind = StmtKind::kSelectAgg;
+      agg->pre = True();
+      agg->local = local;
+      agg->expr = scalar.value();
+      agg->line = line;
+      hoisted->push_back(std::move(agg));
+      return Local(local);
+    }
+    Result<Expr> inner = ParseExpr(allow_attrs, hoisted);
+    if (!inner.ok()) return inner;
+    Status close = ExpectPunct(")");
+    if (!close.ok()) return close;
+    return inner;
+  }
+  return Error(StrCat("unexpected token '", t.text, "' in expression"));
+}
+
+Result<Expr> SqlParser::ParseSubquery() {
+  // SELECT already eaten. Find the select expression, FROM table, WHERE.
+  // The select list is parsed after FROM/WHERE so column refs can lower
+  // directly onto relational atoms over the right table; to do that, stash
+  // the position, skip to FROM at depth 0, parse table + pred, then come
+  // back. Simpler with this token design: parse the select expression into
+  // a deferred form is overkill — instead scan ahead for FROM.
+  const size_t select_start = pos_;
+  int depth = 0;
+  size_t from_pos = SIZE_MAX;
+  for (size_t i = pos_; i < tokens_.size(); ++i) {
+    const Token& t = tokens_[i];
+    if (t.kind == Token::kPunct && t.text == "(") ++depth;
+    if (t.kind == Token::kPunct && t.text == ")") {
+      if (depth == 0) break;
+      --depth;
+    }
+    if (t.kind == Token::kEnd ||
+        (depth == 0 && t.kind == Token::kPunct && t.text == ";")) {
+      break;
+    }
+    if (depth == 0 && t.kind == Token::kIdent && t.text == "from") {
+      from_pos = i;
+      break;
+    }
+  }
+  std::string table;
+  Expr pred = True();
+  if (from_pos != SIZE_MAX) {
+    pos_ = from_pos + 1;  // past FROM
+    Result<std::string> tbl = ExpectIdent("table name after FROM");
+    if (!tbl.ok()) return tbl.status();
+    table = tbl.value();
+    Status s = CheckTable(table);
+    if (!s.ok()) return s;
+    if (Eat("where")) {
+      Result<Expr> w = ParseExpr(/*allow_attrs=*/true, nullptr);
+      if (!w.ok()) return w;
+      pred = w.value();
+    }
+  }
+  const size_t after = pos_;  // position of ')' (or wherever FROM-part ended)
+  pos_ = select_start;
+  Result<Expr> scalar = ParseScalarSelectExpr(table, pred);
+  if (!scalar.ok()) return scalar;
+  if (from_pos != SIZE_MAX) {
+    if (pos_ != from_pos) {
+      return Error("unsupported select list in subquery");
+    }
+    pos_ = after;
+  }
+  return scalar;
+}
+
+Result<Expr> SqlParser::ParseScalarSelectExpr(const std::string& table,
+                                              const Expr& pred) {
+  // Aggregates lower directly; a bare column c lowers to MAX(c) over the
+  // predicate — on the single-row tables the ported specs use, that IS the
+  // column's value, and it keeps the read inside one relational atom.
+  std::function<Result<Expr>()> parse_term;  // primary for this context
+  // Reuse the main expression machinery by temporarily remapping idents:
+  // easiest is a local recursive parser over the same tokens.
+  std::function<Result<Expr>(int)> parse;  // precedence-climbing
+  auto parse_primary = [&]() -> Result<Expr> {
+    const Token& t = Peek();
+    if (t.kind == Token::kInt) {
+      Next();
+      return Lit(t.int_val);
+    }
+    if (t.kind == Token::kString) {
+      Next();
+      return Lit(t.text);
+    }
+    if (IsPunct("(")) {
+      Next();
+      Result<Expr> inner = parse(0);
+      if (!inner.ok()) return inner;
+      Status s = ExpectPunct(")");
+      if (!s.ok()) return s;
+      return inner;
+    }
+    if (t.kind == Token::kIdent) {
+      const std::string name = t.text;
+      if (name == "count" || name == "sum" || name == "max" ||
+          name == "min") {
+        Next();
+        Status s = ExpectPunct("(");
+        if (!s.ok()) return s;
+        if (table.empty()) {
+          return Error(StrCat("aggregate ", name, " requires FROM"));
+        }
+        if (name == "count") {
+          if (!EatPunct("*")) {
+            Result<std::string> col = ExpectIdent("column in count()");
+            if (!col.ok()) return col.status();
+          }
+          Status c = ExpectPunct(")");
+          if (!c.ok()) return c;
+          return Count(table, pred);
+        }
+        Result<std::string> col = ExpectIdent("aggregate column");
+        if (!col.ok()) return col.status();
+        Status c = ExpectPunct(")");
+        if (!c.ok()) return c;
+        if (name == "sum") return SumOf(table, col.value(), pred);
+        if (name == "max") return MaxOf(table, col.value(), pred, 0);
+        return MinOf(table, col.value(), pred, 0);
+      }
+      if (table.empty()) {
+        return Error(StrCat("column \"", name, "\" referenced without FROM"));
+      }
+      Next();
+      return MaxOf(table, name, pred, 0);
+    }
+    return Error(StrCat("unexpected token '", t.text, "' in select list"));
+  };
+  parse = [&](int min_prec) -> Result<Expr> {
+    Result<Expr> lhs =
+        IsPunct("-") ? (Next(), [&]() -> Result<Expr> {
+          Result<Expr> inner = parse(3);
+          if (!inner.ok()) return inner;
+          return Neg(inner.value());
+        }()) : parse_primary();
+    if (!lhs.ok()) return lhs;
+    Expr e = lhs.value();
+    while (true) {
+      int prec = -1;
+      const bool is_add = IsPunct("+"), is_sub = IsPunct("-");
+      const bool is_mul = IsPunct("*"), is_div = IsPunct("/");
+      if (is_add || is_sub) prec = 1;
+      if (is_mul || is_div) prec = 2;
+      if (prec < min_prec || prec < 0) break;
+      Next();
+      Result<Expr> rhs = parse(prec + 1);
+      if (!rhs.ok()) return rhs;
+      if (is_add) e = Add(e, rhs.value());
+      if (is_sub) e = Sub(e, rhs.value());
+      if (is_mul) e = Mul(e, rhs.value());
+      if (is_div) e = Div(e, rhs.value());
+    }
+    return e;
+  };
+  (void)parse_term;
+  return parse(0);
+}
+
+Result<LoweredStmt> SqlParser::ParseUpdate(const std::string& step_name) {
+  (void)step_name;
+  Result<std::string> table = ExpectIdent("table name after UPDATE");
+  if (!table.ok()) return table.status();
+  Status ct = CheckTable(table.value());
+  if (!ct.ok()) return ct;
+  Status s = Expect("set");
+  if (!s.ok()) return s;
+  LoweredStmt out;
+  out.kind = LoweredStmt::kStmts;
+  std::map<std::string, Expr> sets;
+  do {
+    Result<std::string> col = ExpectIdent("column name in SET");
+    if (!col.ok()) return col.status();
+    Status eq = ExpectPunct("=");
+    if (!eq.ok()) return eq;
+    Result<Expr> rhs = ParseExpr(/*allow_attrs=*/true, &out.stmts);
+    if (!rhs.ok()) return rhs.status();
+    if (!sets.emplace(col.value(), rhs.value()).second) {
+      return Error(StrCat("column \"", col.value(), "\" set twice"));
+    }
+  } while (EatPunct(","));
+  Result<Expr> pred = ParseWhereOrTrue(&out.stmts);
+  if (!pred.ok()) return pred.status();
+  Status end = EndStatement();
+  if (!end.ok()) return end;
+
+  auto upd = MakeStmt(StmtKind::kUpdate, Peek().line);
+  upd->table = table.value();
+  upd->pred = pred.value();
+  upd->sets = std::move(sets);
+  out.stmts.push_back(std::move(upd));
+  return out;
+}
+
+Result<LoweredStmt> SqlParser::ParseDelete(const std::string& step_name) {
+  (void)step_name;
+  Status s = Expect("from");
+  if (!s.ok()) return s;
+  Result<std::string> table = ExpectIdent("table name after DELETE FROM");
+  if (!table.ok()) return table.status();
+  Status ct = CheckTable(table.value());
+  if (!ct.ok()) return ct;
+  LoweredStmt out;
+  out.kind = LoweredStmt::kStmts;
+  Result<Expr> pred = ParseWhereOrTrue(&out.stmts);
+  if (!pred.ok()) return pred.status();
+  Status end = EndStatement();
+  if (!end.ok()) return end;
+
+  auto del = MakeStmt(StmtKind::kDelete, Peek().line);
+  del->table = table.value();
+  del->pred = pred.value();
+  out.stmts.push_back(std::move(del));
+  return out;
+}
+
+Result<LoweredStmt> SqlParser::ParseInsert(const std::string& step_name) {
+  (void)step_name;
+  Status s = Expect("into");
+  if (!s.ok()) return s;
+  Result<std::string> table = ExpectIdent("table name after INSERT INTO");
+  if (!table.ok()) return table.status();
+  Status ct = CheckTable(table.value());
+  if (!ct.ok()) return ct;
+  const Schema* schema =
+      schemas_ != nullptr ? &schemas_->at(table.value()) : nullptr;
+
+  std::vector<std::string> cols;
+  if (EatPunct("(")) {
+    do {
+      Result<std::string> col = ExpectIdent("column name");
+      if (!col.ok()) return col.status();
+      cols.push_back(col.value());
+    } while (EatPunct(","));
+    Status close = ExpectPunct(")");
+    if (!close.ok()) return close;
+  } else if (schema != nullptr) {
+    for (const Column& c : schema->columns()) cols.push_back(c.name);
+  }
+  Status v = Expect("values");
+  if (!v.ok()) return v;
+
+  LoweredStmt out;
+  out.kind = LoweredStmt::kStmts;
+  do {
+    Status open = ExpectPunct("(");
+    if (!open.ok()) return open;
+    std::map<std::string, Expr> values;
+    size_t idx = 0;
+    do {
+      Result<Expr> e = ParseExpr(/*allow_attrs=*/false, &out.stmts);
+      if (!e.ok()) return e.status();
+      if (idx >= cols.size()) {
+        return Error("more values than columns in INSERT");
+      }
+      values[cols[idx++]] = e.value();
+    } while (EatPunct(","));
+    if (idx != cols.size()) {
+      return Error("fewer values than columns in INSERT");
+    }
+    Status close = ExpectPunct(")");
+    if (!close.ok()) return close;
+
+    auto ins = MakeStmt(StmtKind::kInsert, Peek().line);
+    ins->table = table.value();
+    ins->values = std::move(values);
+    out.stmts.push_back(std::move(ins));
+  } while (EatPunct(","));
+  Status end = EndStatement();
+  if (!end.ok()) return end;
+  return out;
+}
+
+Result<LoweredStmt> SqlParser::ParseSelect(const std::string& step_name) {
+  // Two shapes: a row select (`select * / col, col from T [where p]`) that
+  // lands in the step-named buffer, and a scalar select (single aggregate
+  // or expression) that lands in the step-named local via kSelectAgg.
+  const size_t select_start = pos_;
+  bool bare_columns = true;
+  {
+    int depth = 0;
+    size_t i = pos_;
+    bool expect_item = true;
+    while (i < tokens_.size()) {
+      const Token& t = tokens_[i];
+      if (t.kind == Token::kEnd) break;
+      if (t.kind == Token::kPunct && t.text == "(") ++depth;
+      if (t.kind == Token::kPunct && t.text == ")") --depth;
+      if (depth == 0 && t.kind == Token::kIdent && t.text == "from") break;
+      if (depth == 0 && t.kind == Token::kPunct && t.text == ";") break;
+      if (depth == 0 && t.kind == Token::kPunct && t.text == ",") {
+        expect_item = true;
+        ++i;
+        continue;
+      }
+      const bool is_star =
+          t.kind == Token::kPunct && t.text == "*" && expect_item;
+      const bool is_col = t.kind == Token::kIdent && expect_item;
+      if (!(is_star || is_col)) {
+        bare_columns = false;
+        break;
+      }
+      expect_item = false;
+      ++i;
+    }
+  }
+
+  if (bare_columns) {
+    // Row select. Column list is advisory (the buffer keeps full tuples);
+    // consume it, then FROM/WHERE.
+    while (!IsKeyword("from") && Peek().kind != Token::kEnd &&
+           !IsPunct(";")) {
+      Next();
+    }
+    if (!Eat("from")) {
+      return Error("expected FROM in SELECT");
+    }
+    Result<std::string> table = ExpectIdent("table name after FROM");
+    if (!table.ok()) return table.status();
+    Status ct = CheckTable(table.value());
+    if (!ct.ok()) return ct;
+    LoweredStmt out;
+    out.kind = LoweredStmt::kStmts;
+    Result<Expr> pred = ParseWhereOrTrue(&out.stmts);
+    if (!pred.ok()) return pred.status();
+    Status end = EndStatement();
+    if (!end.ok()) return end;
+
+    auto sel = MakeStmt(StmtKind::kSelectRows, Peek().line);
+    sel->local = step_name;  // buffer name
+    sel->table = table.value();
+    sel->pred = pred.value();
+    out.stmts.push_back(std::move(sel));
+    return out;
+  }
+
+  // Scalar select: find FROM/WHERE, then lower the select expression onto
+  // relational atoms — same machinery as a parenthesized subquery.
+  pos_ = select_start;
+  Result<Expr> scalar = ParseSubquery();
+  if (!scalar.ok()) return scalar.status();
+  Status end = EndStatement();
+  if (!end.ok()) return end;
+  LoweredStmt out;
+  out.kind = LoweredStmt::kStmts;
+  auto agg = MakeStmt(StmtKind::kSelectAgg, Peek().line);
+  agg->local = step_name;
+  agg->expr = scalar.value();
+  out.stmts.push_back(std::move(agg));
+  return out;
+}
+
+Result<LoweredStmt> SqlParser::ParseStepStmt(const std::string& step_name) {
+  while (EatPunct(";")) {  // empty statements
+  }
+  if (AtEnd()) {
+    LoweredStmt out;
+    out.kind = LoweredStmt::kIgnored;
+    return out;
+  }
+  if (Eat("commit") || Eat("end")) {
+    Status end = EndStatement();
+    if (!end.ok()) return end;
+    LoweredStmt out;
+    out.kind = LoweredStmt::kCommit;
+    return out;
+  }
+  if (Eat("rollback") || Eat("abort")) {
+    Status end = EndStatement();
+    if (!end.ok()) return end;
+    LoweredStmt out;
+    out.kind = LoweredStmt::kRollback;
+    out.stmts.push_back(MakeStmt(StmtKind::kAbort, Peek().line));
+    return out;
+  }
+  if (IsKeyword("begin") || IsKeyword("set") || IsKeyword("show")) {
+    // Session-control statements carry no data operations; the runner owns
+    // BEGIN (lazy, at the session's first step) and COMMIT placement.
+    SkipStatement();
+    LoweredStmt out;
+    out.kind = LoweredStmt::kIgnored;
+    return out;
+  }
+  if (Eat("update")) return ParseUpdate(step_name);
+  if (Eat("delete")) return ParseDelete(step_name);
+  if (Eat("insert")) return ParseInsert(step_name);
+  if (Eat("select")) return ParseSelect(step_name);
+  return Error(StrCat("unsupported SQL statement starting with \"",
+                      Peek().text, "\""));
+}
+
+Status SqlParser::ParseSetupStmt(SetupOps* ops) {
+  while (EatPunct(";")) {
+  }
+  if (AtEnd()) return Status::Ok();
+  if (Eat("create")) {
+    if (Eat("index") || Eat("unique")) {
+      SkipStatement();  // indexes don't exist in this storage model
+      return Status::Ok();
+    }
+    Status s = Expect("table");
+    if (!s.ok()) return s;
+    Result<std::string> name = ExpectIdent("table name");
+    if (!name.ok()) return name.status();
+    Status open = ExpectPunct("(");
+    if (!open.ok()) return open;
+    std::vector<Column> columns;
+    do {
+      Result<std::string> col = ExpectIdent("column name");
+      if (!col.ok()) return col.status();
+      Result<std::string> type = ExpectIdent("column type");
+      if (!type.ok()) return type.status();
+      Column c;
+      c.name = col.value();
+      const std::string& ty = type.value();
+      if (ty == "int" || ty == "integer" || ty == "bigint" ||
+          ty == "smallint") {
+        c.type = Value::Type::kInt;
+      } else if (ty == "text" || ty == "varchar" || ty == "char") {
+        c.type = Value::Type::kString;
+      } else if (ty == "bool" || ty == "boolean") {
+        c.type = Value::Type::kBool;
+      } else {
+        return Error(StrCat("unsupported column type \"", ty, "\""));
+      }
+      if (EatPunct("(")) {  // varchar(32) etc.
+        while (!IsPunct(")") && Peek().kind != Token::kEnd) Next();
+        Status close = ExpectPunct(")");
+        if (!close.ok()) return close;
+      }
+      // Constraint words (NOT NULL, PRIMARY KEY, DEFAULT <lit>...) are
+      // advisory here; skip to the ',' or ')'.
+      while (!IsPunct(",") && !IsPunct(")") && Peek().kind != Token::kEnd) {
+        Next();
+      }
+      columns.push_back(std::move(c));
+    } while (EatPunct(","));
+    Status close = ExpectPunct(")");
+    if (!close.ok()) return close;
+    Status end = EndStatement();
+    if (!end.ok()) return end;
+    SetupOps::TableDef def;
+    def.name = name.value();
+    def.schema = Schema(std::move(columns));
+    ops->tables.push_back(std::move(def));
+    return Status::Ok();
+  }
+  if (Eat("insert")) {
+    Status s = Expect("into");
+    if (!s.ok()) return s;
+    Result<std::string> table = ExpectIdent("table name");
+    if (!table.ok()) return table.status();
+    const SetupOps::TableDef* def = nullptr;
+    for (const SetupOps::TableDef& t : ops->tables) {
+      if (t.name == table.value()) def = &t;
+    }
+    if (def == nullptr) {
+      return Error(StrCat("insert into unknown table \"", table.value(),
+                          "\" (create it first)"));
+    }
+    std::vector<std::string> cols;
+    if (EatPunct("(")) {
+      do {
+        Result<std::string> col = ExpectIdent("column name");
+        if (!col.ok()) return col.status();
+        cols.push_back(col.value());
+      } while (EatPunct(","));
+      Status close = ExpectPunct(")");
+      if (!close.ok()) return close;
+    } else {
+      for (const Column& c : def->schema.columns()) cols.push_back(c.name);
+    }
+    Status v = Expect("values");
+    if (!v.ok()) return v;
+    do {
+      Status open = ExpectPunct("(");
+      if (!open.ok()) return open;
+      Tuple tuple;
+      size_t idx = 0;
+      do {
+        bool neg = EatPunct("-");
+        const Token& t = Peek();
+        Value val;
+        if (t.kind == Token::kInt) {
+          val = Value::Int(neg ? -t.int_val : t.int_val);
+          Next();
+        } else if (t.kind == Token::kString && !neg) {
+          val = Value::Str(t.text);
+          Next();
+        } else if (t.kind == Token::kIdent &&
+                   (t.text == "true" || t.text == "false") && !neg) {
+          val = Value::Bool(t.text == "true");
+          Next();
+        } else {
+          return Error("setup INSERT values must be literals");
+        }
+        if (idx >= cols.size()) {
+          return Error("more values than columns in INSERT");
+        }
+        tuple[cols[idx++]] = std::move(val);
+      } while (EatPunct(","));
+      if (idx != cols.size()) {
+        return Error("fewer values than columns in INSERT");
+      }
+      Status close = ExpectPunct(")");
+      if (!close.ok()) return close;
+      SetupOps::RowDef row;
+      row.table = table.value();
+      row.tuple = std::move(tuple);
+      ops->rows.push_back(std::move(row));
+    } while (EatPunct(","));
+    return EndStatement();
+  }
+  if (IsKeyword("drop") || IsKeyword("set") || IsKeyword("begin") ||
+      IsKeyword("grant") || IsKeyword("alter") || IsKeyword("analyze")) {
+    SkipStatement();
+    return Status::Ok();
+  }
+  return Error(StrCat("unsupported setup statement starting with \"",
+                      Peek().text, "\""));
+}
+
+// ---------------------------------------------------------------------------
+// Permutation construction.
+// ---------------------------------------------------------------------------
+
+long CountInterleavings(const std::vector<int>& remaining, long cap,
+                        std::map<std::vector<int>, long>* memo) {
+  auto it = memo->find(remaining);
+  if (it != memo->end()) return it->second;
+  long total = 0;
+  bool any = false;
+  for (size_t s = 0; s < remaining.size(); ++s) {
+    if (remaining[s] == 0) continue;
+    any = true;
+    std::vector<int> next = remaining;
+    --next[s];
+    total += CountInterleavings(next, cap, memo);
+    if (total > cap) {
+      (*memo)[remaining] = total;
+      return total;
+    }
+  }
+  if (!any) total = 1;
+  (*memo)[remaining] = total;
+  return total;
+}
+
+void GenerateInterleavings(
+    const std::vector<int>& counts, std::vector<int>* cursor,
+    std::vector<std::pair<int, int>>* prefix,
+    std::vector<std::vector<std::pair<int, int>>>* out) {
+  bool any = false;
+  for (size_t s = 0; s < counts.size(); ++s) {
+    if ((*cursor)[s] >= counts[s]) continue;
+    any = true;
+    prefix->emplace_back(static_cast<int>(s), (*cursor)[s]);
+    ++(*cursor)[s];
+    GenerateInterleavings(counts, cursor, prefix, out);
+    --(*cursor)[s];
+    prefix->pop_back();
+  }
+  if (!any) out->push_back(*prefix);
+}
+
+}  // namespace
+
+Result<CompiledSpec> CompileSpec(const IsolationSpec& spec) {
+  CompiledSpec out;
+  out.source = spec;
+
+  // Global setup -> initial database.
+  {
+    Result<std::vector<Token>> tokens =
+        Lex(spec.setup_sql, 1, StrCat(spec.name, " setup"));
+    if (!tokens.ok()) return tokens.status();
+    SqlParser parser(tokens.value(), StrCat(spec.name, " setup"), nullptr);
+    while (!parser.AtEnd()) {
+      Status s = parser.ParseSetupStmt(&out.setup);
+      if (!s.ok()) return s;
+    }
+  }
+  std::map<std::string, Schema> schemas;
+  for (const SetupOps::TableDef& t : out.setup.tables) {
+    if (!schemas.emplace(t.name, t.schema).second) {
+      return Status::InvalidArgument(
+          StrCat(spec.name, " setup: table \"", t.name, "\" created twice"));
+    }
+  }
+
+  // Sessions -> programs with per-step statement ranges.
+  for (size_t si = 0; si < spec.sessions.size(); ++si) {
+    const SpecSession& session = spec.sessions[si];
+    auto program = std::make_shared<TxnProgram>();
+    program->type_name = session.name;
+    program->instance_label = StrCat(spec.name, "/", session.name);
+    program->i_part = True();
+    program->b_part = True();
+    program->result = True();
+    std::vector<CompiledStep> steps;
+    int subquery_counter = 0;
+    bool finished = false;  // a COMMIT/ROLLBACK step has been seen
+    for (size_t pi = 0; pi < session.steps.size(); ++pi) {
+      const SpecStep& step = session.steps[pi];
+      if (finished) {
+        return Status::InvalidArgument(
+            StrCat(spec.name, ":", std::to_string(step.line), ": step \"",
+                   step.name,
+                   "\" follows the session's COMMIT/ROLLBACK step"));
+      }
+      const std::string where =
+          StrCat(spec.name, " step \"", step.name, "\"");
+      Result<std::vector<Token>> tokens = Lex(step.sql, step.line, where);
+      if (!tokens.ok()) return tokens.status();
+      SqlParser parser(tokens.value(), where, &schemas);
+      parser.SetSubqueryCounter(&subquery_counter);
+      CompiledStep compiled;
+      compiled.name = step.name;
+      compiled.session = static_cast<int>(si);
+      compiled.begin = static_cast<int>(program->body.size());
+      compiled.line = step.line;
+      while (!parser.AtEnd()) {
+        Result<LoweredStmt> lowered = parser.ParseStepStmt(step.name);
+        if (!lowered.ok()) return lowered.status();
+        if (compiled.commit_after) {
+          return Status::InvalidArgument(
+              StrCat(spec.name, ":", std::to_string(step.line),
+                     ": COMMIT must be the last statement of step \"",
+                     step.name, "\""));
+        }
+        switch (lowered.value().kind) {
+          case LoweredStmt::kStmts:
+            for (StmtPtr& s : lowered.value().stmts) {
+              program->body.push_back(std::move(s));
+            }
+            break;
+          case LoweredStmt::kCommit:
+            compiled.commit_after = true;
+            finished = true;
+            break;
+          case LoweredStmt::kRollback:
+            for (StmtPtr& s : lowered.value().stmts) {
+              program->body.push_back(std::move(s));
+            }
+            finished = true;
+            break;
+          case LoweredStmt::kIgnored:
+            break;
+        }
+      }
+      compiled.end = static_cast<int>(program->body.size());
+      steps.push_back(std::move(compiled));
+    }
+    // A session with no explicit COMMIT commits at its final step (the
+    // isolation tester's implicit completion).
+    if (!finished && !steps.empty()) steps.back().commit_after = true;
+    out.programs.push_back(std::move(program));
+    out.steps.push_back(std::move(steps));
+  }
+
+  // Permutations: explicit lists are validated to be complete, per-session
+  // in-order interleavings (a compiled program cannot run its statements out
+  // of order); otherwise generate every interleaving.
+  if (!spec.permutations.empty()) {
+    for (size_t p = 0; p < spec.permutations.size(); ++p) {
+      const std::vector<std::string>& names = spec.permutations[p];
+      const int line = spec.permutation_lines[p];
+      std::vector<int> cursor(spec.sessions.size(), 0);
+      std::vector<std::pair<int, int>> perm;
+      for (const std::string& name : names) {
+        const std::pair<int, int> pos = spec.FindStep(name);
+        if (pos.second != cursor[static_cast<size_t>(pos.first)]) {
+          return Status::InvalidArgument(StrCat(
+              spec.name, ":", std::to_string(line), ": permutation runs \"",
+              name, "\" out of session order (this runner executes each "
+              "session's steps as one compiled program)"));
+        }
+        ++cursor[static_cast<size_t>(pos.first)];
+        perm.push_back(pos);
+      }
+      for (size_t s = 0; s < cursor.size(); ++s) {
+        if (cursor[s] != static_cast<int>(spec.sessions[s].steps.size())) {
+          return Status::InvalidArgument(StrCat(
+              spec.name, ":", std::to_string(line),
+              ": permutation omits steps of session \"", spec.sessions[s].name,
+              "\" (every step must run; partial permutations are not "
+              "supported)"));
+        }
+      }
+      out.permutations.push_back(std::move(perm));
+    }
+  } else {
+    std::vector<int> counts;
+    counts.reserve(spec.sessions.size());
+    for (const SpecSession& s : spec.sessions) {
+      counts.push_back(static_cast<int>(s.steps.size()));
+    }
+    std::map<std::vector<int>, long> memo;
+    const long total =
+        CountInterleavings(counts, kMaxGeneratedPermutations, &memo);
+    if (total > kMaxGeneratedPermutations) {
+      return Status::InvalidArgument(StrCat(
+          spec.name, ": ", std::to_string(total),
+          " interleavings exceed the generated-permutation cap of ",
+          std::to_string(kMaxGeneratedPermutations),
+          "; list explicit permutations"));
+    }
+    std::vector<int> cursor(counts.size(), 0);
+    std::vector<std::pair<int, int>> prefix;
+    GenerateInterleavings(counts, &cursor, &prefix, &out.permutations);
+  }
+  return out;
+}
+
+}  // namespace semcor::spec

@@ -1,0 +1,70 @@
+#ifndef SEMCOR_SPEC_COMPILE_H_
+#define SEMCOR_SPEC_COMPILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sem/prog/program.h"
+#include "spec/spec.h"
+#include "storage/store.h"
+
+namespace semcor::spec {
+
+/// One compiled step: a contiguous range of top-level statements in the
+/// session's program body, optionally followed by the transaction's commit
+/// step (a `COMMIT;` in the step SQL maps onto ProgramRun's commit step, not
+/// onto a body statement).
+struct CompiledStep {
+  std::string name;
+  int session = 0;  ///< session index in CompiledSpec::programs
+  int begin = 0;    ///< first top-level body statement of this step
+  int end = 0;      ///< one past the last ([begin,end) may be empty)
+  bool commit_after = false;  ///< step ends with COMMIT
+  int line = 0;
+};
+
+/// Declarative initial database: applied to a Store before the checkpoint
+/// the runner restores between permutations.
+struct SetupOps {
+  struct TableDef {
+    std::string name;
+    Schema schema;
+  };
+  struct RowDef {
+    std::string table;
+    Tuple tuple;
+  };
+  std::vector<TableDef> tables;
+  std::vector<RowDef> rows;
+
+  Status Apply(Store* store) const;
+};
+
+/// A spec lowered onto the repo's statement model: one TxnProgram per
+/// session (flat body, True annotations), per-step statement ranges, the
+/// initial database, and the resolved permutations (full interleavings of
+/// all steps, preserving each session's declared step order).
+struct CompiledSpec {
+  IsolationSpec source;
+  SetupOps setup;
+  std::vector<std::shared_ptr<const TxnProgram>> programs;
+  std::vector<std::vector<CompiledStep>> steps;  ///< [session][step]
+  /// Each permutation as (session, step-index) pairs covering every step of
+  /// every session exactly once.
+  std::vector<std::vector<std::pair<int, int>>> permutations;
+};
+
+/// Generated-permutation cap: a spec without explicit `permutation` lines
+/// runs every interleaving; beyond this many the spec must list them.
+inline constexpr long kMaxGeneratedPermutations = 20000;
+
+/// Lowers a parsed spec. Fails (with the offending spec line) on SQL outside
+/// the supported subset, COMMIT/ROLLBACK not at the end of a step, explicit
+/// permutations that omit steps or reorder a session's steps, or an implicit
+/// interleaving count above kMaxGeneratedPermutations.
+Result<CompiledSpec> CompileSpec(const IsolationSpec& spec);
+
+}  // namespace semcor::spec
+
+#endif  // SEMCOR_SPEC_COMPILE_H_

@@ -1,0 +1,289 @@
+#include "spec/spec.h"
+
+#include <cctype>
+#include <cstdio>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace semcor::spec {
+
+std::pair<int, int> IsolationSpec::FindStep(
+    const std::string& step_name) const {
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    for (size_t i = 0; i < sessions[s].steps.size(); ++i) {
+      if (sessions[s].steps[i].name == step_name) {
+        return {static_cast<int>(s), static_cast<int>(i)};
+      }
+    }
+  }
+  return {-1, -1};
+}
+
+int IsolationSpec::TotalSteps() const {
+  int n = 0;
+  for (const SpecSession& s : sessions) n += static_cast<int>(s.steps.size());
+  return n;
+}
+
+namespace {
+
+/// Character-level cursor over the spec text with line tracking. The format
+/// is simple enough that a hand lexer beats a token table: three token
+/// shapes (bare word, "quoted string", { brace block }) plus # comments.
+class Cursor {
+ public:
+  Cursor(const std::string& text, const std::string& path)
+      : text_(text), path_(path) {}
+
+  Status Error(const std::string& msg, int line = 0) const {
+    return Status::InvalidArgument(
+        StrCat(path_, ":", std::to_string(line > 0 ? line : line_), ": ", msg));
+  }
+
+  int line() const { return line_; }
+
+  /// Skips whitespace and # comments; false at end of input.
+  bool SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool AtEnd() { return !SkipSpace(); }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  /// Reads a bare keyword ([A-Za-z0-9_]+). Empty if the next char is not one.
+  std::string ReadWord() {
+    if (!SkipSpace()) return "";
+    std::string out;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      out += text_[pos_++];
+    }
+    return out;
+  }
+
+  Result<std::string> ReadQuoted() {
+    if (!SkipSpace() || Peek() != '"') {
+      return Error("expected a double-quoted name");
+    }
+    const int start_line = line_;
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') ++line_;
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) {
+      return Error("unterminated quoted name", start_line);
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  bool NextIsQuote() { return SkipSpace() && Peek() == '"'; }
+
+  /// Reads a `{ ... }` block, honouring nested braces. Returns the interior.
+  Result<std::string> ReadBraced(const std::string& what) {
+    if (!SkipSpace() || Peek() != '{') {
+      return Error(StrCat("expected '{' to open ", what, " block"));
+    }
+    const int start_line = line_;
+    ++pos_;
+    int depth = 1;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '\n') ++line_;
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) return out;
+      }
+      out += c;
+    }
+    return Error(StrCat("unterminated ", what, " block (missing '}')"),
+                 start_line);
+  }
+
+ private:
+  const std::string& text_;
+  const std::string& path_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
+  return base;
+}
+
+}  // namespace
+
+Result<IsolationSpec> ParseSpec(const std::string& text,
+                                const std::string& path) {
+  IsolationSpec out;
+  out.name = Basename(path);
+  Cursor cur(text, path);
+  std::set<std::string> session_names;
+  std::set<std::string> step_names;
+
+  while (!cur.AtEnd()) {
+    const int kw_line = cur.line();
+    const std::string kw = cur.ReadWord();
+    if (kw == "setup") {
+      Result<std::string> sql = cur.ReadBraced("setup");
+      if (!sql.ok()) return sql.status();
+      if (out.sessions.empty()) {
+        out.setup_sql += sql.value();
+        out.setup_sql += "\n";
+      } else {
+        // The grammar orders global setup before the first session, so a
+        // setup block here is the most recent session's (BEGIN/SET...).
+        SpecSession& session = out.sessions.back();
+        if (!session.steps.empty()) {
+          return cur.Error(StrCat("session \"", session.name,
+                                  "\" setup must precede its steps"),
+                           kw_line);
+        }
+        session.setup_sql += sql.value();
+        session.setup_sql += "\n";
+      }
+    } else if (kw == "teardown") {
+      Result<std::string> sql = cur.ReadBraced("teardown");
+      if (!sql.ok()) return sql.status();
+      out.teardown_sql += sql.value();
+      out.teardown_sql += "\n";
+    } else if (kw == "session") {
+      Result<std::string> name = cur.ReadQuoted();
+      if (!name.ok()) return name.status();
+      if (name.value().empty()) {
+        return cur.Error("session name must not be empty", kw_line);
+      }
+      if (!session_names.insert(name.value()).second) {
+        return cur.Error(
+            StrCat("duplicate session name \"", name.value(), "\""), kw_line);
+      }
+      if (static_cast<int>(out.sessions.size()) >= kMaxSessions) {
+        return cur.Error(StrCat("too many sessions (max ",
+                                std::to_string(kMaxSessions), ")"),
+                         kw_line);
+      }
+      SpecSession session;
+      session.name = name.value();
+      session.line = kw_line;
+      out.sessions.push_back(std::move(session));
+    } else if (kw == "step") {
+      if (out.sessions.empty()) {
+        return cur.Error("step outside of any session", kw_line);
+      }
+      Result<std::string> name = cur.ReadQuoted();
+      if (!name.ok()) return name.status();
+      if (name.value().empty()) {
+        return cur.Error("step name must not be empty", kw_line);
+      }
+      if (!step_names.insert(name.value()).second) {
+        // Step names are global: permutations reference them without a
+        // session qualifier, so a duplicate would be ambiguous.
+        return cur.Error(
+            StrCat("duplicate step name \"", name.value(), "\""), kw_line);
+      }
+      Result<std::string> sql = cur.ReadBraced("step");
+      if (!sql.ok()) return sql.status();
+      SpecSession& session = out.sessions.back();
+      if (static_cast<int>(session.steps.size()) >= kMaxStepsPerSession) {
+        return cur.Error(StrCat("too many steps in session \"", session.name,
+                                "\" (max ",
+                                std::to_string(kMaxStepsPerSession), ")"),
+                         kw_line);
+      }
+      SpecStep step;
+      step.name = name.value();
+      step.sql = sql.value();
+      step.line = kw_line;
+      session.steps.push_back(std::move(step));
+    } else if (kw == "permutation") {
+      if (static_cast<int>(out.permutations.size()) >= kMaxPermutations) {
+        return cur.Error(StrCat("too many permutations (max ",
+                                std::to_string(kMaxPermutations), ")"),
+                         kw_line);
+      }
+      std::vector<std::string> perm;
+      while (cur.NextIsQuote()) {
+        Result<std::string> step = cur.ReadQuoted();
+        if (!step.ok()) return step.status();
+        if (static_cast<int>(perm.size()) >= kMaxPermutationSteps) {
+          return cur.Error(StrCat("permutation too long (max ",
+                                  std::to_string(kMaxPermutationSteps),
+                                  " steps)"),
+                           kw_line);
+        }
+        perm.push_back(step.value());
+      }
+      if (perm.empty()) {
+        return cur.Error("permutation lists no steps", kw_line);
+      }
+      out.permutations.push_back(std::move(perm));
+      out.permutation_lines.push_back(kw_line);
+    } else if (kw.empty()) {
+      return cur.Error(
+          StrCat("unexpected character '", std::string(1, cur.Peek()), "'"));
+    } else {
+      return cur.Error(StrCat("unknown keyword \"", kw, "\""), kw_line);
+    }
+  }
+
+  if (out.sessions.empty()) {
+    return Status::InvalidArgument(
+        StrCat(path, ":1: spec declares no sessions"));
+  }
+  for (const SpecSession& s : out.sessions) {
+    if (s.steps.empty()) {
+      return Status::InvalidArgument(StrCat(path, ":", std::to_string(s.line),
+                                            ": session \"", s.name,
+                                            "\" has no steps"));
+    }
+  }
+  for (size_t p = 0; p < out.permutations.size(); ++p) {
+    for (const std::string& step : out.permutations[p]) {
+      if (out.FindStep(step).first < 0) {
+        return Status::InvalidArgument(
+            StrCat(path, ":", std::to_string(out.permutation_lines[p]),
+                   ": permutation references unknown step \"", step, "\""));
+      }
+    }
+  }
+  return out;
+}
+
+Result<IsolationSpec> ParseSpecFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound(StrCat("cannot open spec file ", path));
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return ParseSpec(text, path);
+}
+
+}  // namespace semcor::spec

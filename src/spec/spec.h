@@ -1,0 +1,72 @@
+#ifndef SEMCOR_SPEC_SPEC_H_
+#define SEMCOR_SPEC_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace semcor::spec {
+
+/// One named step of a session: a brace-delimited SQL block. The SQL is kept
+/// verbatim here; lowering onto the statement model happens in CompileSpec.
+struct SpecStep {
+  std::string name;
+  std::string sql;
+  int line = 0;  ///< line of the `step` keyword (for diagnostics)
+};
+
+/// One session (one transaction per executed permutation).
+struct SpecSession {
+  std::string name;
+  std::string setup_sql;  ///< per-session setup (BEGIN/SET...); advisory only
+  std::vector<SpecStep> steps;
+  int line = 0;
+};
+
+/// A parsed isolation-tester spec: the subset of the postgres
+/// `src/test/isolation` format this testbed executes. Grammar (blocks in any
+/// count and order, `#` comments to end of line):
+///
+///   setup       { <sql> }          -- global, may repeat (concatenated)
+///   teardown    { <sql> }          -- parsed for brace balance, not executed
+///   session "name"
+///     setup { <sql> }              -- optional, BEGIN/SET only (ignored)
+///     step "name" { <sql> }        -- one or more
+///   permutation "step" "step" ...  -- optional; absent = all interleavings
+struct IsolationSpec {
+  std::string name;  ///< basename of the source file (no extension)
+  std::string setup_sql;
+  std::string teardown_sql;
+  std::vector<SpecSession> sessions;
+  /// Explicit permutations as step-name lists; empty = run every
+  /// interleaving that preserves per-session step order.
+  std::vector<std::vector<std::string>> permutations;
+  std::vector<int> permutation_lines;  ///< parallel to `permutations`
+
+  /// (session index, step index) of a step name; (-1,-1) if unknown.
+  std::pair<int, int> FindStep(const std::string& step_name) const;
+  int TotalSteps() const;
+};
+
+/// Parses spec text. `path` seeds diagnostics ("path:line: message") and the
+/// spec name (basename without extension). Enforces: globally unique step
+/// names, unique session names, at least one session with at least one step,
+/// known step names in permutations, and size caps (sessions, steps,
+/// permutation length) so hostile inputs fail fast instead of exploding the
+/// runner. Never crashes on malformed input — every failure is a Status.
+Result<IsolationSpec> ParseSpec(const std::string& text,
+                                const std::string& path);
+
+/// Reads the file and parses it.
+Result<IsolationSpec> ParseSpecFile(const std::string& path);
+
+/// Parser size caps (exposed for the hostile-input tests).
+inline constexpr int kMaxSessions = 8;
+inline constexpr int kMaxStepsPerSession = 32;
+inline constexpr int kMaxPermutationSteps = 64;
+inline constexpr int kMaxPermutations = 4096;
+
+}  // namespace semcor::spec
+
+#endif  // SEMCOR_SPEC_SPEC_H_

@@ -26,6 +26,9 @@ void ExecStats::Merge(const ExecStats& other) {
   fcw_conflicts += other.fcw_conflicts;
   injected_faults += other.injected_faults;
   retries_exhausted += other.retries_exhausted;
+  ssi_aborts += other.ssi_aborts;
+  ssi_false_positive_aborts += other.ssi_false_positive_aborts;
+  ssi_required_aborts += other.ssi_required_aborts;
   wal_appends += other.wal_appends;
   fsyncs += other.fsyncs;
   group_commit_batches += other.group_commit_batches;
@@ -53,6 +56,7 @@ ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
       mgr_->locks()->ShardStats();
   const wal::WalStats wal_before =
       mgr_->wal() != nullptr ? mgr_->wal()->stats() : wal::WalStats();
+  const SsiCounters ssi_before = mgr_->ssi().counters();
   std::vector<ExecStats> per_thread(threads_);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
@@ -123,6 +127,12 @@ ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
     }
     merged.lock.Add(d);
   }
+  const SsiCounters ssi_after = mgr_->ssi().counters();
+  merged.ssi_aborts = ssi_after.aborts - ssi_before.aborts;
+  merged.ssi_false_positive_aborts =
+      ssi_after.false_positive_aborts - ssi_before.false_positive_aborts;
+  merged.ssi_required_aborts =
+      ssi_after.required_aborts - ssi_before.required_aborts;
   if (mgr_->wal() != nullptr) {
     const wal::WalStats wal_after = mgr_->wal()->stats();
     merged.wal_appends =

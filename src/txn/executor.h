@@ -25,6 +25,12 @@ struct ExecStats {
   long fcw_conflicts = 0;  ///< first-committer-wins aborts
   long injected_faults = 0;    ///< fault-injector decisions during the run
   long retries_exhausted = 0;  ///< work items dropped after max attempts
+
+  /// SSI activity during the run (deltas from the manager's tracker): total
+  /// serialization-failure aborts and their required/false-positive split.
+  long ssi_aborts = 0;
+  long ssi_false_positive_aborts = 0;
+  long ssi_required_aborts = 0;
   std::vector<double> latency_us;  ///< per committed txn, begin to commit
 
   /// Lock-manager activity during the run (deltas, so back-to-back runs on

@@ -16,6 +16,8 @@ const char* IsoLevelName(IsoLevel level) {
       return "SERIALIZABLE";
     case IsoLevel::kSnapshot:
       return "SNAPSHOT";
+    case IsoLevel::kSsi:
+      return "SSI";
   }
   return "?";
 }
@@ -38,6 +40,8 @@ bool ParseIsoLevel(const std::string& name, IsoLevel* out) {
       {"ser", IsoLevel::kSerializable},
       {"snapshot", IsoLevel::kSnapshot},
       {"si", IsoLevel::kSnapshot},
+      {"serializable_snapshot", IsoLevel::kSsi},
+      {"ssi", IsoLevel::kSsi},
   };
   for (const Entry& e : kLevels) {
     if (name == e.name) {
@@ -79,6 +83,12 @@ LevelPolicy PolicyFor(IsoLevel level) {
       p.snapshot_reads = true;
       p.deferred_writes = true;
       p.fcw_validation = true;
+      break;
+    case IsoLevel::kSsi:
+      p.snapshot_reads = true;
+      p.deferred_writes = true;
+      p.fcw_validation = true;
+      p.ssi = true;
       break;
   }
   return p;

@@ -1,13 +1,17 @@
 #ifndef SEMCOR_TXN_ISOLATION_H_
 #define SEMCOR_TXN_ISOLATION_H_
 
+#include <array>
 #include <string>
 
 namespace semcor {
 
 /// Isolation levels supported by both the static analysis (Theorems 1-6) and
 /// the runtime transaction manager. READ COMMITTED with first-committer-wins
-/// (§3.4) and SNAPSHOT (§3.6) extend the three lower ANSI levels.
+/// (§3.4) and SNAPSHOT (§3.6) extend the three lower ANSI levels; SSI
+/// (serializable snapshot isolation, Cahill/Fekete-style rw-antidependency
+/// tracking on top of SNAPSHOT) is the seventh. New levels are appended so
+/// wire indices stay stable.
 enum class IsoLevel {
   kReadUncommitted,
   kReadCommitted,
@@ -15,10 +19,21 @@ enum class IsoLevel {
   kRepeatableRead,
   kSerializable,
   kSnapshot,
+  kSsi,
 };
 
 /// Number of IsoLevel values (per-level counter arrays, wire validation).
-inline constexpr int kIsoLevelCount = 6;
+inline constexpr int kIsoLevelCount = 7;
+
+/// Every level in enum (= wire-index) order. The single source of truth for
+/// "for each level" sweeps — CLI --level=all, per-level counter rendering,
+/// conformance runs — so adding a level cannot silently truncate a loop.
+inline constexpr std::array<IsoLevel, kIsoLevelCount> AllLevels() {
+  return {IsoLevel::kReadUncommitted, IsoLevel::kReadCommitted,
+          IsoLevel::kReadCommittedFcw, IsoLevel::kRepeatableRead,
+          IsoLevel::kSerializable,     IsoLevel::kSnapshot,
+          IsoLevel::kSsi};
+}
 
 const char* IsoLevelName(IsoLevel level);
 
@@ -40,6 +55,7 @@ struct LevelPolicy {
   bool read_locks = false;           ///< acquire S locks on reads
   bool long_read_locks = false;      ///< hold S locks until commit
   bool select_predicate_locks = false;  ///< S predicate locks on SELECTs
+  bool ssi = false;  ///< rw-antidependency tracking atop snapshot reads
 };
 
 LevelPolicy PolicyFor(IsoLevel level);

@@ -43,6 +43,7 @@ std::unique_ptr<Txn> TxnManager::Begin(IsoLevel level) {
   if (txn->policy.snapshot_reads) {
     txn->snapshot = std::make_unique<SnapshotView>(store_, txn->start_ts);
   }
+  if (txn->policy.ssi) ssi_.Register(txn->id, txn->start_ts);
   if (wal_ != nullptr) wal_->LogBegin(txn->id, level);
   return txn;
 }
@@ -50,8 +51,16 @@ std::unique_ptr<Txn> TxnManager::Begin(IsoLevel level) {
 Status TxnManager::ReadItem(Txn* txn, const std::string& name, Value* out,
                             bool wait) {
   if (txn->snapshot) {
+    if (txn->policy.ssi) {
+      Status gate = ssi_.Gate(txn->id);
+      if (!gate.ok()) return gate;
+    }
     Result<Value> v = txn->snapshot->ReadItem(name);
     if (!v.ok()) return v.status();
+    if (txn->policy.ssi) {
+      Status s = ssi_.OnItemRead(txn->id, name);
+      if (!s.ok()) return s;
+    }
     *out = v.take();
     return Status::Ok();
   }
@@ -93,7 +102,15 @@ Status TxnManager::ReadItem(Txn* txn, const std::string& name, Value* out,
 Status TxnManager::WriteItem(Txn* txn, const std::string& name, const Value& v,
                              bool wait) {
   if (txn->snapshot) {
+    if (txn->policy.ssi) {
+      Status gate = ssi_.Gate(txn->id);
+      if (!gate.ok()) return gate;
+    }
     txn->snapshot->WriteItem(name, v);
+    if (txn->policy.ssi) {
+      Status s = ssi_.OnItemWrite(txn->id, name);
+      if (!s.ok()) return s;
+    }
     return Status::Ok();
   }
   Status s = locks_->AcquireItem(txn->id, name, LockMode::kExclusive, wait);
@@ -250,6 +267,10 @@ Status TxnManager::SelectRows(Txn* txn, const std::string& table,
                               bool wait) {
   out->clear();
   if (txn->snapshot) {
+    if (txn->policy.ssi) {
+      Status gate = ssi_.Gate(txn->id);
+      if (!gate.ok()) return gate;
+    }
     MapEvalContext empty;
     Status inner = Status::Ok();
     Status s = txn->snapshot->Scan(table, [&](RowId, const Tuple& t) {
@@ -262,7 +283,9 @@ Status TxnManager::SelectRows(Txn* txn, const std::string& table,
       if (match.value()) out->push_back(t);
     });
     if (!s.ok()) return s;
-    return inner;
+    if (!inner.ok()) return inner;
+    if (txn->policy.ssi) return ssi_.OnPredRead(txn->id, table, pred);
+    return Status::Ok();
   }
   if (txn->policy.select_predicate_locks) {
     Status s =
@@ -278,8 +301,15 @@ Status TxnManager::ScanVisible(Txn* txn, const std::string& table,
                                const std::function<void(const Tuple&)>& fn,
                                bool wait) {
   if (txn->snapshot) {
-    return txn->snapshot->Scan(table,
-                               [&](RowId, const Tuple& t) { fn(t); });
+    if (txn->policy.ssi) {
+      Status gate = ssi_.Gate(txn->id);
+      if (!gate.ok()) return gate;
+    }
+    Status s = txn->snapshot->Scan(table,
+                                   [&](RowId, const Tuple& t) { fn(t); });
+    if (!s.ok()) return s;
+    if (txn->policy.ssi) return ssi_.OnPredRead(txn->id, table, True());
+    return Status::Ok();
   }
   if (txn->policy.select_predicate_locks) {
     Status s = locks_->AcquirePredicate(txn->id, table, True(),
@@ -307,6 +337,10 @@ Status TxnManager::UpdateRows(Txn* txn, const std::string& table,
   };
 
   if (txn->snapshot) {
+    if (txn->policy.ssi) {
+      Status gate = ssi_.Gate(txn->id);
+      if (!gate.ok()) return gate;
+    }
     std::vector<std::pair<RowId, Tuple>> matches;
     Status inner = Status::Ok();
     Status s = txn->snapshot->Scan(table, [&](RowId row, const Tuple& t) {
@@ -320,11 +354,23 @@ Status TxnManager::UpdateRows(Txn* txn, const std::string& table,
     });
     if (!s.ok()) return s;
     if (!inner.ok()) return inner;
+    if (txn->policy.ssi) {
+      // The scan feeding an UPDATE is a predicate read (postgres takes SIREAD
+      // locks on it too): a concurrent write into its range is an incoming
+      // rw-antidependency.
+      Status r = ssi_.OnPredRead(txn->id, table, pred);
+      if (!r.ok()) return r;
+    }
     for (auto& [row, old] : matches) {
       Result<Tuple> updated = make_new_tuple(old);
       if (!updated.ok()) return updated.status();
-      Status u = txn->snapshot->UpdateRow(table, row, updated.take());
+      const Tuple new_tuple = updated.take();
+      Status u = txn->snapshot->UpdateRow(table, row, new_tuple);
       if (!u.ok()) return u;
+      if (txn->policy.ssi) {
+        Status w = ssi_.OnRowWrite(txn->id, table, old, new_tuple);
+        if (!w.ok()) return w;
+      }
       if (rows_updated != nullptr) ++*rows_updated;
     }
     return Status::Ok();
@@ -366,7 +412,15 @@ Status TxnManager::UpdateRows(Txn* txn, const std::string& table,
 Status TxnManager::InsertRow(Txn* txn, const std::string& table, Tuple tuple,
                              bool wait) {
   if (txn->snapshot) {
+    if (txn->policy.ssi) {
+      Status gate = ssi_.Gate(txn->id);
+      if (!gate.ok()) return gate;
+    }
+    Tuple image = tuple;
     txn->snapshot->InsertRow(table, std::move(tuple));
+    if (txn->policy.ssi) {
+      return ssi_.OnRowWrite(txn->id, table, std::nullopt, image);
+    }
     return Status::Ok();
   }
   Status gate = locks_->PredicateGate(txn->id, table, {&tuple},
@@ -391,7 +445,11 @@ Status TxnManager::DeleteRows(Txn* txn, const std::string& table,
   if (rows_deleted != nullptr) *rows_deleted = 0;
   MapEvalContext empty;
   if (txn->snapshot) {
-    std::vector<RowId> matches;
+    if (txn->policy.ssi) {
+      Status gate = ssi_.Gate(txn->id);
+      if (!gate.ok()) return gate;
+    }
+    std::vector<std::pair<RowId, Tuple>> matches;
     Status inner = Status::Ok();
     Status s = txn->snapshot->Scan(table, [&](RowId row, const Tuple& t) {
       if (!inner.ok()) return;
@@ -400,13 +458,21 @@ Status TxnManager::DeleteRows(Txn* txn, const std::string& table,
         inner = match.status();
         return;
       }
-      if (match.value()) matches.push_back(row);
+      if (match.value()) matches.emplace_back(row, t);
     });
     if (!s.ok()) return s;
     if (!inner.ok()) return inner;
-    for (RowId row : matches) {
+    if (txn->policy.ssi) {
+      Status r = ssi_.OnPredRead(txn->id, table, pred);
+      if (!r.ok()) return r;
+    }
+    for (auto& [row, old] : matches) {
       Status d = txn->snapshot->DeleteRow(table, row);
       if (!d.ok()) return d;
+      if (txn->policy.ssi) {
+        Status w = ssi_.OnRowWrite(txn->id, table, old, std::nullopt);
+        if (!w.ok()) return w;
+      }
       if (rows_deleted != nullptr) ++*rows_deleted;
     }
     return Status::Ok();
@@ -440,6 +506,16 @@ Status TxnManager::Commit(Txn* txn) {
     return Status::Internal("commit of non-active transaction");
   }
   if (txn->snapshot) {
+    if (txn->policy.ssi) {
+      // Dangerous-structure rule at the commit point: a doomed pivot (or a
+      // transaction whose commit would complete a structure whose
+      // out-conflict committed first) aborts instead of committing.
+      Status s = ssi_.PreCommit(txn->id);
+      if (!s.ok()) {
+        Abort(txn);
+        return s;
+      }
+    }
     if (wal_ != nullptr) {
       Status apply_status;
       wal::WriteAheadLog::CommitHandle h = wal_->LogCommit(
@@ -452,6 +528,7 @@ Status TxnManager::Commit(Txn* txn) {
       }
       txn->commit_ts = h.commit_ts;
       txn->state = Txn::State::kCommitted;
+      if (txn->policy.ssi) ssi_.OnCommit(txn->id, txn->commit_ts);
       txn->durable = wal_->WaitDurable(h.lsn);
       return Status::Ok();
     }
@@ -462,6 +539,7 @@ Status TxnManager::Commit(Txn* txn) {
     }
     txn->commit_ts = ts.value();
     txn->state = Txn::State::kCommitted;
+    if (txn->policy.ssi) ssi_.OnCommit(txn->id, txn->commit_ts);
     return Status::Ok();
   }
   if (wal_ != nullptr) {
@@ -496,6 +574,7 @@ void TxnManager::Abort(Txn* txn) {
     return;
   }
   // Aborting a kRollingBack transaction completes its rollback wholesale.
+  if (txn->policy.ssi) ssi_.OnAbort(txn->id);
   store_->AbortTxn(txn->id);
   locks_->ReleaseAll(txn->id);
   txn->undo.Clear();

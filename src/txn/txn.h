@@ -12,6 +12,7 @@
 #include "sem/prog/program.h"
 #include "storage/store.h"
 #include "txn/isolation.h"
+#include "txn/ssi.h"
 
 namespace semcor {
 
@@ -147,7 +148,16 @@ class TxnManager {
   /// Rewinds the transaction-id counter. Only valid while no transaction is
   /// active; the schedule explorer calls it between runs so that identical
   /// schedules replay with identical ids (and hence identical outcomes).
-  void ResetIds(TxnId next = 1) { next_id_.store(next); }
+  /// The SSI conflict graph belongs to those ids, so it resets too.
+  void ResetIds(TxnId next = 1) {
+    next_id_.store(next);
+    ssi_.Clear();
+  }
+
+  /// Rw-antidependency tracker backing IsoLevel::kSsi (counters are read by
+  /// the executor, the explorer, and the server's STATS frame).
+  SsiTracker& ssi() { return ssi_; }
+  const SsiTracker& ssi() const { return ssi_; }
 
  private:
   /// Streams rows matching `pred` under the level's read-lock discipline
@@ -169,6 +179,7 @@ class TxnManager {
   LockManager* locks_;
   wal::WriteAheadLog* wal_ = nullptr;
   std::atomic<TxnId> next_id_{1};
+  SsiTracker ssi_;
 
   /// Ids currently rolling back stepwise, visible to concurrent readers
   /// that want to classify a dirty read as an undo read.

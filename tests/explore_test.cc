@@ -299,6 +299,9 @@ TEST(Explorer, WitnessesIndependentOfLockShardCount) {
                        IsoLevel::kSnapshot});
   scenarios.push_back({MakeOrdersWorkload(false), "new_order_race",
                        IsoLevel::kReadCommitted});
+  // SSI adds the rw-antidependency tracker to every run; its doom decisions
+  // must be as replay-stable as the lock manager's try-lock outcomes.
+  scenarios.push_back({MakeBankingWorkload(), "write_skew", IsoLevel::kSsi});
   for (const Scenario& scenario : scenarios) {
     const ExploreMix* mix = scenario.workload.FindExploreMix(scenario.mix);
     ASSERT_NE(mix, nullptr) << scenario.mix;
@@ -328,6 +331,50 @@ TEST(Explorer, WitnessesIndependentOfLockShardCount) {
       } else {
         EXPECT_EQ(fingerprint, baseline)
             << scenario.mix << " with " << shards << " shards";
+      }
+    }
+  }
+}
+
+TEST(Explorer, SsiDeterministicAcrossThreadsAndSeeds) {
+  // SSI's doom decisions depend on commit order, edge insertion order, and
+  // GC timing — all of which must be a pure function of the schedule. For
+  // each seed, witnesses AND the ssi abort counters (total / false-positive
+  // / required split) have to come out bit-identical whether the explorer
+  // runs 1, 2, or 4 worker threads.
+  Workload w = MakeBankingWorkload();
+  const ExploreMix* mix = w.FindExploreMix("write_skew");
+  ASSERT_NE(mix, nullptr);
+  for (const uint64_t seed : {7u, 42u}) {
+    std::string baseline;
+    for (const int threads : {1, 2, 4}) {
+      ExploreOptions opts;
+      opts.level = IsoLevel::kSsi;
+      opts.threads = threads;
+      opts.budget = 600;
+      opts.seed = seed;
+      opts.max_witnesses = 8;
+      Result<ExploreReport> report = Explorer(w, *mix, opts).Run();
+      ASSERT_TRUE(report.ok());
+      std::string fingerprint;
+      for (const ExploreWitness& wit : report.value().witnesses) {
+        fingerprint += wit.signature + " " + ScheduleToString(wit.schedule) +
+                       " " + wit.trace + "\n";
+      }
+      fingerprint +=
+          "anomalies=" + std::to_string(report.value().anomalies) +
+          " ssi=" + std::to_string(report.value().ssi_aborts) +
+          " fp=" + std::to_string(report.value().ssi_false_positive_aborts) +
+          " req=" + std::to_string(report.value().ssi_required_aborts) +
+          " schedules=" + std::to_string(report.value().schedules());
+      if (baseline.empty()) {
+        baseline = fingerprint;
+        // Write skew is SSI's bread and butter: the tracker must actually
+        // fire on this mix, otherwise determinism is vacuous.
+        EXPECT_GT(report.value().ssi_aborts, 0);
+      } else {
+        EXPECT_EQ(fingerprint, baseline)
+            << "seed " << seed << " threads " << threads;
       }
     }
   }
