@@ -64,6 +64,8 @@ int Run() {
   std::map<IsoLevel, LevelOutcome> totals;
   LevelOutcome two_ids_ssi;
   bool saw_two_ids = false;
+  LevelOutcome two_ids_ro_ssi;
+  bool saw_two_ids_ro = false;
 
   for (const std::string& file : files) {
     Result<IsolationSpec> parsed = ParseSpecFile(specs_dir + "/" + file);
@@ -137,6 +139,10 @@ int Run() {
         two_ids_ssi = o;
         saw_two_ids = true;
       }
+      if (parsed.value().name == "two-ids-ro" && o.level == IsoLevel::kSsi) {
+        two_ids_ro_ssi = o;
+        saw_two_ids_ro = true;
+      }
     }
   }
 
@@ -169,11 +175,23 @@ int Run() {
   json.Scalar("two_ids_ssi_false_positives",
               saw_two_ids ? two_ids_ssi.ssi_fp : -1);
   json.Scalar("two_ids_ssi_required", saw_two_ids ? two_ids_ssi.ssi_req : -1);
+  json.Scalar("two_ids_ro_ssi_aborts",
+              saw_two_ids_ro ? two_ids_ro_ssi.ssi : -1);
+  json.Scalar("two_ids_ro_ssi_false_positives",
+              saw_two_ids_ro ? two_ids_ro_ssi.ssi_fp : -1);
+  json.Scalar("two_ids_ro_ssi_required",
+              saw_two_ids_ro ? two_ids_ro_ssi.ssi_req : -1);
 
   const bool two_ids_exact = saw_two_ids && two_ids_ssi.ssi == 16 &&
                              two_ids_ssi.ssi_fp == 12 &&
                              two_ids_ssi.ssi_req == 4;
   json.Scalar("two_ids_fidelity", two_ids_exact ? 1L : 0L);
+  // The other half of the documented fidelity target: with s3 declared
+  // READ ONLY the optimization must erase exactly the 12 false positives.
+  const bool two_ids_ro_exact = saw_two_ids_ro && two_ids_ro_ssi.ssi == 4 &&
+                                two_ids_ro_ssi.ssi_fp == 0 &&
+                                two_ids_ro_ssi.ssi_req == 4;
+  json.Scalar("two_ids_ro_fidelity", two_ids_ro_exact ? 1L : 0L);
   // SSI must leave nothing non-serializable committed, ever.
   json.Scalar("ssi_nonser", ssi_totals.nonser);
   json.Write();
@@ -187,6 +205,11 @@ int Run() {
   if (!two_ids_exact) {
     std::fprintf(stderr,
                  "E14: two-ids fidelity target missed (want 16/12/4)\n");
+    return 1;
+  }
+  if (!two_ids_ro_exact) {
+    std::fprintf(stderr,
+                 "E14: two-ids-ro fidelity target missed (want 4/0/4)\n");
     return 1;
   }
   if (ssi_totals.nonser != 0) {

@@ -12,8 +12,8 @@ int main() {
   using namespace semcor;
   bench::Banner("E5: TPC-C-lite at a combination of isolation levels");
 
-  Workload w = MakeTpccWorkload(/*districts=*/2, /*customers=*/8,
-                                /*items=*/16);
+  Workload w = MakeTpccWorkload(/*warehouses=*/2, /*districts=*/2,
+                                /*customers=*/8, /*items=*/16);
 
   struct Config {
     const char* label;

@@ -226,7 +226,59 @@ assert r["specs_run"] >= 12, r
 assert r["specs_agreeing"] == r["specs_run"], r
 assert r["two_ids_fidelity"] == 1, r
 assert r["two_ids_ssi_false_positives"] == 12, r
+# READ ONLY optimization: declaring s3 read-only must erase exactly the 12
+# false positives and keep the 4 required aborts.
+assert r["two_ids_ro_fidelity"] == 1, r
+assert r["two_ids_ro_ssi_false_positives"] == 0, r
+assert r["two_ids_ro_ssi_required"] == 4, r
 assert r["ssi_nonser"] == 0, r
+EOF
+fi
+
+# E5: the in-process TPC-C advisor study (per-type recommended levels and
+# mixed-level executor runs) must complete and leave its JSON behind.
+rm -f BENCH_E5.json
+./build/bench/bench_e5_tpcc
+test -s BENCH_E5.json
+
+# TPC-C over the wire, stage 1 (smoke): the daemon serves the scaled
+# workload; the closed-loop bench client pins two levels (SERIALIZABLE and
+# SNAPSHOT round-robin) and exits non-zero on any counter mismatch or
+# invariant violation over the TPC-C consistency conditions.
+rm -f BENCH_E15S.json semcor_serverd.port
+./build/examples/semcor_serverd --workload=tpcc --tpcc-warehouses=2 \
+    --port=0 --port-file=semcor_serverd.port &
+serverd_pid=$!
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  test -s semcor_serverd.port && break
+  sleep 0.2
+done
+./build/examples/semcor_bench_client --port="$(cat semcor_serverd.port)" \
+    --threads=4 --txns=50 --levels=ser,si --report-id=E15S \
+    --shutdown-server
+wait "$serverd_pid"
+rm -f semcor_serverd.port
+test -s BENCH_E15S.json
+
+# TPC-C over the wire, stage 2 (the E15 study): open-loop load across the
+# full isolation grid — pinned SERIALIZABLE / SNAPSHOT / SSI and the
+# advisor-negotiated mix. The binary exits non-zero unless every
+# configuration keeps the invariant green and the negotiated mix sustains
+# at least the all-SERIALIZABLE goodput; the negotiated run must actually
+# mix levels (levels_used >= 2).
+rm -f BENCH_E15.json
+./build/examples/semcor_tpcc_study --rate=300 --warmup-ms=200 \
+    --measure-ms=1500
+test -s BENCH_E15.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+r = json.load(open("BENCH_E15.json"))
+assert r["gates_ok"] == 1, r
+assert r["negotiate_levels_used"] >= 2, r
+for cfg in ("ser", "si", "ssi", "negotiate"):
+    assert r[cfg + "_invariant_ok"] == 1, (cfg, r)
+    assert r[cfg + "_committed"] > 0, (cfg, r)
 EOF
 fi
 
@@ -235,8 +287,9 @@ fi
 # artifact is missing or unparsable (a bench that silently stopped writing
 # its JSON should break the build, not the dashboard).
 mkdir -p ci_artifacts
-for f in BENCH_E10.json BENCH_E10R.json BENCH_E12.json BENCH_E6.json \
-         BENCH_E9.json BENCH_E11.json BENCH_E13.json BENCH_E14.json; do
+for f in BENCH_E10.json BENCH_E10R.json BENCH_E12.json BENCH_E5.json \
+         BENCH_E6.json BENCH_E9.json BENCH_E11.json BENCH_E13.json \
+         BENCH_E14.json BENCH_E15S.json BENCH_E15.json; do
   if [ ! -s "$f" ]; then
     echo "ci.sh: FAIL — expected bench artifact $f is missing or empty"
     exit 1

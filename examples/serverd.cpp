@@ -55,7 +55,14 @@ int main(int argc, char** argv) {
       "Serve a semcor workload's transactions over TCP with per-session "
       "isolation-level negotiation.");
   flags.Str("workload", &options.workload,
-            "workload to serve (banking|payroll|orders|orders_unique)");
+            "workload to serve (banking|payroll|orders|orders_unique|tpcc)");
+  flags.Int("tpcc-warehouses", &options.tpcc_warehouses,
+            "tpcc: number of warehouses");
+  flags.Int("tpcc-districts", &options.tpcc_districts,
+            "tpcc: districts per warehouse");
+  flags.Int("tpcc-customers", &options.tpcc_customers,
+            "tpcc: customers per warehouse");
+  flags.Int("tpcc-items", &options.tpcc_items, "tpcc: items in the catalog");
   flags.Int("port", &port, "TCP port to bind on 127.0.0.1 (0 = ephemeral)");
   flags.Int("workers", &options.workers, "worker threads executing statements");
   flags.I64("max-inflight", &max_inflight,

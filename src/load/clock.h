@@ -1,0 +1,66 @@
+#ifndef SEMCOR_LOAD_CLOCK_H_
+#define SEMCOR_LOAD_CLOCK_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace semcor::load {
+
+/// Monotonic microsecond clock the load generator schedules against.
+/// Virtual so tests can drive the generator deterministically: a FakeClock
+/// makes arrival times, service times, and therefore every recorded latency
+/// a pure function of the test script.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Microseconds since an arbitrary epoch; monotone non-decreasing.
+  virtual int64_t NowUs() = 0;
+  /// Blocks (or, for fakes, advances time) until NowUs() >= deadline_us.
+  /// Returns immediately when the deadline is already past — the open-loop
+  /// scheduler relies on that to let a backlog drain at full speed.
+  virtual void SleepUntilUs(int64_t deadline_us) = 0;
+};
+
+/// Wall-clock implementation on std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  int64_t NowUs() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void SleepUntilUs(int64_t deadline_us) override {
+    const int64_t now = NowUs();
+    if (deadline_us <= now) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(deadline_us - now));
+  }
+};
+
+/// Deterministic manual clock. SleepUntilUs jumps time forward instead of
+/// blocking, and AdvanceUs models service time spent inside an operation.
+/// Thread-compatible for single-worker tests (the intended use).
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t start_us = 0) : now_us_(start_us) {}
+  int64_t NowUs() override { return now_us_.load(std::memory_order_relaxed); }
+  void SleepUntilUs(int64_t deadline_us) override {
+    int64_t now = now_us_.load(std::memory_order_relaxed);
+    while (deadline_us > now &&
+           !now_us_.compare_exchange_weak(now, deadline_us,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+  void AdvanceUs(int64_t delta_us) {
+    now_us_.fetch_add(delta_us, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_us_;
+};
+
+}  // namespace semcor::load
+
+#endif  // SEMCOR_LOAD_CLOCK_H_

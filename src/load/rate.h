@@ -1,0 +1,41 @@
+#ifndef SEMCOR_LOAD_RATE_H_
+#define SEMCOR_LOAD_RATE_H_
+
+#include <cstdint>
+
+namespace semcor::load {
+
+/// Open-loop arrival schedule at a fixed target rate: the i-th operation
+/// arrives at `start + i / rate`, independent of how long any operation
+/// takes. This is the pgbench `--rate` / YCSB `target` discipline — when
+/// the system under test stalls, arrivals keep their timestamps and the
+/// backlog shows up as queueing delay in the recorded latency, instead of
+/// being silently absorbed the way a closed loop absorbs it (coordinated
+/// omission).
+///
+/// Deterministic by construction: arrival times are a pure function of
+/// (start, rate, index), so two runs with the same parameters schedule
+/// identically and tests can assert exact timestamps.
+class RateScheduler {
+ public:
+  RateScheduler(int64_t start_us, double ops_per_sec)
+      : start_us_(start_us),
+        interval_num_(1000000.0 / (ops_per_sec > 0 ? ops_per_sec : 1.0)) {}
+
+  /// Scheduled arrival time of operation `index` (µs).
+  int64_t ArrivalUs(uint64_t index) const {
+    return start_us_ +
+           static_cast<int64_t>(static_cast<double>(index) * interval_num_);
+  }
+
+  int64_t start_us() const { return start_us_; }
+  double interval_us() const { return interval_num_; }
+
+ private:
+  int64_t start_us_;
+  double interval_num_;  ///< µs between consecutive arrivals
+};
+
+}  // namespace semcor::load
+
+#endif  // SEMCOR_LOAD_RATE_H_

@@ -29,7 +29,8 @@ void SetNonBlocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
-bool MakeWorkloadByName(const std::string& name, Workload* out) {
+bool MakeWorkloadByName(const ServerOptions& options, Workload* out) {
+  const std::string& name = options.workload;
   if (name == "banking") {
     *out = MakeBankingWorkload();
   } else if (name == "payroll") {
@@ -38,6 +39,9 @@ bool MakeWorkloadByName(const std::string& name, Workload* out) {
     *out = MakeOrdersWorkload();
   } else if (name == "orders_unique") {
     *out = MakeOrdersWorkload(/*one_order_per_day=*/true);
+  } else if (name == "tpcc") {
+    *out = MakeTpccWorkload(options.tpcc_warehouses, options.tpcc_districts,
+                            options.tpcc_customers, options.tpcc_items);
   } else {
     return false;
   }
@@ -145,10 +149,10 @@ Server::~Server() { Stop(); }
 Status Server::Start() {
   if (started_) return Status::Internal("server already started");
 
-  if (!MakeWorkloadByName(options_.workload, &workload_)) {
+  if (!MakeWorkloadByName(options_, &workload_)) {
     return Status::InvalidArgument(
         StrCat("unknown workload '", options_.workload,
-               "' (banking|payroll|orders|orders_unique)"));
+               "' (banking|payroll|orders|orders_unique|tpcc)"));
   }
   if (Status s = workload_.setup(&store_); !s.ok()) return s;
 
@@ -874,7 +878,14 @@ std::string Server::HandleBegin(Session& session, const Frame& frame) {
   }
   {
     std::lock_guard<std::mutex> lock(metrics_->mu);
-    metrics_->data.begins[session.level_idx]++;
+    ServerMetricsSnapshot& m = metrics_->data;
+    m.begins[session.level_idx]++;
+    m.per_type[type].begins++;
+    if (advice_it != advice_.end()) {
+      const IsoLevel recommended = advice_it->second.recommended;
+      m.advisor_recommended[static_cast<int>(recommended)]++;
+      if (!resp.negotiated && level != recommended) m.advisor_overridden++;
+    }
   }
 
   resp.txn_type = type;
@@ -985,17 +996,21 @@ std::string Server::FinishTxn(Session& session, StepOutcome outcome,
   {
     std::lock_guard<std::mutex> lock(metrics_->mu);
     ServerMetricsSnapshot& m = metrics_->data;
+    ServerMetricsSnapshot::TypeMetrics& t = m.per_type[session.txn_type];
     m.inflight--;
     if (outcome == StepOutcome::kCommitted) {
       m.commits[session.level_idx]++;
+      t.commits[session.level_idx]++;
       if (refuse_ack) m.commit_acks_refused++;
       const double us =
           std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
               std::chrono::steady_clock::now() - session.begin_time)
               .count();
       m.latency_us.push_back(us);
+      t.latency_us.push_back(us);
     } else {
       m.aborts[session.level_idx]++;
+      t.aborts[session.level_idx]++;
       if (failure.code() == Code::kDeadlock) m.deadlocks++;
       if (failure.code() == Code::kConflict) m.fcw_conflicts++;
     }
@@ -1044,6 +1059,7 @@ void Server::ReleaseTxn(Session& session, const char* reason) {
   std::lock_guard<std::mutex> lock(metrics_->mu);
   metrics_->data.inflight--;
   metrics_->data.aborts[session.level_idx]++;
+  metrics_->data.per_type[session.txn_type].aborts[session.level_idx]++;
 }
 
 std::string Server::BuildStats() {
@@ -1092,6 +1108,38 @@ std::string Server::BuildStats() {
     if (m.begins[i] != 0) c(StrCat("begin.", name), m.begins[i]);
     if (m.commits[i] != 0) c(StrCat("commit.", name), m.commits[i]);
     if (m.aborts[i] != 0) c(StrCat("abort.", name), m.aborts[i]);
+  }
+  // Advisor attribution: how often each level was the recommendation, and
+  // how many explicit BEGINs ran at something else. Together with the
+  // per-level begin/commit/abort counters this lets a mixed-level study
+  // attribute aborts to the level a session actually ran at — including
+  // explicit-level sessions whose advisor_correct flag alone would blur
+  // the picture.
+  for (int i = 0; i < kIsoLevelCount; ++i) {
+    IsoLevel level;
+    if (!IsoLevelFromIndex(i, &level)) continue;
+    if (m.advisor_recommended[i] != 0) {
+      c(StrCat("begin.recommended.", IsoLevelName(level)),
+        m.advisor_recommended[i]);
+    }
+  }
+  c("advisor_overridden", m.advisor_overridden);
+  // Per-transaction-type breakdown: begins, commit/abort by negotiated
+  // level, so a TPC-C run can report tail latency and abort rate for
+  // NewOrder separately from StockLevel.
+  for (const auto& [type, t] : m.per_type) {
+    if (t.begins != 0) c(StrCat("type.", type, ".begin"), t.begins);
+    for (int i = 0; i < kIsoLevelCount; ++i) {
+      IsoLevel level;
+      if (!IsoLevelFromIndex(i, &level)) continue;
+      const char* name = IsoLevelName(level);
+      if (t.commits[i] != 0) {
+        c(StrCat("type.", type, ".commit.", name), t.commits[i]);
+      }
+      if (t.aborts[i] != 0) {
+        c(StrCat("type.", type, ".abort.", name), t.aborts[i]);
+      }
+    }
   }
   // SSI activity: dangerous-structure aborts with their required /
   // false-positive split (nonzero only when kSsi sessions ran).
@@ -1155,6 +1203,12 @@ std::string Server::BuildStats() {
   g("p50_us", PercentileUs(m.latency_us, 50));
   g("p95_us", PercentileUs(m.latency_us, 95));
   g("p99_us", PercentileUs(m.latency_us, 99));
+  for (const auto& [type, t] : m.per_type) {
+    if (t.latency_us.empty()) continue;
+    g(StrCat("type.", type, ".p50_us"), PercentileUs(t.latency_us, 50));
+    g(StrCat("type.", type, ".p95_us"), PercentileUs(t.latency_us, 95));
+    g(StrCat("type.", type, ".p99_us"), PercentileUs(t.latency_us, 99));
+  }
   if (wal_) g("group_commit_mean_batch", wal_->stats().MeanBatchSize());
   return EncodeFrame(MsgType::kStatsOk, stats.Encode());
 }

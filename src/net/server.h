@@ -26,7 +26,13 @@
 namespace semcor::net {
 
 struct ServerOptions {
-  std::string workload = "banking";  ///< banking|payroll|orders|orders_unique
+  std::string workload = "banking";  ///< banking|payroll|orders|orders_unique|tpcc
+  /// TPC-C sizing (used only when workload == "tpcc"): warehouses plus the
+  /// per-warehouse district/customer/stock-item counts.
+  int tpcc_warehouses = 2;
+  int tpcc_districts = 2;
+  int tpcc_customers = 8;
+  int tpcc_items = 16;
   uint16_t port = 0;                 ///< 0 = kernel-assigned ephemeral port
   int workers = 4;                   ///< fixed worker pool size
   /// Admission control: BEGIN is rejected with kBusy (retry-after) once this
@@ -103,7 +109,24 @@ struct ServerMetricsSnapshot {
   std::array<long, kIsoLevelCount> begins{};
   std::array<long, kIsoLevelCount> commits{};
   std::array<long, kIsoLevelCount> aborts{};
+  /// What the advisor recommends for each BEGIN's type, counted per level —
+  /// including sessions that requested an explicit level. In a mixed-level
+  /// run this keeps per-level abort attribution honest: an explicit session
+  /// flagged advisor_correct=false still shows up under the level the §5
+  /// analysis would have negotiated.
+  std::array<long, kIsoLevelCount> advisor_recommended{};
+  long advisor_overridden = 0;  ///< explicit BEGINs whose level != recommended
   std::vector<double> latency_us;  ///< BEGIN→commit, committed txns only
+
+  /// Per-transaction-type split of the same lifecycle counters, keyed by
+  /// the type resolved at BEGIN (after any server-side mix draw).
+  struct TypeMetrics {
+    long begins = 0;
+    std::array<long, kIsoLevelCount> commits{};
+    std::array<long, kIsoLevelCount> aborts{};
+    std::vector<double> latency_us;  ///< committed txns only
+  };
+  std::map<std::string, TypeMetrics> per_type;
 
   long Committed() const;
   long Aborted() const;

@@ -63,6 +63,10 @@ bool LevelAdvice::CorrectAt(IsoLevel level) const {
          static_cast<int>(level) <= static_cast<int>(IsoLevel::kSerializable);
 }
 
+bool LevelAdvice::SsiRecommended() const {
+  return !snapshot_correct && CorrectAt(IsoLevel::kSsi);
+}
+
 std::string SummarizeAdvice(const LevelAdvice& advice) {
   // Name the theorem whose obligation failed at every rung below the
   // recommendation — "3 levels rejected" tells an operator nothing about
@@ -78,6 +82,10 @@ std::string SummarizeAdvice(const LevelAdvice& advice) {
                            IsoLevelName(advice.recommended), "; SNAPSHOT ",
                            advice.snapshot_correct ? "ok" : "unsafe", "; SSI ",
                            advice.CorrectAt(IsoLevel::kSsi) ? "ok" : "unsafe");
+  if (advice.SsiRecommended()) {
+    out = StrCat(out,
+                 " (recommended: write skew is the only SNAPSHOT hazard)");
+  }
   if (!rejected.empty()) out = StrCat(out, "; ", rejected);
   return out;
 }
@@ -94,7 +102,9 @@ std::string RenderAdviceTable(const std::vector<LevelAdvice>& advice) {
     triples += a.snapshot_report.triples_checked;
     rows.push_back({a.txn_type, IsoLevelName(a.recommended),
                     a.snapshot_correct ? "yes" : "no",
-                    a.CorrectAt(IsoLevel::kSsi) ? "yes" : "no",
+                    a.SsiRecommended()            ? "recommended"
+                    : a.CorrectAt(IsoLevel::kSsi) ? "yes"
+                                                  : "no",
                     std::to_string(triples)});
   }
   // Pad every column to its widest cell so long type names don't shear the

@@ -24,6 +24,14 @@ struct LevelAdvice {
   /// the ladder's monotonicity: everything at or above `recommended` is
   /// correct. SNAPSHOT is answered from its separate report.
   bool CorrectAt(IsoLevel level) const;
+
+  /// True when SSI is the advisable multiversion configuration: SNAPSHOT is
+  /// rejected while SSI is correct. Theorem 5 already excuses conflicting
+  /// writes through first-committer-wins, so a SNAPSHOT rejection means
+  /// write skew is the only anomaly standing between this type and snapshot
+  /// reads — and SSI removes exactly that anomaly, trading the hazard for
+  /// rare serialization-failure retries while keeping readers unblocked.
+  bool SsiRecommended() const;
 };
 
 struct AdvisorOptions {

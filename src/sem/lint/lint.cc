@@ -105,6 +105,10 @@ LintReport LintApplication(const ParsedApplication& parsed,
             ": no level annotation; derived lowest correct level = ",
             IsoLevelName(advice.recommended), "; SNAPSHOT ",
             advice.snapshot_correct ? "ok" : "unsafe");
+        if (advice.SsiRecommended()) {
+          d.message += StrCat(
+              "; SSI recommended (write skew is the only SNAPSHOT hazard)");
+        }
         ++report.notes;
         report.diagnostics.push_back(std::move(d));
       }
@@ -136,6 +140,11 @@ LintReport LintApplication(const ParsedApplication& parsed,
               : StrCat(" [", d.assertion, "] vs [", d.source, "] fails"),
           "; requires ", IsoLevelName(advice.recommended),
           d.witness.empty() ? "" : StrCat("; witness: ", d.witness));
+      if (txn.annotated == IsoLevel::kSnapshot && advice.SsiRecommended()) {
+        // The annotation wanted snapshot reads; SSI keeps them and aborts
+        // the write-skew structures the Thm 5 check is rejecting here.
+        d.message += "; SSI would keep snapshot reads safe";
+      }
       ++report.errors;
       report.diagnostics.push_back(std::move(d));
     } else if (options.warn_over_isolated &&
@@ -202,7 +211,9 @@ std::string RenderLintJson(const LintReport& report) {
     advice.push_back(StrCat(
         "{\"txn\":", JsonQuote(a.txn_type),
         ",\"recommended\":", JsonQuote(IsoLevelName(a.recommended)),
-        ",\"snapshot_ok\":", a.snapshot_correct ? "true" : "false", "}"));
+        ",\"snapshot_ok\":", a.snapshot_correct ? "true" : "false",
+        ",\"ssi_recommended\":", a.SsiRecommended() ? "true" : "false",
+        "}"));
   }
   return StrCat(
       "{\"diagnostics\":[", Join(diags, ","), "],\"advice\":[",

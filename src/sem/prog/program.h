@@ -37,6 +37,14 @@ struct TxnProgram {
   /// initial value it records. Captured when the transaction starts.
   std::map<std::string, std::string> logical_bindings;
 
+  /// Declared READ ONLY (a spec session's "BEGIN ... READ ONLY", or a
+  /// workload type that performs no writes). At SSI the declaration enables
+  /// the Cahill read-only optimization: a read-only in-conflict cannot close
+  /// a dangerous structure unless its out-conflict committed before the
+  /// declarer's snapshot. The runtime trusts but verifies — an actual write
+  /// by a declared-read-only transaction revokes the optimization.
+  bool declared_read_only = false;
+
   /// Full precondition: I_i ∧ B_i (logical bindings are handled separately).
   Expr Precondition() const;
   /// Full postcondition: I_i ∧ Q_i.

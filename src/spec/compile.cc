@@ -980,6 +980,23 @@ void GenerateInterleavings(
   if (!any) out->push_back(*prefix);
 }
 
+/// True when a session's setup SQL declares its transaction READ ONLY
+/// (case-insensitive, any whitespace between the words). Session setup is
+/// otherwise advisory; this is the one declaration the runtime honours — it
+/// feeds the SSI read-only optimization.
+bool DeclaresReadOnly(const std::string& sql) {
+  std::string norm;
+  norm.reserve(sql.size());
+  for (char c : sql) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!norm.empty() && norm.back() != ' ') norm += ' ';
+    } else {
+      norm += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return norm.find("read only") != std::string::npos;
+}
+
 }  // namespace
 
 Result<CompiledSpec> CompileSpec(const IsolationSpec& spec) {
@@ -1014,6 +1031,7 @@ Result<CompiledSpec> CompileSpec(const IsolationSpec& spec) {
     program->i_part = True();
     program->b_part = True();
     program->result = True();
+    program->declared_read_only = DeclaresReadOnly(session.setup_sql);
     std::vector<CompiledStep> steps;
     int subquery_counter = 0;
     bool finished = false;  // a COMMIT/ROLLBACK step has been seen

@@ -19,7 +19,10 @@ struct SpecStep {
 /// One session (one transaction per executed permutation).
 struct SpecSession {
   std::string name;
-  std::string setup_sql;  ///< per-session setup (BEGIN/SET...); advisory only
+  /// Per-session setup (BEGIN/SET...). Advisory, except that a READ ONLY
+  /// declaration is honoured: the compiled program carries it to the
+  /// runtime, where SSI applies the read-only optimization.
+  std::string setup_sql;
   std::vector<SpecStep> steps;
   int line = 0;
 };
@@ -31,7 +34,8 @@ struct SpecSession {
 ///   setup       { <sql> }          -- global, may repeat (concatenated)
 ///   teardown    { <sql> }          -- parsed for brace balance, not executed
 ///   session "name"
-///     setup { <sql> }              -- optional, BEGIN/SET only (ignored)
+///     setup { <sql> }              -- optional, BEGIN/SET only (READ ONLY
+///                                     is honoured; the rest is ignored)
 ///     step "name" { <sql> }        -- one or more
 ///   permutation "step" "step" ...  -- optional; absent = all interleavings
 struct IsolationSpec {

@@ -68,6 +68,7 @@ ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
       for (int i = 0; i < items_per_thread; ++i) {
         WorkItem item = gen(rng);
         bool committed = false;
+        bool settled = false;
         for (int attempt = 0; attempt < attempts && !committed; ++attempt) {
           const auto t0 = std::chrono::steady_clock::now();
           ProgramRun run(mgr_, item.program, item.level, log);
@@ -84,6 +85,13 @@ ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
           ++stats.aborted;
           if (run.failure().code() == Code::kDeadlock) ++stats.deadlocks;
           if (run.failure().code() == Code::kConflict) ++stats.fcw_conflicts;
+          // An explicit Abort statement is the program's own decision (TPC-C
+          // rolls back 1% of NewOrders); re-running would abort identically
+          // forever, so the item settles instead of consuming retries.
+          if (run.UserAborted()) {
+            settled = true;
+            break;
+          }
           // Backoff keeps optimistic (FCW) retries from livelocking on hot
           // items; the deterministic variant is a pure function of
           // (seed, thread, item, attempt), so runs with the same seed sleep
@@ -99,7 +107,7 @@ ExecStats ConcurrentExecutor::Run(const Generator& gen, int items_per_thread,
             std::this_thread::sleep_for(std::chrono::microseconds(us));
           }
         }
-        if (!committed) ++stats.retries_exhausted;
+        if (!committed && !settled) ++stats.retries_exhausted;
       }
     });
   }

@@ -110,7 +110,7 @@ ProgramRun::ProgramRun(TxnManager* mgr,
 void ProgramRun::EnsureBegun() {
   if (begun_ || Done()) return;
   begun_ = true;
-  txn_ = mgr_->Begin(level_);
+  txn_ = mgr_->Begin(level_, program_->declared_read_only);
   txn_->locals = program_->params;
   // Capture logical variables (initial values of the bound items) from the
   // committed state at start.
@@ -238,6 +238,7 @@ Status ProgramRun::ExecStmt(const Stmt& stmt, bool wait) {
       return mgr_->DeleteRows(txn_.get(), stmt.table,
                               CloseOverLocals(stmt.pred), wait, nullptr);
     case StmtKind::kAbort:
+      user_aborted_ = true;
       return Status::Aborted("explicit abort statement");
     case StmtKind::kIf:
     case StmtKind::kWhile:

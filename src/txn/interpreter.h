@@ -79,6 +79,10 @@ class ProgramRun {
   }
   StepOutcome outcome() const { return outcome_; }
   const Status& failure() const { return failure_; }
+  /// True when the abort came from the program's own `Abort` statement
+  /// (e.g. TPC-C's 1% NewOrder rollback) — a business outcome, not a
+  /// concurrency casualty. Harnesses must not retry such a run.
+  bool UserAborted() const { return user_aborted_; }
   /// Valid only after the transaction has begun (always true in eager mode).
   const Txn& txn() const { return *txn_; }
   Txn* mutable_txn() { return txn_.get(); }
@@ -129,6 +133,7 @@ class ProgramRun {
   bool schedulable_rollback_ = false;
   bool rolling_back_ = false;
   bool last_step_undo_ = false;
+  bool user_aborted_ = false;
   FaultInjector* faults_ = nullptr;
 };
 

@@ -25,7 +25,7 @@ struct CommitRank {
 
 }  // namespace
 
-void SsiTracker::Register(TxnId id, Timestamp snapshot_ts) {
+void SsiTracker::Register(TxnId id, Timestamp snapshot_ts, bool read_only) {
   std::lock_guard<std::mutex> lock(mu_);
   // Opportunistic GC. With no SSI transaction in flight nothing already
   // committed can join a new dangerous structure whose failure was not
@@ -57,6 +57,7 @@ void SsiTracker::Register(TxnId id, Timestamp snapshot_ts) {
   TxnRec& rec = txns_[id];
   rec = TxnRec();
   rec.snapshot_ts = snapshot_ts;
+  rec.read_only = read_only;
 }
 
 Status SsiTracker::GateLocked(TxnId id) {
@@ -140,6 +141,12 @@ Status SsiTracker::CheckStructuresLocked(TxnId acting, bool acting_committing) {
         const bool required =
             two_cycle ||
             (tout.committed() && tout.commit_ts <= tin.snapshot_ts);
+        // READ ONLY optimization (Cahill; postgres SxactIsReadOnly): a
+        // declared-read-only Tin observes a fixed snapshot, so the structure
+        // can only close a cycle when Tout committed before that snapshot —
+        // exactly the `required` predicate. Every other firing would be a
+        // false positive by construction, so it is suppressed outright.
+        if (tin.read_only && !required) continue;
         const std::string why = StrCat(
             "dangerous structure T", in_id, " ->rw T", pivot_id, " ->rw T",
             out_id, " with T", out_id, " committed first");
@@ -220,6 +227,9 @@ Status SsiTracker::OnItemWrite(TxnId id, const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto self = txns_.find(id);
   if (self == txns_.end()) return Status::Ok();
+  // A write belies a READ ONLY declaration; drop the optimization rather
+  // than let a mislabeled transaction weaken the rule.
+  self->second.read_only = false;
   self->second.item_writes.insert(name);
   for (const auto& [oid, other] : txns_) {
     if (oid == id || !other.item_reads.count(name)) continue;
@@ -235,6 +245,7 @@ Status SsiTracker::OnRowWrite(TxnId id, const std::string& table,
   std::lock_guard<std::mutex> lock(mu_);
   auto self = txns_.find(id);
   if (self == txns_.end()) return Status::Ok();
+  self->second.read_only = false;
   self->second.row_writes.push_back({table, old_image, new_image});
   for (const auto& [oid, other] : txns_) {
     if (oid == id) continue;

@@ -45,8 +45,14 @@ struct SsiCounters {
 /// ordered maps so decisions are deterministic for a given schedule.
 class SsiTracker {
  public:
-  /// Starts tracking an SSI transaction (called at Begin).
-  void Register(TxnId id, Timestamp snapshot_ts);
+  /// Starts tracking an SSI transaction (called at Begin). `read_only`
+  /// enables the Cahill READ ONLY optimization for this transaction: as the
+  /// in-conflict of a dangerous structure it cannot produce an anomaly
+  /// unless the out-conflict committed before its snapshot, so the
+  /// conservative rule's other firings are skipped rather than counted as
+  /// false-positive aborts. The declaration is revoked on its first actual
+  /// write.
+  void Register(TxnId id, Timestamp snapshot_ts, bool read_only = false);
 
   /// Fails with Status::Conflict when `id` was marked for serialization
   /// failure (doomed). Checked at the head of every operation and commit.
@@ -86,6 +92,7 @@ class SsiTracker {
   struct TxnRec {
     Timestamp snapshot_ts = 0;
     Timestamp commit_ts = 0;  ///< 0 = still active
+    bool read_only = false;   ///< declared READ ONLY (and not yet belied)
     bool doomed = false;
     std::string doom_reason;
     std::set<std::string> item_reads;

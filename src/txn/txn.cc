@@ -34,16 +34,17 @@ void CommitLog::Clear() {
   records_.clear();
 }
 
-std::unique_ptr<Txn> TxnManager::Begin(IsoLevel level) {
+std::unique_ptr<Txn> TxnManager::Begin(IsoLevel level, bool read_only) {
   auto txn = std::make_unique<Txn>();
   txn->id = next_id_++;
   txn->level = level;
   txn->policy = PolicyFor(level);
+  txn->read_only = read_only;
   txn->start_ts = store_->CurrentTs();
   if (txn->policy.snapshot_reads) {
     txn->snapshot = std::make_unique<SnapshotView>(store_, txn->start_ts);
   }
-  if (txn->policy.ssi) ssi_.Register(txn->id, txn->start_ts);
+  if (txn->policy.ssi) ssi_.Register(txn->id, txn->start_ts, read_only);
   if (wal_ != nullptr) wal_->LogBegin(txn->id, level);
   return txn;
 }

@@ -51,6 +51,10 @@ struct Txn {
   long dirty_reads = 0;
   long undo_dirty_reads = 0;
 
+  /// Declared READ ONLY at Begin (spec sessions, read-only workload types).
+  /// Feeds the SSI tracker's read-only optimization; advisory elsewhere.
+  bool read_only = false;
+
   enum class State { kActive, kRollingBack, kCommitted, kAborted };
   State state = State::kActive;
   Timestamp commit_ts = 0;
@@ -92,7 +96,9 @@ class TxnManager {
   TxnManager(Store* store, LockManager* locks)
       : store_(store), locks_(locks) {}
 
-  std::unique_ptr<Txn> Begin(IsoLevel level);
+  /// `read_only` declares the transaction READ ONLY (SSI applies the
+  /// read-only optimization; the other levels treat it as advisory).
+  std::unique_ptr<Txn> Begin(IsoLevel level, bool read_only = false);
 
   // ---- conventional (named item) operations ----
   Status ReadItem(Txn* txn, const std::string& name, Value* out, bool wait);

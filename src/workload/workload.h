@@ -51,6 +51,11 @@ struct Workload {
   /// Default mix for the executor: type name -> weight.
   std::vector<std::pair<std::string, double>> mix;
 
+  /// Mean keying + think time per type in µs (empty for workloads without a
+  /// pacing spec). TPC-C populates it from the 5.2.5.7 table, scaled down;
+  /// closed-loop harnesses may honour it, open-loop ones pace by rate.
+  std::map<std::string, int64_t> think_time_us;
+
   /// Named pinned-parameter mixes for the schedule explorer (may be empty).
   std::vector<ExploreMix> explore_mixes;
 
@@ -78,7 +83,11 @@ Workload MakeMailingWorkload();
 /// from "no gaps" to "exactly one order per day" (§6's READ COMMITTED with
 /// first-committer-wins discussion).
 Workload MakeOrdersWorkload(bool one_order_per_day = false);
-Workload MakeTpccWorkload(int districts = 2, int customers = 8, int items = 16);
+/// TPC-C (lite): all five transaction types at spec-shaped dimensions.
+/// `districts`, `customers`, and `items` are per-warehouse; districts and
+/// customers are flattened to global indices, stock is keyed (w_id, i_id).
+Workload MakeTpccWorkload(int warehouses = 2, int districts = 2,
+                          int customers = 8, int items = 16);
 
 }  // namespace semcor
 

@@ -191,6 +191,32 @@ TEST(AdvisorTest, SummarizeAdviceNamesRejectingTheorems) {
   EXPECT_NE(summary.find("SNAPSHOT unsafe"), std::string::npos);
 }
 
+TEST(AdvisorTest, SsiRecommendedExactlyWhenWriteSkewBlocksSnapshot) {
+  Workload w = MakeBankingWorkload(2);
+  LevelAdvisor advisor(w.app, AdvisorOptions());
+
+  // Withdraw_sav is the classic write-skew type: SNAPSHOT is rejected by
+  // Thm 5 while SSI (serializable by construction) is fine, so SSI is the
+  // advisable multiversion configuration.
+  LevelAdvice skew = advisor.Advise("Withdraw_sav");
+  ASSERT_FALSE(skew.snapshot_correct);
+  ASSERT_TRUE(skew.CorrectAt(IsoLevel::kSsi));
+  EXPECT_TRUE(skew.SsiRecommended());
+  const std::string summary = SummarizeAdvice(skew);
+  EXPECT_NE(summary.find("write skew is the only SNAPSHOT hazard"),
+            std::string::npos);
+
+  // Deposit_sav is already safe at SNAPSHOT — nothing to recommend.
+  LevelAdvice safe = advisor.Advise("Deposit_sav");
+  ASSERT_TRUE(safe.snapshot_correct);
+  EXPECT_FALSE(safe.SsiRecommended());
+  EXPECT_EQ(SummarizeAdvice(safe).find("recommended:"), std::string::npos);
+
+  // The table flags the recommendation in the SSI column.
+  const std::string table = RenderAdviceTable({skew, safe});
+  EXPECT_NE(table.find("recommended"), std::string::npos);
+}
+
 TEST(AdvisorTest, RenderAdviceTableAlignsLongTypeNames) {
   // Two advices whose names differ wildly in length: every row of the
   // rendered table must have identical width and aligned column bars.

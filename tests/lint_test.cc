@@ -49,6 +49,30 @@ txn Deposit_sav {
 }
 )";
 
+// The mirror withdrawal (Figure 1's Withdraw_ch): reads both balances,
+// debits the checking account. Appending it to the fixture creates the
+// Example 3 write-skew pair, which makes SNAPSHOT unsafe for both
+// withdrawals while SSI stays correct.
+const char kWithdrawChSem[] = R"(
+txn Withdraw_ch {
+  level REPEATABLE READ
+  scenario w = 2
+  requires $w >= 0
+  logical CH0 = acct_ch
+
+  pre acct_sav + acct_ch >= 0 && $w >= 0
+  read Sav := acct_sav
+  pre acct_sav + acct_ch >= 0 && $w >= 0 && acct_sav >= $Sav
+  read Ch := acct_ch
+  pre acct_sav + acct_ch >= $Sav + $Ch && $w >= 0 && acct_sav >= $Sav && $Ch == #CH0
+  if $Sav + $Ch >= $w {
+    pre acct_sav + acct_ch >= $Sav + $Ch && $w >= 0 && acct_sav >= $Sav && $Ch == #CH0 && $Sav + $Ch >= $w
+    write acct_ch := $Ch - $w
+  }
+  ensures $Sav + $Ch >= $w => acct_ch == #CH0 - $w
+}
+)";
+
 std::string Fixture(const std::string& withdraw, const std::string& deposit) {
   std::string text = kBankingSem;
   auto replace = [&text](const std::string& from, const std::string& to) {
@@ -160,6 +184,44 @@ TEST(LintTest, UnannotatedTxnGetsAdviceNote) {
     if (d.rule == "advice" && d.txn == "Deposit_sav") advice_note = true;
   }
   EXPECT_TRUE(advice_note);
+}
+
+TEST(LintTest, SnapshotAnnotationOnWriteSkewSuggestsSsi) {
+  // Withdraw_sav annotated SNAPSHOT: rejected (write skew), and because SSI
+  // is the configuration that keeps the snapshot reads safe, the diagnostic
+  // and the machine-readable advice both say so.
+  LintReport report = LintApplication(MustParse(
+      Fixture("SNAPSHOT", "READ COMMITTED FCW") + kWithdrawChSem));
+  EXPECT_FALSE(report.ok());
+  const LintDiagnostic* found = nullptr;
+  for (const LintDiagnostic& d : report.diagnostics) {
+    if (d.rule == "under-leveled" && d.txn == "Withdraw_sav") found = &d;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_NE(found->message.find("SSI would keep snapshot reads safe"),
+            std::string::npos) << found->message;
+
+  const std::string json = RenderLintJson(report);
+  EXPECT_NE(json.find("\"ssi_recommended\":true"), std::string::npos) << json;
+}
+
+TEST(LintTest, UnannotatedWriteSkewNoteRecommendsSsi) {
+  std::string text =
+      Fixture("REPEATABLE READ", "READ COMMITTED FCW") + kWithdrawChSem;
+  const size_t pos = text.find("  level REPEATABLE READ\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, std::string("  level REPEATABLE READ\n").size());
+  LintReport report = LintApplication(MustParse(text));
+  EXPECT_TRUE(report.ok());
+  const LintDiagnostic* note = nullptr;
+  for (const LintDiagnostic& d : report.diagnostics) {
+    if (d.rule == "advice" && d.txn == "Withdraw_sav") note = &d;
+  }
+  ASSERT_NE(note, nullptr);
+  EXPECT_NE(note->message.find(
+                "SSI recommended (write skew is the only SNAPSHOT hazard)"),
+            std::string::npos)
+      << note->message;
 }
 
 TEST(LintTest, RenderersIncludeDiagnosticsAndSummary) {
